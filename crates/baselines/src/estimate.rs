@@ -1,0 +1,72 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A baseline platform's estimated execution time for one model on one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEstimate {
+    /// Platform name (e.g. `rtx-2080-ti`, `hygcn`).
+    pub platform: String,
+    /// Model name.
+    pub model_name: String,
+    /// Estimated end-to-end execution time in seconds.
+    pub seconds: f64,
+    /// Per-layer breakdown in seconds.
+    pub layer_seconds: Vec<f64>,
+}
+
+impl BaselineEstimate {
+    /// Estimated execution time in milliseconds.
+    pub fn milliseconds(&self) -> f64 {
+        self.seconds * 1e3
+    }
+
+    /// Speedup of a run that took `other_seconds` relative to this baseline
+    /// (i.e. `self.seconds / other_seconds`).
+    pub fn speedup_of(&self, other_seconds: f64) -> f64 {
+        self.seconds / other_seconds
+    }
+}
+
+impl fmt::Display for BaselineEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} running {}: {:.3} ms",
+            self.platform,
+            self.model_name,
+            self.milliseconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate() -> BaselineEstimate {
+        BaselineEstimate {
+            platform: "gpu".into(),
+            model_name: "gcn".into(),
+            seconds: 2.0e-3,
+            layer_seconds: vec![1.5e-3, 0.5e-3],
+        }
+    }
+
+    #[test]
+    fn milliseconds_conversion() {
+        assert!((estimate().milliseconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_of_faster_run() {
+        // A run that takes 0.5 ms is 4x faster than this 2 ms baseline.
+        assert!((estimate().speedup_of(0.5e-3) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_platform_and_model() {
+        let s = estimate().to_string();
+        assert!(s.contains("gpu"));
+        assert!(s.contains("gcn"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3 bench: regenerates the speedup-over-GPU table and benchmarks the
+//! simulator on the suite workloads.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench fig3_speedup`.
+
+use criterion::{black_box, Criterion};
+use gnnerator::DataflowConfig;
+use gnnerator_bench::experiments;
+use gnnerator_bench::suite::{SuiteContext, SuiteOptions, Workload};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+
+/// Regenerates the Figure 3 table at a reduced dataset scale so `cargo bench`
+/// stays quick while preserving the relative shape.
+fn print_figure3() {
+    let options = SuiteOptions::paper().with_scale(0.25);
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    let (rows, gm_blocked, gm_unblocked) = experiments::figure3(&ctx).expect("simulation failed");
+    println!("{}", experiments::figure3_table(&rows, gm_blocked, gm_unblocked));
+    println!("(dataset scale 0.25; run the `fig3` binary for full-size datasets)");
+    println!("Paper reference: geomean 8.0x with blocking, 4.2x without.\n");
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let ctx = SuiteContext::materialize(&SuiteOptions::quick()).expect("dataset synthesis failed");
+    let mut group = c.benchmark_group("fig3_simulation");
+    group.sample_size(10);
+    for dataset in [DatasetKind::Cora, DatasetKind::Pubmed] {
+        let workload = Workload::new(dataset, NetworkKind::Gcn);
+        group.bench_function(format!("blocked/{}", workload.label()), |b| {
+            b.iter(|| {
+                ctx.simulate_gnnerator(black_box(&workload), DataflowConfig::blocked(64))
+                    .expect("simulation failed")
+            })
+        });
+        group.bench_function(format!("conventional/{}", workload.label()), |b| {
+            b.iter(|| {
+                ctx.simulate_gnnerator(black_box(&workload), DataflowConfig::conventional())
+                    .expect("simulation failed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure3();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_simulator(&mut criterion);
+    criterion.final_summary();
+}

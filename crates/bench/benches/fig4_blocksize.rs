@@ -1,0 +1,44 @@
+//! Figure 4 bench: regenerates the block-size sweep and benchmarks the
+//! simulator at representative block sizes.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench fig4_blocksize`.
+
+use criterion::{black_box, Criterion};
+use gnnerator::DataflowConfig;
+use gnnerator_bench::experiments::{self, FIGURE4_BLOCK_SIZES};
+use gnnerator_bench::suite::{SuiteContext, SuiteOptions, Workload};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+
+/// Regenerates the Figure 4 table at a reduced dataset scale.
+fn print_figure4() {
+    let options = SuiteOptions::paper().with_scale(0.25);
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    let rows = experiments::figure4(&ctx, &FIGURE4_BLOCK_SIZES).expect("simulation failed");
+    println!("{}", experiments::figure4_table(&rows));
+    println!("(dataset scale 0.25; run the `fig4` binary for full-size datasets)");
+    println!("Paper reference: B=64 is optimal; B=32 under-utilises the Dense Engine.\n");
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let ctx = SuiteContext::materialize(&SuiteOptions::quick()).expect("dataset synthesis failed");
+    let workload = Workload::new(DatasetKind::Citeseer, NetworkKind::Gcn);
+    let mut group = c.benchmark_group("fig4_block_size");
+    group.sample_size(10);
+    for b in [32usize, 64, 256, 4096] {
+        group.bench_function(format!("B={b}"), |bench| {
+            bench.iter(|| {
+                ctx.simulate_gnnerator(black_box(&workload), DataflowConfig::blocked(b))
+                    .expect("simulation failed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure4();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_block_sizes(&mut criterion);
+    criterion.final_summary();
+}

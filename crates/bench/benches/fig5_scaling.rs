@@ -1,0 +1,56 @@
+//! Figure 5 bench: regenerates the scaling study and benchmarks simulation of
+//! the scaled platform configurations.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench fig5_scaling`.
+
+use criterion::{black_box, Criterion};
+use gnnerator::{DataflowConfig, GnneratorConfig};
+use gnnerator_bench::experiments;
+use gnnerator_bench::suite::{SuiteContext, SuiteOptions, Workload};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+
+/// Regenerates the Figure 5 table at a reduced dataset scale.
+fn print_figure5() {
+    let options = SuiteOptions::paper().with_scale(0.25);
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    let (rows, gmeans) = experiments::figure5(&ctx).expect("simulation failed");
+    println!("{}", experiments::figure5_table(&rows, &gmeans));
+    println!("(dataset scale 0.25; run the `fig5` binary for full-size datasets)");
+    println!("Paper reference: bandwidth helps small hidden dims; dense compute wins at 1024.\n");
+}
+
+fn bench_scaled_configs(c: &mut Criterion) {
+    let ctx = SuiteContext::materialize(&SuiteOptions::quick().with_hidden_dim(128))
+        .expect("dataset synthesis failed");
+    let workload = Workload::new(DatasetKind::Cora, NetworkKind::Gcn);
+    let base = GnneratorConfig::paper_default();
+    let configs = [
+        ("baseline", base.clone()),
+        ("2x-graph-mem", base.with_double_graph_memory()),
+        ("2x-dense", base.with_double_dense_compute()),
+        ("2x-bandwidth", base.with_double_feature_bandwidth()),
+    ];
+    let mut group = c.benchmark_group("fig5_scaled_configs");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                ctx.simulate_with_config(
+                    black_box(&workload),
+                    config.clone(),
+                    DataflowConfig::blocked(64),
+                )
+                .expect("simulation failed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure5();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_scaled_configs(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,60 @@
+//! Table I bench: regenerates the analytical shard-dataflow cost table and
+//! benchmarks the cost model plus the sharding path it feeds.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench table1_dataflow`.
+
+use criterion::{black_box, Criterion};
+use gnnerator::cost;
+use gnnerator_bench::experiments;
+use gnnerator_graph::{generators, ShardGrid};
+
+fn print_table1() {
+    println!("{}", experiments::table1_table());
+    println!("{}", experiments::table2_table());
+    println!("{}", experiments::table4_table());
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cost_model");
+    group.bench_function("evaluate_table", |b| {
+        b.iter(|| {
+            cost::evaluate_table(
+                black_box(&[2, 4, 8, 16, 32, 64]),
+                black_box(&[1, 4, 16, 64, 256, 1024]),
+            )
+        })
+    });
+    group.bench_function("choose_order", |b| {
+        b.iter(|| {
+            let mut picked = 0usize;
+            for s in 1..64u64 {
+                for i in 1..64u64 {
+                    if cost::choose_order(black_box(s), black_box(i))
+                        == gnnerator_graph::TraversalOrder::DestinationStationary
+                    {
+                        picked += 1;
+                    }
+                }
+            }
+            picked
+        })
+    });
+    group.finish();
+
+    let edges = generators::rmat(2000, 12000, 7).expect("valid parameters");
+    let mut group = c.benchmark_group("table1_sharding");
+    group.sample_size(20);
+    for nodes_per_shard in [64usize, 256, 1024] {
+        group.bench_function(format!("shard_grid/n={nodes_per_shard}"), |b| {
+            b.iter(|| ShardGrid::build(black_box(&edges), nodes_per_shard).expect("valid graph"))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_table1();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_cost_model(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Table V bench: regenerates the GNNerator-versus-HyGCN comparison and
+//! benchmarks the baseline estimators.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench table5_hygcn`.
+
+use criterion::{black_box, Criterion};
+use gnnerator_baselines::{GpuModel, HygcnModel};
+use gnnerator_bench::experiments;
+use gnnerator_bench::suite::{SuiteContext, SuiteOptions};
+use gnnerator_gnn::NetworkKind;
+
+/// Regenerates the Table V comparison at a reduced dataset scale.
+fn print_table5() {
+    let options = SuiteOptions::paper().with_scale(0.25);
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    let rows = experiments::table5(&ctx).expect("simulation failed");
+    println!("{}", experiments::table5_table(&rows));
+    println!("(dataset scale 0.25; run the `table5` binary for full-size datasets)");
+    println!("Paper reference: 3.8x / 3.2x / 2.3x with blocking, 1.8x / 0.8x / 1.0x without.\n");
+}
+
+fn bench_baseline_models(c: &mut Criterion) {
+    let model = NetworkKind::Gcn.build_paper_config(1433, 7).expect("valid model");
+    let gpu = GpuModel::rtx_2080_ti();
+    let hygcn = HygcnModel::paper_default();
+    let mut group = c.benchmark_group("table5_baseline_estimates");
+    group.bench_function("gpu_estimate", |b| {
+        b.iter(|| gpu.estimate(black_box(&model), 2708, 10556))
+    });
+    group.bench_function("hygcn_estimate", |b| {
+        b.iter(|| hygcn.estimate(black_box(&model), 2708, 10556))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_table5();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_baseline_models(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Runs every experiment in the paper's evaluation section in one go and
+//! prints all tables and figures. This is the binary referenced from
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p gnnerator-bench --release --bin all_experiments [-- --scale 0.25]`
+
+use gnnerator_bench::experiments::{self, FIGURE4_BLOCK_SIZES};
+use gnnerator_bench::rows::format_ms;
+use gnnerator_bench::suite::{full_suite, scale_from_args, SuiteContext, SuiteOptions};
+
+fn main() {
+    let scale = scale_from_args(std::env::args());
+    let options = SuiteOptions::paper().with_scale(scale);
+    println!("GNNerator reproduction — full experiment sweep (dataset scale {scale})");
+    println!();
+
+    // Static configuration tables.
+    println!("{}", experiments::table1_table());
+    println!("{}", experiments::table2_table());
+    println!("{}", experiments::table4_table());
+
+    println!("Synthesising datasets...");
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+
+    // Raw per-workload runtimes, for reference.
+    println!();
+    println!("Per-workload runtimes:");
+    for workload in full_suite() {
+        let result = ctx.run_workload(&workload).expect("simulation failed");
+        println!(
+            "  {:<18} gnnerator {:>12}  w/o blocking {:>12}  gpu {:>12}  hygcn {:>12}",
+            workload.label(),
+            format_ms(result.gnnerator_blocked.seconds()),
+            format_ms(result.gnnerator_unblocked.seconds()),
+            format_ms(result.gpu.seconds),
+            format_ms(result.hygcn.seconds),
+        );
+    }
+
+    // Figure 3.
+    let (rows, gm_blocked, gm_unblocked) = experiments::figure3(&ctx).expect("figure 3 failed");
+    println!();
+    println!("{}", experiments::figure3_table(&rows, gm_blocked, gm_unblocked));
+
+    // Table V.
+    let rows = experiments::table5(&ctx).expect("table 5 failed");
+    println!("{}", experiments::table5_table(&rows));
+
+    // Figure 4.
+    let rows = experiments::figure4(&ctx, &FIGURE4_BLOCK_SIZES).expect("figure 4 failed");
+    println!("{}", experiments::figure4_table(&rows));
+
+    // Figure 5.
+    let (rows, gmeans) = experiments::figure5(&ctx).expect("figure 5 failed");
+    println!("{}", experiments::figure5_table(&rows, &gmeans));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 5: the scaling study. For each dataset and hidden
+//! dimension, the speedup obtained by doubling (a) the Graph Engine memory,
+//! (b) the Dense Engine compute, or (c) the feature-memory bandwidth.
+//!
+//! Usage: `cargo run -p gnnerator-bench --release --bin fig5 [-- --scale 0.1]`
+
+use gnnerator_bench::experiments;
+use gnnerator_bench::suite::{scale_from_args, SuiteContext, SuiteOptions};
+
+fn main() {
+    let scale = scale_from_args(std::env::args());
+    let options = SuiteOptions::paper().with_scale(scale);
+    println!("Synthesising datasets (scale {scale})...");
+    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    let (rows, gmeans) = experiments::figure5(&ctx).expect("simulation failed");
+    println!();
+    println!("{}", experiments::figure5_table(&rows, &gmeans));
+    println!(
+        "Paper reference: more bandwidth helps small hidden dimensions; more Dense Engine compute wins at large hidden dimensions (Figure 5)."
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table I: the analytical read/write costs of the
+//! source-stationary and destination-stationary shard dataflows, evaluated at
+//! representative grid dimensions, plus the configuration tables (II and IV)
+//! the evaluation section relies on.
+//!
+//! Usage: `cargo run -p gnnerator-bench --release --bin table1`
+
+use gnnerator_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::table1_table());
+    println!("Symbolic forms (Table I):");
+    println!("  SRC stationary:  reads = S*I + (S-1)*S - S + 1    writes = S^2 - S + 1");
+    println!("  DST stationary:  reads = (S^2 - S + 1) * I        writes = S");
+    println!();
+    println!("{}", experiments::table2_table());
+    println!("{}", experiments::table4_table());
+}

@@ -1,0 +1,41 @@
+//! Benchmark harness for the GNNerator reproduction.
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! section:
+//!
+//! | Artifact | Function | Binary | Criterion bench |
+//! |----------|----------|--------|-----------------|
+//! | Table I  | [`experiments::table1_rows`] | `table1` | `table1_dataflow` |
+//! | Figure 3 | [`experiments::figure3`] | `fig3` | `fig3_speedup` |
+//! | Table V  | [`experiments::table5`] | `table5` | `table5_hygcn` |
+//! | Figure 4 | [`experiments::figure4`] | `fig4` | `fig4_blocksize` |
+//! | Figure 5 | [`experiments::figure5`] | `fig5` | `fig5_scaling` |
+//!
+//! The [`suite`] module defines the nine-benchmark suite (three citation
+//! datasets × three networks, Tables II & III), synthesises the datasets, and
+//! runs the GNNerator simulator plus both baseline models on each workload.
+//! The [`rows`] module provides the plain-text table formatting shared by all
+//! harness binaries, and [`experiments`] assembles the per-figure result
+//! tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnerator_bench::suite::{SuiteContext, SuiteOptions, Workload};
+//! use gnnerator_graph::datasets::DatasetKind;
+//! use gnnerator_gnn::NetworkKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A scaled-down context so the doctest stays fast.
+//! let ctx = SuiteContext::materialize(&SuiteOptions::quick())?;
+//! let result = ctx.run_workload(&Workload::new(DatasetKind::Cora, NetworkKind::Gcn))?;
+//! assert!(result.speedup_blocked_vs_gpu() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod rows;
+pub mod suite;

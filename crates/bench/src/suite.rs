@@ -1,0 +1,427 @@
+//! The nine-benchmark suite (Tables II & III) and its runner.
+//!
+//! A [`SuiteContext`] synthesises the three citation datasets once, then runs
+//! any combination of dataset × network through the GNNerator simulator (with
+//! and without feature blocking) and the two baseline models, producing
+//! [`WorkloadResult`]s that the experiment assemblers turn into the paper's
+//! tables and figures.
+
+use gnnerator::{DataflowConfig, GnneratorConfig, GnneratorError, Report, Simulator};
+use gnnerator_baselines::{BaselineEstimate, GpuModel, HygcnConfig, HygcnModel};
+use gnnerator_gnn::{GnnModel, NetworkKind};
+use gnnerator_graph::datasets::{Dataset, DatasetKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One benchmark: a dataset paired with a network architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// The input graph dataset.
+    pub dataset: DatasetKind,
+    /// The GNN architecture.
+    pub network: NetworkKind,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(dataset: DatasetKind, network: NetworkKind) -> Self {
+        Self { dataset, network }
+    }
+
+    /// The label used on the x-axis of Figure 3 (e.g. `cora-gcn`,
+    /// `pub-gsage-max`).
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.dataset.short_name(), self.network.short_name())
+    }
+
+    /// Number of output classes of the dataset (used as the model's output
+    /// dimension, as DGL's node-classification setup does).
+    pub fn num_classes(&self) -> usize {
+        match self.dataset {
+            DatasetKind::Cora => 7,
+            DatasetKind::Citeseer => 6,
+            DatasetKind::Pubmed => 3,
+        }
+    }
+
+    /// HyGCN's window-shrinking sparsity-elimination speedup for this
+    /// dataset, as quoted in the paper (≈1.1× for Cora/Pubmed, ≈3× for
+    /// Citeseer).
+    pub fn hygcn_sparsity_speedup(&self) -> f64 {
+        match self.dataset {
+            DatasetKind::Citeseer => 3.0,
+            DatasetKind::Cora | DatasetKind::Pubmed => 1.1,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Parses an optional `--scale <factor>` argument from a binary's command
+/// line, defaulting to 1.0 (the paper's full-size datasets).
+///
+/// Unrecognised arguments are ignored so the harness binaries stay
+/// dependency-free.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_bench::suite::scale_from_args;
+/// let args = ["fig3".to_string(), "--scale".to_string(), "0.25".to_string()];
+/// assert!((scale_from_args(args.into_iter()) - 0.25).abs() < 1e-9);
+/// assert_eq!(scale_from_args(["fig3".to_string()].into_iter()), 1.0);
+/// ```
+pub fn scale_from_args(args: impl Iterator<Item = String>) -> f64 {
+    let args: Vec<String> = args.collect();
+    for window in args.windows(2) {
+        if window[0] == "--scale" {
+            if let Ok(scale) = window[1].parse::<f64>() {
+                if scale > 0.0 && scale <= 1.0 {
+                    return scale;
+                }
+            }
+        }
+    }
+    1.0
+}
+
+/// The nine benchmarks of Figure 3, in the paper's order.
+pub fn full_suite() -> Vec<Workload> {
+    let mut suite = Vec::with_capacity(9);
+    for dataset in DatasetKind::ALL {
+        for network in NetworkKind::ALL {
+            suite.push(Workload::new(dataset, network));
+        }
+    }
+    suite
+}
+
+/// Options controlling how the suite is materialised and simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteOptions {
+    /// Scale factor applied to every dataset's vertex/edge counts (1.0 = the
+    /// paper's full-size datasets; smaller values for fast smoke tests).
+    pub scale: f64,
+    /// Seed for dataset synthesis.
+    pub seed: u64,
+    /// Hidden dimension of the networks (16 in Table III).
+    pub hidden_dim: usize,
+    /// Accelerator configuration to simulate.
+    pub config: GnneratorConfig,
+    /// Feature-block size for the blocked dataflow (64 in the paper).
+    pub block_size: usize,
+}
+
+impl SuiteOptions {
+    /// The paper's configuration: full-size datasets, hidden dimension 16,
+    /// block size 64.
+    pub fn paper() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 42,
+            hidden_dim: NetworkKind::PAPER_HIDDEN_DIM,
+            config: GnneratorConfig::paper_default(),
+            block_size: 64,
+        }
+    }
+
+    /// A heavily scaled-down configuration for tests and doctests.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.05,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns a copy with a different dataset scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Returns a copy with a different accelerator configuration.
+    pub fn with_config(mut self, config: GnneratorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns a copy with a different hidden dimension (Figure 5 sweeps 16,
+    /// 128 and 1024).
+    pub fn with_hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Results of running one workload on every platform.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The workload that was run.
+    pub workload: Workload,
+    /// GNNerator with the feature-blocking dataflow.
+    pub gnnerator_blocked: Report,
+    /// GNNerator with the conventional dataflow ("w/o Feature Blocking").
+    pub gnnerator_unblocked: Report,
+    /// The RTX 2080 Ti baseline estimate.
+    pub gpu: BaselineEstimate,
+    /// The HyGCN baseline estimate (with its dataset-specific sparsity
+    /// elimination applied).
+    pub hygcn: BaselineEstimate,
+}
+
+impl WorkloadResult {
+    /// Speedup of blocked GNNerator over the GPU (a Figure 3 bar).
+    pub fn speedup_blocked_vs_gpu(&self) -> f64 {
+        self.gpu.seconds / self.gnnerator_blocked.seconds()
+    }
+
+    /// Speedup of unblocked GNNerator over the GPU (a Figure 3 bar).
+    pub fn speedup_unblocked_vs_gpu(&self) -> f64 {
+        self.gpu.seconds / self.gnnerator_unblocked.seconds()
+    }
+
+    /// Speedup of blocked GNNerator over HyGCN (a Table V entry).
+    pub fn speedup_blocked_vs_hygcn(&self) -> f64 {
+        self.hygcn.seconds / self.gnnerator_blocked.seconds()
+    }
+
+    /// Speedup of unblocked GNNerator over HyGCN (a Table V entry).
+    pub fn speedup_unblocked_vs_hygcn(&self) -> f64 {
+        self.hygcn.seconds / self.gnnerator_unblocked.seconds()
+    }
+}
+
+/// A materialised benchmark suite: synthesised datasets plus the options they
+/// were built with.
+#[derive(Debug, Clone)]
+pub struct SuiteContext {
+    options: SuiteOptions,
+    datasets: HashMap<DatasetKind, Dataset>,
+}
+
+impl SuiteContext {
+    /// Synthesises every dataset in the suite according to `options`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-synthesis errors.
+    pub fn materialize(options: &SuiteOptions) -> Result<Self, GnneratorError> {
+        let mut datasets = HashMap::new();
+        for (i, kind) in DatasetKind::ALL.iter().enumerate() {
+            let spec = if (options.scale - 1.0).abs() < f64::EPSILON {
+                kind.spec()
+            } else {
+                kind.spec().scaled(options.scale)
+            };
+            let dataset = spec.synthesize(options.seed + i as u64)?;
+            datasets.insert(*kind, dataset);
+        }
+        Ok(Self {
+            options: options.clone(),
+            datasets,
+        })
+    }
+
+    /// The options this context was materialised with.
+    pub fn options(&self) -> &SuiteOptions {
+        &self.options
+    }
+
+    /// Returns a copy of this context with a different hidden dimension,
+    /// reusing the already-synthesised datasets (the Figure 5 study sweeps
+    /// hidden dimensions 16, 128 and 1024 over the same graphs).
+    pub fn with_hidden_dim(&self, hidden_dim: usize) -> SuiteContext {
+        let mut clone = self.clone();
+        clone.options.hidden_dim = hidden_dim;
+        clone
+    }
+
+    /// The synthesised dataset for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was somehow not materialised (cannot happen through
+    /// [`SuiteContext::materialize`]).
+    pub fn dataset(&self, kind: DatasetKind) -> &Dataset {
+        self.datasets.get(&kind).expect("all datasets are materialised")
+    }
+
+    /// Builds the model for a workload at this context's hidden dimension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn model_for(&self, workload: &Workload) -> Result<GnnModel, GnneratorError> {
+        let dataset = self.dataset(workload.dataset);
+        Ok(workload
+            .network
+            .build(
+                dataset.features.dim(),
+                self.options.hidden_dim,
+                workload.num_classes(),
+                1,
+            )
+            .map_err(GnneratorError::from)?)
+    }
+
+    /// Simulates GNNerator (with the given dataflow) on a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn simulate_gnnerator(
+        &self,
+        workload: &Workload,
+        dataflow: DataflowConfig,
+    ) -> Result<Report, GnneratorError> {
+        let dataset = self.dataset(workload.dataset);
+        let model = self.model_for(workload)?;
+        let sim = Simulator::with_dataflow(self.options.config.clone(), dataflow)?;
+        sim.simulate(&model, dataset)
+    }
+
+    /// Simulates GNNerator with an explicit platform configuration (used by
+    /// the Figure 5 scaling study).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn simulate_with_config(
+        &self,
+        workload: &Workload,
+        config: GnneratorConfig,
+        dataflow: DataflowConfig,
+    ) -> Result<Report, GnneratorError> {
+        let dataset = self.dataset(workload.dataset);
+        let model = self.model_for(workload)?;
+        let sim = Simulator::with_dataflow(config, dataflow)?;
+        sim.simulate(&model, dataset)
+    }
+
+    /// Estimates the GPU baseline for a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn estimate_gpu(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
+        let dataset = self.dataset(workload.dataset);
+        let model = self.model_for(workload)?;
+        Ok(GpuModel::rtx_2080_ti().estimate(&model, dataset.num_nodes(), dataset.num_edges()))
+    }
+
+    /// Estimates the HyGCN baseline for a workload, applying the
+    /// dataset-specific sparsity-elimination factor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn estimate_hygcn(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
+        let dataset = self.dataset(workload.dataset);
+        let model = self.model_for(workload)?;
+        let config =
+            HygcnConfig::paper_default().with_sparsity_speedup(workload.hygcn_sparsity_speedup());
+        Ok(HygcnModel::new(config).estimate(&model, dataset.num_nodes(), dataset.num_edges()))
+    }
+
+    /// Runs one workload on all four platforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and estimation errors.
+    pub fn run_workload(&self, workload: &Workload) -> Result<WorkloadResult, GnneratorError> {
+        let blocked_dataflow = DataflowConfig::blocked(self.options.block_size);
+        Ok(WorkloadResult {
+            workload: *workload,
+            gnnerator_blocked: self.simulate_gnnerator(workload, blocked_dataflow)?,
+            gnnerator_unblocked: self.simulate_gnnerator(workload, DataflowConfig::conventional())?,
+            gpu: self.estimate_gpu(workload)?,
+            hygcn: self.estimate_hygcn(workload)?,
+        })
+    }
+
+    /// Runs the whole nine-benchmark suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first workload error encountered.
+    pub fn run_suite(&self) -> Result<Vec<WorkloadResult>, GnneratorError> {
+        full_suite().iter().map(|w| self.run_workload(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_context() -> SuiteContext {
+        SuiteContext::materialize(&SuiteOptions::quick()).unwrap()
+    }
+
+    #[test]
+    fn full_suite_has_nine_workloads_in_paper_order() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 9);
+        assert_eq!(suite[0].label(), "cora-gcn");
+        assert_eq!(suite[2].label(), "cora-gsage-max");
+        assert_eq!(suite[8].label(), "pub-gsage-max");
+    }
+
+    #[test]
+    fn workload_metadata() {
+        let w = Workload::new(DatasetKind::Citeseer, NetworkKind::Graphsage);
+        assert_eq!(w.label(), "citeseer-gsage");
+        assert_eq!(w.num_classes(), 6);
+        assert!((w.hygcn_sparsity_speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(w.to_string(), "citeseer-gsage");
+        assert!((Workload::new(DatasetKind::Cora, NetworkKind::Gcn).hygcn_sparsity_speedup() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_materialises_all_datasets() {
+        let ctx = quick_context();
+        for kind in DatasetKind::ALL {
+            let ds = ctx.dataset(kind);
+            assert!(ds.num_nodes() > 0);
+            assert_eq!(ds.features.dim(), kind.spec().feature_dim);
+        }
+        assert!((ctx.options().scale - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_workload_produces_consistent_results() {
+        let ctx = quick_context();
+        let result = ctx
+            .run_workload(&Workload::new(DatasetKind::Cora, NetworkKind::Gcn))
+            .unwrap();
+        assert!(result.gnnerator_blocked.total_cycles > 0);
+        assert!(result.gnnerator_unblocked.total_cycles > 0);
+        assert!(result.gpu.seconds > 0.0);
+        assert!(result.hygcn.seconds > 0.0);
+        assert!(result.speedup_blocked_vs_gpu() > 0.0);
+        assert!(result.speedup_unblocked_vs_gpu() > 0.0);
+        assert!(result.speedup_blocked_vs_hygcn() > 0.0);
+        assert!(result.speedup_unblocked_vs_hygcn() > 0.0);
+    }
+
+    #[test]
+    fn options_builders() {
+        let opts = SuiteOptions::paper()
+            .with_scale(0.5)
+            .with_hidden_dim(128)
+            .with_config(GnneratorConfig::paper_default().with_double_dense_compute());
+        assert!((opts.scale - 0.5).abs() < 1e-9);
+        assert_eq!(opts.hidden_dim, 128);
+        assert_eq!(opts.config.dense.array_rows, 128);
+        assert_eq!(SuiteOptions::default(), SuiteOptions::paper());
+    }
+}

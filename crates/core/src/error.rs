@@ -1,0 +1,131 @@
+use gnnerator_gnn::GnnError;
+use gnnerator_graph::GraphError;
+use gnnerator_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for compilation and simulation of GNN workloads on GNNerator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnneratorError {
+    /// The accelerator configuration was internally inconsistent.
+    InvalidConfig {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The dataflow configuration was invalid (e.g. a zero block size).
+    InvalidDataflow {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The model cannot be mapped onto the accelerator.
+    Unmappable {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying graph-substrate error.
+    Graph(GraphError),
+    /// An underlying GNN-model error.
+    Gnn(GnnError),
+    /// An underlying hardware-model error.
+    Sim(SimError),
+}
+
+impl GnneratorError {
+    /// Convenience constructor for [`GnneratorError::InvalidConfig`].
+    pub fn config(message: impl Into<String>) -> Self {
+        GnneratorError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GnneratorError::InvalidDataflow`].
+    pub fn dataflow(message: impl Into<String>) -> Self {
+        GnneratorError::InvalidDataflow {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GnneratorError::Unmappable`].
+    pub fn unmappable(message: impl Into<String>) -> Self {
+        GnneratorError::Unmappable {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GnneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnneratorError::InvalidConfig { message } => {
+                write!(f, "invalid accelerator configuration: {message}")
+            }
+            GnneratorError::InvalidDataflow { message } => {
+                write!(f, "invalid dataflow configuration: {message}")
+            }
+            GnneratorError::Unmappable { message } => {
+                write!(f, "workload cannot be mapped onto the accelerator: {message}")
+            }
+            GnneratorError::Graph(e) => write!(f, "graph error: {e}"),
+            GnneratorError::Gnn(e) => write!(f, "model error: {e}"),
+            GnneratorError::Sim(e) => write!(f, "hardware model error: {e}"),
+        }
+    }
+}
+
+impl Error for GnneratorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnneratorError::Graph(e) => Some(e),
+            GnneratorError::Gnn(e) => Some(e),
+            GnneratorError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for GnneratorError {
+    fn from(e: GraphError) -> Self {
+        GnneratorError::Graph(e)
+    }
+}
+
+impl From<GnnError> for GnneratorError {
+    fn from(e: GnnError) -> Self {
+        GnneratorError::Gnn(e)
+    }
+}
+
+impl From<SimError> for GnneratorError {
+    fn from(e: SimError) -> Self {
+        GnneratorError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GnneratorError::config("bad").to_string().contains("configuration"));
+        assert!(GnneratorError::dataflow("bad").to_string().contains("dataflow"));
+        assert!(GnneratorError::unmappable("bad").to_string().contains("mapped"));
+    }
+
+    #[test]
+    fn conversions_set_sources() {
+        let e: GnneratorError = GraphError::invalid("x", "y").into();
+        assert!(e.source().is_some());
+        let e: GnneratorError = GnnError::invalid("z").into();
+        assert!(e.source().is_some());
+        let e: GnneratorError = SimError::invalid("p", "q").into();
+        assert!(e.source().is_some());
+        assert!(GnneratorError::config("m").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnneratorError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! GNNerator: a hardware/software framework for accelerating graph neural
+//! networks — Rust reproduction of the DAC 2021 paper.
+//!
+//! The crate models the GNNerator accelerator end to end:
+//!
+//! * [`GnneratorConfig`] — the platform description (Dense Engine systolic
+//!   array, Graph Engine GPEs, on-chip scratchpads, off-chip DRAM), with the
+//!   Table IV configuration as the default and the Figure 5 scaled variants
+//!   as builders,
+//! * [`DataflowConfig`] — conventional versus feature-dimension-blocked
+//!   execution (Section IV / Algorithm 1),
+//! * [`cost`] — the Table I analytical shard-traversal cost model,
+//! * [`Compiler`] / [`Program`] — lowering a [`GnnModel`](gnnerator_gnn::GnnModel)
+//!   plus a sharded graph onto the two engines,
+//! * [`Simulator`] — the cycle-level timing model (Graph Engine pipeline,
+//!   Dense Engine GEMMs, shared DRAM contention, inter-engine
+//!   producer/consumer stalls) producing a [`Report`],
+//! * [`functional`] — a bit-faithful functional execution of the blocked
+//!   dataflow, cross-checked against the reference executor in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnerator::{GnneratorConfig, Simulator, DataflowConfig};
+//! use gnnerator_gnn::NetworkKind;
+//! use gnnerator_graph::datasets::DatasetKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A scaled-down Cora so the doctest stays fast.
+//! let dataset = DatasetKind::Cora.spec().scaled(0.05).synthesize(7)?;
+//! let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7)?;
+//! let sim = Simulator::new(GnneratorConfig::paper_default())?;
+//! let report = sim.simulate(&model, &dataset)?;
+//! assert!(report.total_cycles > 0);
+//!
+//! // Compare against the conventional (unblocked) dataflow.
+//! let unblocked = Simulator::with_dataflow(
+//!     GnneratorConfig::paper_default(),
+//!     DataflowConfig::conventional(),
+//! )?;
+//! let baseline = unblocked.simulate(&model, &dataset)?;
+//! assert!(baseline.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod compiler;
+mod config;
+pub mod cost;
+mod dataflow;
+mod dense_engine;
+mod error;
+pub mod functional;
+mod graph_engine;
+mod program;
+mod report;
+mod simulator;
+
+pub use compiler::Compiler;
+pub use config::{DenseEngineConfig, GnneratorConfig, GraphEngineConfig};
+pub use dataflow::{BlockingPolicy, DataflowConfig};
+pub use dense_engine::DenseEngine;
+pub use error::GnneratorError;
+pub use graph_engine::{FetchPlanner, GraphEngine, ShardComputeUnit};
+pub use program::{DenseOp, LayerPlan, Program};
+pub use report::{LayerReport, Report};
+pub use simulator::Simulator;

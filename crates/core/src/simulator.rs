@@ -1,0 +1,679 @@
+use crate::program::LayerPlan;
+use crate::{
+    Compiler, DataflowConfig, DenseEngine, GnneratorConfig, GnneratorError, GraphEngine,
+    LayerReport, Report,
+};
+use gnnerator_gnn::GnnModel;
+use gnnerator_graph::datasets::Dataset;
+use gnnerator_graph::{EdgeList, ShardCoord, TraversalOrder};
+use gnnerator_sim::{Cycle, DramModel};
+
+/// The GNNerator cycle-level timing simulator.
+///
+/// The simulator models the paper's evaluation infrastructure: the Graph
+/// Engine's four-stage shard pipeline with double-buffered prefetch, the
+/// Dense Engine's weight-stationary systolic GEMMs, the shared feature-memory
+/// DRAM both engines contend for, and the GNNerator Controller's
+/// producer/consumer stalls between the two engines. It executes the compiled
+/// [`Program`](crate::Program) layer by layer and feature block by feature
+/// block, following Algorithm 1.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator::{GnneratorConfig, Simulator};
+/// use gnnerator_gnn::NetworkKind;
+/// use gnnerator_graph::datasets::DatasetKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = DatasetKind::Pubmed.spec().scaled(0.02).synthesize(1)?;
+/// let model = NetworkKind::Graphsage.build_paper_config(dataset.features.dim(), 3)?;
+/// let sim = Simulator::new(GnneratorConfig::paper_default())?;
+/// let report = sim.simulate(&model, &dataset)?;
+/// assert_eq!(report.layers.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: GnneratorConfig,
+    dataflow: DataflowConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `config` using the paper's default dataflow
+    /// (feature blocking with `B = 64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnneratorError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: GnneratorConfig) -> Result<Self, GnneratorError> {
+        Self::with_dataflow(config, DataflowConfig::paper_default())
+    }
+
+    /// Creates a simulator with an explicit dataflow configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnneratorError::InvalidConfig`] or
+    /// [`GnneratorError::InvalidDataflow`] if either configuration is invalid.
+    pub fn with_dataflow(
+        config: GnneratorConfig,
+        dataflow: DataflowConfig,
+    ) -> Result<Self, GnneratorError> {
+        config.validate()?;
+        dataflow.validate()?;
+        Ok(Self { config, dataflow })
+    }
+
+    /// The platform configuration being simulated.
+    pub fn config(&self) -> &GnneratorConfig {
+        &self.config
+    }
+
+    /// The dataflow configuration being simulated.
+    pub fn dataflow(&self) -> &DataflowConfig {
+        &self.dataflow
+    }
+
+    /// Simulates `model` running on `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnneratorError::Unmappable`] if the dataset's feature
+    /// dimension does not match the model's input dimension, and propagates
+    /// compilation errors.
+    pub fn simulate(&self, model: &GnnModel, dataset: &Dataset) -> Result<Report, GnneratorError> {
+        if dataset.features.dim() != model.input_dim() {
+            return Err(GnneratorError::unmappable(format!(
+                "dataset features are {}-dimensional but the model expects {}",
+                dataset.features.dim(),
+                model.input_dim()
+            )));
+        }
+        self.simulate_edges(model, &dataset.edge_list, dataset.spec.name)
+    }
+
+    /// Simulates `model` running on the graph described by `edges`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (empty graph, unmappable layer
+    /// structure, invalid configuration).
+    pub fn simulate_edges(
+        &self,
+        model: &GnnModel,
+        edges: &EdgeList,
+        dataset_name: &str,
+    ) -> Result<Report, GnneratorError> {
+        let compiler = Compiler::new(self.config.clone(), self.dataflow)?;
+        let program = compiler.compile(model, edges)?;
+        let dense = DenseEngine::new(&self.config.dense)?;
+        let graph = GraphEngine::new(&self.config.graph)?;
+        let mut dram = DramModel::new(self.config.dram)?;
+
+        // `simulate_layer` reports cycles relative to the layer start; the
+        // next layer begins once everything (including trailing DRAM writes)
+        // has drained, so the layer starts simply chain.
+        let mut now: Cycle = 0;
+        let mut layers = Vec::with_capacity(program.layers.len());
+        for plan in &program.layers {
+            let report = self.simulate_layer(plan, &graph, &dense, &mut dram, now);
+            now += report.cycles;
+            layers.push(report);
+        }
+        let total_cycles = layers.iter().map(|l| l.cycles).sum();
+        Ok(Report {
+            platform: self.config.name.clone(),
+            model_name: model.name().to_string(),
+            dataset_name: dataset_name.to_string(),
+            frequency_ghz: self.config.frequency_ghz,
+            total_cycles,
+            layers,
+        })
+    }
+
+    /// Simulates one layer, returning a report with cycles counted from the
+    /// layer's own start.
+    fn simulate_layer(
+        &self,
+        plan: &LayerPlan,
+        graph: &GraphEngine,
+        dense: &DenseEngine,
+        dram: &mut DramModel,
+        layer_start: Cycle,
+    ) -> LayerReport {
+        let s = plan.grid_dim();
+        let aggregated_dim = plan.aggregated_dim();
+
+        let mut graph_fetch_free = layer_start;
+        let mut graph_compute_free = layer_start;
+        let mut dense_free = layer_start;
+        let mut graph_busy: Cycle = 0;
+        let mut dense_busy: Cycle = 0;
+        let mut stall: Cycle = 0;
+        let mut layer_end = layer_start;
+        let mut occupied_shards = 0usize;
+
+        let traffic_before = *dram.traffic();
+
+        // ---- Producer dense stage (GraphSAGE-Pool's pooling MLP) ----
+        // Runs once per layer: it produces the full pooled feature table (all
+        // dimensions) node block by node block and spills it to DRAM, from
+        // where the Graph Engine's fetch units read the active dimension
+        // block of it. The Graph Engine stalls on these completions (the
+        // GNNerator Controller's dense-first synchronisation).
+        let mut pre_done: Vec<Cycle> = vec![layer_start; s];
+        if let Some(pre) = &plan.pre_dense {
+            for nb in 0..s {
+                let m = plan.grid.block_len(nb);
+                if m == 0 {
+                    pre_done[nb] = dense_free;
+                    continue;
+                }
+                let k = pre.total_in_dim();
+                let n_out = pre.out_dim;
+                let bytes = dense.weight_bytes(k, n_out) + dense.input_bytes(m, k);
+                let load_done = dram.read(dense_free, bytes);
+                let start = dense_free.max(load_done);
+                let cycles = dense.gemm_cycles(m, k, n_out);
+                let end = start + cycles;
+                dram.write(end, dense.output_bytes(m, n_out));
+                dense_busy += cycles;
+                dense_free = end;
+                pre_done[nb] = end;
+                layer_end = layer_end.max(end);
+            }
+        }
+
+        // When the consumer stage's full output (the partial sums accumulated
+        // across feature blocks) fits in the Dense Engine's output buffer, no
+        // partial-sum DRAM traffic is paid and the result is written out once
+        // at the end of the layer.
+        let output_resident = plan
+            .post_dense
+            .as_ref()
+            .map(|post| dense.output_resident(plan.grid.num_nodes(), post.out_dim))
+            .unwrap_or(false);
+        // When the accumulating output cannot stay resident, fusing the
+        // consumer GEMM into every feature block would spill and reload the
+        // partial sums on every pass; the compiler instead spills the
+        // aggregated features and runs the consumer stage as one full-depth
+        // GEMM pass after the last feature block (`deferred_consumer`).
+        let deferred_consumer = plan.post_dense.is_some() && !output_resident;
+        // Completion time of each destination column across all feature
+        // blocks, which is what the deferred consumer pass waits on.
+        let mut column_final: Vec<Cycle> = vec![layer_start; s];
+
+        for block_idx in 0..plan.num_blocks {
+            let block_offset = block_idx * plan.block_size;
+            let block_dim = plan.block_size.min(aggregated_dim - block_offset);
+
+            // ---- Aggregation over the shard grid + consumer dense stage ----
+            let mut column_done: Vec<Cycle> = vec![layer_start; s];
+            let mut column_visited: Vec<bool> = vec![false; s];
+
+            if plan.aggregation.is_some() {
+                match plan.traversal {
+                    TraversalOrder::DestinationStationary => {
+                        // Column by column; the consumer dense job for a
+                        // column is issued as soon as the column finishes.
+                        for dst in 0..s {
+                            for src in 0..s {
+                                self.process_shard(
+                                    plan,
+                                    graph,
+                                    dram,
+                                    ShardCoord::new(src, dst),
+                                    block_dim,
+                                    block_idx == 0,
+                                    &pre_done,
+                                    layer_start,
+                                    &mut graph_fetch_free,
+                                    &mut graph_compute_free,
+                                    &mut graph_busy,
+                                    &mut stall,
+                                    &mut column_done,
+                                    &mut column_visited,
+                                    &mut occupied_shards,
+                                );
+                            }
+                            self.consume_column(
+                                plan,
+                                dense,
+                                dram,
+                                dst,
+                                block_idx,
+                                deferred_consumer,
+                                block_dim,
+                                column_done[dst],
+                                &mut dense_free,
+                                &mut dense_busy,
+                                &mut stall,
+                                &mut layer_end,
+                            );
+                            layer_end = layer_end.max(column_done[dst]);
+                        }
+                    }
+                    TraversalOrder::SourceStationary => {
+                        // Row by row; destination accumulators spill and
+                        // reload between visits, and the consumer dense jobs
+                        // can only run after the final row.
+                        for src in 0..s {
+                            for dst in 0..s {
+                                self.process_shard(
+                                    plan,
+                                    graph,
+                                    dram,
+                                    ShardCoord::new(src, dst),
+                                    block_dim,
+                                    block_idx == 0,
+                                    &pre_done,
+                                    layer_start,
+                                    &mut graph_fetch_free,
+                                    &mut graph_compute_free,
+                                    &mut graph_busy,
+                                    &mut stall,
+                                    &mut column_done,
+                                    &mut column_visited,
+                                    &mut occupied_shards,
+                                );
+                            }
+                        }
+                        for dst in 0..s {
+                            self.consume_column(
+                                plan,
+                                dense,
+                                dram,
+                                dst,
+                                block_idx,
+                                deferred_consumer,
+                                block_dim,
+                                column_done[dst],
+                                &mut dense_free,
+                                &mut dense_busy,
+                                &mut stall,
+                                &mut layer_end,
+                            );
+                            layer_end = layer_end.max(column_done[dst]);
+                        }
+                    }
+                }
+            } else {
+                // No aggregation stage: the layer is pure feature extraction.
+                for dst in 0..s {
+                    self.consume_column(
+                        plan,
+                        dense,
+                        dram,
+                        dst,
+                        block_idx,
+                        deferred_consumer,
+                        block_dim,
+                        layer_start,
+                        &mut dense_free,
+                        &mut dense_busy,
+                        &mut stall,
+                        &mut layer_end,
+                    );
+                }
+            }
+
+            for dst in 0..s {
+                column_final[dst] = column_final[dst].max(column_done[dst]);
+            }
+        }
+
+        // ---- Deferred consumer pass ----
+        // When the output could not stay resident, the aggregated features
+        // were spilled per block; the consumer GEMM now runs once per
+        // destination block over the full aggregated depth.
+        if deferred_consumer {
+            if let Some(post) = &plan.post_dense {
+                for dst in 0..s {
+                    let m = plan.grid.block_len(dst);
+                    if m == 0 {
+                        continue;
+                    }
+                    let k = post.blocked_dim;
+                    let bytes = dense.input_bytes(m, k) + dense.weight_bytes(k, post.out_dim);
+                    let load_done = dram.read(dense_free, bytes);
+                    let start = dense_free.max(load_done).max(column_final[dst]);
+                    stall += start - dense_free;
+                    let cycles = dense.gemm_cycles(m, k, post.out_dim);
+                    let end = start + cycles;
+                    dram.write(end, dense.output_bytes(m, post.out_dim));
+                    dense_busy += cycles;
+                    dense_free = end;
+                    layer_end = layer_end.max(end);
+                }
+            }
+        }
+
+        // ---- Self-feature contribution of a concatenating consumer stage ----
+        // GraphSAGE's W · (z̄ ∪ h): the h half of the weights multiplies the
+        // node's own (un-aggregated) input feature. It is processed once per
+        // destination block after all aggregated blocks have accumulated.
+        if let Some(post) = &plan.post_dense {
+            if post.self_dim > 0 {
+                for dst in 0..s {
+                    let m = plan.grid.block_len(dst);
+                    if m == 0 {
+                        continue;
+                    }
+                    let mut bytes = dense.weight_bytes(post.self_dim, post.out_dim)
+                        + dense.input_bytes(m, post.self_dim);
+                    if !output_resident {
+                        bytes += dense.partial_sum_traffic_bytes(m, post.out_dim);
+                    }
+                    let load_done = dram.read(dense_free, bytes);
+                    let start = dense_free.max(load_done);
+                    stall += start - dense_free;
+                    let cycles = dense.gemm_cycles(m, post.self_dim, post.out_dim);
+                    let end = start + cycles;
+                    dram.write(end, dense.output_bytes(m, post.out_dim));
+                    dense_busy += cycles;
+                    dense_free = end;
+                    layer_end = layer_end.max(end);
+                }
+            }
+        }
+
+        layer_end = layer_end
+            .max(graph_compute_free)
+            .max(dense_free)
+            .max(dram.busy_until());
+
+        let traffic_after = *dram.traffic();
+        LayerReport {
+            layer_index: plan.layer_index,
+            cycles: layer_end - layer_start,
+            graph_engine_busy: graph_busy,
+            dense_engine_busy: dense_busy,
+            inter_engine_stall: stall,
+            dram_read_bytes: traffic_after.read_bytes - traffic_before.read_bytes,
+            dram_write_bytes: traffic_after.write_bytes - traffic_before.write_bytes,
+            grid_dim: s,
+            block_size: plan.block_size,
+            num_blocks: plan.num_blocks,
+            nodes_per_shard: plan.nodes_per_shard,
+            occupied_shards,
+        }
+    }
+
+    /// Processes one shard through the Graph Engine's fetch → compute
+    /// pipeline, updating the engine cursors and the column completion times.
+    #[allow(clippy::too_many_arguments)]
+    fn process_shard(
+        &self,
+        plan: &LayerPlan,
+        graph: &GraphEngine,
+        dram: &mut DramModel,
+        coord: ShardCoord,
+        block_dim: usize,
+        count_occupancy: bool,
+        pre_done: &[Cycle],
+        layer_start: Cycle,
+        graph_fetch_free: &mut Cycle,
+        graph_compute_free: &mut Cycle,
+        graph_busy: &mut Cycle,
+        stall: &mut Cycle,
+        column_done: &mut [Cycle],
+        column_visited: &mut [bool],
+        occupied_shards: &mut usize,
+    ) {
+        let shard = plan.grid.shard(coord);
+        if shard.is_empty() {
+            return;
+        }
+        if count_occupancy {
+            *occupied_shards += 1;
+        }
+        let fetch = graph.fetch();
+        let mut load_bytes = fetch.edge_bytes(shard) + fetch.source_feature_bytes(shard, block_dim);
+        let mut spill_bytes = 0u64;
+        if plan.traversal == TraversalOrder::SourceStationary {
+            // Destination accumulators do not stay resident across rows.
+            let dst_nodes = shard.unique_destinations().len();
+            if column_visited[coord.dst_block] {
+                load_bytes += fetch.destination_bytes(dst_nodes, block_dim);
+            }
+            spill_bytes = fetch.destination_bytes(dst_nodes, block_dim);
+        }
+        column_visited[coord.dst_block] = true;
+
+        // Producer dependency: with a dense-first layer the pooled features
+        // of both endpoints' node blocks must exist before aggregation.
+        let dependency = if plan.pre_dense.is_some() {
+            pre_done[coord.src_block].max(pre_done[coord.dst_block])
+        } else {
+            layer_start
+        };
+
+        let load_done = dram.read(*graph_fetch_free, load_bytes);
+        *graph_fetch_free = load_done;
+        let compute_cycles = graph.shard_cycles(shard.num_edges(), block_dim);
+        let start = (*graph_compute_free).max(load_done).max(dependency);
+        *stall += start - *graph_compute_free;
+        let end = start + compute_cycles;
+        *graph_busy += compute_cycles;
+        *graph_compute_free = end;
+        if spill_bytes > 0 {
+            dram.write(end, spill_bytes);
+        }
+        column_done[coord.dst_block] = column_done[coord.dst_block].max(end);
+    }
+
+    /// Runs the consumer dense stage for one destination column of one
+    /// feature block: the blocked GEMM with partial-sum accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_column(
+        &self,
+        plan: &LayerPlan,
+        dense: &DenseEngine,
+        dram: &mut DramModel,
+        dst_block: usize,
+        block_idx: usize,
+        deferred: bool,
+        block_dim: usize,
+        column_ready: Cycle,
+        dense_free: &mut Cycle,
+        dense_busy: &mut Cycle,
+        stall: &mut Cycle,
+        layer_end: &mut Cycle,
+    ) {
+        let m = plan.grid.block_len(dst_block);
+        if plan.post_dense.is_none() || deferred {
+            // Either there is no consumer dense stage, or the consumer runs
+            // as a deferred full-depth pass after the last block; in both
+            // cases the aggregated block is written back to DRAM here.
+            if m > 0 && plan.aggregation.is_some() {
+                let bytes = (m * block_dim * 4) as u64;
+                let end = dram.write(column_ready, bytes);
+                *layer_end = (*layer_end).max(end);
+            }
+            return;
+        }
+        let post = plan.post_dense.as_ref().expect("checked above");
+        if m == 0 {
+            return;
+        }
+        // Fused consumer: the accumulating output stays resident in the Dense
+        // Engine's output buffer, so the only traffic per block is the weight
+        // slice (plus the inputs for a layer with no aggregation stage).
+        let mut bytes = dense.weight_bytes(block_dim, post.out_dim);
+        if plan.aggregation.is_none() {
+            bytes += dense.input_bytes(m, block_dim);
+        }
+        let load_done = dram.read(*dense_free, bytes);
+        let start = (*dense_free).max(load_done).max(column_ready);
+        *stall += start - *dense_free;
+        let cycles = dense.gemm_cycles(m, block_dim, post.out_dim);
+        let end = start + cycles;
+        // The resident output is only written out once, after the final block.
+        let is_last_block = block_idx + 1 == plan.num_blocks;
+        if is_last_block {
+            dram.write(end, dense.output_bytes(m, post.out_dim));
+        }
+        *dense_busy += cycles;
+        *dense_free = end;
+        *layer_end = (*layer_end).max(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnerator_gnn::NetworkKind;
+    use gnnerator_graph::datasets::DatasetKind;
+    use gnnerator_graph::generators;
+
+    fn tiny_dataset() -> Dataset {
+        DatasetKind::Cora.spec().scaled(0.03).synthesize(11).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_feature_dimension() {
+        let dataset = tiny_dataset();
+        let model = NetworkKind::Gcn.build(10, 8, 4, 1).unwrap();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        assert!(matches!(
+            sim.simulate(&model, &dataset),
+            Err(GnneratorError::Unmappable { .. })
+        ));
+    }
+
+    #[test]
+    fn all_paper_networks_simulate() {
+        let dataset = tiny_dataset();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        for kind in NetworkKind::ALL {
+            let model = kind.build_paper_config(dataset.features.dim(), 7).unwrap();
+            let report = sim.simulate(&model, &dataset).unwrap();
+            assert!(report.total_cycles > 0, "{kind}");
+            assert_eq!(report.layers.len(), 2);
+            assert!(report.dram_bytes() > 0);
+            for layer in &report.layers {
+                assert!(layer.cycles > 0);
+                assert!(layer.graph_engine_utilization() <= 1.0);
+                assert!(layer.dense_engine_utilization() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn total_cycles_is_the_sum_of_layer_cycles() {
+        let dataset = tiny_dataset();
+        let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7).unwrap();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        let report = sim.simulate(&model, &dataset).unwrap();
+        let sum: Cycle = report.layers.iter().map(|l| l.cycles).sum();
+        assert_eq!(report.total_cycles, sum);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let dataset = tiny_dataset();
+        let model = NetworkKind::Graphsage.build_paper_config(dataset.features.dim(), 7).unwrap();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        let a = sim.simulate(&model, &dataset).unwrap();
+        let b = sim.simulate(&model, &dataset).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_edges_never_run_faster() {
+        let model = NetworkKind::Gcn.build(256, 16, 4, 1).unwrap();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        let sparse = generators::rmat_exact(300, 1000, 3).unwrap();
+        let dense_graph = generators::rmat_exact(300, 4000, 3).unwrap();
+        let a = sim.simulate_edges(&model, &sparse, "sparse").unwrap();
+        let b = sim.simulate_edges(&model, &dense_graph, "dense").unwrap();
+        assert!(b.total_cycles >= a.total_cycles);
+    }
+
+    #[test]
+    fn doubling_bandwidth_never_hurts() {
+        let dataset = tiny_dataset();
+        let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7).unwrap();
+        let base = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        let fast = Simulator::new(GnneratorConfig::paper_default().with_double_feature_bandwidth())
+            .unwrap();
+        let a = base.simulate(&model, &dataset).unwrap();
+        let b = fast.simulate(&model, &dataset).unwrap();
+        assert!(b.total_cycles <= a.total_cycles);
+    }
+
+    #[test]
+    fn blocked_dataflow_reduces_dram_traffic_on_feature_heavy_graphs() {
+        // Use a graph too large to fit on-chip under the conventional
+        // dataflow so the blocking benefit is visible.
+        let edges = generators::rmat_exact(3000, 12000, 9).unwrap();
+        let model = NetworkKind::Gcn.build(3703, 16, 6, 0).unwrap();
+        let blocked = Simulator::with_dataflow(
+            GnneratorConfig::paper_default(),
+            DataflowConfig::paper_default(),
+        )
+        .unwrap();
+        let conventional = Simulator::with_dataflow(
+            GnneratorConfig::paper_default(),
+            DataflowConfig::conventional(),
+        )
+        .unwrap();
+        let b = blocked.simulate_edges(&model, &edges, "synthetic").unwrap();
+        let c = conventional.simulate_edges(&model, &edges, "synthetic").unwrap();
+        assert!(
+            b.dram_bytes() < c.dram_bytes(),
+            "blocked {} vs conventional {}",
+            b.dram_bytes(),
+            c.dram_bytes()
+        );
+        assert!(
+            b.total_cycles < c.total_cycles,
+            "blocked {} vs conventional {}",
+            b.total_cycles,
+            c.total_cycles
+        );
+    }
+
+    #[test]
+    fn src_stationary_order_spills_destination_accumulators() {
+        let edges = generators::rmat_exact(3000, 12000, 9).unwrap();
+        let model = NetworkKind::Gcn.build(3703, 16, 6, 0).unwrap();
+        let dst = Simulator::with_dataflow(
+            GnneratorConfig::paper_default(),
+            DataflowConfig::conventional(),
+        )
+        .unwrap();
+        let src = Simulator::with_dataflow(
+            GnneratorConfig::paper_default(),
+            DataflowConfig::conventional().with_traversal(TraversalOrder::SourceStationary),
+        )
+        .unwrap();
+        let d = dst.simulate_edges(&model, &edges, "synthetic").unwrap();
+        let s = src.simulate_edges(&model, &edges, "synthetic").unwrap();
+        // DST-stationary avoids the accumulator spill/reload writes.
+        assert!(d.dram_write_bytes() < s.dram_write_bytes());
+    }
+
+    #[test]
+    fn report_metadata_is_filled_in() {
+        let dataset = tiny_dataset();
+        let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7).unwrap();
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        let report = sim.simulate(&model, &dataset).unwrap();
+        assert_eq!(report.platform, "gnnerator");
+        assert_eq!(report.model_name, "gcn");
+        assert_eq!(report.dataset_name, "cora");
+        assert_eq!(report.frequency_ghz, 1.0);
+        assert!(report.seconds() > 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let sim = Simulator::new(GnneratorConfig::paper_default()).unwrap();
+        assert_eq!(sim.config().name, "gnnerator");
+        assert_eq!(sim.dataflow(), &DataflowConfig::paper_default());
+    }
+}

@@ -1,0 +1,107 @@
+use gnnerator_graph::GraphError;
+use gnnerator_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for GNN model construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnError {
+    /// A model or layer parameter was invalid (e.g. a zero dimension).
+    InvalidModel {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The input features do not match the model's expected input dimension.
+    DimensionMismatch {
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::InvalidModel { message } => write!(f, "invalid model: {message}"),
+            GnnError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "feature dimension mismatch: model expects {expected}, got {actual}"
+            ),
+            GnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GnnError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for GnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnnError::Tensor(e) => Some(e),
+            GnnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GnnError {
+    fn from(e: TensorError) -> Self {
+        GnnError::Tensor(e)
+    }
+}
+
+impl From<GraphError> for GnnError {
+    fn from(e: GraphError) -> Self {
+        GnnError::Graph(e)
+    }
+}
+
+impl GnnError {
+    /// Convenience constructor for [`GnnError::InvalidModel`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        GnnError::InvalidModel {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GnnError::invalid("zero hidden dim").to_string().contains("zero"));
+        let e = GnnError::DimensionMismatch {
+            expected: 16,
+            actual: 8,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let t = TensorError::EmptyInput { op: "x" };
+        let e: GnnError = t.clone().into();
+        assert_eq!(e, GnnError::Tensor(t));
+        assert!(e.source().is_some());
+
+        let g = GraphError::invalid("p", "bad");
+        let e: GnnError = g.clone().into();
+        assert_eq!(e, GnnError::Graph(g));
+        assert!(e.source().is_some());
+
+        assert!(GnnError::invalid("x").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnnError>();
+    }
+}

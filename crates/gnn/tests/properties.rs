@@ -1,0 +1,100 @@
+//! Property-based tests for the GNN model library.
+
+use gnnerator_gnn::{reference, Aggregator, NetworkKind};
+use gnnerator_graph::{generators, CsrGraph, NodeFeatures};
+use gnnerator_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy for a small random graph and compatible features.
+fn graph_and_features(dim: usize) -> impl Strategy<Value = (CsrGraph, NodeFeatures)> {
+    (4usize..20, 0u64..1000).prop_map(move |(n, seed)| {
+        let edges = generators::rmat(n, n * 3, seed).expect("valid parameters");
+        let graph = CsrGraph::from_edge_list(&edges);
+        let features = NodeFeatures::from_fn(n, dim, |v, d| {
+            ((v * 31 + d * 7 + seed as usize) % 17) as f32 * 0.1 - 0.8
+        });
+        (graph, features)
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_networks_produce_finite_outputs((graph, feats) in graph_and_features(12)) {
+        for kind in NetworkKind::ALL {
+            let model = kind.build(12, 8, 3, 1).unwrap();
+            let out = reference::execute(&model, &graph, &feats).unwrap();
+            prop_assert_eq!(out.shape(), (graph.num_nodes(), 3));
+            prop_assert!(out.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn output_shape_follows_output_dim((graph, feats) in graph_and_features(6), out_dim in 1usize..10) {
+        let model = NetworkKind::Gcn.build(6, 4, out_dim, 0).unwrap();
+        let out = reference::execute(&model, &graph, &feats).unwrap();
+        prop_assert_eq!(out.cols(), out_dim);
+    }
+
+    #[test]
+    fn aggregation_is_permutation_invariant(seed in 0u64..500) {
+        // Aggregators are order-independent: aggregating a permuted index set
+        // gives the same result. This is the invariant that lets the Graph
+        // Engine's GPEs process a shard's edges in any order.
+        let feats = Matrix::from_fn(10, 6, |r, c| ((r * 7 + c * 3 + seed as usize) % 11) as f32 - 5.0);
+        let indices: Vec<usize> = vec![0, 3, 5, 7, 9];
+        let mut reversed = indices.clone();
+        reversed.reverse();
+        for agg in [Aggregator::Mean, Aggregator::Max, Aggregator::Sum] {
+            let a = agg.aggregate(&feats, &indices);
+            let b = agg.aggregate(&feats, &reversed);
+            prop_assert!(a.approx_eq(&b, 1e-5), "{agg} not permutation invariant");
+        }
+    }
+
+    #[test]
+    fn streaming_reduce_matches_batch(seed in 0u64..500, count in 1usize..10) {
+        let feats = Matrix::from_fn(10, 4, |r, c| ((r * 13 + c * 5 + seed as usize) % 23) as f32 * 0.25 - 2.0);
+        let indices: Vec<usize> = (0..count).map(|i| (i * 3 + seed as usize) % 10).collect();
+        for agg in [Aggregator::Mean, Aggregator::Max, Aggregator::Sum] {
+            let batch = agg.aggregate(&feats, &indices);
+            for d in 0..4 {
+                let mut acc = agg.identity();
+                for &i in &indices {
+                    acc = agg.combine(acc, feats.get(i, d));
+                }
+                let streamed = agg.finalize(acc, indices.len());
+                prop_assert!((streamed - batch.get(0, d)).abs() < 1e-4,
+                    "{agg}: streamed {streamed} != batch {}", batch.get(0, d));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_of_identical_rows_is_that_row(dim in 1usize..8, value in -5.0f32..5.0) {
+        let feats = Matrix::filled(6, dim, value);
+        let agg = Aggregator::Mean.aggregate(&feats, &[0, 1, 2, 3]);
+        for d in 0..dim {
+            prop_assert!((agg.get(0, d) - value).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn workload_flops_scale_linearly_with_nodes(nodes in 10usize..1000) {
+        use gnnerator_gnn::workload::ModelWorkload;
+        let model = NetworkKind::Gcn.build(64, 16, 4, 1).unwrap();
+        let w1 = ModelWorkload::analyze(&model, nodes, nodes * 4);
+        let w2 = ModelWorkload::analyze(&model, nodes * 2, nodes * 8);
+        prop_assert_eq!(w1.dense_flops() * 2, w2.dense_flops());
+        prop_assert_eq!(w1.aggregate_flops() * 2, w2.aggregate_flops());
+    }
+
+    #[test]
+    fn deeper_models_do_more_work(hidden_layers in 1usize..4) {
+        use gnnerator_gnn::workload::ModelWorkload;
+        let shallow = NetworkKind::Graphsage.build(64, 16, 4, hidden_layers).unwrap();
+        let deep = NetworkKind::Graphsage.build(64, 16, 4, hidden_layers + 1).unwrap();
+        let ws = ModelWorkload::analyze(&shallow, 100, 500);
+        let wd = ModelWorkload::analyze(&deep, 100, 500);
+        prop_assert!(wd.total_flops() > ws.total_flops());
+    }
+}

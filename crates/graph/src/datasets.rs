@@ -1,0 +1,320 @@
+//! The Table II benchmark datasets and their synthesisers.
+//!
+//! The paper evaluates on Cora, Citeseer and Pubmed. We cannot download the
+//! real graphs in a hermetic build, so [`DatasetSpec::synthesize`] generates
+//! a seeded power-law graph with the *published* vertex count, edge count and
+//! feature dimension. The accelerator's timing behaviour depends on exactly
+//! these statistics (plus degree skew, which the R-MAT generator preserves
+//! qualitatively), so the reproduction's speedup *shapes* carry over even
+//! though the node features themselves are random.
+
+use crate::{generators, CsrGraph, EdgeList, GraphError, NodeFeatures};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for one of the paper's benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Cora: 2708 vertices, 10556 edges, 1433-dimensional features.
+    Cora,
+    /// Citeseer: 3327 vertices, 9104 edges, 3703-dimensional features.
+    Citeseer,
+    /// Pubmed: 19717 vertices, 88648 edges, 500-dimensional features.
+    Pubmed,
+}
+
+impl DatasetKind {
+    /// All three datasets in the order Table II lists them.
+    pub const ALL: [DatasetKind; 3] = [DatasetKind::Cora, DatasetKind::Citeseer, DatasetKind::Pubmed];
+
+    /// The Table II specification for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            DatasetKind::Cora => DatasetSpec {
+                kind: self,
+                name: "cora",
+                vertices: 2708,
+                edges: 10556,
+                feature_dim: 1433,
+            },
+            DatasetKind::Citeseer => DatasetSpec {
+                kind: self,
+                name: "citeseer",
+                vertices: 3327,
+                edges: 9104,
+                feature_dim: 3703,
+            },
+            DatasetKind::Pubmed => DatasetSpec {
+                kind: self,
+                name: "pubmed",
+                vertices: 19717,
+                edges: 88648,
+                feature_dim: 500,
+            },
+        }
+    }
+
+    /// Short lowercase name as used in the paper's figure labels
+    /// (`cora`, `citeseer`, `pub`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DatasetKind::Cora => "cora",
+            DatasetKind::Citeseer => "citeseer",
+            DatasetKind::Pubmed => "pub",
+        }
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// Static description of a dataset (the row of Table II).
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::datasets::DatasetKind;
+///
+/// let spec = DatasetKind::Cora.spec();
+/// assert_eq!(spec.vertices, 2708);
+/// assert_eq!(spec.feature_dim, 1433);
+/// assert!(spec.feature_megabytes() > 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this spec describes.
+    pub kind: DatasetKind,
+    /// Lowercase dataset name.
+    pub name: &'static str,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Input feature dimension.
+    pub feature_dim: usize,
+}
+
+impl DatasetSpec {
+    /// Size of the input feature table in megabytes (fp32 features), the
+    /// quantity Table II reports in its "Size" column.
+    pub fn feature_megabytes(&self) -> f64 {
+        (self.vertices * self.feature_dim * 4) as f64 / 1.0e6
+    }
+
+    /// Average degree of the graph.
+    pub fn average_degree(&self) -> f64 {
+        self.edges as f64 / self.vertices as f64
+    }
+
+    /// Synthesises a dataset with these statistics.
+    ///
+    /// The graph topology comes from [`generators::rmat_exact`]; node features
+    /// are drawn uniformly from `[0, 1)` with the same seed, which mimics the
+    /// sparsity-free dense feature tables DGL hands to the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (they cannot occur for the built-in specs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gnnerator_graph::datasets::DatasetKind;
+    /// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+    /// // Synthesise a scaled-down Cora for fast tests.
+    /// let tiny = DatasetKind::Cora.spec().scaled(0.05).synthesize(42)?;
+    /// assert_eq!(tiny.features.dim(), 1433);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn synthesize(&self, seed: u64) -> Result<Dataset, GraphError> {
+        let edge_list = generators::rmat_exact(self.vertices, self.edges, seed)?;
+        let graph = CsrGraph::from_edge_list(&edge_list);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let features =
+            NodeFeatures::from_fn(self.vertices, self.feature_dim, |_, _| rng.gen_range(0.0..1.0));
+        Ok(Dataset {
+            spec: *self,
+            edge_list,
+            graph,
+            features,
+        })
+    }
+
+    /// Returns a proportionally scaled-down copy of this spec.
+    ///
+    /// Scaling keeps the feature dimension (the architecturally interesting
+    /// quantity) and shrinks vertex/edge counts by `factor`, clamped to at
+    /// least 16 vertices and 32 edges. Used by tests and by the fast variants
+    /// of the benchmark harness.
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        let vertices = ((self.vertices as f64 * factor).round() as usize).max(16);
+        let max_edges = vertices * (vertices - 1);
+        let edges = ((self.edges as f64 * factor).round() as usize)
+            .max(32)
+            .min(max_edges);
+        DatasetSpec {
+            kind: self.kind,
+            name: self.name,
+            vertices,
+            edges,
+            feature_dim: self.feature_dim,
+        }
+    }
+
+    /// Returns a copy of this spec with a different feature dimension.
+    ///
+    /// The Figure 5 scaling study sweeps the hidden dimension; sweeping the
+    /// input dimension in tests uses this helper.
+    pub fn with_feature_dim(&self, feature_dim: usize) -> DatasetSpec {
+        DatasetSpec {
+            feature_dim,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} vertices, {} edges, {}-d features ({:.1} MB)",
+            self.name,
+            self.vertices,
+            self.edges,
+            self.feature_dim,
+            self.feature_megabytes()
+        )
+    }
+}
+
+/// A fully materialised dataset: topology (edge list + CSR) and features.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The specification this dataset was synthesised from.
+    pub spec: DatasetSpec,
+    /// Edge-list form (input to the sharder).
+    pub edge_list: EdgeList,
+    /// CSR form (input to the reference executor).
+    pub graph: CsrGraph,
+    /// Node feature table.
+    pub features: NodeFeatures,
+}
+
+impl Dataset {
+    /// Number of vertices actually materialised.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of directed edges actually materialised.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Synthesises all three Table II datasets with consecutive seeds.
+///
+/// # Errors
+///
+/// Propagates generator errors (they cannot occur for the built-in specs).
+pub fn synthesize_all(seed: u64) -> Result<Vec<Dataset>, GraphError> {
+    DatasetKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| kind.spec().synthesize(seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_specs_match_the_paper() {
+        let cora = DatasetKind::Cora.spec();
+        assert_eq!((cora.vertices, cora.edges, cora.feature_dim), (2708, 10556, 1433));
+        let citeseer = DatasetKind::Citeseer.spec();
+        assert_eq!(
+            (citeseer.vertices, citeseer.edges, citeseer.feature_dim),
+            (3327, 9104, 3703)
+        );
+        let pubmed = DatasetKind::Pubmed.spec();
+        assert_eq!(
+            (pubmed.vertices, pubmed.edges, pubmed.feature_dim),
+            (19717, 88648, 500)
+        );
+    }
+
+    #[test]
+    fn feature_sizes_are_close_to_table_ii() {
+        // Table II reports 15.6 MB / 49 MB / 40.5 MB.
+        assert!((DatasetKind::Cora.spec().feature_megabytes() - 15.5).abs() < 1.0);
+        assert!((DatasetKind::Citeseer.spec().feature_megabytes() - 49.0).abs() < 1.5);
+        assert!((DatasetKind::Pubmed.spec().feature_megabytes() - 39.4).abs() < 1.5);
+    }
+
+    #[test]
+    fn scaled_spec_preserves_feature_dim() {
+        let tiny = DatasetKind::Pubmed.spec().scaled(0.01);
+        assert_eq!(tiny.feature_dim, 500);
+        assert!(tiny.vertices < 500);
+        assert!(tiny.vertices >= 16);
+    }
+
+    #[test]
+    fn with_feature_dim_overrides_dim_only() {
+        let spec = DatasetKind::Cora.spec().with_feature_dim(64);
+        assert_eq!(spec.feature_dim, 64);
+        assert_eq!(spec.vertices, 2708);
+    }
+
+    #[test]
+    fn synthesize_small_dataset_matches_spec() {
+        let spec = DatasetKind::Cora.spec().scaled(0.02);
+        let ds = spec.synthesize(7).unwrap();
+        assert_eq!(ds.num_nodes(), spec.vertices);
+        assert_eq!(ds.num_edges(), spec.edges);
+        assert_eq!(ds.features.dim(), spec.feature_dim);
+        assert_eq!(ds.features.num_nodes(), spec.vertices);
+        ds.features.check_compatible(&ds.graph).unwrap();
+    }
+
+    #[test]
+    fn synthesize_is_deterministic() {
+        let spec = DatasetKind::Citeseer.spec().scaled(0.02);
+        let a = spec.synthesize(3).unwrap();
+        let b = spec.synthesize(3).unwrap();
+        assert_eq!(a.edge_list, b.edge_list);
+        assert_eq!(a.features, b.features);
+        let c = spec.synthesize(4).unwrap();
+        assert_ne!(a.edge_list, c.edge_list);
+    }
+
+    #[test]
+    fn short_names_match_figure_labels() {
+        assert_eq!(DatasetKind::Cora.short_name(), "cora");
+        assert_eq!(DatasetKind::Pubmed.short_name(), "pub");
+        assert_eq!(DatasetKind::Cora.to_string(), "cora");
+    }
+
+    #[test]
+    fn display_spec_mentions_counts() {
+        let s = DatasetKind::Cora.spec().to_string();
+        assert!(s.contains("2708"));
+        assert!(s.contains("10556"));
+    }
+
+    #[test]
+    fn average_degree_is_sensible() {
+        for kind in DatasetKind::ALL {
+            let d = kind.spec().average_degree();
+            assert!(d > 2.0 && d < 10.0, "{kind}: average degree {d}");
+        }
+    }
+}

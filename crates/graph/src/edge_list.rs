@@ -1,0 +1,301 @@
+use crate::{GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directed edge `source -> destination`.
+///
+/// During aggregation the destination node reads the source node's feature,
+/// so an edge `(u, v)` means "v aggregates from u".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node (feature producer).
+    pub src: NodeId,
+    /// Destination node (feature consumer / aggregator).
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        Self { src, dst }
+    }
+
+    /// Returns the edge with source and destination swapped.
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    fn from((src, dst): (NodeId, NodeId)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+/// An edge-list representation of a directed graph.
+///
+/// The edge list is the representation consumed by the 2-D sharding algorithm
+/// (the paper shards "a graph's edge list ... into shards such that each shard
+/// contains a maximum of n² edges"). It is also the natural input format for
+/// synthetic generators.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::EdgeList;
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let edges = EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(edges.num_edges(), 3);
+/// assert_eq!(edges.num_nodes(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeList {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds an edge list from `(src, dst)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>= num_nodes`.
+    pub fn from_pairs(num_nodes: usize, pairs: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut list = Self::new(num_nodes);
+        for &(src, dst) in pairs {
+            list.push(Edge::new(src, dst))?;
+        }
+        Ok(list)
+    }
+
+    /// Builds an edge list from already-validated edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        for e in &edges {
+            Self::validate(num_nodes, *e)?;
+        }
+        Ok(Self { num_nodes, edges })
+    }
+
+    fn validate(num_nodes: usize, edge: Edge) -> Result<(), GraphError> {
+        for node in [edge.src, edge.dst] {
+            if node as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node, num_nodes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range.
+    pub fn push(&mut self, edge: Edge) -> Result<(), GraphError> {
+        Self::validate(self.num_nodes, edge)?;
+        self.edges.push(edge);
+        Ok(())
+    }
+
+    /// Number of nodes in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the edge list contains no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates over the edges in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Edge> {
+        self.edges.iter()
+    }
+
+    /// Returns the edges as a slice.
+    pub fn as_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sorts edges by `(src, dst)` and removes duplicates and self-loops.
+    ///
+    /// Citation graphs are simple graphs; the synthetic generators may emit
+    /// duplicates which are removed here so the statistics stay faithful.
+    pub fn dedup(&mut self) {
+        self.edges.retain(|e| e.src != e.dst);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Adds the reverse of every edge and deduplicates, making the graph
+    /// symmetric (undirected semantics, as used by the citation datasets).
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<Edge> = self.edges.iter().map(|e| e.reversed()).collect();
+        self.edges.extend(reversed);
+        self.dedup();
+    }
+
+    /// Adds a self-loop `v -> v` for every node that the GNN formulation
+    /// includes in its own neighbourhood (`N(u) ∪ u` in Eq. 1).
+    pub fn add_self_loops(&mut self) {
+        for v in 0..self.num_nodes as NodeId {
+            self.edges.push(Edge::new(v, v));
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes];
+        for e in &self.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes];
+        for e in &self.edges {
+            deg[e.dst as usize] += 1;
+        }
+        deg
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+impl Extend<Edge> for EdgeList {
+    /// Extends the list with edges, silently clamping out-of-range endpoints
+    /// is **not** done; out-of-range edges are skipped. Prefer [`EdgeList::push`]
+    /// when error reporting matters.
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for edge in iter {
+            if Self::validate(self.num_nodes, edge).is_ok() {
+                self.edges.push(edge);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_validates_endpoints() {
+        assert!(EdgeList::from_pairs(3, &[(0, 1), (1, 2)]).is_ok());
+        assert!(matches!(
+            EdgeList::from_pairs(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn push_appends_and_counts() {
+        let mut list = EdgeList::new(4);
+        assert!(list.is_empty());
+        list.push(Edge::new(0, 1)).unwrap();
+        list.push(Edge::new(1, 0)).unwrap();
+        assert_eq!(list.num_edges(), 2);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut list = EdgeList::from_pairs(3, &[(0, 1), (0, 1), (1, 1), (2, 0)]).unwrap();
+        list.dedup();
+        assert_eq!(list.num_edges(), 2);
+        assert!(list.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let mut list = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        list.symmetrize();
+        assert_eq!(list.num_edges(), 4);
+        assert!(list.as_slice().contains(&Edge::new(1, 0)));
+        assert!(list.as_slice().contains(&Edge::new(2, 1)));
+    }
+
+    #[test]
+    fn add_self_loops_covers_every_node() {
+        let mut list = EdgeList::from_pairs(3, &[(0, 1)]).unwrap();
+        list.add_self_loops();
+        for v in 0..3 {
+            assert!(list.as_slice().contains(&Edge::new(v, v)));
+        }
+        assert_eq!(list.num_edges(), 4);
+    }
+
+    #[test]
+    fn degree_counts() {
+        let list = EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        assert_eq!(list.out_degrees(), vec![2, 1, 0]);
+        assert_eq!(list.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reversed_edge_swaps_endpoints() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.reversed(), Edge::new(7, 3));
+        assert_eq!(Edge::from((1, 2)), Edge::new(1, 2));
+    }
+
+    #[test]
+    fn extend_skips_invalid_edges() {
+        let mut list = EdgeList::new(2);
+        list.extend(vec![Edge::new(0, 1), Edge::new(0, 5)]);
+        assert_eq!(list.num_edges(), 1);
+    }
+
+    #[test]
+    fn display_edge() {
+        assert_eq!(Edge::new(1, 2).to_string(), "1 -> 2");
+    }
+
+    #[test]
+    fn iterate_edges() {
+        let list = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let collected: Vec<Edge> = list.iter().copied().collect();
+        assert_eq!(collected.len(), 2);
+        let borrowed: Vec<&Edge> = (&list).into_iter().collect();
+        assert_eq!(borrowed.len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction, sharding and dataset synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{EdgeList, CsrGraph};
+///
+/// let edges = EdgeList::from_pairs(4, &[(0, 9)]);
+/// assert!(edges.is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// The feature table does not match the graph it is attached to.
+    FeatureShapeMismatch {
+        /// Number of nodes in the graph.
+        graph_nodes: usize,
+        /// Number of rows in the feature table.
+        feature_rows: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            GraphError::FeatureShapeMismatch {
+                graph_nodes,
+                feature_rows,
+            } => write!(
+                f,
+                "feature table has {feature_rows} rows but the graph has {graph_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl GraphError {
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        GraphError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 12,
+            num_nodes: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+
+        let e = GraphError::invalid("probability", "must be in [0, 1]");
+        assert!(e.to_string().contains("probability"));
+
+        let e = GraphError::FeatureShapeMismatch {
+            graph_nodes: 5,
+            feature_rows: 4,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

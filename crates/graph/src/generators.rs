@@ -1,0 +1,259 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper's evaluation uses real citation graphs fetched through DGL. A
+//! hermetic reproduction cannot download them, so the [`datasets`](crate::datasets)
+//! module synthesises graphs with matching statistics using the generators in
+//! this module. All generators are deterministic given a seed.
+
+use crate::{Edge, EdgeList, GraphError, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an Erdős–Rényi `G(n, p)` directed graph (no self-loops).
+///
+/// Useful for small, dense test graphs where every edge is equally likely.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::generators;
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let g = generators::erdos_renyi(50, 0.05, 42)?;
+/// assert_eq!(g.num_nodes(), 50);
+/// # Ok(())
+/// # }
+/// ```
+pub fn erdos_renyi(num_nodes: usize, p: f64, seed: u64) -> Result<EdgeList, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::invalid("p", format!("{p} is not in [0, 1]")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = EdgeList::new(num_nodes);
+    for src in 0..num_nodes as NodeId {
+        for dst in 0..num_nodes as NodeId {
+            if src != dst && rng.gen_bool(p) {
+                edges
+                    .push(Edge::new(src, dst))
+                    .expect("endpoints in range by construction");
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Generates a power-law graph with approximately `target_edges` directed
+/// edges using the R-MAT recursive-quadrant method.
+///
+/// R-MAT (with the classic `a=0.57, b=0.19, c=0.19, d=0.05` partition) yields
+/// the skewed degree distributions characteristic of real-world graphs such
+/// as the paper's citation networks: a few hub nodes with large
+/// neighbourhoods and many low-degree nodes. The generated edge list is
+/// deduplicated, symmetrised and stripped of self-loops to match citation
+/// graph semantics.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `num_nodes` is zero or
+/// `target_edges` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::generators;
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let g = generators::rmat(1000, 5000, 1)?;
+/// assert_eq!(g.num_nodes(), 1000);
+/// assert!(g.num_edges() > 4000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rmat(num_nodes: usize, target_edges: usize, seed: u64) -> Result<EdgeList, GraphError> {
+    if num_nodes == 0 {
+        return Err(GraphError::invalid("num_nodes", "must be positive"));
+    }
+    if target_edges == 0 {
+        return Err(GraphError::invalid("target_edges", "must be positive"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = (num_nodes as f64).log2().ceil() as u32;
+    let side = 1usize << levels;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+
+    let mut edges = EdgeList::new(num_nodes);
+    // Symmetrisation halves the unique directed edge count on average, and
+    // deduplication removes collisions, so oversample before trimming.
+    let attempts = target_edges * 2;
+    for _ in 0..attempts {
+        let (mut src, mut dst) = (0usize, 0usize);
+        let mut span = side;
+        while span > 1 {
+            span /= 2;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant: no offset
+            } else if r < a + b {
+                dst += span;
+            } else if r < a + b + c {
+                src += span;
+            } else {
+                src += span;
+                dst += span;
+            }
+        }
+        if src < num_nodes && dst < num_nodes && src != dst {
+            edges
+                .push(Edge::new(src as NodeId, dst as NodeId))
+                .expect("endpoints in range by construction");
+        }
+    }
+    edges.symmetrize();
+    trim_to(&mut edges, target_edges, &mut rng);
+    Ok(edges)
+}
+
+/// Generates a power-law graph with *exactly* `target_edges` directed edges
+/// (after symmetrisation and deduplication) by topping up an R-MAT sample
+/// with random edges when the sample falls short.
+///
+/// The Table II datasets report exact edge counts, so the dataset synthesiser
+/// needs an exact-count generator.
+///
+/// # Errors
+///
+/// Propagates errors from [`rmat`] and rejects impossible edge counts
+/// (`target_edges > num_nodes * (num_nodes - 1)`).
+pub fn rmat_exact(num_nodes: usize, target_edges: usize, seed: u64) -> Result<EdgeList, GraphError> {
+    let max_edges = num_nodes.saturating_mul(num_nodes.saturating_sub(1));
+    if target_edges > max_edges {
+        return Err(GraphError::invalid(
+            "target_edges",
+            format!("{target_edges} exceeds the maximum simple-graph edge count {max_edges}"),
+        ));
+    }
+    let mut edges = rmat(num_nodes, target_edges, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    // Top up with uniform random edges until the exact count is reached.
+    let mut guard = 0usize;
+    while edges.num_edges() < target_edges {
+        let src = rng.gen_range(0..num_nodes as NodeId);
+        let dst = rng.gen_range(0..num_nodes as NodeId);
+        if src != dst {
+            let candidate = Edge::new(src, dst);
+            if !edges.as_slice().contains(&candidate) {
+                edges.push(candidate).expect("endpoints in range");
+            }
+        }
+        guard += 1;
+        if guard > target_edges * 100 {
+            break;
+        }
+    }
+    trim_to(&mut edges, target_edges, &mut rng);
+    Ok(edges)
+}
+
+/// Removes random edges until the list holds at most `target` edges.
+fn trim_to(edges: &mut EdgeList, target: usize, rng: &mut StdRng) {
+    if edges.num_edges() <= target {
+        return;
+    }
+    let mut all: Vec<Edge> = edges.iter().copied().collect();
+    // Fisher-Yates style partial shuffle, then truncate.
+    for i in 0..target {
+        let j = rng.gen_range(i..all.len());
+        all.swap(i, j);
+    }
+    all.truncate(target);
+    all.sort_unstable();
+    *edges = EdgeList::from_edges(edges.num_nodes(), all).expect("edges already validated");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_rejects_bad_probability() {
+        assert!(erdos_renyi(10, -0.1, 0).is_err());
+        assert!(erdos_renyi(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(30, 0.1, 7).unwrap();
+        let b = erdos_renyi(30, 0.1, 7).unwrap();
+        assert_eq!(a, b);
+        let c = erdos_renyi(30, 0.1, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let n = 100;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 3).unwrap();
+        let expected = (n * (n - 1)) as f64 * p;
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < expected * 0.5,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn rmat_rejects_degenerate_parameters() {
+        assert!(rmat(0, 10, 0).is_err());
+        assert!(rmat(10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_simple() {
+        let a = rmat(256, 1000, 11).unwrap();
+        let b = rmat(256, 1000, 11).unwrap();
+        assert_eq!(a, b);
+        // simple graph: no self loops, no duplicates
+        let mut seen = std::collections::HashSet::new();
+        for e in a.iter() {
+            assert_ne!(e.src, e.dst);
+            assert!(seen.insert(*e));
+        }
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let g = rmat(512, 4000, 5).unwrap();
+        let degs = g.in_degrees();
+        let max = *degs.iter().max().unwrap();
+        let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max as f64 > 3.0 * avg,
+            "power-law graph should have hubs: max {max}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn rmat_exact_hits_requested_edge_count() {
+        let g = rmat_exact(300, 2000, 9).unwrap();
+        assert_eq!(g.num_edges(), 2000);
+        assert_eq!(g.num_nodes(), 300);
+    }
+
+    #[test]
+    fn rmat_exact_rejects_impossible_counts() {
+        assert!(rmat_exact(3, 100, 0).is_err());
+    }
+
+    #[test]
+    fn rmat_exact_small_graph() {
+        let g = rmat_exact(10, 20, 123).unwrap();
+        assert_eq!(g.num_edges(), 20);
+        for e in g.iter() {
+            assert!(e.src < 10 && e.dst < 10);
+            assert_ne!(e.src, e.dst);
+        }
+    }
+}

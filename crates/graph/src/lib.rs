@@ -1,0 +1,57 @@
+//! Graph substrate for the GNNerator reproduction.
+//!
+//! The paper evaluates GNNerator on three citation graphs (Cora, Citeseer,
+//! Pubmed — Table II) that are sharded with a GridGraph-style two-dimensional
+//! sharding scheme (Section II-B, Figure 1) before being streamed through the
+//! Graph Engine. This crate provides everything between "a graph exists" and
+//! "the accelerator can be pointed at it":
+//!
+//! * [`EdgeList`] and [`CsrGraph`] — edge-list and compressed-sparse-row
+//!   graph representations,
+//! * [`NodeFeatures`] — the dense per-node feature table,
+//! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi and an
+//!   R-MAT/power-law generator) used to stand in for the real datasets,
+//! * [`datasets`] — the Table II dataset specifications and synthesisers,
+//! * [`ShardGrid`] — the 2-D shard grid with source-/destination-stationary
+//!   traversal orders,
+//! * [`GraphStats`] — degree and locality statistics used in reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnerator_graph::{generators, ShardGrid};
+//!
+//! # fn main() -> Result<(), gnnerator_graph::GraphError> {
+//! let graph = generators::erdos_renyi(64, 0.1, 7)?;
+//! let grid = ShardGrid::build(&graph, 16)?;
+//! assert_eq!(grid.grid_dim(), 4);
+//! assert_eq!(grid.total_edges(), graph.num_edges());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod csr;
+pub mod datasets;
+mod edge_list;
+mod error;
+mod features;
+pub mod generators;
+pub mod reorder;
+mod shard;
+mod stats;
+
+pub use csr::CsrGraph;
+pub use edge_list::{Edge, EdgeList};
+pub use error::GraphError;
+pub use features::NodeFeatures;
+pub use shard::{Shard, ShardCoord, ShardGrid, TraversalOrder};
+pub use stats::GraphStats;
+
+/// Node identifier type used throughout the workspace.
+///
+/// 32 bits is enough for the paper's datasets (the largest, Pubmed, has
+/// 19 717 vertices) and matches the 4-byte edge-record entries assumed by the
+/// Graph Engine's edge memory sizing.
+pub type NodeId = u32;

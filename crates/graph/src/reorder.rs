@@ -1,0 +1,184 @@
+//! Node-relabelling (reordering) transforms.
+//!
+//! The 2-D sharding of Section II-B partitions the *node id space* into
+//! contiguous blocks, so the labels assigned to nodes determine how edges
+//! spread over the shard grid. Relabelling nodes so that heavily-connected
+//! nodes share blocks concentrates edges into fewer shards, which reduces the
+//! number of partially-filled shards the Graph Engine has to stream. This
+//! module provides the standard light-weight reorderings used by graph
+//! accelerators (degree sorting) as pure functions from one [`EdgeList`] to a
+//! relabelled one, plus the permutation needed to reorder the feature table
+//! consistently.
+
+use crate::{Edge, EdgeList, NodeId};
+
+/// A node relabelling: `permutation[old_id] = new_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relabeling {
+    permutation: Vec<NodeId>,
+}
+
+impl Relabeling {
+    /// Builds a relabelling from a permutation vector (`permutation[old] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not a permutation of `0..len`.
+    pub fn from_permutation(permutation: Vec<NodeId>) -> Self {
+        let mut seen = vec![false; permutation.len()];
+        for &p in &permutation {
+            assert!(
+                (p as usize) < permutation.len() && !seen[p as usize],
+                "not a permutation"
+            );
+            seen[p as usize] = true;
+        }
+        Self { permutation }
+    }
+
+    /// The identity relabelling over `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            permutation: (0..n as NodeId).collect(),
+        }
+    }
+
+    /// New id of an old node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is out of range.
+    pub fn new_id(&self, old: NodeId) -> NodeId {
+        self.permutation[old as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.permutation.len()
+    }
+
+    /// Returns `true` if the relabelling covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.permutation.is_empty()
+    }
+
+    /// Applies the relabelling to an edge list.
+    pub fn apply(&self, edges: &EdgeList) -> EdgeList {
+        let relabelled: Vec<Edge> = edges
+            .iter()
+            .map(|e| Edge::new(self.new_id(e.src), self.new_id(e.dst)))
+            .collect();
+        EdgeList::from_edges(edges.num_nodes(), relabelled)
+            .expect("permutation preserves the node range")
+    }
+
+    /// Returns, for each *new* id, the *old* id it came from — the order in
+    /// which rows of the original feature table must be gathered so features
+    /// follow their nodes.
+    pub fn gather_order(&self) -> Vec<usize> {
+        let mut order = vec![0usize; self.permutation.len()];
+        for (old, &new) in self.permutation.iter().enumerate() {
+            order[new as usize] = old;
+        }
+        order
+    }
+}
+
+/// Relabels nodes by descending total degree (in + out), so hub nodes share
+/// the first shard blocks.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{reorder, EdgeList};
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let edges = EdgeList::from_pairs(4, &[(0, 3), (1, 3), (2, 3)])?;
+/// let relabeling = reorder::by_degree_descending(&edges);
+/// // Node 3 has the highest degree, so it becomes node 0.
+/// assert_eq!(relabeling.new_id(3), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn by_degree_descending(edges: &EdgeList) -> Relabeling {
+    let in_deg = edges.in_degrees();
+    let out_deg = edges.out_degrees();
+    let mut order: Vec<usize> = (0..edges.num_nodes()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(in_deg[v] + out_deg[v]));
+    let mut permutation = vec![0 as NodeId; edges.num_nodes()];
+    for (new, &old) in order.iter().enumerate() {
+        permutation[old] = new as NodeId;
+    }
+    Relabeling::from_permutation(permutation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, ShardGrid};
+
+    #[test]
+    fn identity_changes_nothing() {
+        let edges = generators::rmat(50, 200, 1).unwrap();
+        let relabeling = Relabeling::identity(50);
+        assert_eq!(relabeling.apply(&edges), edges);
+        assert_eq!(relabeling.len(), 50);
+        assert!(!relabeling.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_permutation_is_rejected() {
+        let _ = Relabeling::from_permutation(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn degree_sort_puts_hubs_first() {
+        let edges = EdgeList::from_pairs(5, &[(0, 4), (1, 4), (2, 4), (3, 4), (0, 1)]).unwrap();
+        let relabeling = by_degree_descending(&edges);
+        assert_eq!(relabeling.new_id(4), 0);
+    }
+
+    #[test]
+    fn relabelling_preserves_edge_and_degree_multiset() {
+        let edges = generators::rmat(80, 400, 7).unwrap();
+        let relabeling = by_degree_descending(&edges);
+        let relabelled = relabeling.apply(&edges);
+        assert_eq!(relabelled.num_edges(), edges.num_edges());
+        let mut before: Vec<usize> = edges.in_degrees();
+        let mut after: Vec<usize> = relabelled.in_degrees();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn gather_order_is_the_inverse_permutation() {
+        let edges = generators::rmat(30, 120, 3).unwrap();
+        let relabeling = by_degree_descending(&edges);
+        let gather = relabeling.gather_order();
+        for (new, &old) in gather.iter().enumerate() {
+            assert_eq!(relabeling.new_id(old as NodeId) as usize, new);
+        }
+    }
+
+    #[test]
+    fn degree_sort_never_increases_occupied_shards() {
+        // Concentrating hubs into the same blocks can only keep or reduce the
+        // number of shards that contain at least one edge.
+        let edges = generators::rmat(512, 3000, 9).unwrap();
+        let relabeling = by_degree_descending(&edges);
+        let relabelled = relabeling.apply(&edges);
+        for nodes_per_shard in [32usize, 64, 128] {
+            let before = ShardGrid::build(&edges, nodes_per_shard).unwrap();
+            let after = ShardGrid::build(&relabelled, nodes_per_shard).unwrap();
+            let occupied = |g: &ShardGrid| g.iter().filter(|s| !s.is_empty()).count();
+            assert!(
+                occupied(&after) <= occupied(&before),
+                "n={nodes_per_shard}: {} -> {}",
+                occupied(&before),
+                occupied(&after)
+            );
+        }
+    }
+}

@@ -1,0 +1,471 @@
+use crate::{Edge, EdgeList, GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Traversal order over the 2-D shard grid (Section IV-A, Table I).
+///
+/// * **Source-stationary** walks across a *row* of the grid: one block of
+///   source vertices stays on-chip for the whole row while destination
+///   blocks are written back and reloaded.
+/// * **Destination-stationary** walks down a *column*: one block of
+///   destination vertices (the accumulators) stays on-chip until it has
+///   finished aggregating, while source blocks are reloaded.
+///
+/// The paper assumes an S-pattern (serpentine) walk so that one operand block
+/// carries over between consecutive shards; the iterators here follow that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TraversalOrder {
+    /// Keep a source block on-chip and sweep destinations.
+    SourceStationary,
+    /// Keep a destination block on-chip and sweep sources (Algorithm 1's
+    /// destination-major loop nest). This is the default because it lets
+    /// aggregation finish a destination block before feature extraction.
+    #[default]
+    DestinationStationary,
+}
+
+impl fmt::Display for TraversalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraversalOrder::SourceStationary => f.write_str("src-stationary"),
+            TraversalOrder::DestinationStationary => f.write_str("dst-stationary"),
+        }
+    }
+}
+
+/// Position of a shard in the grid: `(src_block, dst_block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ShardCoord {
+    /// Index of the source-node block (grid row).
+    pub src_block: usize,
+    /// Index of the destination-node block (grid column).
+    pub dst_block: usize,
+}
+
+impl ShardCoord {
+    /// Creates a new coordinate.
+    pub fn new(src_block: usize, dst_block: usize) -> Self {
+        Self { src_block, dst_block }
+    }
+}
+
+impl fmt::Display for ShardCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src_block, self.dst_block)
+    }
+}
+
+/// One sub-graph shard: the edges whose sources fall in one node block and
+/// whose destinations fall in another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    coord: ShardCoord,
+    edges: Vec<Edge>,
+    unique_sources: Vec<NodeId>,
+    unique_destinations: Vec<NodeId>,
+}
+
+impl Shard {
+    fn new(coord: ShardCoord, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        let mut unique_sources: Vec<NodeId> = edges.iter().map(|e| e.src).collect();
+        unique_sources.sort_unstable();
+        unique_sources.dedup();
+        let mut unique_destinations: Vec<NodeId> = edges.iter().map(|e| e.dst).collect();
+        unique_destinations.sort_unstable();
+        unique_destinations.dedup();
+        Self {
+            coord,
+            edges,
+            unique_sources,
+            unique_destinations,
+        }
+    }
+
+    /// The shard's grid coordinate.
+    pub fn coord(&self) -> ShardCoord {
+        self.coord
+    }
+
+    /// Edges contained in the shard, sorted by `(src, dst)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges in the shard.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the shard contains no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Distinct source nodes referenced by the shard's edges.
+    ///
+    /// The Shard Feature Fetch Unit must bring these nodes' features (or the
+    /// active block of their dimensions) on-chip before compute starts.
+    pub fn unique_sources(&self) -> &[NodeId] {
+        &self.unique_sources
+    }
+
+    /// Distinct destination nodes referenced by the shard's edges.
+    pub fn unique_destinations(&self) -> &[NodeId] {
+        &self.unique_destinations
+    }
+}
+
+/// A GridGraph-style two-dimensional shard grid (Figure 1).
+///
+/// The node id space is cut into `grid_dim` contiguous blocks of at most
+/// `nodes_per_shard` nodes; shard `(i, j)` holds every edge whose source lies
+/// in block `i` and whose destination lies in block `j`. Each shard therefore
+/// contains at most `nodes_per_shard²` edges, matching the paper's "maximum
+/// of n² edges" definition.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{EdgeList, ShardGrid, TraversalOrder};
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let edges = EdgeList::from_pairs(6, &[(0, 5), (3, 1), (5, 0), (2, 4)])?;
+/// let grid = ShardGrid::build(&edges, 3)?;
+/// assert_eq!(grid.grid_dim(), 2);
+/// assert_eq!(grid.total_edges(), 4);
+/// let visited: Vec<_> = grid.traversal(TraversalOrder::DestinationStationary).collect();
+/// assert_eq!(visited.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardGrid {
+    num_nodes: usize,
+    nodes_per_shard: usize,
+    grid_dim: usize,
+    /// Row-major `grid_dim x grid_dim` shard storage.
+    shards: Vec<Shard>,
+}
+
+impl ShardGrid {
+    /// Builds a shard grid from an edge list, with at most `nodes_per_shard`
+    /// source (and destination) nodes per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `nodes_per_shard` is zero
+    /// or the edge list has no nodes.
+    pub fn build(edges: &EdgeList, nodes_per_shard: usize) -> Result<Self, GraphError> {
+        if nodes_per_shard == 0 {
+            return Err(GraphError::invalid("nodes_per_shard", "must be positive"));
+        }
+        let num_nodes = edges.num_nodes();
+        if num_nodes == 0 {
+            return Err(GraphError::invalid("edges", "graph has no nodes"));
+        }
+        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+        let mut buckets: Vec<Vec<Edge>> = vec![Vec::new(); grid_dim * grid_dim];
+        for e in edges.iter() {
+            let i = e.src as usize / nodes_per_shard;
+            let j = e.dst as usize / nodes_per_shard;
+            buckets[i * grid_dim + j].push(*e);
+        }
+        let shards = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(idx, bucket)| {
+                let coord = ShardCoord::new(idx / grid_dim, idx % grid_dim);
+                Shard::new(coord, bucket)
+            })
+            .collect();
+        Ok(Self {
+            num_nodes,
+            nodes_per_shard,
+            grid_dim,
+            shards,
+        })
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Maximum number of nodes per block (the paper's tunable `n`).
+    pub fn nodes_per_shard(&self) -> usize {
+        self.nodes_per_shard
+    }
+
+    /// Width/height of the square shard grid (the paper's `S`).
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    /// Total number of edges across all shards.
+    pub fn total_edges(&self) -> usize {
+        self.shards.iter().map(Shard::num_edges).sum()
+    }
+
+    /// The shard at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the grid.
+    pub fn shard(&self, coord: ShardCoord) -> &Shard {
+        assert!(
+            coord.src_block < self.grid_dim && coord.dst_block < self.grid_dim,
+            "shard {coord} out of range for {0}x{0} grid",
+            self.grid_dim
+        );
+        &self.shards[coord.src_block * self.grid_dim + coord.dst_block]
+    }
+
+    /// Iterates over all shards in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Shard> {
+        self.shards.iter()
+    }
+
+    /// The contiguous range of node ids belonging to block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= grid_dim`.
+    pub fn block_nodes(&self, block: usize) -> Range<NodeId> {
+        assert!(block < self.grid_dim, "block {block} out of range");
+        let start = (block * self.nodes_per_shard) as NodeId;
+        let end = ((block + 1) * self.nodes_per_shard).min(self.num_nodes) as NodeId;
+        start..end
+    }
+
+    /// Number of nodes in block `block`.
+    pub fn block_len(&self, block: usize) -> usize {
+        let r = self.block_nodes(block);
+        (r.end - r.start) as usize
+    }
+
+    /// Fraction of shards that contain at least one edge.
+    ///
+    /// Real-world graphs sharded this way are sparse at the shard level too;
+    /// this statistic feeds the report's locality section.
+    pub fn occupancy(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        let non_empty = self.shards.iter().filter(|s| !s.is_empty()).count();
+        non_empty as f64 / self.shards.len() as f64
+    }
+
+    /// Maximum number of edges in any single shard.
+    pub fn max_shard_edges(&self) -> usize {
+        self.shards.iter().map(Shard::num_edges).max().unwrap_or(0)
+    }
+
+    /// Returns the shard coordinates in the S-pattern (serpentine) order for
+    /// the given traversal.
+    ///
+    /// For [`TraversalOrder::DestinationStationary`] the walk proceeds column
+    /// by column (destination block outer loop), alternating the direction of
+    /// each column so consecutive shards share a source block boundary. For
+    /// [`TraversalOrder::SourceStationary`] the walk proceeds row by row.
+    pub fn traversal(&self, order: TraversalOrder) -> impl Iterator<Item = ShardCoord> + '_ {
+        let s = self.grid_dim;
+        let coords: Vec<ShardCoord> = match order {
+            TraversalOrder::DestinationStationary => (0..s)
+                .flat_map(|dst| {
+                    let inner: Vec<usize> = if dst % 2 == 0 {
+                        (0..s).collect()
+                    } else {
+                        (0..s).rev().collect()
+                    };
+                    inner.into_iter().map(move |src| ShardCoord::new(src, dst))
+                })
+                .collect(),
+            TraversalOrder::SourceStationary => (0..s)
+                .flat_map(|src| {
+                    let inner: Vec<usize> = if src % 2 == 0 {
+                        (0..s).collect()
+                    } else {
+                        (0..s).rev().collect()
+                    };
+                    inner.into_iter().map(move |dst| ShardCoord::new(src, dst))
+                })
+                .collect(),
+        };
+        coords.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ShardGrid {
+    type Item = &'a Shard;
+    type IntoIter = std::slice::Iter<'a, Shard>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.shards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> EdgeList {
+        EdgeList::from_pairs(
+            8,
+            &[
+                (0, 1),
+                (0, 7),
+                (1, 4),
+                (2, 3),
+                (3, 6),
+                (4, 0),
+                (5, 2),
+                (6, 5),
+                (7, 7),
+                (7, 0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_bad_parameters() {
+        let edges = sample_edges();
+        assert!(ShardGrid::build(&edges, 0).is_err());
+        let empty = EdgeList::new(0);
+        assert!(ShardGrid::build(&empty, 4).is_err());
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 4).unwrap();
+        assert_eq!(grid.grid_dim(), 2);
+        assert_eq!(grid.num_nodes(), 8);
+        assert_eq!(grid.nodes_per_shard(), 4);
+        let grid3 = ShardGrid::build(&edges, 3).unwrap();
+        assert_eq!(grid3.grid_dim(), 3);
+    }
+
+    #[test]
+    fn every_edge_lands_in_exactly_one_shard() {
+        let edges = sample_edges();
+        for nps in [1, 2, 3, 4, 8, 16] {
+            let grid = ShardGrid::build(&edges, nps).unwrap();
+            assert_eq!(grid.total_edges(), edges.num_edges(), "nodes_per_shard={nps}");
+        }
+    }
+
+    #[test]
+    fn edges_are_placed_in_the_correct_shard() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 4).unwrap();
+        for shard in grid.iter() {
+            for e in shard.edges() {
+                assert_eq!(e.src as usize / 4, shard.coord().src_block);
+                assert_eq!(e.dst as usize / 4, shard.coord().dst_block);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_edge_count_is_bounded_by_n_squared() {
+        let edges = sample_edges();
+        for nps in [1, 2, 4] {
+            let grid = ShardGrid::build(&edges, nps).unwrap();
+            assert!(grid.max_shard_edges() <= nps * nps);
+        }
+    }
+
+    #[test]
+    fn unique_sources_and_destinations() {
+        let edges = EdgeList::from_pairs(4, &[(0, 2), (0, 3), (1, 2)]).unwrap();
+        let grid = ShardGrid::build(&edges, 2).unwrap();
+        let shard = grid.shard(ShardCoord::new(0, 1));
+        assert_eq!(shard.unique_sources(), &[0, 1]);
+        assert_eq!(shard.unique_destinations(), &[2, 3]);
+        assert_eq!(shard.num_edges(), 3);
+    }
+
+    #[test]
+    fn block_nodes_last_block_may_be_short() {
+        let edges = EdgeList::from_pairs(7, &[(0, 6)]).unwrap();
+        let grid = ShardGrid::build(&edges, 3).unwrap();
+        assert_eq!(grid.grid_dim(), 3);
+        assert_eq!(grid.block_nodes(0), 0..3);
+        assert_eq!(grid.block_nodes(2), 6..7);
+        assert_eq!(grid.block_len(2), 1);
+    }
+
+    #[test]
+    fn traversal_visits_every_shard_once() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 3).unwrap();
+        for order in [TraversalOrder::SourceStationary, TraversalOrder::DestinationStationary] {
+            let coords: Vec<ShardCoord> = grid.traversal(order).collect();
+            assert_eq!(coords.len(), 9);
+            let mut sorted = coords.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 9, "every coordinate visited exactly once");
+        }
+    }
+
+    #[test]
+    fn dst_stationary_traversal_is_column_major_serpentine() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 4).unwrap();
+        let coords: Vec<ShardCoord> = grid
+            .traversal(TraversalOrder::DestinationStationary)
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                ShardCoord::new(0, 0),
+                ShardCoord::new(1, 0),
+                ShardCoord::new(1, 1),
+                ShardCoord::new(0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn src_stationary_traversal_is_row_major_serpentine() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 4).unwrap();
+        let coords: Vec<ShardCoord> = grid.traversal(TraversalOrder::SourceStationary).collect();
+        assert_eq!(
+            coords,
+            vec![
+                ShardCoord::new(0, 0),
+                ShardCoord::new(0, 1),
+                ShardCoord::new(1, 1),
+                ShardCoord::new(1, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn occupancy_counts_non_empty_shards() {
+        let edges = EdgeList::from_pairs(4, &[(0, 0), (0, 1)]).unwrap();
+        let grid = ShardGrid::build(&edges, 2).unwrap();
+        // Only shard (0, 0) has edges out of 4 shards.
+        assert!((grid.occupancy() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ShardCoord::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(TraversalOrder::SourceStationary.to_string(), "src-stationary");
+        assert_eq!(
+            TraversalOrder::DestinationStationary.to_string(),
+            "dst-stationary"
+        );
+    }
+
+    #[test]
+    fn default_order_is_destination_stationary() {
+        assert_eq!(TraversalOrder::default(), TraversalOrder::DestinationStationary);
+    }
+}

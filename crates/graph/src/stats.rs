@@ -1,0 +1,164 @@
+use crate::CsrGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a graph's structure.
+///
+/// The reports produced by the simulator and benchmark harness print these
+/// numbers so results can be interpreted next to the dataset description
+/// (Table II in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{CsrGraph, GraphStats};
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let g = CsrGraph::from_pairs(4, &[(0, 1), (2, 1), (3, 1), (1, 0)])?;
+/// let stats = GraphStats::compute(&g);
+/// assert_eq!(stats.num_nodes, 4);
+/// assert_eq!(stats.max_in_degree, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Mean in-degree.
+    pub average_in_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Median in-degree.
+    pub median_in_degree: usize,
+    /// 99th-percentile in-degree.
+    pub p99_in_degree: usize,
+    /// Number of nodes with no incoming edges.
+    pub isolated_destinations: usize,
+    /// Degree skew: max degree divided by mean degree (1.0 for regular graphs,
+    /// much larger for power-law graphs).
+    pub degree_skew: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut degrees: Vec<usize> = (0..n).map(|v| graph.in_degree(v as u32)).collect();
+        degrees.sort_unstable();
+        let num_edges = graph.num_edges();
+        let average = if n == 0 { 0.0 } else { num_edges as f64 / n as f64 };
+        let max = degrees.last().copied().unwrap_or(0);
+        let median = percentile(&degrees, 0.5);
+        let p99 = percentile(&degrees, 0.99);
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        let skew = if average > 0.0 { max as f64 / average } else { 0.0 };
+        Self {
+            num_nodes: n,
+            num_edges,
+            average_in_degree: average,
+            max_in_degree: max,
+            median_in_degree: median,
+            p99_in_degree: p99,
+            isolated_destinations: isolated,
+            degree_skew: skew,
+        }
+    }
+}
+
+/// Returns the `q`-quantile of a sorted slice (nearest-rank method).
+fn percentile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, avg deg {:.2}, max deg {}, p99 deg {}, skew {:.1}",
+            self.num_nodes,
+            self.num_edges,
+            self.average_in_degree,
+            self.max_in_degree,
+            self.p99_in_degree,
+            self.degree_skew
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star_graph() {
+        // Every node points at node 0.
+        let pairs: Vec<(u32, u32)> = (1..10u32).map(|v| (v, 0)).collect();
+        let g = CsrGraph::from_pairs(10, &pairs).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.num_nodes, 10);
+        assert_eq!(stats.num_edges, 9);
+        assert_eq!(stats.max_in_degree, 9);
+        assert_eq!(stats.isolated_destinations, 9);
+        assert!(stats.degree_skew > 5.0);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = CsrGraph::from_pairs(0, &[]).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.num_nodes, 0);
+        assert_eq!(stats.average_in_degree, 0.0);
+        assert_eq!(stats.max_in_degree, 0);
+        assert_eq!(stats.degree_skew, 0.0);
+    }
+
+    #[test]
+    fn stats_of_ring_graph_are_regular() {
+        let pairs: Vec<(u32, u32)> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
+        let g = CsrGraph::from_pairs(8, &pairs).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.max_in_degree, 1);
+        assert_eq!(stats.median_in_degree, 1);
+        assert!((stats.degree_skew - 1.0).abs() < 1e-9);
+        assert_eq!(stats.isolated_destinations, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&sorted, 0.5), 5);
+        assert_eq!(percentile(&sorted, 0.99), 10);
+        assert_eq!(percentile(&sorted, 0.1), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn rmat_graphs_are_more_skewed_than_erdos_renyi() {
+        let er = CsrGraph::from_edge_list(&generators::erdos_renyi(400, 0.02, 1).unwrap());
+        let pl = CsrGraph::from_edge_list(&generators::rmat(400, 3200, 1).unwrap());
+        let er_stats = GraphStats::compute(&er);
+        let pl_stats = GraphStats::compute(&pl);
+        assert!(
+            pl_stats.degree_skew > er_stats.degree_skew,
+            "rmat skew {} should exceed ER skew {}",
+            pl_stats.degree_skew,
+            er_stats.degree_skew
+        );
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let g = CsrGraph::from_pairs(3, &[(0, 1), (2, 1)]).unwrap();
+        let s = GraphStats::compute(&g).to_string();
+        assert!(s.contains("3 nodes"));
+        assert!(s.contains("2 edges"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the graph substrate.
+//!
+//! These check the invariants the accelerator model relies on: sharding is a
+//! partition of the edge set, CSR conversion preserves edges, and the
+//! synthetic generators respect their advertised statistics.
+
+use gnnerator_graph::{generators, CsrGraph, Edge, EdgeList, ShardGrid, TraversalOrder};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy for a small random edge list.
+fn edge_list() -> impl Strategy<Value = EdgeList> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |pairs| EdgeList::from_pairs(n, &pairs).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn sharding_partitions_the_edge_set(edges in edge_list(), nps in 1usize..10) {
+        let grid = ShardGrid::build(&edges, nps);
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = grid.unwrap();
+        // Total edge count is preserved.
+        prop_assert_eq!(grid.total_edges(), edges.num_edges());
+        // Every edge appears in exactly the shard its endpoints dictate.
+        let mut from_shards: Vec<Edge> = Vec::new();
+        for shard in grid.iter() {
+            for e in shard.edges() {
+                prop_assert_eq!(e.src as usize / nps, shard.coord().src_block);
+                prop_assert_eq!(e.dst as usize / nps, shard.coord().dst_block);
+                from_shards.push(*e);
+            }
+        }
+        let mut original: Vec<Edge> = edges.iter().copied().collect();
+        original.sort_unstable();
+        from_shards.sort_unstable();
+        prop_assert_eq!(original, from_shards);
+    }
+
+    #[test]
+    fn shard_capacity_bound_holds(edges in edge_list(), nps in 1usize..10) {
+        // The paper's "at most n² edges per shard" bound assumes a simple
+        // graph (no duplicate edges), so deduplicate first.
+        let mut edges = edges;
+        edges.dedup();
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        prop_assert!(grid.max_shard_edges() <= nps * nps);
+    }
+
+    #[test]
+    fn traversals_cover_the_grid(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let s = grid.grid_dim();
+        for order in [TraversalOrder::SourceStationary, TraversalOrder::DestinationStationary] {
+            let coords: HashSet<_> = grid.traversal(order).collect();
+            prop_assert_eq!(coords.len(), s * s);
+        }
+    }
+
+    #[test]
+    fn src_stationary_changes_src_block_rarely(edges in edge_list(), nps in 1usize..10) {
+        // In an S-pattern row-major walk the source block changes exactly
+        // S - 1 times over the full traversal.
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let coords: Vec<_> = grid.traversal(TraversalOrder::SourceStationary).collect();
+        let changes = coords
+            .windows(2)
+            .filter(|w| w[0].src_block != w[1].src_block)
+            .count();
+        prop_assert_eq!(changes, grid.grid_dim() - 1);
+    }
+
+    #[test]
+    fn csr_preserves_edges(edges in edge_list()) {
+        prop_assume!(edges.num_nodes() > 0);
+        let csr = CsrGraph::from_edge_list(&edges);
+        prop_assert_eq!(csr.num_edges(), edges.num_edges());
+        // In-degree sums to edge count.
+        let total: usize = (0..csr.num_nodes() as u32).map(|v| csr.in_degree(v)).sum();
+        prop_assert_eq!(total, edges.num_edges());
+        // Every original edge is present in the CSR neighbour lists.
+        for e in edges.iter() {
+            prop_assert!(csr.neighbors(e.dst).contains(&e.src));
+        }
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent(edges in edge_list()) {
+        let mut once = edges.clone();
+        once.symmetrize();
+        let mut twice = once.clone();
+        twice.symmetrize();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn symmetrized_graph_has_matching_in_and_out_degrees(edges in edge_list()) {
+        let mut sym = edges;
+        sym.symmetrize();
+        prop_assert_eq!(sym.in_degrees(), sym.out_degrees());
+    }
+
+    #[test]
+    fn rmat_exact_always_hits_target(n in 32usize..200, seed in 0u64..50) {
+        let target = (n * 4).min(n * (n - 1));
+        let g = generators::rmat_exact(n, target, seed).unwrap();
+        prop_assert_eq!(g.num_edges(), target);
+        for e in g.iter() {
+            prop_assert!((e.src as usize) < n && (e.dst as usize) < n);
+            prop_assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_respects_node_bound(n in 2usize..60, seed in 0u64..20) {
+        let g = generators::erdos_renyi(n, 0.1, seed).unwrap();
+        for e in g.iter() {
+            prop_assert!((e.src as usize) < n);
+            prop_assert!((e.dst as usize) < n);
+            prop_assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn block_nodes_partition_the_node_space(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let mut covered = 0usize;
+        for b in 0..grid.grid_dim() {
+            let r = grid.block_nodes(b);
+            covered += (r.end - r.start) as usize;
+            prop_assert!(grid.block_len(b) <= nps);
+        }
+        prop_assert_eq!(covered, edges.num_nodes());
+    }
+}

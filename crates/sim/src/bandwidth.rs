@@ -1,0 +1,190 @@
+use crate::{Cycle, SimError};
+use serde::{Deserialize, Serialize};
+
+/// A serialising, bandwidth-limited channel.
+///
+/// The channel models a shared resource — the feature-memory DRAM interface
+/// in GNNerator's case — that transfers `bytes_per_cycle` bytes per cycle and
+/// services requests in arrival order. A request issued at cycle `t` for `b`
+/// bytes completes at `max(t, busy_until) + ceil(b / bytes_per_cycle)`; the
+/// channel remembers its own availability so concurrent requesters (the Dense
+/// Engine and the Graph Engine) naturally contend for bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::BandwidthChannel;
+///
+/// # fn main() -> Result<(), gnnerator_sim::SimError> {
+/// let mut chan = BandwidthChannel::new("dram", 256.0)?; // 256 B/cycle
+/// let done_a = chan.request(0, 2560);   // 10 cycles
+/// let done_b = chan.request(0, 2560);   // queued behind A
+/// assert_eq!(done_a, 10);
+/// assert_eq!(done_b, 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthChannel {
+    name: String,
+    bytes_per_cycle: f64,
+    busy_until: Cycle,
+    total_bytes: u64,
+    busy_cycles: Cycle,
+    requests: u64,
+}
+
+impl BandwidthChannel {
+    /// Creates a channel delivering `bytes_per_cycle` bytes per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `bytes_per_cycle` is not
+    /// positive and finite.
+    pub fn new(name: impl Into<String>, bytes_per_cycle: f64) -> Result<Self, SimError> {
+        if !(bytes_per_cycle.is_finite() && bytes_per_cycle > 0.0) {
+            return Err(SimError::invalid(
+                "bytes_per_cycle",
+                format!("{bytes_per_cycle} must be positive and finite"),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            bytes_per_cycle,
+            busy_until: 0,
+            total_bytes: 0,
+            busy_cycles: 0,
+            requests: 0,
+        })
+    }
+
+    /// Channel name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes the channel moves per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Number of cycles needed to move `bytes` in isolation.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return 0;
+        }
+        (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle
+    }
+
+    /// Issues a transfer of `bytes` no earlier than `earliest_start`,
+    /// returning its completion cycle. The channel serialises requests in
+    /// issue order.
+    pub fn request(&mut self, earliest_start: Cycle, bytes: u64) -> Cycle {
+        let duration = self.transfer_cycles(bytes);
+        let start = earliest_start.max(self.busy_until);
+        let end = start + duration;
+        self.busy_until = end;
+        self.total_bytes += bytes;
+        self.busy_cycles += duration;
+        self.requests += 1;
+        end
+    }
+
+    /// The cycle at which the channel next becomes free.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total cycles the channel has spent transferring data.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy_cycles
+    }
+
+    /// Number of requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of `elapsed` cycles the channel was busy, in `[0, 1]`.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / elapsed as f64).min(1.0)
+        }
+    }
+
+    /// Resets the channel to its initial (idle) state, keeping the bandwidth.
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.total_bytes = 0;
+        self.busy_cycles = 0;
+        self.requests = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_bandwidth() {
+        assert!(BandwidthChannel::new("x", 0.0).is_err());
+        assert!(BandwidthChannel::new("x", -2.0).is_err());
+        assert!(BandwidthChannel::new("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let chan = BandwidthChannel::new("dram", 100.0).unwrap();
+        assert_eq!(chan.transfer_cycles(0), 0);
+        assert_eq!(chan.transfer_cycles(1), 1);
+        assert_eq!(chan.transfer_cycles(100), 1);
+        assert_eq!(chan.transfer_cycles(101), 2);
+    }
+
+    #[test]
+    fn requests_serialise() {
+        let mut chan = BandwidthChannel::new("dram", 10.0).unwrap();
+        assert_eq!(chan.request(0, 100), 10);
+        assert_eq!(chan.request(0, 100), 20);
+        // A later start pushes out completion.
+        assert_eq!(chan.request(50, 100), 60);
+        assert_eq!(chan.busy_until(), 60);
+        assert_eq!(chan.requests(), 3);
+        assert_eq!(chan.total_bytes(), 300);
+        assert_eq!(chan.busy_cycles(), 30);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut chan = BandwidthChannel::new("dram", 10.0).unwrap();
+        chan.request(0, 100);
+        assert!((chan.utilization(20) - 0.5).abs() < 1e-9);
+        assert_eq!(chan.utilization(0), 0.0);
+        assert!(chan.utilization(5) <= 1.0);
+    }
+
+    #[test]
+    fn zero_byte_request_takes_no_time() {
+        let mut chan = BandwidthChannel::new("dram", 10.0).unwrap();
+        assert_eq!(chan.request(7, 0), 7);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut chan = BandwidthChannel::new("dram", 10.0).unwrap();
+        chan.request(0, 1000);
+        chan.reset();
+        assert_eq!(chan.busy_until(), 0);
+        assert_eq!(chan.total_bytes(), 0);
+        assert_eq!(chan.requests(), 0);
+        assert_eq!(chan.bytes_per_cycle(), 10.0);
+        assert_eq!(chan.name(), "dram");
+    }
+}

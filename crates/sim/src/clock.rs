@@ -1,0 +1,135 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cycle count. All timing in the simulator is expressed in cycles of the
+/// accelerator's core clock.
+pub type Cycle = u64;
+
+/// A clock domain, defined by its frequency in GHz.
+///
+/// GNNerator, HyGCN and the GPU baseline all run at different frequencies;
+/// the clock domain converts between cycles and wall-clock time so results
+/// can be compared across platforms.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::ClockDomain;
+///
+/// # fn main() -> Result<(), gnnerator_sim::SimError> {
+/// let clk = ClockDomain::new(1.0)?; // 1 GHz
+/// assert_eq!(clk.cycles_to_seconds(1_000_000_000), 1.0);
+/// assert_eq!(clk.seconds_to_cycles(2e-9), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    frequency_ghz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain running at `frequency_ghz` GHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the frequency is not positive
+    /// and finite.
+    pub fn new(frequency_ghz: f64) -> Result<Self, SimError> {
+        if !(frequency_ghz.is_finite() && frequency_ghz > 0.0) {
+            return Err(SimError::invalid(
+                "frequency_ghz",
+                format!("{frequency_ghz} must be positive and finite"),
+            ));
+        }
+        Ok(Self { frequency_ghz })
+    }
+
+    /// The clock frequency in GHz.
+    pub fn frequency_ghz(&self) -> f64 {
+        self.frequency_ghz
+    }
+
+    /// The clock frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_ghz * 1e9
+    }
+
+    /// Duration of one cycle in seconds.
+    pub fn cycle_time_seconds(&self) -> f64 {
+        1.0 / self.frequency_hz()
+    }
+
+    /// Converts a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * self.cycle_time_seconds()
+    }
+
+    /// Converts a duration in seconds to cycles (rounded up).
+    pub fn seconds_to_cycles(&self, seconds: f64) -> Cycle {
+        (seconds * self.frequency_hz()).ceil() as Cycle
+    }
+
+    /// Number of bytes transferred per cycle by a channel of `gb_per_s` GB/s
+    /// when observed from this clock domain.
+    pub fn bytes_per_cycle(&self, gb_per_s: f64) -> f64 {
+        gb_per_s * 1e9 / self.frequency_hz()
+    }
+}
+
+impl Default for ClockDomain {
+    /// 1 GHz, the nominal accelerator frequency used throughout the paper's
+    /// platform configuration.
+    fn default() -> Self {
+        Self { frequency_ghz: 1.0 }
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GHz", self.frequency_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_positive_frequency() {
+        assert!(ClockDomain::new(0.0).is_err());
+        assert!(ClockDomain::new(-1.0).is_err());
+        assert!(ClockDomain::new(f64::NAN).is_err());
+        assert!(ClockDomain::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn cycle_time_at_one_ghz_is_one_ns() {
+        let clk = ClockDomain::new(1.0).unwrap();
+        assert!((clk.cycle_time_seconds() - 1e-9).abs() < 1e-15);
+        assert_eq!(clk.frequency_hz(), 1e9);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let clk = ClockDomain::new(1.35).unwrap();
+        let cycles = 1_000_000;
+        let secs = clk.cycles_to_seconds(cycles);
+        let back = clk.seconds_to_cycles(secs);
+        assert!(back >= cycles && back <= cycles + 1);
+    }
+
+    #[test]
+    fn bytes_per_cycle_at_one_ghz() {
+        let clk = ClockDomain::default();
+        // 256 GB/s at 1 GHz = 256 bytes per cycle.
+        assert!((clk.bytes_per_cycle(256.0) - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_one_ghz() {
+        assert_eq!(ClockDomain::default().frequency_ghz(), 1.0);
+        assert_eq!(ClockDomain::default().to_string(), "1.00 GHz");
+    }
+}

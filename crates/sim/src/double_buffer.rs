@@ -1,0 +1,157 @@
+use crate::{Scratchpad, SimError};
+use serde::{Deserialize, Serialize};
+
+/// A double-buffered scratchpad: two equally-sized banks, one being filled by
+/// the fetch units while the other is consumed by the compute units.
+///
+/// Every on-chip buffer in both of GNNerator's engines is double-buffered
+/// (Section III), which is what enables the next shard to be prefetched
+/// while the current shard is being processed. The model exposes the
+/// *per-bank* capacity — the quantity that bounds how much of a shard can be
+/// resident — plus a ping/pong switch for bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::DoubleBuffer;
+///
+/// # fn main() -> Result<(), gnnerator_sim::SimError> {
+/// // 24 MiB of total storage double-buffered = 12 MiB usable per bank.
+/// let buf = DoubleBuffer::new("graph-spad", 24 * 1024 * 1024)?;
+/// assert_eq!(buf.bank_capacity_bytes(), 12 * 1024 * 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoubleBuffer {
+    front: Scratchpad,
+    back: Scratchpad,
+    active_is_front: bool,
+    swaps: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates a double buffer with `total_capacity_bytes` of physical SRAM,
+    /// split evenly into two banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the capacity is less than two
+    /// bytes (each bank must be non-empty).
+    pub fn new(name: &str, total_capacity_bytes: u64) -> Result<Self, SimError> {
+        if total_capacity_bytes < 2 {
+            return Err(SimError::invalid(
+                "total_capacity_bytes",
+                "must be at least 2 bytes to form two banks",
+            ));
+        }
+        let bank = total_capacity_bytes / 2;
+        Ok(Self {
+            front: Scratchpad::new(format!("{name}.front"), bank)?,
+            back: Scratchpad::new(format!("{name}.back"), bank)?,
+            active_is_front: true,
+            swaps: 0,
+        })
+    }
+
+    /// Capacity of one bank — the amount of data compute can see at once.
+    pub fn bank_capacity_bytes(&self) -> u64 {
+        self.front.capacity_bytes()
+    }
+
+    /// Total physical capacity across both banks.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.front.capacity_bytes() + self.back.capacity_bytes()
+    }
+
+    /// The bank currently being consumed by compute.
+    pub fn active(&self) -> &Scratchpad {
+        if self.active_is_front {
+            &self.front
+        } else {
+            &self.back
+        }
+    }
+
+    /// The bank currently being filled by the fetch units.
+    pub fn shadow(&self) -> &Scratchpad {
+        if self.active_is_front {
+            &self.back
+        } else {
+            &self.front
+        }
+    }
+
+    /// Mutable access to the shadow bank (the one being filled).
+    pub fn shadow_mut(&mut self) -> &mut Scratchpad {
+        if self.active_is_front {
+            &mut self.back
+        } else {
+            &mut self.front
+        }
+    }
+
+    /// Swaps the banks: the freshly filled shadow becomes active and the old
+    /// active bank is cleared for the next prefetch.
+    pub fn swap(&mut self) {
+        // Clear the outgoing active bank.
+        if self.active_is_front {
+            self.front.free_all();
+        } else {
+            self.back.free_all();
+        }
+        self.active_is_front = !self.active_is_front;
+        self.swaps += 1;
+    }
+
+    /// Number of swaps performed (equals the number of shards processed when
+    /// used as a shard buffer).
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_split_in_half() {
+        let buf = DoubleBuffer::new("spad", 1000).unwrap();
+        assert_eq!(buf.bank_capacity_bytes(), 500);
+        assert_eq!(buf.total_capacity_bytes(), 1000);
+    }
+
+    #[test]
+    fn tiny_capacity_is_rejected() {
+        assert!(DoubleBuffer::new("spad", 0).is_err());
+        assert!(DoubleBuffer::new("spad", 1).is_err());
+        assert!(DoubleBuffer::new("spad", 2).is_ok());
+    }
+
+    #[test]
+    fn swap_alternates_banks_and_clears_old_active() {
+        let mut buf = DoubleBuffer::new("spad", 100).unwrap();
+        buf.shadow_mut().allocate(30).unwrap();
+        assert_eq!(buf.shadow().used_bytes(), 30);
+        assert_eq!(buf.active().used_bytes(), 0);
+
+        buf.swap();
+        // The filled bank is now active; the new shadow (old active) is empty.
+        assert_eq!(buf.active().used_bytes(), 30);
+        assert_eq!(buf.shadow().used_bytes(), 0);
+        assert_eq!(buf.swaps(), 1);
+
+        buf.swap();
+        assert_eq!(buf.swaps(), 2);
+        // The bank that held 30 bytes was cleared when it stopped being active.
+        assert_eq!(buf.active().used_bytes(), 0);
+    }
+
+    #[test]
+    fn bank_names_are_distinct() {
+        let buf = DoubleBuffer::new("edges", 64).unwrap();
+        assert_ne!(buf.active().name(), buf.shadow().name());
+        assert!(buf.active().name().starts_with("edges"));
+    }
+}

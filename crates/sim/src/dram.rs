@@ -1,0 +1,222 @@
+use crate::{BandwidthChannel, Cycle, SimError, TrafficCounter};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an off-chip DRAM interface.
+///
+/// Table IV gives GNNerator and HyGCN 256 GB/s of off-chip bandwidth and the
+/// RTX 2080 Ti 616 GB/s; `access_latency` models the fixed DRAM access
+/// latency added to every request on top of the bandwidth-limited transfer
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Peak bandwidth in gigabytes per second.
+    pub bandwidth_gb_s: f64,
+    /// Core-clock frequency in GHz used to convert bandwidth to bytes/cycle.
+    pub core_frequency_ghz: f64,
+    /// Fixed access latency in core cycles charged once per request.
+    pub access_latency: Cycle,
+}
+
+impl Default for DramConfig {
+    /// GNNerator's off-chip memory configuration: 256 GB/s at a 1 GHz core
+    /// clock with a 100-cycle access latency.
+    fn default() -> Self {
+        Self {
+            bandwidth_gb_s: 256.0,
+            core_frequency_ghz: 1.0,
+            access_latency: 100,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Bytes transferred per core cycle at peak bandwidth.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_gb_s * 1e9 / (self.core_frequency_ghz * 1e9)
+    }
+}
+
+/// A bandwidth- and latency-limited DRAM channel with read/write accounting.
+///
+/// Both engines of GNNerator share the feature-memory DRAM; they contend on
+/// the underlying [`BandwidthChannel`]. Reads and writes are tracked
+/// separately so reports can break traffic down the way Table I does.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::{DramConfig, DramModel};
+///
+/// # fn main() -> Result<(), gnnerator_sim::SimError> {
+/// let mut dram = DramModel::new(DramConfig::default())?;
+/// let done = dram.read(0, 4096);
+/// assert!(done >= 100); // at least the access latency
+/// assert_eq!(dram.traffic().read_bytes, 4096);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    config: DramConfig,
+    channel: BandwidthChannel,
+    traffic: TrafficCounter,
+}
+
+impl DramModel {
+    /// Creates a DRAM model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the bandwidth or frequency is
+    /// not positive and finite.
+    pub fn new(config: DramConfig) -> Result<Self, SimError> {
+        if !(config.core_frequency_ghz.is_finite() && config.core_frequency_ghz > 0.0) {
+            return Err(SimError::invalid(
+                "core_frequency_ghz",
+                "must be positive and finite",
+            ));
+        }
+        let channel = BandwidthChannel::new("dram", config.bytes_per_cycle())?;
+        Ok(Self {
+            config,
+            channel,
+            traffic: TrafficCounter::default(),
+        })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Issues a read of `bytes` no earlier than `earliest_start`; returns the
+    /// completion cycle.
+    pub fn read(&mut self, earliest_start: Cycle, bytes: u64) -> Cycle {
+        self.traffic.record_read(bytes);
+        self.transfer(earliest_start, bytes)
+    }
+
+    /// Issues a write of `bytes` no earlier than `earliest_start`; returns
+    /// the completion cycle.
+    pub fn write(&mut self, earliest_start: Cycle, bytes: u64) -> Cycle {
+        self.traffic.record_write(bytes);
+        self.transfer(earliest_start, bytes)
+    }
+
+    fn transfer(&mut self, earliest_start: Cycle, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return earliest_start;
+        }
+        self.channel.request(earliest_start, bytes) + self.config.access_latency
+    }
+
+    /// Pure latency estimate for moving `bytes` with no contention.
+    pub fn isolated_cycles(&self, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            0
+        } else {
+            self.channel.transfer_cycles(bytes) + self.config.access_latency
+        }
+    }
+
+    /// Read/write traffic accumulated so far.
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    /// Cycle at which the channel next becomes free.
+    pub fn busy_until(&self) -> Cycle {
+        self.channel.busy_until()
+    }
+
+    /// Fraction of `elapsed` cycles the channel was transferring data.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        self.channel.utilization(elapsed)
+    }
+
+    /// Resets traffic counters and channel state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.channel.reset();
+        self.traffic = TrafficCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table_iv() {
+        let cfg = DramConfig::default();
+        assert_eq!(cfg.bandwidth_gb_s, 256.0);
+        assert!((cfg.bytes_per_cycle() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_frequency() {
+        let cfg = DramConfig {
+            core_frequency_ghz: 0.0,
+            ..DramConfig::default()
+        };
+        assert!(DramModel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn read_includes_latency_and_bandwidth() {
+        let mut dram = DramModel::new(DramConfig {
+            bandwidth_gb_s: 100.0,
+            core_frequency_ghz: 1.0,
+            access_latency: 50,
+        })
+        .unwrap();
+        // 1000 bytes at 100 B/cycle = 10 cycles + 50 latency.
+        assert_eq!(dram.read(0, 1000), 60);
+        assert_eq!(dram.traffic().read_bytes, 1000);
+        assert_eq!(dram.traffic().write_bytes, 0);
+    }
+
+    #[test]
+    fn reads_and_writes_share_the_channel() {
+        let mut dram = DramModel::new(DramConfig {
+            bandwidth_gb_s: 10.0,
+            core_frequency_ghz: 1.0,
+            access_latency: 0,
+        })
+        .unwrap();
+        let a = dram.read(0, 100); // 10 cycles
+        let b = dram.write(0, 100); // queued behind the read
+        assert_eq!(a, 10);
+        assert_eq!(b, 20);
+        assert_eq!(dram.traffic().total_bytes(), 200);
+    }
+
+    #[test]
+    fn zero_byte_transfers_are_free() {
+        let mut dram = DramModel::new(DramConfig::default()).unwrap();
+        assert_eq!(dram.read(42, 0), 42);
+        assert_eq!(dram.isolated_cycles(0), 0);
+    }
+
+    #[test]
+    fn isolated_cycles_ignores_contention() {
+        let mut dram = DramModel::new(DramConfig {
+            bandwidth_gb_s: 1.0,
+            core_frequency_ghz: 1.0,
+            access_latency: 5,
+        })
+        .unwrap();
+        dram.read(0, 1_000_000);
+        // The channel is now busy, but isolated_cycles does not care.
+        assert_eq!(dram.isolated_cycles(10), 15);
+    }
+
+    #[test]
+    fn reset_clears_traffic() {
+        let mut dram = DramModel::new(DramConfig::default()).unwrap();
+        dram.read(0, 1024);
+        dram.write(0, 512);
+        dram.reset();
+        assert_eq!(dram.traffic().total_bytes(), 0);
+        assert_eq!(dram.busy_until(), 0);
+    }
+}

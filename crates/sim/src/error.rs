@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for hardware-model configuration problems.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::Scratchpad;
+///
+/// // A zero-capacity scratchpad is a configuration error.
+/// assert!(Scratchpad::new("weights", 0).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A hardware parameter was zero, negative or otherwise out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// A buffer allocation request exceeded the scratchpad capacity.
+    CapacityExceeded {
+        /// Name of the buffer.
+        buffer: String,
+        /// Requested size in bytes.
+        requested: u64,
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid(parameter: &'static str, message: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            parameter,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for {parameter}: {message}")
+            }
+            SimError::CapacityExceeded {
+                buffer,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "buffer {buffer} cannot hold {requested} bytes (capacity {capacity})"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::invalid("rows", "must be positive");
+        assert!(e.to_string().contains("rows"));
+        let e = SimError::CapacityExceeded {
+            buffer: "input".into(),
+            requested: 100,
+            capacity: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,136 @@
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic discrete-event queue keyed by cycle.
+///
+/// Events scheduled for the same cycle are delivered in insertion order
+/// (FIFO), which keeps simulations reproducible regardless of how the heap
+/// reorders equal keys internally.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "compute-done");
+/// q.schedule(5, "load-done");
+/// assert_eq!(q.pop(), Some((5, "load-done")));
+/// assert_eq!(q.pop(), Some((10, "compute-done")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    payloads: Vec<Option<E>>,
+    sequence: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            sequence: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `cycle`.
+    pub fn schedule(&mut self, cycle: Cycle, event: E) {
+        let slot = self.payloads.len();
+        self.payloads.push(Some(event));
+        self.heap.push(Reverse((cycle, self.sequence, slot)));
+        self.sequence += 1;
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse((cycle, _, slot)) = self.heap.pop()?;
+        let event = self.payloads[slot].take().expect("event delivered twice");
+        Some((cycle, event))
+    }
+
+    /// The cycle of the earliest pending event, if any.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((cycle, _, _))| *cycle)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_cycle_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+        q.schedule(42, ());
+        q.schedule(7, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_cycle(), Some(7));
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u32> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.schedule(15, 3);
+        q.schedule(5, 4); // scheduled "in the past" relative to 10, still fine
+        assert_eq!(q.pop(), Some((5, 4)));
+        assert_eq!(q.pop(), Some((15, 3)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), None);
+    }
+}

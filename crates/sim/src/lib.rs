@@ -1,0 +1,58 @@
+//! Cycle-level hardware-modelling substrate for the GNNerator reproduction.
+//!
+//! The paper's evaluation infrastructure is a cycle-level simulator built on
+//! PyMTL3 for the Graph Engine and controller, with SCALE-Sim providing the
+//! Dense Engine's systolic-array timing. Neither is available to a Rust
+//! workspace, so this crate re-implements the modelling primitives those
+//! frameworks provided:
+//!
+//! * [`ClockDomain`] and the [`Cycle`] type — frequency bookkeeping,
+//! * [`BandwidthChannel`] and [`DramModel`] — a shared, serialising
+//!   bandwidth-limited memory channel with fixed access latency,
+//! * [`Scratchpad`] and [`DoubleBuffer`] — capacity-checked on-chip SRAM
+//!   buffers with access counting,
+//! * [`SystolicArray`] — a SCALE-Sim-style output-stationary systolic-array
+//!   timing model,
+//! * [`PipelineTimer`] — the double-buffered two-stage pipeline recurrence
+//!   (load of item *i+1* overlaps compute of item *i*) used by every engine,
+//! * [`EventQueue`] — a deterministic discrete-event queue,
+//! * [`TrafficCounter`] / [`UtilizationTracker`] — statistics plumbing.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnerator_sim::{SystolicArray, PipelineTimer};
+//!
+//! let array = SystolicArray::new(64, 64);
+//! let cycles = array.matmul_cycles(128, 1433, 16);
+//! assert!(cycles > 0);
+//!
+//! let mut pipe = PipelineTimer::new();
+//! pipe.push(100, 80); // load 100 cycles, compute 80 cycles
+//! pipe.push(100, 80);
+//! assert!(pipe.total_cycles() < 2 * 180); // overlap saves time
+//! ```
+
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod clock;
+mod double_buffer;
+mod dram;
+mod error;
+mod event;
+mod pipeline;
+mod sram;
+mod stats;
+mod systolic;
+
+pub use bandwidth::BandwidthChannel;
+pub use clock::{Cycle, ClockDomain};
+pub use double_buffer::DoubleBuffer;
+pub use dram::{DramConfig, DramModel};
+pub use error::SimError;
+pub use event::EventQueue;
+pub use pipeline::PipelineTimer;
+pub use sram::Scratchpad;
+pub use stats::{TrafficCounter, UtilizationTracker};
+pub use systolic::SystolicArray;

@@ -1,0 +1,193 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An on-chip scratchpad memory with a fixed byte capacity.
+///
+/// GNNerator's engines use software-managed scratchpads rather than caches:
+/// the Dense Engine has input/weight/output buffers and the Graph Engine has
+/// edge and feature scratchpads. The model tracks how many bytes are
+/// currently allocated and how many accesses have been made, and rejects
+/// allocations that exceed capacity — which is exactly the constraint that
+/// determines how many graph nodes fit on-chip and therefore the shard size.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::Scratchpad;
+///
+/// # fn main() -> Result<(), gnnerator_sim::SimError> {
+/// let mut spad = Scratchpad::new("graph-features", 24 * 1024 * 1024)?;
+/// assert!(spad.fits(1024));
+/// spad.allocate(1024)?;
+/// assert_eq!(spad.used_bytes(), 1024);
+/// spad.free_all();
+/// assert_eq!(spad.used_bytes(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scratchpad {
+    name: String,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad with the given capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `capacity_bytes` is zero.
+    pub fn new(name: impl Into<String>, capacity_bytes: u64) -> Result<Self, SimError> {
+        if capacity_bytes == 0 {
+            return Err(SimError::invalid("capacity_bytes", "must be positive"));
+        }
+        Ok(Self {
+            name: name.into(),
+            capacity_bytes,
+            used_bytes: 0,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Scratchpad name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes still available.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// Returns `true` if an allocation of `bytes` would fit right now.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free_bytes()
+    }
+
+    /// Allocates `bytes` from the scratchpad.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CapacityExceeded`] if the allocation does not fit.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), SimError> {
+        if !self.fits(bytes) {
+            return Err(SimError::CapacityExceeded {
+                buffer: self.name.clone(),
+                requested: bytes,
+                capacity: self.free_bytes(),
+            });
+        }
+        self.used_bytes += bytes;
+        Ok(())
+    }
+
+    /// Releases all allocations (e.g. when a shard finishes processing).
+    pub fn free_all(&mut self) {
+        self.used_bytes = 0;
+    }
+
+    /// Records `count` read accesses (statistics only).
+    pub fn record_reads(&mut self, count: u64) {
+        self.reads += count;
+    }
+
+    /// Records `count` write accesses (statistics only).
+    pub fn record_writes(&mut self, count: u64) {
+        self.writes += count;
+    }
+
+    /// Number of read accesses recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write accesses recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Current occupancy as a fraction of capacity.
+    pub fn occupancy(&self) -> f64 {
+        self.used_bytes as f64 / self.capacity_bytes as f64
+    }
+}
+
+impl fmt::Display for Scratchpad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} bytes ({:.1}% full)",
+            self.name,
+            self.used_bytes,
+            self.capacity_bytes,
+            self.occupancy() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(Scratchpad::new("x", 0).is_err());
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut spad = Scratchpad::new("buf", 100).unwrap();
+        assert!(spad.allocate(60).is_ok());
+        assert!(spad.allocate(40).is_ok());
+        assert!(matches!(
+            spad.allocate(1),
+            Err(SimError::CapacityExceeded { .. })
+        ));
+        assert_eq!(spad.used_bytes(), 100);
+        assert_eq!(spad.free_bytes(), 0);
+        assert!((spad.occupancy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_all_releases_everything() {
+        let mut spad = Scratchpad::new("buf", 100).unwrap();
+        spad.allocate(80).unwrap();
+        spad.free_all();
+        assert_eq!(spad.used_bytes(), 0);
+        assert!(spad.fits(100));
+    }
+
+    #[test]
+    fn access_counters_accumulate() {
+        let mut spad = Scratchpad::new("buf", 10).unwrap();
+        spad.record_reads(5);
+        spad.record_reads(3);
+        spad.record_writes(2);
+        assert_eq!(spad.reads(), 8);
+        assert_eq!(spad.writes(), 2);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut spad = Scratchpad::new("edges", 200).unwrap();
+        spad.allocate(50).unwrap();
+        let s = spad.to_string();
+        assert!(s.contains("edges"));
+        assert!(s.contains("25.0%"));
+    }
+}

@@ -1,0 +1,184 @@
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Read/write byte counters for a memory interface.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::TrafficCounter;
+///
+/// let mut t = TrafficCounter::default();
+/// t.record_read(1024);
+/// t.record_write(256);
+/// assert_eq!(t.total_bytes(), 1280);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficCounter {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Number of read requests.
+    pub read_requests: u64,
+    /// Number of write requests.
+    pub write_requests: u64,
+}
+
+impl TrafficCounter {
+    /// Records a read of `bytes`.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.read_bytes += bytes;
+        self.read_requests += 1;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.write_bytes += bytes;
+        self.write_requests += 1;
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.read_requests += other.read_requests;
+        self.write_requests += other.write_requests;
+    }
+}
+
+impl fmt::Display for TrafficCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {:.2} MB, wrote {:.2} MB",
+            self.read_bytes as f64 / 1e6,
+            self.write_bytes as f64 / 1e6
+        )
+    }
+}
+
+/// Tracks how many cycles a hardware unit spent busy versus idle.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::UtilizationTracker;
+///
+/// let mut u = UtilizationTracker::default();
+/// u.record_busy(80);
+/// u.record_idle(20);
+/// assert!((u.utilization() - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UtilizationTracker {
+    /// Cycles the unit was doing useful work.
+    pub busy_cycles: Cycle,
+    /// Cycles the unit was stalled or idle.
+    pub idle_cycles: Cycle,
+}
+
+impl UtilizationTracker {
+    /// Adds busy cycles.
+    pub fn record_busy(&mut self, cycles: Cycle) {
+        self.busy_cycles += cycles;
+    }
+
+    /// Adds idle/stall cycles.
+    pub fn record_idle(&mut self, cycles: Cycle) {
+        self.idle_cycles += cycles;
+    }
+
+    /// Total observed cycles.
+    pub fn total_cycles(&self) -> Cycle {
+        self.busy_cycles + self.idle_cycles
+    }
+
+    /// Busy fraction in `[0, 1]`; zero if nothing was recorded.
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &UtilizationTracker) {
+        self.busy_cycles += other.busy_cycles;
+        self.idle_cycles += other.idle_cycles;
+    }
+}
+
+impl fmt::Display for UtilizationTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% busy", self.utilization() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counter_accumulates() {
+        let mut t = TrafficCounter::default();
+        t.record_read(100);
+        t.record_read(50);
+        t.record_write(25);
+        assert_eq!(t.read_bytes, 150);
+        assert_eq!(t.write_bytes, 25);
+        assert_eq!(t.read_requests, 2);
+        assert_eq!(t.write_requests, 1);
+        assert_eq!(t.total_bytes(), 175);
+    }
+
+    #[test]
+    fn traffic_counter_merge() {
+        let mut a = TrafficCounter::default();
+        a.record_read(10);
+        let mut b = TrafficCounter::default();
+        b.record_write(20);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.write_requests, 1);
+    }
+
+    #[test]
+    fn utilization_tracker_fraction() {
+        let mut u = UtilizationTracker::default();
+        assert_eq!(u.utilization(), 0.0);
+        u.record_busy(30);
+        u.record_idle(70);
+        assert!((u.utilization() - 0.3).abs() < 1e-9);
+        assert_eq!(u.total_cycles(), 100);
+    }
+
+    #[test]
+    fn utilization_tracker_merge() {
+        let mut a = UtilizationTracker::default();
+        a.record_busy(10);
+        let mut b = UtilizationTracker::default();
+        b.record_idle(10);
+        a.merge(&b);
+        assert!((a.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let mut t = TrafficCounter::default();
+        t.record_read(2_000_000);
+        assert!(t.to_string().contains("2.00 MB"));
+        let mut u = UtilizationTracker::default();
+        u.record_busy(1);
+        u.record_idle(1);
+        assert!(u.to_string().contains("50.0%"));
+    }
+}

@@ -1,0 +1,289 @@
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SCALE-Sim-style timing model of a 2-D output-stationary systolic array.
+///
+/// The Dense Engine's matrix-multiplication unit is a `rows x cols` systolic
+/// array (64×64 in the paper's configuration, Table IV). Following SCALE-Sim's
+/// output-stationary analytical model, one tile of an `M x K x N` product
+/// mapped onto the array takes
+///
+/// ```text
+/// 2 * rows + cols + K - 2   cycles
+/// ```
+///
+/// (array fill + drain plus one cycle per reduction step), and the full
+/// product takes `ceil(M / rows) * ceil(N / cols)` tiles. The model also
+/// reports MAC utilisation so under-utilisation effects — such as a feature
+/// block smaller than the array width (Figure 4's `B = 32` case) — show up
+/// in results.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_sim::SystolicArray;
+///
+/// let array = SystolicArray::new(64, 64);
+/// // A single 64x64x64 tile.
+/// assert_eq!(array.matmul_cycles(64, 64, 64), 2 * 64 + 64 - 2 + 64);
+/// // Small inner dimension under-utilises the array.
+/// assert!(array.utilization(64, 8, 64) < array.utilization(64, 64, 64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates a systolic array of `rows x cols` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "systolic array dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of multiply-accumulate units.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Peak throughput in MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.num_pes() as u64
+    }
+
+    /// Cycles to compute one `tile_m x k x tile_n` tile where
+    /// `tile_m <= rows` and `tile_n <= cols` (output-stationary dataflow).
+    pub fn tile_cycles(&self, k: usize) -> Cycle {
+        (2 * self.rows + self.cols + k).saturating_sub(2) as Cycle
+    }
+
+    /// Cycles to compute a full `m x k x n` matrix product, tiling the output
+    /// over the array.
+    ///
+    /// Returns 0 when any dimension is 0.
+    pub fn matmul_cycles(&self, m: usize, k: usize, n: usize) -> Cycle {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles_m = m.div_ceil(self.rows) as Cycle;
+        let tiles_n = n.div_ceil(self.cols) as Cycle;
+        tiles_m * tiles_n * self.tile_cycles(k)
+    }
+
+    /// Cycles to compute a full `m x k x n` product with a *weight-stationary*
+    /// mapping: a `rows x cols` tile of the `k x n` weight matrix is pinned in
+    /// the array while all `m` input rows stream through it.
+    ///
+    /// ```text
+    /// cycles = ceil(k / rows) * ceil(n / cols) * (m + rows + cols - 2)
+    /// ```
+    ///
+    /// This is the mapping GNNerator's Dense Engine uses: it explains why a
+    /// feature block narrower than the array (`B < 64`, Figure 4) halves the
+    /// effective throughput — only `B` of the 64 weight rows are occupied, so
+    /// the number of weight tiles (and hence passes over the inputs) doubles.
+    ///
+    /// Returns 0 when any dimension is 0.
+    pub fn weight_stationary_cycles(&self, m: usize, k: usize, n: usize) -> Cycle {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let weight_tiles = (k.div_ceil(self.rows) * n.div_ceil(self.cols)) as Cycle;
+        let pass = (m + self.rows + self.cols - 2) as Cycle;
+        weight_tiles * pass
+    }
+
+    /// MAC-level utilisation for a weight-stationary `m x k x n` product.
+    pub fn weight_stationary_utilization(&self, m: usize, k: usize, n: usize) -> f64 {
+        let cycles = self.weight_stationary_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let available = cycles as f64 * self.num_pes() as f64;
+        (self.useful_macs(m, k, n) as f64 / available).min(1.0)
+    }
+
+    /// Number of multiply-accumulates actually required by an `m x k x n`
+    /// product.
+    pub fn useful_macs(&self, m: usize, k: usize, n: usize) -> u64 {
+        m as u64 * k as u64 * n as u64
+    }
+
+    /// MAC-level utilisation of the array for an `m x k x n` product: useful
+    /// MACs divided by the MAC slots available over the product's runtime.
+    pub fn utilization(&self, m: usize, k: usize, n: usize) -> f64 {
+        let cycles = self.matmul_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let available = cycles as f64 * self.num_pes() as f64;
+        (self.useful_macs(m, k, n) as f64 / available).min(1.0)
+    }
+
+    /// Bytes of operand traffic for an `m x k x n` product: inputs, weights
+    /// and outputs, each read or written once (fp32).
+    pub fn operand_bytes(&self, m: usize, k: usize, n: usize) -> u64 {
+        4 * (m as u64 * k as u64 + k as u64 * n as u64 + m as u64 * n as u64)
+    }
+
+    /// Returns a scaled copy of the array (used by the Figure 5 study that
+    /// doubles both dimensions of the Dense Engine).
+    pub fn scaled(&self, factor: usize) -> SystolicArray {
+        SystolicArray::new(self.rows * factor, self.cols * factor)
+    }
+}
+
+impl Default for SystolicArray {
+    /// The paper's Dense Engine configuration: a 64×64 array.
+    fn default() -> Self {
+        Self { rows: 64, cols: 64 }
+    }
+}
+
+impl fmt::Display for SystolicArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} systolic array", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        let _ = SystolicArray::new(0, 64);
+    }
+
+    #[test]
+    fn default_matches_table_iv() {
+        let a = SystolicArray::default();
+        assert_eq!(a.rows(), 64);
+        assert_eq!(a.cols(), 64);
+        assert_eq!(a.num_pes(), 4096);
+        // 4096 MACs/cycle * 2 FLOPs/MAC * 1 GHz ≈ 8.2 TFLOP/s, matching the
+        // 8 TFLOPs the paper allocates to the Dense Engine.
+        assert_eq!(a.peak_macs_per_cycle(), 4096);
+    }
+
+    #[test]
+    fn single_tile_formula() {
+        let a = SystolicArray::new(8, 8);
+        assert_eq!(a.tile_cycles(16), (2 * 8 + 8 + 16 - 2) as Cycle);
+        assert_eq!(a.matmul_cycles(8, 16, 8), a.tile_cycles(16));
+    }
+
+    #[test]
+    fn tiling_multiplies_tile_count() {
+        let a = SystolicArray::new(8, 8);
+        let one = a.matmul_cycles(8, 4, 8);
+        assert_eq!(a.matmul_cycles(16, 4, 8), 2 * one);
+        assert_eq!(a.matmul_cycles(16, 4, 16), 4 * one);
+        // Partial tiles round up.
+        assert_eq!(a.matmul_cycles(9, 4, 8), 2 * one);
+    }
+
+    #[test]
+    fn zero_work_takes_zero_cycles() {
+        let a = SystolicArray::default();
+        assert_eq!(a.matmul_cycles(0, 10, 10), 0);
+        assert_eq!(a.matmul_cycles(10, 0, 10), 0);
+        assert_eq!(a.utilization(0, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn utilization_increases_with_k() {
+        let a = SystolicArray::new(64, 64);
+        let low = a.utilization(64, 8, 64);
+        let high = a.utilization(64, 512, 64);
+        assert!(high > low, "longer reductions amortise fill/drain: {low} vs {high}");
+        assert!(high <= 1.0);
+    }
+
+    #[test]
+    fn small_output_tiles_underutilise() {
+        // This is the Figure 4 B=32 effect: an output tile narrower than the
+        // array wastes columns.
+        let a = SystolicArray::new(64, 64);
+        let narrow = a.utilization(64, 128, 32);
+        let full = a.utilization(64, 128, 64);
+        assert!(narrow < full);
+    }
+
+    #[test]
+    fn operand_bytes_formula() {
+        let a = SystolicArray::default();
+        assert_eq!(a.operand_bytes(2, 3, 4), 4 * (6 + 12 + 8));
+    }
+
+    #[test]
+    fn scaled_doubles_dimensions() {
+        let a = SystolicArray::default().scaled(2);
+        assert_eq!(a.rows(), 128);
+        assert_eq!(a.cols(), 128);
+        assert_eq!(SystolicArray::default().to_string(), "64x64 systolic array");
+    }
+
+    #[test]
+    fn weight_stationary_blocked_k_sums_to_full_k() {
+        // Splitting K into full-width blocks costs the same streaming time as
+        // one pass per weight tile of the unblocked product.
+        let a = SystolicArray::new(64, 64);
+        let full = a.weight_stationary_cycles(2708, 128, 16);
+        let blocked = 2 * a.weight_stationary_cycles(2708, 64, 16);
+        assert_eq!(full, blocked);
+    }
+
+    #[test]
+    fn weight_stationary_half_width_block_doubles_passes() {
+        // The Figure 4 effect: K = 32 on a 64-row array needs as many weight
+        // tiles as K = 64, so covering the same total K takes twice the time.
+        let a = SystolicArray::new(64, 64);
+        let b64 = a.weight_stationary_cycles(1000, 64, 16);
+        let b32 = a.weight_stationary_cycles(1000, 32, 16);
+        assert_eq!(b64, b32);
+        // Per unit of K, B=32 is twice as expensive.
+        assert!(a.weight_stationary_utilization(1000, 32, 16) < a.weight_stationary_utilization(1000, 64, 16));
+    }
+
+    #[test]
+    fn weight_stationary_zero_work() {
+        let a = SystolicArray::default();
+        assert_eq!(a.weight_stationary_cycles(0, 64, 64), 0);
+        assert_eq!(a.weight_stationary_utilization(0, 64, 64), 0.0);
+    }
+
+    #[test]
+    fn bigger_array_is_faster_on_large_products() {
+        // For products that fill the array, doubling the array helps; for tiny
+        // products the extra fill/drain latency can dominate, which is exactly
+        // why Figure 4 shows B=32 hurting a 64-wide Dense Engine.
+        let small = SystolicArray::new(32, 32);
+        let big = SystolicArray::new(64, 64);
+        for (m, k, n) in [(2708, 1433, 64), (256, 512, 128), (128, 64, 64)] {
+            assert!(
+                big.matmul_cycles(m, k, n) <= small.matmul_cycles(m, k, n),
+                "({m},{k},{n})"
+            );
+        }
+        // Tiny product: the big array pays more fill/drain.
+        assert!(big.matmul_cycles(10, 10, 10) > small.matmul_cycles(10, 10, 10));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the hardware-modelling substrate.
+
+use gnnerator_sim::{BandwidthChannel, EventQueue, PipelineTimer, SystolicArray};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bandwidth_requests_never_overlap(byte_counts in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut chan = BandwidthChannel::new("dram", 64.0).unwrap();
+        let mut last_end = 0u64;
+        for bytes in byte_counts {
+            let end = chan.request(0, bytes);
+            prop_assert!(end >= last_end + chan.transfer_cycles(bytes));
+            last_end = end;
+        }
+        prop_assert_eq!(chan.busy_until(), last_end);
+    }
+
+    #[test]
+    fn bandwidth_total_time_bounded_by_sum(byte_counts in proptest::collection::vec(0u64..5_000, 1..40)) {
+        let mut chan = BandwidthChannel::new("dram", 100.0).unwrap();
+        let sum_cycles: u64 = byte_counts.iter().map(|&b| chan.transfer_cycles(b)).sum();
+        let mut end = 0;
+        for bytes in &byte_counts {
+            end = chan.request(0, *bytes);
+        }
+        prop_assert_eq!(end, sum_cycles);
+    }
+
+    #[test]
+    fn systolic_cycles_monotonic_in_each_dimension(m in 1usize..300, k in 1usize..300, n in 1usize..300) {
+        let a = SystolicArray::new(16, 16);
+        prop_assert!(a.matmul_cycles(m + 16, k, n) >= a.matmul_cycles(m, k, n));
+        prop_assert!(a.matmul_cycles(m, k + 1, n) >= a.matmul_cycles(m, k, n));
+        prop_assert!(a.matmul_cycles(m, k, n + 16) >= a.matmul_cycles(m, k, n));
+    }
+
+    #[test]
+    fn systolic_utilization_in_unit_interval(m in 1usize..500, k in 1usize..500, n in 1usize..500) {
+        let a = SystolicArray::new(32, 32);
+        let u = a.utilization(m, k, n);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn systolic_cycles_at_least_ideal(m in 1usize..200, k in 1usize..200, n in 1usize..200) {
+        // The array can never beat its peak MAC throughput.
+        let a = SystolicArray::new(8, 8);
+        let ideal = (a.useful_macs(m, k, n) as f64 / a.peak_macs_per_cycle() as f64).ceil() as u64;
+        prop_assert!(a.matmul_cycles(m, k, n) >= ideal);
+    }
+
+    #[test]
+    fn pipeline_bounded_between_max_and_sum(items in proptest::collection::vec((0u64..1000, 0u64..1000), 1..50)) {
+        let mut p = PipelineTimer::new();
+        for (l, c) in &items {
+            p.push(*l, *c);
+        }
+        let sum_all: u64 = items.iter().map(|(l, c)| l + c).sum();
+        let sum_load: u64 = items.iter().map(|(l, _)| *l).sum();
+        let sum_compute: u64 = items.iter().map(|(_, c)| *c).sum();
+        // Never slower than fully serial, never faster than either stage alone.
+        prop_assert!(p.total_cycles() <= sum_all);
+        prop_assert!(p.total_cycles() >= sum_load.max(sum_compute));
+        prop_assert_eq!(p.total_load_cycles(), sum_load);
+        prop_assert_eq!(p.total_compute_cycles(), sum_compute);
+    }
+
+    #[test]
+    fn pipeline_dependency_only_delays(items in proptest::collection::vec((0u64..100, 0u64..100), 1..20), dep in 0u64..50) {
+        let mut without = PipelineTimer::new();
+        let mut with = PipelineTimer::new();
+        for (l, c) in &items {
+            without.push(*l, *c);
+            with.push_with_dependency(*l, *c, dep);
+        }
+        prop_assert!(with.total_cycles() >= without.total_cycles());
+    }
+
+    #[test]
+    fn event_queue_is_sorted_and_complete(events in proptest::collection::vec(0u64..10_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &cycle) in events.iter().enumerate() {
+            q.schedule(cycle, i);
+        }
+        let mut popped = Vec::new();
+        let mut last = 0u64;
+        while let Some((cycle, idx)) = q.pop() {
+            prop_assert!(cycle >= last);
+            last = cycle;
+            popped.push(idx);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..events.len()).collect::<Vec<_>>());
+    }
+}

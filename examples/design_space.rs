@@ -1,0 +1,65 @@
+//! Design-space exploration in the spirit of Section VI-B (Figure 5): where
+//! should the next generation of GNNerator spend additional hardware —
+//! on-chip graph memory, Dense Engine compute, or memory bandwidth — and how
+//! does the answer change with the network's hidden dimension?
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use gnnerator::{DataflowConfig, GnneratorConfig, Simulator};
+use gnnerator_bench::rows::{format_speedup, Table};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dataset = DatasetKind::Pubmed.spec().scaled(0.25).synthesize(3)?;
+    println!("Workload: GCN on {}", dataset.spec);
+
+    let base = GnneratorConfig::paper_default();
+    let candidates = [
+        ("baseline", base.clone()),
+        ("2x graph memory", base.with_double_graph_memory()),
+        ("2x dense compute", base.with_double_dense_compute()),
+        ("2x bandwidth", base.with_double_feature_bandwidth()),
+    ];
+
+    let mut table = Table::new(
+        "Scaling study: speedup over the baseline configuration",
+        &["configuration", "hidden 16", "hidden 128", "hidden 1024"],
+    );
+    let dataflow = DataflowConfig::paper_default();
+    for (name, config) in &candidates {
+        let mut cells = vec![name.to_string()];
+        for hidden in [16usize, 128, 1024] {
+            let model = NetworkKind::Gcn.build(dataset.features.dim(), hidden, 3, 1)?;
+            let baseline_report = Simulator::with_dataflow(base.clone(), dataflow)?
+                .simulate(&model, &dataset)?;
+            let report =
+                Simulator::with_dataflow(config.clone(), dataflow)?.simulate(&model, &dataset)?;
+            cells.push(format_speedup(
+                baseline_report.total_cycles as f64 / report.total_cycles as f64,
+            ));
+        }
+        table.add_row(cells);
+    }
+    println!();
+    println!("{table}");
+    println!(
+        "Paper reference (Figure 5): extra bandwidth pays off at small hidden sizes, extra Dense Engine compute at large hidden sizes."
+    );
+
+    // Engine utilisation breakdown for the baseline at the extremes, showing
+    // *why* the best investment flips.
+    for hidden in [16usize, 1024] {
+        let model = NetworkKind::Gcn.build(dataset.features.dim(), hidden, 3, 1)?;
+        let report = Simulator::with_dataflow(base.clone(), dataflow)?.simulate(&model, &dataset)?;
+        let l0 = &report.layers[0];
+        println!(
+            "hidden {hidden:>4}: layer-0 dense engine {:>4.0}% busy, graph engine {:>4.0}% busy, {:.1} MB DRAM",
+            l0.dense_engine_utilization() * 100.0,
+            l0.graph_engine_utilization() * 100.0,
+            l0.dram_bytes() as f64 / 1e6,
+        );
+    }
+    Ok(())
+}
