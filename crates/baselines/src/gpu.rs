@@ -100,7 +100,12 @@ impl GpuModel {
 
     /// Estimates the execution time of `model` on a graph with `num_nodes`
     /// nodes and `num_edges` edges.
-    pub fn estimate(&self, model: &GnnModel, num_nodes: usize, num_edges: usize) -> BaselineEstimate {
+    pub fn estimate(
+        &self,
+        model: &GnnModel,
+        num_nodes: usize,
+        num_edges: usize,
+    ) -> BaselineEstimate {
         let mut layer_seconds = Vec::with_capacity(model.num_layers());
         for layer in model.layers() {
             let mut layer_time = 0.0;
@@ -148,7 +153,10 @@ impl GpuModel {
                 compute.max(memory) + self.config.kernel_launch_seconds
             }
             Stage::Aggregate {
-                dim, aggregator, include_self, ..
+                dim,
+                aggregator,
+                include_self,
+                ..
             } => {
                 let d = *dim as f64;
                 let e = if *include_self {

@@ -113,7 +113,12 @@ impl HygcnModel {
 
     /// Estimates the execution time of `model` on a graph with `num_nodes`
     /// nodes and `num_edges` edges.
-    pub fn estimate(&self, model: &GnnModel, num_nodes: usize, num_edges: usize) -> BaselineEstimate {
+    pub fn estimate(
+        &self,
+        model: &GnnModel,
+        num_nodes: usize,
+        num_edges: usize,
+    ) -> BaselineEstimate {
         let mut layer_seconds = Vec::with_capacity(model.num_layers());
         for layer in model.layers() {
             let mut agg_time = 0.0;
@@ -123,9 +128,12 @@ impl HygcnModel {
                     Stage::Aggregate {
                         dim, include_self, ..
                     } => {
-                        agg_time += self.aggregation_seconds(*dim, num_nodes, num_edges, *include_self);
+                        agg_time +=
+                            self.aggregation_seconds(*dim, num_nodes, num_edges, *include_self);
                     }
-                    Stage::Dense { in_dim, out_dim, .. } => {
+                    Stage::Dense {
+                        in_dim, out_dim, ..
+                    } => {
                         dense_time += self.dense_seconds(num_nodes, *in_dim, *out_dim);
                     }
                 }
@@ -179,8 +187,7 @@ impl HygcnModel {
         // --- Compute time with single-node under-utilisation. ---
         let utilisation = (d / self.config.aggregation_simd_width as f64).min(1.0);
         let flops = effective_edges * d;
-        let compute_time =
-            flops / (self.config.aggregation_tflops * 1e12 * utilisation.max(1e-3));
+        let compute_time = flops / (self.config.aggregation_tflops * 1e12 * utilisation.max(1e-3));
 
         traffic_time.max(compute_time) / self.config.sparsity_speedup
     }
@@ -188,7 +195,8 @@ impl HygcnModel {
     /// Time for one dense (combination) stage.
     fn dense_seconds(&self, num_nodes: usize, in_dim: usize, out_dim: usize) -> f64 {
         let flops = 2.0 * num_nodes as f64 * in_dim as f64 * out_dim as f64;
-        let compute = flops / (self.config.combination_tflops * 1e12 * self.config.dense_efficiency);
+        let compute =
+            flops / (self.config.combination_tflops * 1e12 * self.config.dense_efficiency);
         let bytes = 4.0
             * (num_nodes as f64 * in_dim as f64
                 + in_dim as f64 * out_dim as f64
@@ -243,7 +251,9 @@ mod tests {
             10556,
         );
         let pool = hygcn.estimate(
-            &NetworkKind::GraphsagePool.build_paper_config(1433, 7).unwrap(),
+            &NetworkKind::GraphsagePool
+                .build_paper_config(1433, 7)
+                .unwrap(),
             2708,
             10556,
         );

@@ -16,7 +16,10 @@ fn print_figure3() {
     let options = SuiteOptions::paper().with_scale(0.25);
     let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
     let (rows, gm_blocked, gm_unblocked) = experiments::figure3(&ctx).expect("simulation failed");
-    println!("{}", experiments::figure3_table(&rows, gm_blocked, gm_unblocked));
+    println!(
+        "{}",
+        experiments::figure3_table(&rows, gm_blocked, gm_unblocked)
+    );
     println!("(dataset scale 0.25; run the `fig3` binary for full-size datasets)");
     println!("Paper reference: geomean 8.0x with blocking, 4.2x without.\n");
 }

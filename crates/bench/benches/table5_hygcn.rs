@@ -20,7 +20,9 @@ fn print_table5() {
 }
 
 fn bench_baseline_models(c: &mut Criterion) {
-    let model = NetworkKind::Gcn.build_paper_config(1433, 7).expect("valid model");
+    let model = NetworkKind::Gcn
+        .build_paper_config(1433, 7)
+        .expect("valid model");
     let gpu = GpuModel::rtx_2080_ti();
     let hygcn = HygcnModel::paper_default();
     let mut group = c.benchmark_group("table5_baseline_estimates");

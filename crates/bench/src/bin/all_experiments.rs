@@ -1,12 +1,13 @@
-//! Runs every experiment in the paper's evaluation section in one go and
-//! prints all tables and figures. This is the binary referenced from
-//! EXPERIMENTS.md.
+//! Runs every experiment in the paper's evaluation section in one go, prints
+//! all tables and figures, and writes the machine-readable `BENCH_sweep.json`
+//! performance record of the sweep engine itself.
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin all_experiments [-- --scale 0.25]`
 
 use gnnerator_bench::experiments::{self, FIGURE4_BLOCK_SIZES};
 use gnnerator_bench::rows::format_ms;
-use gnnerator_bench::suite::{full_suite, scale_from_args, SuiteContext, SuiteOptions};
+use gnnerator_bench::suite::{scale_from_args, SuiteContext, SuiteOptions};
+use gnnerator_bench::sweep_report;
 
 fn main() {
     let scale = scale_from_args(std::env::args());
@@ -22,14 +23,14 @@ fn main() {
     println!("Synthesising datasets...");
     let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
 
-    // Raw per-workload runtimes, for reference.
+    // Raw per-workload runtimes, for reference — one parallel sweep over the
+    // whole suite.
     println!();
     println!("Per-workload runtimes:");
-    for workload in full_suite() {
-        let result = ctx.run_workload(&workload).expect("simulation failed");
+    for result in experiments::run_full_suite(&ctx).expect("simulation failed") {
         println!(
             "  {:<18} gnnerator {:>12}  w/o blocking {:>12}  gpu {:>12}  hygcn {:>12}",
-            workload.label(),
+            result.workload.label(),
             format_ms(result.gnnerator_blocked.seconds()),
             format_ms(result.gnnerator_unblocked.seconds()),
             format_ms(result.gpu.seconds),
@@ -40,7 +41,10 @@ fn main() {
     // Figure 3.
     let (rows, gm_blocked, gm_unblocked) = experiments::figure3(&ctx).expect("figure 3 failed");
     println!();
-    println!("{}", experiments::figure3_table(&rows, gm_blocked, gm_unblocked));
+    println!(
+        "{}",
+        experiments::figure3_table(&rows, gm_blocked, gm_unblocked)
+    );
 
     // Table V.
     let rows = experiments::table5(&ctx).expect("table 5 failed");
@@ -53,4 +57,25 @@ fn main() {
     // Figure 5.
     let (rows, gmeans) = experiments::figure5(&ctx).expect("figure 5 failed");
     println!("{}", experiments::figure5_table(&rows, &gmeans));
+
+    // Sweep-engine benchmark: the 36-point grid through the parallel
+    // compile-once path versus the serial per-run path, checked bit for bit.
+    println!("Benchmarking the sweep engine (36 scenario points)...");
+    let bench = sweep_report::bench_sweep(&ctx).expect("sweep benchmark failed");
+    println!(
+        "  parallel sweep: {:.3} s   serial per-run: {:.3} s   speedup {:.2}x on {} threads   bit-identical: {}",
+        bench.parallel_seconds,
+        bench.serial_seconds,
+        bench.speedup(),
+        bench.threads,
+        bench.bit_identical,
+    );
+    println!(
+        "  runner caches: {} datasets, {} compiled sessions",
+        ctx.runner().cached_datasets(),
+        ctx.runner().cached_sessions(),
+    );
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, bench.to_json()).expect("failed to write BENCH_sweep.json");
+    println!("  wrote {path}");
 }

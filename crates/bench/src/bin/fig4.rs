@@ -1,5 +1,7 @@
 //! Regenerates Figure 4: slowdown as a function of the feature-block size B,
 //! relative to the B = 64 baseline, averaged over the nine-benchmark suite.
+//! The baseline and all seven swept block sizes execute as one parallel
+//! 72-point scenario sweep over compile-once sessions.
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin fig4 [-- --scale 0.1]`
 
@@ -16,5 +18,10 @@ fn main() {
     println!("{}", experiments::figure4_table(&rows));
     println!(
         "Paper reference: B=64 is best; B=32 under-utilises the 64-wide Dense Engine and large B degrades towards the conventional dataflow (Figure 4)."
+    );
+    println!(
+        "Sweep caches: {} datasets, {} compiled sessions.",
+        ctx.runner().cached_datasets(),
+        ctx.runner().cached_sessions()
     );
 }

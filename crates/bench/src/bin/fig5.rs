@@ -1,6 +1,7 @@
 //! Regenerates Figure 5: the scaling study. For each dataset and hidden
 //! dimension, the speedup obtained by doubling (a) the Graph Engine memory,
-//! (b) the Dense Engine compute, or (c) the feature-memory bandwidth.
+//! (b) the Dense Engine compute, or (c) the feature-memory bandwidth — all
+//! 36 scenario points executed as one parallel sweep.
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin fig5 [-- --scale 0.1]`
 
@@ -17,5 +18,10 @@ fn main() {
     println!("{}", experiments::figure5_table(&rows, &gmeans));
     println!(
         "Paper reference: more bandwidth helps small hidden dimensions; more Dense Engine compute wins at large hidden dimensions (Figure 5)."
+    );
+    println!(
+        "Sweep caches: {} datasets, {} compiled sessions.",
+        ctx.runner().cached_datasets(),
+        ctx.runner().cached_sessions()
     );
 }

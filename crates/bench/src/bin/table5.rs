@@ -1,5 +1,5 @@
 //! Regenerates Table V: speedup of GNNerator over HyGCN for GCN on the three
-//! citation datasets.
+//! citation datasets, executed as one parallel 6-point scenario sweep.
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin table5 [-- --scale 0.1]`
 
@@ -14,5 +14,12 @@ fn main() {
     let rows = experiments::table5(&ctx).expect("simulation failed");
     println!();
     println!("{}", experiments::table5_table(&rows));
-    println!("Paper reference: 3.8x / 3.2x / 2.3x with blocking, 1.8x / 0.8x / 1.0x without (Table V).");
+    println!(
+        "Paper reference: 3.8x / 3.2x / 2.3x with blocking, 1.8x / 0.8x / 1.0x without (Table V)."
+    );
+    println!(
+        "Sweep caches: {} datasets, {} compiled sessions.",
+        ctx.runner().cached_datasets(),
+        ctx.runner().cached_sessions()
+    );
 }

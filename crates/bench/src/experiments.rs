@@ -1,12 +1,16 @@
-//! Assembles the paper's tables and figures from suite results.
+//! Assembles the paper's tables and figures from scenario sweeps.
 //!
-//! Each function returns plain data (rows of labels and numbers) plus a
-//! formatted [`Table`] so the harness binaries, the criterion benches and the
-//! integration tests can all share one implementation.
+//! Every figure/table follows the same shape: enumerate
+//! [`ScenarioSpec`](gnnerator::ScenarioSpec) points, execute them as **one
+//! parallel batch** through the context's [`SweepRunner`](gnnerator::SweepRunner),
+//! then fold the ordered results into rows. Each function returns plain data
+//! (rows of labels and numbers) plus a formatted [`Table`] so the harness
+//! binaries, the criterion benches and the integration tests all share one
+//! implementation.
 
 use crate::rows::{format_speedup, geomean, Table};
 use crate::suite::{full_suite, SuiteContext, Workload, WorkloadResult};
-use gnnerator::{cost, DataflowConfig, GnneratorConfig, GnneratorError};
+use gnnerator::{cost, DataflowConfig, GnneratorConfig, GnneratorError, ScenarioSpec};
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
 
@@ -32,10 +36,9 @@ pub struct Figure3Row {
 /// Propagates simulation errors.
 pub fn figure3(ctx: &SuiteContext) -> Result<(Vec<Figure3Row>, f64, f64), GnneratorError> {
     let mut rows = Vec::new();
-    for workload in full_suite() {
-        let result = ctx.run_workload(&workload)?;
+    for result in ctx.run_suite()? {
         rows.push(Figure3Row {
-            label: workload.label(),
+            label: result.workload.label(),
             gnnerator: result.speedup_blocked_vs_gpu(),
             without_blocking: result.speedup_unblocked_vs_gpu(),
         });
@@ -83,17 +86,36 @@ pub struct Table5Row {
 ///
 /// Propagates simulation errors.
 pub fn table5(ctx: &SuiteContext) -> Result<Vec<Table5Row>, GnneratorError> {
-    let mut rows = Vec::new();
-    for dataset in DatasetKind::ALL {
-        let workload = Workload::new(dataset, NetworkKind::Gcn);
-        let result = ctx.run_workload(&workload)?;
-        rows.push(Table5Row {
-            dataset: dataset.to_string(),
-            without_blocking: result.speedup_unblocked_vs_hygcn(),
-            with_blocking: result.speedup_blocked_vs_hygcn(),
-        });
-    }
-    Ok(rows)
+    let workloads: Vec<Workload> = DatasetKind::ALL
+        .into_iter()
+        .map(|dataset| Workload::new(dataset, NetworkKind::Gcn))
+        .collect();
+    let scenarios: Vec<ScenarioSpec> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                ctx.scenario(w, ctx.options().config.clone(), ctx.blocked_dataflow()),
+                ctx.scenario(
+                    w,
+                    ctx.options().config.clone(),
+                    DataflowConfig::conventional(),
+                ),
+            ]
+        })
+        .collect();
+    let results = ctx.run_scenarios(&scenarios)?;
+    workloads
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(workload, pair)| {
+            let hygcn = ctx.estimate_hygcn(workload)?;
+            Ok(Table5Row {
+                dataset: workload.dataset.to_string(),
+                with_blocking: hygcn.seconds / pair[0].report.seconds(),
+                without_blocking: hygcn.seconds / pair[1].report.seconds(),
+            })
+        })
+        .collect()
 }
 
 /// Formats Table V as a text table.
@@ -133,24 +155,39 @@ pub const FIGURE4_BLOCK_SIZES: [usize; 7] = [32, 64, 128, 256, 1024, 2048, 4096]
 /// Figure 4: slowdown of each block size relative to `B = 64`, averaged
 /// (geometric mean) over the nine-benchmark suite.
 ///
+/// The baseline and every swept block size run as one parallel batch.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn figure4(ctx: &SuiteContext, block_sizes: &[usize]) -> Result<Vec<Figure4Row>, GnneratorError> {
+pub fn figure4(
+    ctx: &SuiteContext,
+    block_sizes: &[usize],
+) -> Result<Vec<Figure4Row>, GnneratorError> {
     let suite = full_suite();
-    // Baseline: B = 64 cycles per workload.
-    let mut baseline = Vec::with_capacity(suite.len());
-    for workload in &suite {
-        let report = ctx.simulate_gnnerator(workload, DataflowConfig::blocked(64))?;
-        baseline.push(report.total_cycles as f64);
-    }
-    let mut rows = Vec::new();
+    let config = ctx.options().config.clone();
+    // One batch: the B = 64 baseline for every workload, then every swept
+    // block size for every workload.
+    let mut scenarios: Vec<ScenarioSpec> = suite
+        .iter()
+        .map(|w| ctx.scenario(w, config.clone(), DataflowConfig::blocked(64)))
+        .collect();
     for &b in block_sizes {
-        let mut ratios = Vec::with_capacity(suite.len());
-        for (workload, base) in suite.iter().zip(&baseline) {
-            let report = ctx.simulate_gnnerator(workload, DataflowConfig::blocked(b))?;
-            ratios.push(report.total_cycles as f64 / base);
+        for w in &suite {
+            scenarios.push(ctx.scenario(w, config.clone(), DataflowConfig::blocked(b)));
         }
+    }
+    let results = ctx.run_scenarios(&scenarios)?;
+    let (baseline, swept) = results.split_at(suite.len());
+
+    let mut rows = Vec::new();
+    for (i, &b) in block_sizes.iter().enumerate() {
+        let chunk = &swept[i * suite.len()..(i + 1) * suite.len()];
+        let ratios: Vec<f64> = chunk
+            .iter()
+            .zip(baseline)
+            .map(|(run, base)| run.report.total_cycles as f64 / base.report.total_cycles as f64)
+            .collect();
         rows.push(Figure4Row {
             block_size: b,
             slowdown: geomean(&ratios),
@@ -196,6 +233,9 @@ pub const FIGURE5_HIDDEN_DIMS: [usize; 3] = [16, 128, 1024];
 /// hidden dimension, the speedup of each scaled configuration over the
 /// baseline GNNerator (all using the blocked dataflow).
 ///
+/// All 36 scenario points (3 datasets × 3 hidden dimensions × 4
+/// configurations) execute as one parallel batch.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -206,30 +246,46 @@ pub fn figure5(ctx: &SuiteContext) -> Result<(Vec<Figure5Row>, [f64; 3]), Gnnera
         base_config.with_double_dense_compute(),
         base_config.with_double_feature_bandwidth(),
     ];
-    let dataflow = DataflowConfig::blocked(ctx.options().block_size);
+    let dataflow = ctx.blocked_dataflow();
 
-    let mut rows = Vec::new();
-    let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    // Enumerate: for every (hidden, dataset), the baseline then the three
+    // scaled configurations.
+    let mut scenarios = Vec::new();
+    let mut labels = Vec::new();
     for &hidden in &FIGURE5_HIDDEN_DIMS {
         let swept = ctx.with_hidden_dim(hidden);
         for dataset in DatasetKind::ALL {
             let workload = Workload::new(dataset, NetworkKind::Gcn);
-            let baseline = swept.simulate_with_config(&workload, base_config.clone(), dataflow)?;
-            let mut speedups = [0.0; 3];
-            for (i, config) in scaled.iter().enumerate() {
-                let report = swept.simulate_with_config(&workload, config.clone(), dataflow)?;
-                speedups[i] = baseline.total_cycles as f64 / report.total_cycles as f64;
-                ratios[i].push(speedups[i]);
+            labels.push(format!("{}-{}", capitalise(dataset.to_string()), hidden));
+            scenarios.push(swept.scenario(&workload, base_config.clone(), dataflow));
+            for config in &scaled {
+                scenarios.push(swept.scenario(&workload, config.clone(), dataflow));
             }
-            rows.push(Figure5Row {
-                label: format!("{}-{}", capitalise(dataset.to_string()), hidden),
-                more_graph_memory: speedups[0],
-                more_dense_compute: speedups[1],
-                more_bandwidth: speedups[2],
-            });
         }
     }
-    let gmeans = [geomean(&ratios[0]), geomean(&ratios[1]), geomean(&ratios[2])];
+    let results = ctx.run_scenarios(&scenarios)?;
+
+    let mut rows = Vec::new();
+    let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (label, group) in labels.into_iter().zip(results.chunks_exact(4)) {
+        let baseline = group[0].report.total_cycles as f64;
+        let mut speedups = [0.0; 3];
+        for (i, run) in group[1..].iter().enumerate() {
+            speedups[i] = baseline / run.report.total_cycles as f64;
+            ratios[i].push(speedups[i]);
+        }
+        rows.push(Figure5Row {
+            label,
+            more_graph_memory: speedups[0],
+            more_dense_compute: speedups[1],
+            more_bandwidth: speedups[2],
+        });
+    }
+    let gmeans = [
+        geomean(&ratios[0]),
+        geomean(&ratios[1]),
+        geomean(&ratios[2]),
+    ];
     Ok((rows, gmeans))
 }
 
@@ -278,8 +334,14 @@ pub fn table1_table() -> Table {
         table.add_row(vec![
             row.s.to_string(),
             row.i.to_string(),
-            format!("{} / {}", row.src_stationary.reads, row.src_stationary.writes),
-            format!("{} / {}", row.dst_stationary.reads, row.dst_stationary.writes),
+            format!(
+                "{} / {}",
+                row.src_stationary.reads, row.src_stationary.writes
+            ),
+            format!(
+                "{} / {}",
+                row.dst_stationary.reads, row.dst_stationary.writes
+            ),
             row.preferred.to_string(),
         ]);
     }
@@ -311,7 +373,12 @@ pub fn table4_table() -> Table {
     let gnnerator = GnneratorConfig::paper_default();
     let mut table = Table::new(
         "Table IV: compute platforms",
-        &["platform", "peak compute", "on-chip memory", "off-chip bandwidth"],
+        &[
+            "platform",
+            "peak compute",
+            "on-chip memory",
+            "off-chip bandwidth",
+        ],
     );
     table.add_row(vec![
         "RTX 2080 Ti".to_string(),
@@ -384,6 +451,19 @@ mod tests {
     }
 
     #[test]
+    fn table5_agrees_with_per_workload_runs() {
+        let ctx = quick_context();
+        let rows = table5(&ctx).unwrap();
+        for (dataset, row) in DatasetKind::ALL.into_iter().zip(&rows) {
+            let single = ctx
+                .run_workload(&Workload::new(dataset, NetworkKind::Gcn))
+                .unwrap();
+            assert!((row.with_blocking - single.speedup_blocked_vs_hygcn()).abs() < 1e-12);
+            assert!((row.without_blocking - single.speedup_unblocked_vs_hygcn()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn figure4_baseline_block_size_has_unit_slowdown() {
         let ctx = quick_context();
         let rows = figure4(&ctx, &[32, 64, 128]).unwrap();
@@ -400,7 +480,11 @@ mod tests {
         let (rows, gmeans) = figure5(&ctx).unwrap();
         assert_eq!(rows.len(), 9);
         for row in &rows {
-            for v in [row.more_graph_memory, row.more_dense_compute, row.more_bandwidth] {
+            for v in [
+                row.more_graph_memory,
+                row.more_dense_compute,
+                row.more_bandwidth,
+            ] {
                 assert!(v > 0.3 && v < 10.0, "{}: {v}", row.label);
             }
         }

@@ -12,11 +12,13 @@
 //! | Figure 5 | [`experiments::figure5`] | `fig5` | `fig5_scaling` |
 //!
 //! The [`suite`] module defines the nine-benchmark suite (three citation
-//! datasets × three networks, Tables II & III), synthesises the datasets, and
-//! runs the GNNerator simulator plus both baseline models on each workload.
-//! The [`rows`] module provides the plain-text table formatting shared by all
-//! harness binaries, and [`experiments`] assembles the per-figure result
-//! tables.
+//! datasets × three networks, Tables II & III) on top of the core crate's
+//! [`SweepRunner`](gnnerator::SweepRunner): every figure/table enumerates
+//! scenario points and executes them as one parallel batch over shared
+//! compile-once sessions. The [`rows`] module provides the plain-text table
+//! formatting shared by all harness binaries, [`experiments`] assembles the
+//! per-figure result tables, and [`sweep_report`] measures the sweep engine
+//! against the serial per-run path and emits `BENCH_sweep.json`.
 //!
 //! # Examples
 //!
@@ -39,3 +41,4 @@
 pub mod experiments;
 pub mod rows;
 pub mod suite;
+pub mod sweep_report;

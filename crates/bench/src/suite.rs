@@ -1,17 +1,20 @@
-//! The nine-benchmark suite (Tables II & III) and its runner.
+//! The nine-benchmark suite (Tables II & III) and its sweep-backed runner.
 //!
-//! A [`SuiteContext`] synthesises the three citation datasets once, then runs
-//! any combination of dataset × network through the GNNerator simulator (with
-//! and without feature blocking) and the two baseline models, producing
-//! [`WorkloadResult`]s that the experiment assemblers turn into the paper's
-//! tables and figures.
+//! A [`SuiteContext`] wraps a shared [`SweepRunner`]: datasets are
+//! synthesised once, models are compiled once per (dataset, network) pair
+//! into [`SimSession`](gnnerator::SimSession)s, and every figure/table
+//! enumerates [`ScenarioSpec`]s that execute in parallel through one code
+//! path. Baseline estimates (GPU roofline, HyGCN) ride along per workload.
 
-use gnnerator::{DataflowConfig, GnneratorConfig, GnneratorError, Report, Simulator};
+use gnnerator::{
+    DataflowConfig, GnneratorConfig, GnneratorError, Report, ScenarioResult, ScenarioSpec,
+    SweepRunner,
+};
 use gnnerator_baselines::{BaselineEstimate, GpuModel, HygcnConfig, HygcnModel};
 use gnnerator_gnn::{GnnModel, NetworkKind};
-use gnnerator_graph::datasets::{Dataset, DatasetKind};
-use std::collections::HashMap;
+use gnnerator_graph::datasets::{Dataset, DatasetKind, DatasetSpec};
 use std::fmt;
+use std::sync::Arc;
 
 /// One benchmark: a dataset paired with a network architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,7 +34,11 @@ impl Workload {
     /// The label used on the x-axis of Figure 3 (e.g. `cora-gcn`,
     /// `pub-gsage-max`).
     pub fn label(&self) -> String {
-        format!("{}-{}", self.dataset.short_name(), self.network.short_name())
+        format!(
+            "{}-{}",
+            self.dataset.short_name(),
+            self.network.short_name()
+        )
     }
 
     /// Number of output classes of the dataset (used as the model's output
@@ -201,12 +208,16 @@ impl WorkloadResult {
     }
 }
 
-/// A materialised benchmark suite: synthesised datasets plus the options they
-/// were built with.
+/// A materialised benchmark suite: a shared sweep runner plus the options
+/// scenarios are derived from.
+///
+/// Cloning is cheap and shares the runner's dataset/session caches — the
+/// Figure 5 study clones the context per hidden dimension while reusing the
+/// synthesised graphs.
 #[derive(Debug, Clone)]
 pub struct SuiteContext {
     options: SuiteOptions,
-    datasets: HashMap<DatasetKind, Dataset>,
+    runner: Arc<SweepRunner>,
 }
 
 impl SuiteContext {
@@ -216,20 +227,16 @@ impl SuiteContext {
     ///
     /// Propagates dataset-synthesis errors.
     pub fn materialize(options: &SuiteOptions) -> Result<Self, GnneratorError> {
-        let mut datasets = HashMap::new();
-        for (i, kind) in DatasetKind::ALL.iter().enumerate() {
-            let spec = if (options.scale - 1.0).abs() < f64::EPSILON {
-                kind.spec()
-            } else {
-                kind.spec().scaled(options.scale)
-            };
-            let dataset = spec.synthesize(options.seed + i as u64)?;
-            datasets.insert(*kind, dataset);
-        }
-        Ok(Self {
+        let ctx = Self {
             options: options.clone(),
-            datasets,
-        })
+            runner: Arc::new(SweepRunner::new()),
+        };
+        // Materialise eagerly so synthesis errors surface here and later
+        // sweeps only pay simulation time.
+        for kind in DatasetKind::ALL {
+            ctx.dataset(kind)?;
+        }
+        Ok(ctx)
     }
 
     /// The options this context was materialised with.
@@ -237,8 +244,13 @@ impl SuiteContext {
         &self.options
     }
 
+    /// The shared sweep runner (dataset + session caches).
+    pub fn runner(&self) -> &SweepRunner {
+        &self.runner
+    }
+
     /// Returns a copy of this context with a different hidden dimension,
-    /// reusing the already-synthesised datasets (the Figure 5 study sweeps
+    /// sharing the already-synthesised datasets (the Figure 5 study sweeps
     /// hidden dimensions 16, 128 and 1024 over the same graphs).
     pub fn with_hidden_dim(&self, hidden_dim: usize) -> SuiteContext {
         let mut clone = self.clone();
@@ -246,14 +258,58 @@ impl SuiteContext {
         clone
     }
 
+    /// The (possibly scaled) dataset specification for `kind`.
+    pub fn dataset_spec(&self, kind: DatasetKind) -> DatasetSpec {
+        if (self.options.scale - 1.0).abs() < f64::EPSILON {
+            kind.spec()
+        } else {
+            kind.spec().scaled(self.options.scale)
+        }
+    }
+
+    /// The synthesis seed for `kind` (consecutive seeds in Table II order).
+    pub fn dataset_seed(&self, kind: DatasetKind) -> u64 {
+        let index = DatasetKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is one of the three datasets");
+        self.options.seed + index as u64
+    }
+
+    /// The blocked dataflow these options describe.
+    pub fn blocked_dataflow(&self) -> DataflowConfig {
+        DataflowConfig::blocked(self.options.block_size)
+    }
+
+    /// Builds the scenario point for a workload under this context's hidden
+    /// dimension.
+    pub fn scenario(
+        &self,
+        workload: &Workload,
+        config: GnneratorConfig,
+        dataflow: DataflowConfig,
+    ) -> ScenarioSpec {
+        let mut scenario = ScenarioSpec::new(
+            workload.network,
+            self.dataset_spec(workload.dataset),
+            self.dataset_seed(workload.dataset),
+            self.options.hidden_dim,
+            workload.num_classes(),
+            config,
+            dataflow,
+        );
+        scenario.hidden_layers = 1;
+        scenario
+    }
+
     /// The synthesised dataset for `kind`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `kind` was somehow not materialised (cannot happen through
-    /// [`SuiteContext::materialize`]).
-    pub fn dataset(&self, kind: DatasetKind) -> &Dataset {
-        self.datasets.get(&kind).expect("all datasets are materialised")
+    /// Propagates synthesis errors (cannot occur for the built-in specs).
+    pub fn dataset(&self, kind: DatasetKind) -> Result<Arc<Dataset>, GnneratorError> {
+        self.runner
+            .dataset_for(self.dataset_spec(kind), self.dataset_seed(kind))
     }
 
     /// Builds the model for a workload at this context's hidden dimension.
@@ -262,8 +318,8 @@ impl SuiteContext {
     ///
     /// Propagates model-construction errors.
     pub fn model_for(&self, workload: &Workload) -> Result<GnnModel, GnneratorError> {
-        let dataset = self.dataset(workload.dataset);
-        Ok(workload
+        let dataset = self.dataset(workload.dataset)?;
+        workload
             .network
             .build(
                 dataset.features.dim(),
@@ -271,10 +327,23 @@ impl SuiteContext {
                 workload.num_classes(),
                 1,
             )
-            .map_err(GnneratorError::from)?)
+            .map_err(GnneratorError::from)
     }
 
-    /// Simulates GNNerator (with the given dataflow) on a workload.
+    /// Runs a batch of scenario points in parallel through the shared runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error in input order.
+    pub fn run_scenarios(
+        &self,
+        scenarios: &[ScenarioSpec],
+    ) -> Result<Vec<ScenarioResult>, GnneratorError> {
+        self.runner.run(scenarios)
+    }
+
+    /// Simulates GNNerator (with the given dataflow) on a workload through
+    /// the session cache.
     ///
     /// # Errors
     ///
@@ -284,10 +353,8 @@ impl SuiteContext {
         workload: &Workload,
         dataflow: DataflowConfig,
     ) -> Result<Report, GnneratorError> {
-        let dataset = self.dataset(workload.dataset);
-        let model = self.model_for(workload)?;
-        let sim = Simulator::with_dataflow(self.options.config.clone(), dataflow)?;
-        sim.simulate(&model, dataset)
+        let scenario = self.scenario(workload, self.options.config.clone(), dataflow);
+        Ok(self.runner.run_one(&scenario)?.report)
     }
 
     /// Simulates GNNerator with an explicit platform configuration (used by
@@ -302,10 +369,8 @@ impl SuiteContext {
         config: GnneratorConfig,
         dataflow: DataflowConfig,
     ) -> Result<Report, GnneratorError> {
-        let dataset = self.dataset(workload.dataset);
-        let model = self.model_for(workload)?;
-        let sim = Simulator::with_dataflow(config, dataflow)?;
-        sim.simulate(&model, dataset)
+        let scenario = self.scenario(workload, config, dataflow);
+        Ok(self.runner.run_one(&scenario)?.report)
     }
 
     /// Estimates the GPU baseline for a workload.
@@ -314,7 +379,7 @@ impl SuiteContext {
     ///
     /// Propagates model-construction errors.
     pub fn estimate_gpu(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
-        let dataset = self.dataset(workload.dataset);
+        let dataset = self.dataset(workload.dataset)?;
         let model = self.model_for(workload)?;
         Ok(GpuModel::rtx_2080_ti().estimate(&model, dataset.num_nodes(), dataset.num_edges()))
     }
@@ -326,36 +391,78 @@ impl SuiteContext {
     ///
     /// Propagates model-construction errors.
     pub fn estimate_hygcn(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
-        let dataset = self.dataset(workload.dataset);
+        let dataset = self.dataset(workload.dataset)?;
         let model = self.model_for(workload)?;
         let config =
             HygcnConfig::paper_default().with_sparsity_speedup(workload.hygcn_sparsity_speedup());
         Ok(HygcnModel::new(config).estimate(&model, dataset.num_nodes(), dataset.num_edges()))
     }
 
-    /// Runs one workload on all four platforms.
+    /// Runs one workload on all four platforms (both GNNerator dataflows in
+    /// parallel, plus the two analytical baselines).
     ///
     /// # Errors
     ///
     /// Propagates simulation and estimation errors.
     pub fn run_workload(&self, workload: &Workload) -> Result<WorkloadResult, GnneratorError> {
-        let blocked_dataflow = DataflowConfig::blocked(self.options.block_size);
+        let scenarios = [
+            self.scenario(
+                workload,
+                self.options.config.clone(),
+                self.blocked_dataflow(),
+            ),
+            self.scenario(
+                workload,
+                self.options.config.clone(),
+                DataflowConfig::conventional(),
+            ),
+        ];
+        let mut results = self.runner.run(&scenarios)?;
+        let unblocked = results.pop().expect("two scenarios in, two results out");
+        let blocked = results.pop().expect("two scenarios in, two results out");
         Ok(WorkloadResult {
             workload: *workload,
-            gnnerator_blocked: self.simulate_gnnerator(workload, blocked_dataflow)?,
-            gnnerator_unblocked: self.simulate_gnnerator(workload, DataflowConfig::conventional())?,
+            gnnerator_blocked: blocked.report,
+            gnnerator_unblocked: unblocked.report,
             gpu: self.estimate_gpu(workload)?,
             hygcn: self.estimate_hygcn(workload)?,
         })
     }
 
-    /// Runs the whole nine-benchmark suite.
+    /// Runs the whole nine-benchmark suite as one parallel sweep.
     ///
     /// # Errors
     ///
     /// Propagates the first workload error encountered.
     pub fn run_suite(&self) -> Result<Vec<WorkloadResult>, GnneratorError> {
-        full_suite().iter().map(|w| self.run_workload(w)).collect()
+        let workloads = full_suite();
+        let scenarios: Vec<ScenarioSpec> = workloads
+            .iter()
+            .flat_map(|w| {
+                [
+                    self.scenario(w, self.options.config.clone(), self.blocked_dataflow()),
+                    self.scenario(
+                        w,
+                        self.options.config.clone(),
+                        DataflowConfig::conventional(),
+                    ),
+                ]
+            })
+            .collect();
+        let results = self.run_scenarios(&scenarios)?;
+        workloads
+            .iter()
+            .zip(results.chunks_exact(2))
+            .map(|(workload, pair)| {
+                Ok(WorkloadResult {
+                    workload: *workload,
+                    gnnerator_blocked: pair[0].report.clone(),
+                    gnnerator_unblocked: pair[1].report.clone(),
+                    gpu: self.estimate_gpu(workload)?,
+                    hygcn: self.estimate_hygcn(workload)?,
+                })
+            })
+            .collect()
     }
 }
 
@@ -383,18 +490,35 @@ mod tests {
         assert_eq!(w.num_classes(), 6);
         assert!((w.hygcn_sparsity_speedup() - 3.0).abs() < 1e-9);
         assert_eq!(w.to_string(), "citeseer-gsage");
-        assert!((Workload::new(DatasetKind::Cora, NetworkKind::Gcn).hygcn_sparsity_speedup() - 1.1).abs() < 1e-9);
+        assert!(
+            (Workload::new(DatasetKind::Cora, NetworkKind::Gcn).hygcn_sparsity_speedup() - 1.1)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn context_materialises_all_datasets() {
         let ctx = quick_context();
         for kind in DatasetKind::ALL {
-            let ds = ctx.dataset(kind);
+            let ds = ctx.dataset(kind).unwrap();
             assert!(ds.num_nodes() > 0);
             assert_eq!(ds.features.dim(), kind.spec().feature_dim);
         }
         assert!((ctx.options().scale - 0.05).abs() < 1e-9);
+        assert_eq!(ctx.runner().cached_datasets(), 3);
+    }
+
+    #[test]
+    fn scenarios_inherit_the_context_options() {
+        let ctx = quick_context();
+        let w = Workload::new(DatasetKind::Pubmed, NetworkKind::Graphsage);
+        let s = ctx.scenario(&w, ctx.options().config.clone(), ctx.blocked_dataflow());
+        assert_eq!(s.network, NetworkKind::Graphsage);
+        assert_eq!(s.out_dim, 3);
+        assert_eq!(s.hidden_dim, 16);
+        assert_eq!(s.seed, ctx.options().seed + 2);
+        assert_eq!(s.dataflow, DataflowConfig::blocked(64));
     }
 
     #[test]
@@ -411,6 +535,28 @@ mod tests {
         assert!(result.speedup_unblocked_vs_gpu() > 0.0);
         assert!(result.speedup_blocked_vs_hygcn() > 0.0);
         assert!(result.speedup_unblocked_vs_hygcn() > 0.0);
+    }
+
+    #[test]
+    fn run_suite_matches_per_workload_runs() {
+        let ctx = quick_context();
+        let all = ctx.run_suite().unwrap();
+        assert_eq!(all.len(), 9);
+        for result in &all {
+            let single = ctx.run_workload(&result.workload).unwrap();
+            assert_eq!(result.gnnerator_blocked, single.gnnerator_blocked);
+            assert_eq!(result.gnnerator_unblocked, single.gnnerator_unblocked);
+        }
+    }
+
+    #[test]
+    fn hidden_dim_clones_share_datasets() {
+        let ctx = quick_context();
+        let wide = ctx.with_hidden_dim(128);
+        assert_eq!(wide.options().hidden_dim, 128);
+        wide.dataset(DatasetKind::Cora).unwrap();
+        // Same runner, so no second synthesis of the same spec.
+        assert_eq!(ctx.runner().cached_datasets(), 3);
     }
 
     #[test]

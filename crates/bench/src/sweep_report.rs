@@ -1,0 +1,236 @@
+//! The `BENCH_sweep` benchmark: parallel sweep-engine throughput versus the
+//! serial per-run simulator path, with a bit-identity check, emitted as
+//! machine-readable JSON so future changes can track the performance
+//! trajectory.
+
+use crate::suite::{full_suite, SuiteContext};
+use gnnerator::{
+    DataflowConfig, GnneratorError, ScenarioResult, ScenarioSpec, Simulator, SweepRunner,
+};
+use std::time::Instant;
+
+/// The dataflows every workload is swept across (4 × 9 workloads = 36
+/// scenario points).
+pub const SWEEP_DATAFLOWS: [DataflowConfig; 4] = [
+    DataflowConfig {
+        blocking: gnnerator::BlockingPolicy::FeatureBlocked { block_size: 64 },
+        traversal: None,
+    },
+    DataflowConfig {
+        blocking: gnnerator::BlockingPolicy::FeatureBlocked { block_size: 32 },
+        traversal: None,
+    },
+    DataflowConfig {
+        blocking: gnnerator::BlockingPolicy::FeatureBlocked { block_size: 128 },
+        traversal: None,
+    },
+    DataflowConfig {
+        blocking: gnnerator::BlockingPolicy::Conventional,
+        traversal: None,
+    },
+];
+
+/// Enumerates the benchmark's scenario grid: the nine paper workloads under
+/// each of [`SWEEP_DATAFLOWS`].
+pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
+    let config = ctx.options().config.clone();
+    full_suite()
+        .iter()
+        .flat_map(|workload| {
+            SWEEP_DATAFLOWS
+                .iter()
+                .map(|dataflow| ctx.scenario(workload, config.clone(), *dataflow))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Results of one sweep benchmark run.
+#[derive(Debug, Clone)]
+pub struct SweepBenchmark {
+    /// The per-scenario results from the parallel sweep engine.
+    pub results: Vec<ScenarioResult>,
+    /// Wall-clock seconds of the parallel, compile-once sweep.
+    pub parallel_seconds: f64,
+    /// Wall-clock seconds of the serial path (a fresh `Simulator` compiling
+    /// from scratch per scenario, the way the harness worked before the
+    /// session refactor).
+    pub serial_seconds: f64,
+    /// Whether every parallel report was bit-identical to its serial twin.
+    pub bit_identical: bool,
+    /// Worker threads available to the sweep engine.
+    pub threads: usize,
+    /// Dataset scale the sweep ran at.
+    pub scale: f64,
+}
+
+impl SweepBenchmark {
+    /// Wall-clock speedup of the sweep engine over the serial path.
+    pub fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds.max(1e-12)
+    }
+
+    /// Renders the benchmark as a JSON document (`BENCH_sweep.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"name\": \"BENCH_sweep\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"num_points\": {},\n", self.results.len()));
+        out.push_str(&format!(
+            "  \"parallel_seconds\": {:.6},\n",
+            self.parallel_seconds
+        ));
+        out.push_str(&format!(
+            "  \"serial_seconds\": {:.6},\n",
+            self.serial_seconds
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
+        out.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        out.push_str("  \"points\": [\n");
+        for (i, result) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"total_cycles\": {}, \"seconds\": {:e}, \"dram_bytes\": {}}}{}\n",
+                json_string(&result.scenario.label()),
+                json_string(result.scenario.network.short_name()),
+                json_string(result.scenario.dataset.name),
+                json_string(&result.scenario.dataflow.to_string()),
+                json_string(&result.scenario.config.name),
+                result.report.total_cycles,
+                result.report.seconds(),
+                result.report.dram_bytes(),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the sweep benchmark on `ctx`: the 36-point grid through the parallel
+/// sweep engine, then the same grid through the serial per-run simulator
+/// path, comparing reports bit for bit.
+///
+/// Both paths share pre-synthesised datasets (synthesis is identical work
+/// either way and is excluded from the timings). The sweep path runs on a
+/// **cold** runner, so its time includes the one-time compilation of each
+/// distinct (dataset, model) session — the honest cost of the compile-once
+/// architecture — while the serial path re-compiles per scenario the way the
+/// harness did before the session refactor.
+///
+/// # Errors
+///
+/// Propagates simulation errors from either path.
+pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError> {
+    let scenarios = sweep_scenarios(ctx);
+    let cold_runner = SweepRunner::new();
+    for scenario in &scenarios {
+        let dataset = ctx.runner().dataset(scenario)?;
+        cold_runner.insert_dataset(scenario.dataset, scenario.seed, dataset);
+    }
+
+    let start = Instant::now();
+    let results = cold_runner.run(&scenarios)?;
+    let parallel_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut serial = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let dataset = ctx.runner().dataset(scenario)?;
+        let model = scenario
+            .network
+            .build(
+                dataset.features.dim(),
+                scenario.hidden_dim,
+                scenario.out_dim,
+                scenario.hidden_layers,
+            )
+            .map_err(GnneratorError::from)?;
+        let report = Simulator::with_dataflow(scenario.config.clone(), scenario.dataflow)?
+            .simulate(&model, &dataset)?;
+        serial.push(report);
+    }
+    let serial_seconds = start.elapsed().as_secs_f64();
+
+    let bit_identical = results
+        .iter()
+        .zip(&serial)
+        .all(|(parallel, serial)| &parallel.report == serial);
+
+    Ok(SweepBenchmark {
+        results,
+        parallel_seconds,
+        serial_seconds,
+        bit_identical,
+        threads: rayon::current_num_threads(),
+        scale: ctx.options().scale,
+    })
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteOptions;
+
+    #[test]
+    fn sweep_grid_has_at_least_32_points() {
+        let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
+        let scenarios = sweep_scenarios(&ctx);
+        assert!(scenarios.len() >= 32, "{} points", scenarios.len());
+        // 9 workloads x 4 dataflows, all distinct.
+        assert_eq!(scenarios.len(), 36);
+        for pair in scenarios.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn bench_sweep_is_bit_identical_to_the_serial_path() {
+        let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
+        let bench = bench_sweep(&ctx).unwrap();
+        assert!(bench.bit_identical);
+        assert_eq!(bench.results.len(), 36);
+        assert!(bench.parallel_seconds > 0.0);
+        assert!(bench.serial_seconds > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
+        let bench = bench_sweep(&ctx).unwrap();
+        let json = bench.to_json();
+        assert!(json.starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"num_points\": 36"));
+        assert!(json.contains("cora-gcn"));
+        // Balanced braces/brackets (no raw quotes inside our labels).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

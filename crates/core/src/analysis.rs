@@ -152,8 +152,7 @@ mod tests {
     ) -> (Program, gnnerator_graph::EdgeList, gnnerator_gnn::GnnModel) {
         let edges = generators::rmat_exact(nodes, nodes * 4, 3).unwrap();
         let model = kind.build(dim, 16, 4, 1).unwrap();
-        let compiler =
-            Compiler::new(GnneratorConfig::paper_default(), dataflow).unwrap();
+        let compiler = Compiler::new(GnneratorConfig::paper_default(), dataflow).unwrap();
         let program = compiler.compile(&model, &edges).unwrap();
         (program, edges, model)
     }
@@ -206,8 +205,12 @@ mod tests {
 
     #[test]
     fn blocking_reduces_estimated_traffic_for_wide_features() {
-        let (blocked, _, _) =
-            compile(NetworkKind::Gcn, DataflowConfig::paper_default(), 3703, 3000);
+        let (blocked, _, _) = compile(
+            NetworkKind::Gcn,
+            DataflowConfig::paper_default(),
+            3703,
+            3000,
+        );
         let (conventional, _, _) =
             compile(NetworkKind::Gcn, DataflowConfig::conventional(), 3703, 3000);
         let blocked_estimate = estimate_traffic(&blocked);
@@ -217,8 +220,12 @@ mod tests {
 
     #[test]
     fn pool_networks_account_for_the_producer_stage() {
-        let (program, _, _) =
-            compile(NetworkKind::GraphsagePool, DataflowConfig::paper_default(), 256, 300);
+        let (program, _, _) = compile(
+            NetworkKind::GraphsagePool,
+            DataflowConfig::paper_default(),
+            256,
+            300,
+        );
         let estimate = estimate_traffic(&program);
         // The pooling MLP writes the pooled table: layer-0 writes must exceed
         // just the output feature table.

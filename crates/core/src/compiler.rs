@@ -1,7 +1,7 @@
 use crate::program::{AggregationOp, DenseOp, LayerPlan, Program};
 use crate::{cost, DataflowConfig, GnneratorConfig, GnneratorError, GraphEngine};
 use gnnerator_gnn::{GnnModel, Stage};
-use gnnerator_graph::{EdgeList, ShardGrid};
+use gnnerator_graph::{EdgeList, ShardPlanCache};
 
 /// The GNNerator compiler: lowers a [`GnnModel`] plus a graph onto the two
 /// engines, producing a [`Program`] of per-layer execution plans.
@@ -79,17 +79,42 @@ impl Compiler {
     /// more than one dense stage on either side of it), and propagates graph
     /// errors from sharding.
     pub fn compile(&self, model: &GnnModel, edges: &EdgeList) -> Result<Program, GnneratorError> {
+        // A throwaway cache keeps the one-shot path on the same code as the
+        // session path (and already dedups identical grids across layers).
+        let plans = ShardPlanCache::new(edges.clone());
+        self.compile_cached(model, &plans)
+    }
+
+    /// Compiles `model` against a shard-plan cache, reusing any grids the
+    /// cache already holds.
+    ///
+    /// This is the compile-once path used by
+    /// [`SimSession`](crate::SimSession): sweeping many configurations over
+    /// one graph re-shards only when the derived nodes-per-shard parameter
+    /// actually changes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiler::compile`].
+    pub fn compile_cached(
+        &self,
+        model: &GnnModel,
+        plans: &ShardPlanCache,
+    ) -> Result<Program, GnneratorError> {
+        let edges = plans.edges();
         if edges.num_nodes() == 0 {
             return Err(GnneratorError::unmappable("graph has no nodes"));
         }
+        let num_nodes = edges.num_nodes();
+        let num_edges = edges.num_edges();
         let mut layers = Vec::with_capacity(model.num_layers());
         for (index, layer) in model.layers().iter().enumerate() {
-            layers.push(self.compile_layer(index, layer, edges)?);
+            layers.push(self.compile_layer(index, layer, plans)?);
         }
         Ok(Program {
             model_name: model.name().to_string(),
-            num_nodes: edges.num_nodes(),
-            num_edges: edges.num_edges(),
+            num_nodes,
+            num_edges,
             layers,
         })
     }
@@ -98,7 +123,7 @@ impl Compiler {
         &self,
         layer_index: usize,
         layer: &gnnerator_gnn::GnnLayer,
-        edges: &EdgeList,
+        plans: &ShardPlanCache,
     ) -> Result<LayerPlan, GnneratorError> {
         let (pre_dense, aggregation, post_dense) = split_stages(layer_index, layer)?;
 
@@ -109,18 +134,13 @@ impl Compiler {
         let nodes_per_shard = self
             .graph_engine
             .nodes_per_shard(block_size)
-            .min(edges.num_nodes())
+            .min(plans.edges().num_nodes())
             .max(1);
 
         // Self-inclusive aggregation is realised by adding self-loop edges so
         // the Graph Engine treats every contribution uniformly.
-        let grid = if aggregation.map(|a| a.include_self).unwrap_or(false) {
-            let mut with_self = edges.clone();
-            with_self.add_self_loops();
-            ShardGrid::build(&with_self, nodes_per_shard)?
-        } else {
-            ShardGrid::build(edges, nodes_per_shard)?
-        };
+        let include_self = aggregation.map(|a| a.include_self).unwrap_or(false);
+        let grid = plans.plan(nodes_per_shard, include_self)?;
 
         let traversal = self
             .dataflow
@@ -144,12 +164,16 @@ impl Compiler {
     }
 }
 
+/// The three-way split of a layer's stages: (producer dense, aggregation,
+/// consumer dense).
+type SplitStages = (Option<DenseOp>, Option<AggregationOp>, Option<DenseOp>);
+
 /// Splits a layer's stage list into (producer dense, aggregation, consumer
 /// dense), erroring on structures the hardware pipeline cannot express.
 fn split_stages(
     layer_index: usize,
     layer: &gnnerator_gnn::GnnLayer,
-) -> Result<(Option<DenseOp>, Option<AggregationOp>, Option<DenseOp>), GnneratorError> {
+) -> Result<SplitStages, GnneratorError> {
     let mut pre_dense: Option<DenseOp> = None;
     let mut aggregation: Option<AggregationOp> = None;
     let mut post_dense: Option<DenseOp> = None;
@@ -226,7 +250,9 @@ mod tests {
         let mut cfg = GnneratorConfig::paper_default();
         cfg.dense.array_rows = 0;
         assert!(Compiler::new(cfg, DataflowConfig::paper_default()).is_err());
-        assert!(Compiler::new(GnneratorConfig::paper_default(), DataflowConfig::blocked(0)).is_err());
+        assert!(
+            Compiler::new(GnneratorConfig::paper_default(), DataflowConfig::blocked(0)).is_err()
+        );
     }
 
     #[test]
@@ -288,7 +314,10 @@ mod tests {
             .unwrap();
         assert!(blocked.layers[0].grid_dim() <= conventional.layers[0].grid_dim());
         assert!(blocked.layers[0].nodes_per_shard >= conventional.layers[0].nodes_per_shard);
-        assert!(conventional.layers[0].grid_dim() > 1, "test graph should not fit on-chip");
+        assert!(
+            conventional.layers[0].grid_dim() > 1,
+            "test graph should not fit on-chip"
+        );
     }
 
     #[test]
@@ -325,7 +354,10 @@ mod tests {
         let model = NetworkKind::Gcn.build(3703, 16, 4, 0).unwrap();
         let edges = generators::rmat(4000, 16000, 5).unwrap();
         let program = c.compile(&model, &edges).unwrap();
-        assert_eq!(program.layers[0].traversal, TraversalOrder::SourceStationary);
+        assert_eq!(
+            program.layers[0].traversal,
+            TraversalOrder::SourceStationary
+        );
     }
 
     #[test]

@@ -191,10 +191,14 @@ impl GnneratorConfig {
             return Err(GnneratorError::config("core frequency must be positive"));
         }
         if self.dense.array_rows == 0 || self.dense.array_cols == 0 {
-            return Err(GnneratorError::config("dense engine array must be non-empty"));
+            return Err(GnneratorError::config(
+                "dense engine array must be non-empty",
+            ));
         }
         if self.graph.num_gpes == 0 || self.graph.simd_lanes == 0 {
-            return Err(GnneratorError::config("graph engine must have GPEs and lanes"));
+            return Err(GnneratorError::config(
+                "graph engine must have GPEs and lanes",
+            ));
         }
         if self.graph.feature_scratchpad_bytes < 1024 {
             return Err(GnneratorError::config(
@@ -202,7 +206,9 @@ impl GnneratorConfig {
             ));
         }
         if self.dense.buffer_bytes == 0 {
-            return Err(GnneratorError::config("dense engine buffers must be non-empty"));
+            return Err(GnneratorError::config(
+                "dense engine buffers must be non-empty",
+            ));
         }
         if !(self.dram.bandwidth_gb_s.is_finite() && self.dram.bandwidth_gb_s > 0.0) {
             return Err(GnneratorError::config("DRAM bandwidth must be positive"));

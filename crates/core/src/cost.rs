@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn weighted_total_scales_writes() {
-        let c = ShardCost { reads: 10, writes: 5 };
+        let c = ShardCost {
+            reads: 10,
+            writes: 5,
+        };
         assert_eq!(c.total(), 15);
         assert!((c.weighted_total(2.0) - 20.0).abs() < 1e-9);
         assert!(c.to_string().contains("10"));

@@ -23,7 +23,9 @@ impl fmt::Display for BlockingPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockingPolicy::Conventional => f.write_str("conventional (B = D)"),
-            BlockingPolicy::FeatureBlocked { block_size } => write!(f, "blocked (B = {block_size})"),
+            BlockingPolicy::FeatureBlocked { block_size } => {
+                write!(f, "blocked (B = {block_size})")
+            }
         }
     }
 }
@@ -92,9 +94,7 @@ impl DataflowConfig {
     pub fn effective_block_size(&self, aggregated_dim: usize) -> usize {
         match self.blocking {
             BlockingPolicy::Conventional => aggregated_dim.max(1),
-            BlockingPolicy::FeatureBlocked { block_size } => {
-                block_size.min(aggregated_dim).max(1)
-            }
+            BlockingPolicy::FeatureBlocked { block_size } => block_size.min(aggregated_dim).max(1),
         }
     }
 
@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn paper_default_uses_block_64() {
         let df = DataflowConfig::paper_default();
-        assert_eq!(df.blocking, BlockingPolicy::FeatureBlocked { block_size: 64 });
+        assert_eq!(
+            df.blocking,
+            BlockingPolicy::FeatureBlocked { block_size: 64 }
+        );
         assert_eq!(df.traversal, None);
         assert_eq!(DataflowConfig::default(), df);
         assert!(df.validate().is_ok());
@@ -202,6 +205,8 @@ mod tests {
     #[test]
     fn display_mentions_block_size() {
         assert!(DataflowConfig::blocked(128).to_string().contains("128"));
-        assert!(DataflowConfig::conventional().to_string().contains("conventional"));
+        assert!(DataflowConfig::conventional()
+            .to_string()
+            .contains("conventional"));
     }
 }

@@ -39,10 +39,14 @@ impl DenseEngine {
     /// dimension or the buffers are empty.
     pub fn new(config: &DenseEngineConfig) -> Result<Self, GnneratorError> {
         if config.array_rows == 0 || config.array_cols == 0 {
-            return Err(GnneratorError::config("dense engine array must be non-empty"));
+            return Err(GnneratorError::config(
+                "dense engine array must be non-empty",
+            ));
         }
         if config.buffer_bytes == 0 {
-            return Err(GnneratorError::config("dense engine buffers must be non-empty"));
+            return Err(GnneratorError::config(
+                "dense engine buffers must be non-empty",
+            ));
         }
         Ok(Self {
             config: *config,

@@ -63,7 +63,10 @@ impl fmt::Display for GnneratorError {
                 write!(f, "invalid dataflow configuration: {message}")
             }
             GnneratorError::Unmappable { message } => {
-                write!(f, "workload cannot be mapped onto the accelerator: {message}")
+                write!(
+                    f,
+                    "workload cannot be mapped onto the accelerator: {message}"
+                )
             }
             GnneratorError::Graph(e) => write!(f, "graph error: {e}"),
             GnneratorError::Gnn(e) => write!(f, "model error: {e}"),
@@ -107,9 +110,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GnneratorError::config("bad").to_string().contains("configuration"));
-        assert!(GnneratorError::dataflow("bad").to_string().contains("dataflow"));
-        assert!(GnneratorError::unmappable("bad").to_string().contains("mapped"));
+        assert!(GnneratorError::config("bad")
+            .to_string()
+            .contains("configuration"));
+        assert!(GnneratorError::dataflow("bad")
+            .to_string()
+            .contains("dataflow"));
+        assert!(GnneratorError::unmappable("bad")
+            .to_string()
+            .contains("mapped"));
     }
 
     #[test]

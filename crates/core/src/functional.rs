@@ -103,20 +103,21 @@ pub fn execute_blocked(
                             counts[dst] += 1;
                         }
                         for d in lo..hi {
-                            let combined =
-                                agg.aggregator.combine(acc.get(dst, d), agg_input.get(src, d));
+                            let combined = agg
+                                .aggregator
+                                .combine(acc.get(dst, d), agg_input.get(src, d));
                             acc.set(dst, d, combined);
                         }
                     }
                 }
             }
             let mut out = Matrix::zeros(n, dim);
-            for v in 0..n {
+            for (v, &count) in counts.iter().enumerate().take(n) {
                 for d in 0..dim {
-                    let value = if counts[v] == 0 {
+                    let value = if count == 0 {
                         0.0
                     } else {
-                        agg.aggregator.finalize(acc.get(v, d), counts[v])
+                        agg.aggregator.finalize(acc.get(v, d), count)
                     };
                     out.set(v, d, value);
                 }
@@ -254,10 +255,7 @@ mod tests {
         let expected =
             reference::execute(&model, &CsrGraph::from_edge_list(&edges), &features).unwrap();
         let diff = blocked.max_abs_diff(&expected).unwrap();
-        assert!(
-            diff < 1e-3,
-            "{kind} with {dataflow}: max abs diff {diff}"
-        );
+        assert!(diff < 1e-3, "{kind} with {dataflow}: max abs diff {diff}");
     }
 
     #[test]
@@ -270,13 +268,28 @@ mod tests {
     #[test]
     fn graphsage_blocked_matches_reference() {
         compare(NetworkKind::Graphsage, DataflowConfig::blocked(7), 25, 4);
-        compare(NetworkKind::Graphsage, DataflowConfig::conventional(), 25, 5);
+        compare(
+            NetworkKind::Graphsage,
+            DataflowConfig::conventional(),
+            25,
+            5,
+        );
     }
 
     #[test]
     fn graphsage_pool_blocked_matches_reference() {
-        compare(NetworkKind::GraphsagePool, DataflowConfig::blocked(9), 20, 6);
-        compare(NetworkKind::GraphsagePool, DataflowConfig::conventional(), 20, 7);
+        compare(
+            NetworkKind::GraphsagePool,
+            DataflowConfig::blocked(9),
+            20,
+            6,
+        );
+        compare(
+            NetworkKind::GraphsagePool,
+            DataflowConfig::conventional(),
+            20,
+            7,
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl ShardComputeUnit {
     ///
     /// Panics if either argument is zero.
     pub fn new(num_gpes: usize, simd_lanes: usize) -> Self {
-        assert!(num_gpes > 0 && simd_lanes > 0, "GPE array must be non-empty");
+        assert!(
+            num_gpes > 0 && simd_lanes > 0,
+            "GPE array must be non-empty"
+        );
         Self {
             num_gpes,
             simd_lanes,
@@ -155,7 +158,9 @@ impl GraphEngine {
     /// implausibly small scratchpad.
     pub fn new(config: &GraphEngineConfig) -> Result<Self, GnneratorError> {
         if config.num_gpes == 0 || config.simd_lanes == 0 {
-            return Err(GnneratorError::config("graph engine must have GPEs and lanes"));
+            return Err(GnneratorError::config(
+                "graph engine must have GPEs and lanes",
+            ));
         }
         if config.feature_scratchpad_bytes < 1024 {
             return Err(GnneratorError::config(

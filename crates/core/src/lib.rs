@@ -15,13 +15,17 @@
 //! * [`Simulator`] — the cycle-level timing model (Graph Engine pipeline,
 //!   Dense Engine GEMMs, shared DRAM contention, inter-engine
 //!   producer/consumer stalls) producing a [`Report`],
+//! * [`SimSession`] / [`CompiledWorkload`] — compile-once, run-many sessions
+//!   sharing shard plans across configurations,
+//! * [`SweepRunner`] / [`ScenarioSpec`] — the parallel scenario-sweep engine
+//!   the benchmark harness enumerates the paper's figures and tables with,
 //! * [`functional`] — a bit-faithful functional execution of the blocked
 //!   dataflow, cross-checked against the reference executor in tests.
 //!
 //! # Examples
 //!
 //! ```
-//! use gnnerator::{GnneratorConfig, Simulator, DataflowConfig};
+//! use gnnerator::{GnneratorConfig, SimSession, Simulator, DataflowConfig};
 //! use gnnerator_gnn::NetworkKind;
 //! use gnnerator_graph::datasets::DatasetKind;
 //!
@@ -29,16 +33,13 @@
 //! // A scaled-down Cora so the doctest stays fast.
 //! let dataset = DatasetKind::Cora.spec().scaled(0.05).synthesize(7)?;
 //! let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7)?;
-//! let sim = Simulator::new(GnneratorConfig::paper_default())?;
-//! let report = sim.simulate(&model, &dataset)?;
-//! assert!(report.total_cycles > 0);
 //!
-//! // Compare against the conventional (unblocked) dataflow.
-//! let unblocked = Simulator::with_dataflow(
-//!     GnneratorConfig::paper_default(),
-//!     DataflowConfig::conventional(),
-//! )?;
-//! let baseline = unblocked.simulate(&model, &dataset)?;
+//! // Compile once, execute under two dataflows.
+//! let session = SimSession::new(model, &dataset)?;
+//! let config = GnneratorConfig::paper_default();
+//! let blocked = session.simulate(&config, DataflowConfig::paper_default())?;
+//! let baseline = session.simulate(&config, DataflowConfig::conventional())?;
+//! assert!(blocked.total_cycles > 0);
 //! assert!(baseline.total_cycles > 0);
 //! # Ok(())
 //! # }
@@ -57,7 +58,9 @@ pub mod functional;
 mod graph_engine;
 mod program;
 mod report;
+mod session;
 mod simulator;
+mod sweep;
 
 pub use compiler::Compiler;
 pub use config::{DenseEngineConfig, GnneratorConfig, GraphEngineConfig};
@@ -67,4 +70,6 @@ pub use error::GnneratorError;
 pub use graph_engine::{FetchPlanner, GraphEngine, ShardComputeUnit};
 pub use program::{DenseOp, LayerPlan, Program};
 pub use report::{LayerReport, Report};
+pub use session::{CompiledWorkload, SimSession};
 pub use simulator::Simulator;
+pub use sweep::{ScenarioResult, ScenarioSpec, SweepRunner};

@@ -3,6 +3,7 @@ use gnnerator_graph::{ShardGrid, TraversalOrder};
 use gnnerator_tensor::Activation;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense (feature-extraction) operation mapped onto the Dense Engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,7 +82,11 @@ pub struct LayerPlan {
     pub traversal: TraversalOrder,
     /// The 2-D shard grid for this layer (self-loops already added when the
     /// aggregation includes the node itself).
-    pub grid: ShardGrid,
+    ///
+    /// Shared: layers of one program — and programs compiled from the same
+    /// [`SimSession`](crate::SimSession) under different configurations —
+    /// reuse one grid whenever their shard parameters coincide.
+    pub grid: Arc<ShardGrid>,
 }
 
 impl LayerPlan {
@@ -167,9 +172,9 @@ mod tests {
     use super::*;
     use gnnerator_graph::EdgeList;
 
-    fn tiny_grid() -> ShardGrid {
+    fn tiny_grid() -> Arc<ShardGrid> {
         let edges = EdgeList::from_pairs(4, &[(0, 1), (2, 3)]).unwrap();
-        ShardGrid::build(&edges, 2).unwrap()
+        Arc::new(ShardGrid::build(&edges, 2).unwrap())
     }
 
     fn sample_plan() -> LayerPlan {

@@ -1,0 +1,394 @@
+//! The parallel scenario-sweep engine.
+//!
+//! Every figure and table of the paper's evaluation enumerates scenario
+//! points — (network × dataset × platform configuration × dataflow) — and
+//! simulates each one. A [`SweepRunner`] owns the two caches that make this
+//! cheap (synthesised datasets, keyed by spec and seed; compiled
+//! [`SimSession`]s, keyed by dataset and model shape) and executes a batch of
+//! [`ScenarioSpec`]s in parallel via rayon.
+//!
+//! Parallel execution is observably identical to serial execution: the
+//! simulator is deterministic, scenarios are independent, and results are
+//! returned in input order. The sweep determinism tests pin this property
+//! bit-for-bit.
+
+use crate::{DataflowConfig, GnneratorConfig, GnneratorError, Report, SimSession};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::{Dataset, DatasetSpec};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One scenario point of a sweep: everything needed to synthesise the
+/// dataset, build the model and simulate it under one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The GNN architecture.
+    pub network: NetworkKind,
+    /// The dataset specification (scaling already applied).
+    pub dataset: DatasetSpec,
+    /// Seed for dataset synthesis.
+    pub seed: u64,
+    /// Hidden dimension of the model.
+    pub hidden_dim: usize,
+    /// Output dimension of the model (the dataset's class count in the
+    /// paper's setup).
+    pub out_dim: usize,
+    /// Number of hidden layers (1 in Table III).
+    pub hidden_layers: usize,
+    /// Platform configuration to simulate.
+    pub config: GnneratorConfig,
+    /// Dataflow configuration to simulate.
+    pub dataflow: DataflowConfig,
+}
+
+impl ScenarioSpec {
+    /// Creates a scenario with the paper's model shape (one hidden layer).
+    pub fn new(
+        network: NetworkKind,
+        dataset: DatasetSpec,
+        seed: u64,
+        hidden_dim: usize,
+        out_dim: usize,
+        config: GnneratorConfig,
+        dataflow: DataflowConfig,
+    ) -> Self {
+        Self {
+            network,
+            dataset,
+            seed,
+            hidden_dim,
+            out_dim,
+            hidden_layers: 1,
+            config,
+            dataflow,
+        }
+    }
+
+    /// A human-readable point label (`cora-gcn/blocked (B = 64)/gnnerator`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}/{}/{}",
+            self.dataset.name,
+            self.network.short_name(),
+            self.dataflow,
+            self.config.name
+        )
+    }
+
+    fn dataset_key(&self) -> DatasetKey {
+        (self.dataset, self.seed)
+    }
+
+    fn session_key(&self) -> SessionKey {
+        (
+            self.dataset,
+            self.seed,
+            self.network,
+            self.hidden_dim,
+            self.out_dim,
+            self.hidden_layers,
+        )
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The result of one scenario point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario that was simulated.
+    pub scenario: ScenarioSpec,
+    /// The simulation report.
+    pub report: Report,
+    /// Nodes in the materialised graph (for baseline estimators).
+    pub num_nodes: usize,
+    /// Edges in the materialised graph (for baseline estimators).
+    pub num_edges: usize,
+}
+
+type DatasetKey = (DatasetSpec, u64);
+type SessionKey = (DatasetSpec, u64, NetworkKind, usize, usize, usize);
+
+/// Executes batches of scenarios in parallel over shared dataset/session
+/// caches.
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator::{DataflowConfig, GnneratorConfig, ScenarioSpec, SweepRunner};
+/// use gnnerator_gnn::NetworkKind;
+/// use gnnerator_graph::datasets::DatasetKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let runner = SweepRunner::new();
+/// let spec = DatasetKind::Cora.spec().scaled(0.05);
+/// let scenarios: Vec<ScenarioSpec> = [32, 64]
+///     .into_iter()
+///     .map(|b| ScenarioSpec::new(
+///         NetworkKind::Gcn,
+///         spec,
+///         7,
+///         16,
+///         7,
+///         GnneratorConfig::paper_default(),
+///         DataflowConfig::blocked(b),
+///     ))
+///     .collect();
+/// let results = runner.run(&scenarios)?;
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| r.report.total_cycles > 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepRunner {
+    datasets: Mutex<HashMap<DatasetKey, Arc<Dataset>>>,
+    sessions: Mutex<HashMap<SessionKey, Arc<SimSession>>>,
+}
+
+impl SweepRunner {
+    /// Creates a runner with empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the materialised dataset for a scenario, synthesising and
+    /// caching it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-synthesis errors (degenerate specs).
+    pub fn dataset(&self, scenario: &ScenarioSpec) -> Result<Arc<Dataset>, GnneratorError> {
+        let (spec, seed) = scenario.dataset_key();
+        self.dataset_for(spec, seed)
+    }
+
+    /// Returns the materialised dataset for a bare `(spec, seed)` key,
+    /// synthesising and caching it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-synthesis errors (degenerate specs).
+    pub fn dataset_for(
+        &self,
+        spec: DatasetSpec,
+        seed: u64,
+    ) -> Result<Arc<Dataset>, GnneratorError> {
+        if let Some(hit) = self
+            .datasets
+            .lock()
+            .expect("dataset cache poisoned")
+            .get(&(spec, seed))
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let dataset = Arc::new(spec.synthesize(seed)?);
+        let mut cache = self.datasets.lock().expect("dataset cache poisoned");
+        Ok(Arc::clone(cache.entry((spec, seed)).or_insert(dataset)))
+    }
+
+    /// Seeds the dataset cache with an already-materialised dataset for
+    /// `(spec, seed)`, sharing it instead of re-synthesising.
+    ///
+    /// Used to hand graphs between runners — e.g. benchmarking a cold runner
+    /// without re-paying (or timing) dataset synthesis.
+    pub fn insert_dataset(&self, spec: DatasetSpec, seed: u64, dataset: Arc<Dataset>) {
+        self.datasets
+            .lock()
+            .expect("dataset cache poisoned")
+            .entry((spec, seed))
+            .or_insert(dataset);
+    }
+
+    /// Returns the compiled session for a scenario's (dataset, model) pair,
+    /// building and caching it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-synthesis and model-construction errors.
+    pub fn session(&self, scenario: &ScenarioSpec) -> Result<Arc<SimSession>, GnneratorError> {
+        let key = scenario.session_key();
+        if let Some(hit) = self
+            .sessions
+            .lock()
+            .expect("session cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let dataset = self.dataset(scenario)?;
+        let model = scenario
+            .network
+            .build(
+                dataset.features.dim(),
+                scenario.hidden_dim,
+                scenario.out_dim,
+                scenario.hidden_layers,
+            )
+            .map_err(GnneratorError::from)?;
+        let session = Arc::new(SimSession::new(model, &dataset)?);
+        let mut cache = self.sessions.lock().expect("session cache poisoned");
+        Ok(Arc::clone(cache.entry(key).or_insert(session)))
+    }
+
+    /// Simulates a single scenario through the session cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis, compilation and simulation errors.
+    pub fn run_one(&self, scenario: &ScenarioSpec) -> Result<ScenarioResult, GnneratorError> {
+        let session = self.session(scenario)?;
+        let report = session.simulate(&scenario.config, scenario.dataflow)?;
+        Ok(ScenarioResult {
+            scenario: scenario.clone(),
+            report,
+            num_nodes: session.num_nodes(),
+            num_edges: session.num_edges(),
+        })
+    }
+
+    /// Runs a batch of scenarios in parallel, returning results in input
+    /// order.
+    ///
+    /// Sessions (and the datasets underneath them) are materialised first —
+    /// one per distinct (dataset, model) pair, in parallel — then every
+    /// scenario executes on the worker pool against the shared compiled
+    /// state. Reports are bit-identical to [`SweepRunner::run_serial`] on the
+    /// same scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in scenario order.
+    pub fn run(&self, scenarios: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>, GnneratorError> {
+        // Phase 1: materialise each distinct session once, in parallel.
+        // (Dataset synthesis dominates; doing it here keeps the scenario
+        // phase free of cache-miss stampedes.) Deduplication preserves first
+        // appearance order so errors surface deterministically, in scenario
+        // order.
+        let mut seen = HashSet::new();
+        let unique: Vec<&ScenarioSpec> = scenarios
+            .iter()
+            .filter(|scenario| seen.insert(scenario.session_key()))
+            .collect();
+        unique
+            .par_iter()
+            .map(|scenario| self.session(scenario).map(|_| ()))
+            .collect::<Result<Vec<()>, GnneratorError>>()?;
+
+        // Phase 2: simulate every scenario point in parallel.
+        scenarios
+            .par_iter()
+            .map(|scenario| self.run_one(scenario))
+            .collect()
+    }
+
+    /// Runs a batch of scenarios one after another on the calling thread,
+    /// through the same caches as [`SweepRunner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    pub fn run_serial(
+        &self,
+        scenarios: &[ScenarioSpec],
+    ) -> Result<Vec<ScenarioResult>, GnneratorError> {
+        scenarios.iter().map(|s| self.run_one(s)).collect()
+    }
+
+    /// Number of datasets materialised so far.
+    pub fn cached_datasets(&self) -> usize {
+        self.datasets.lock().expect("dataset cache poisoned").len()
+    }
+
+    /// Number of sessions compiled so far.
+    pub fn cached_sessions(&self) -> usize {
+        self.sessions.lock().expect("session cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnerator_graph::datasets::DatasetKind;
+
+    fn scenario_grid() -> Vec<ScenarioSpec> {
+        let config = GnneratorConfig::paper_default();
+        let mut scenarios = Vec::new();
+        for kind in [DatasetKind::Cora, DatasetKind::Citeseer] {
+            for network in NetworkKind::ALL {
+                for dataflow in [
+                    DataflowConfig::paper_default(),
+                    DataflowConfig::conventional(),
+                ] {
+                    scenarios.push(ScenarioSpec::new(
+                        network,
+                        kind.spec().scaled(0.03),
+                        9,
+                        16,
+                        4,
+                        config.clone(),
+                        dataflow,
+                    ));
+                }
+            }
+        }
+        scenarios
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let scenarios = scenario_grid();
+        let runner = SweepRunner::new();
+        let parallel = runner.run(&scenarios).unwrap();
+        let serial = runner.run_serial(&scenarios).unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), scenarios.len());
+    }
+
+    #[test]
+    fn caches_deduplicate_datasets_and_sessions() {
+        let scenarios = scenario_grid();
+        let runner = SweepRunner::new();
+        runner.run(&scenarios).unwrap();
+        // 2 datasets; 2 datasets x 3 networks = 6 sessions; 12 scenarios.
+        assert_eq!(runner.cached_datasets(), 2);
+        assert_eq!(runner.cached_sessions(), 6);
+    }
+
+    #[test]
+    fn results_preserve_scenario_order() {
+        let scenarios = scenario_grid();
+        let runner = SweepRunner::new();
+        let results = runner.run(&scenarios).unwrap();
+        for (scenario, result) in scenarios.iter().zip(&results) {
+            assert_eq!(&result.scenario, scenario);
+            assert_eq!(result.report.model_name, scenario.network.to_string());
+            assert_eq!(result.report.dataset_name, scenario.dataset.name);
+        }
+    }
+
+    #[test]
+    fn degenerate_scenarios_surface_typed_errors() {
+        let mut scenario = scenario_grid().remove(0);
+        scenario.dataset.edges = 0;
+        let runner = SweepRunner::new();
+        let err = runner.run(&[scenario]).unwrap_err();
+        assert!(matches!(err, GnneratorError::Graph(_)), "{err}");
+    }
+
+    #[test]
+    fn labels_identify_the_point() {
+        let scenario = &scenario_grid()[0];
+        let label = scenario.label();
+        assert!(label.contains("cora"));
+        assert!(label.contains("gcn"));
+        assert!(label.contains("gnnerator"));
+        assert_eq!(scenario.to_string(), label);
+    }
+}

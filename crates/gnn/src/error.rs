@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GnnError::invalid("zero hidden dim").to_string().contains("zero"));
+        assert!(GnnError::invalid("zero hidden dim")
+            .to_string()
+            .contains("zero"));
         let e = GnnError::DimensionMismatch {
             expected: 16,
             actual: 8,

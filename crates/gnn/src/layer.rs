@@ -136,7 +136,11 @@ impl GnnLayer {
                     if *out_dim == 0 {
                         return Err(GnnError::invalid(format!("stage {i}: zero output dim")));
                     }
-                    let expected = if *concat_self { current + layer_input } else { current };
+                    let expected = if *concat_self {
+                        current + layer_input
+                    } else {
+                        current
+                    };
                     if *d_in != expected {
                         return Err(GnnError::invalid(format!(
                             "stage {i}: dense stage expects input dim {expected}, declared {d_in}"
@@ -419,7 +423,9 @@ mod tests {
         let l = GnnLayer::graphsage(8, 4, Activation::Relu, 0).unwrap();
         match &l.stages()[1] {
             Stage::Dense {
-                in_dim, concat_self, ..
+                in_dim,
+                concat_self,
+                ..
             } => {
                 assert_eq!(*in_dim, 16);
                 assert!(concat_self);

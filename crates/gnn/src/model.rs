@@ -63,7 +63,11 @@ impl NetworkKind {
         for (i, window) in dims.windows(2).enumerate() {
             let (d_in, d_out) = (window[0], window[1]);
             let is_last = i + 2 == dims.len();
-            let activation = if is_last { Activation::Identity } else { Activation::Relu };
+            let activation = if is_last {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
             let seed = 0xC0FFEE ^ (i as u64);
             let layer = match self {
                 NetworkKind::Gcn => GnnLayer::gcn(d_in, d_out, activation, seed)?,
@@ -237,7 +241,9 @@ mod tests {
     #[test]
     fn stage_orders_match_the_paper() {
         let gcn = NetworkKind::Gcn.build_paper_config(64, 4).unwrap();
-        let pool = NetworkKind::GraphsagePool.build_paper_config(64, 4).unwrap();
+        let pool = NetworkKind::GraphsagePool
+            .build_paper_config(64, 4)
+            .unwrap();
         assert!(gcn
             .layers()
             .iter()

@@ -144,7 +144,10 @@ mod tests {
         let wrong = NodeFeatures::zeros(3, 5);
         assert!(matches!(
             execute(&model, &graph, &wrong),
-            Err(GnnError::DimensionMismatch { expected: 8, actual: 5 })
+            Err(GnnError::DimensionMismatch {
+                expected: 8,
+                actual: 5
+            })
         ));
     }
 
@@ -153,7 +156,10 @@ mod tests {
         let graph = path_graph();
         let model = NetworkKind::Gcn.build(8, 4, 2, 1).unwrap();
         let wrong = NodeFeatures::zeros(4, 8);
-        assert!(matches!(execute(&model, &graph, &wrong), Err(GnnError::Graph(_))));
+        assert!(matches!(
+            execute(&model, &graph, &wrong),
+            Err(GnnError::Graph(_))
+        ));
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
         for kind in NetworkKind::ALL {
             let model = kind.build(4, 8, 2, 1).unwrap();
             let out = execute(&model, &graph, &feats).unwrap();
-            assert!(out.iter().all(|v| v.is_finite()), "{kind} produced non-finite output");
+            assert!(
+                out.iter().all(|v| v.is_finite()),
+                "{kind} produced non-finite output"
+            );
         }
     }
 
@@ -241,8 +250,9 @@ mod tests {
 
     #[test]
     fn all_paper_networks_execute_on_a_small_graph() {
-        let graph = CsrGraph::from_pairs(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 0)])
-            .unwrap();
+        let graph =
+            CsrGraph::from_pairs(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 0)])
+                .unwrap();
         let feats = NodeFeatures::from_fn(6, 10, |v, d| ((v * d) % 5) as f32 * 0.1);
         for kind in NetworkKind::ALL {
             let model = kind.build_paper_config(10, 3).unwrap();

@@ -175,7 +175,10 @@ impl ModelWorkload {
 
     /// Total ideal DRAM traffic across the whole model.
     pub fn total_ideal_bytes(&self) -> u64 {
-        self.layers.iter().map(LayerWorkload::total_ideal_bytes).sum()
+        self.layers
+            .iter()
+            .map(LayerWorkload::total_ideal_bytes)
+            .sum()
     }
 
     /// Total dense-engine FLOPs.
@@ -228,8 +231,8 @@ fn analyze_stage(stage: &Stage, n: u64, e: u64) -> StageWorkload {
             let ideal_read =
                 n * d * BYTES_PER_ELEMENT as u64 + effective_edges * BYTES_PER_EDGE as u64;
             // Gather: one source-feature read per edge + edge list.
-            let gather_read =
-                effective_edges * d * BYTES_PER_ELEMENT as u64 + effective_edges * BYTES_PER_EDGE as u64;
+            let gather_read = effective_edges * d * BYTES_PER_ELEMENT as u64
+                + effective_edges * BYTES_PER_EDGE as u64;
             let write = n * d * BYTES_PER_ELEMENT as u64;
             StageWorkload {
                 kind: PhaseKind::Aggregate,
@@ -304,7 +307,9 @@ mod tests {
 
     #[test]
     fn graphsage_pool_has_three_stages_and_dense_first_order() {
-        let model = NetworkKind::GraphsagePool.build_paper_config(64, 4).unwrap();
+        let model = NetworkKind::GraphsagePool
+            .build_paper_config(64, 4)
+            .unwrap();
         let w = ModelWorkload::analyze(&model, 100, 400);
         assert_eq!(w.layers[0].stages.len(), 3);
         assert_eq!(w.layers[0].stage_order, StageOrder::DenseFirst);

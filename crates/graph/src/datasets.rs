@@ -27,7 +27,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three datasets in the order Table II lists them.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Cora, DatasetKind::Citeseer, DatasetKind::Pubmed];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Cora,
+        DatasetKind::Citeseer,
+        DatasetKind::Pubmed,
+    ];
 
     /// The Table II specification for this dataset.
     pub fn spec(self) -> DatasetSpec {
@@ -85,7 +89,7 @@ impl fmt::Display for DatasetKind {
 /// assert_eq!(spec.feature_dim, 1433);
 /// assert!(spec.feature_megabytes() > 15.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DatasetSpec {
     /// Which dataset this spec describes.
     pub kind: DatasetKind,
@@ -133,11 +137,13 @@ impl DatasetSpec {
     /// # }
     /// ```
     pub fn synthesize(&self, seed: u64) -> Result<Dataset, GraphError> {
+        self.validate()?;
         let edge_list = generators::rmat_exact(self.vertices, self.edges, seed)?;
         let graph = CsrGraph::from_edge_list(&edge_list);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
-        let features =
-            NodeFeatures::from_fn(self.vertices, self.feature_dim, |_, _| rng.gen_range(0.0..1.0));
+        let features = NodeFeatures::from_fn(self.vertices, self.feature_dim, |_, _| {
+            rng.gen_range(0.0..1.0)
+        });
         Ok(Dataset {
             spec: *self,
             edge_list,
@@ -150,9 +156,19 @@ impl DatasetSpec {
     ///
     /// Scaling keeps the feature dimension (the architecturally interesting
     /// quantity) and shrinks vertex/edge counts by `factor`, clamped to at
-    /// least 16 vertices and 32 edges. Used by tests and by the fast variants
-    /// of the benchmark harness.
+    /// least 16 vertices and 32 edges so tiny factors can never produce a
+    /// 0-node or 0-edge graph that the sharder would reject downstream. Used
+    /// by tests and by the fast variants of the benchmark harness.
+    ///
+    /// Prefer [`DatasetSpec::try_scaled`] when the factor comes from user
+    /// input: it reports non-finite or non-positive factors as a typed error
+    /// instead of silently clamping.
     pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        let factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            0.0 // the clamps below produce the minimum viable spec
+        };
         let vertices = ((self.vertices as f64 * factor).round() as usize).max(16);
         let max_edges = vertices * (vertices - 1);
         let edges = ((self.edges as f64 * factor).round() as usize)
@@ -165,6 +181,64 @@ impl DatasetSpec {
             edges,
             feature_dim: self.feature_dim,
         }
+    }
+
+    /// Like [`DatasetSpec::scaled`], but rejects factors that cannot describe
+    /// a graph (NaN, infinite, zero or negative) with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] for non-finite or
+    /// non-positive factors.
+    pub fn try_scaled(&self, factor: f64) -> Result<DatasetSpec, GraphError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(GraphError::invalid(
+                "factor",
+                format!("scale factor {factor} is not a positive finite number"),
+            ));
+        }
+        Ok(self.scaled(factor))
+    }
+
+    /// Checks that this spec describes a graph the rest of the pipeline can
+    /// shard and simulate.
+    ///
+    /// The built-in Table II specs and anything produced by
+    /// [`DatasetSpec::scaled`] always pass; hand-rolled specs with zero
+    /// vertices/edges/feature dimensions (or more edges than a simple graph
+    /// can hold) are rejected here rather than panicking inside the sharder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DegenerateDataset`] describing the violation.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let degenerate = |message: String| GraphError::DegenerateDataset {
+            name: self.name.to_string(),
+            vertices: self.vertices,
+            edges: self.edges,
+            message,
+        };
+        if self.vertices == 0 {
+            return Err(degenerate("a graph needs at least one vertex".to_string()));
+        }
+        if self.edges == 0 {
+            return Err(degenerate("a graph needs at least one edge".to_string()));
+        }
+        if self.feature_dim == 0 {
+            return Err(degenerate(
+                "features need at least one dimension".to_string(),
+            ));
+        }
+        let max_edges = self
+            .vertices
+            .saturating_mul(self.vertices.saturating_sub(1));
+        if self.edges > max_edges {
+            return Err(degenerate(format!(
+                "{} edges exceed the simple-graph maximum of {max_edges}",
+                self.edges
+            )));
+        }
+        Ok(())
     }
 
     /// Returns a copy of this spec with a different feature dimension.
@@ -238,7 +312,10 @@ mod tests {
     #[test]
     fn table_ii_specs_match_the_paper() {
         let cora = DatasetKind::Cora.spec();
-        assert_eq!((cora.vertices, cora.edges, cora.feature_dim), (2708, 10556, 1433));
+        assert_eq!(
+            (cora.vertices, cora.edges, cora.feature_dim),
+            (2708, 10556, 1433)
+        );
         let citeseer = DatasetKind::Citeseer.spec();
         assert_eq!(
             (citeseer.vertices, citeseer.edges, citeseer.feature_dim),
@@ -257,6 +334,66 @@ mod tests {
         assert!((DatasetKind::Cora.spec().feature_megabytes() - 15.5).abs() < 1.0);
         assert!((DatasetKind::Citeseer.spec().feature_megabytes() - 49.0).abs() < 1.5);
         assert!((DatasetKind::Pubmed.spec().feature_megabytes() - 39.4).abs() < 1.5);
+    }
+
+    #[test]
+    fn degenerate_specs_synthesize_to_typed_errors() {
+        let base = DatasetKind::Cora.spec();
+        for broken in [
+            DatasetSpec {
+                vertices: 0,
+                ..base
+            },
+            DatasetSpec { edges: 0, ..base },
+            DatasetSpec {
+                feature_dim: 0,
+                ..base
+            },
+            DatasetSpec {
+                vertices: 3,
+                edges: 100,
+                ..base
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken}");
+            assert!(
+                matches!(
+                    broken.synthesize(1),
+                    Err(GraphError::DegenerateDataset { .. })
+                ),
+                "{broken}"
+            );
+        }
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn pathological_scale_factors_clamp_to_viable_specs() {
+        for factor in [0.0, -1.0, 1e-12, f64::NAN, f64::NEG_INFINITY] {
+            let spec = DatasetKind::Pubmed.spec().scaled(factor);
+            assert!(spec.validate().is_ok(), "factor {factor} produced {spec}");
+            assert!(spec.vertices >= 16);
+            assert!(spec.edges >= 32);
+            // The clamped spec must actually synthesise and shard.
+            let ds = spec.synthesize(5).unwrap();
+            assert!(ds.num_nodes() >= 16);
+            assert!(ds.num_edges() >= 32);
+        }
+    }
+
+    #[test]
+    fn try_scaled_rejects_non_positive_factors() {
+        let spec = DatasetKind::Cora.spec();
+        for factor in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    spec.try_scaled(factor),
+                    Err(GraphError::InvalidParameter { .. })
+                ),
+                "factor {factor} should be rejected"
+            );
+        }
+        assert_eq!(spec.try_scaled(0.5).unwrap(), spec.scaled(0.5));
     }
 
     #[test]

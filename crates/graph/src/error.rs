@@ -34,13 +34,29 @@ pub enum GraphError {
         /// Number of rows in the feature table.
         feature_rows: usize,
     },
+    /// A dataset specification describes a graph too degenerate to shard or
+    /// simulate (no vertices, no edges, a zero feature dimension, or more
+    /// edges than a simple graph can hold).
+    DegenerateDataset {
+        /// Name of the dataset specification.
+        name: String,
+        /// Number of vertices in the spec.
+        vertices: usize,
+        /// Number of edges in the spec.
+        edges: usize,
+        /// Description of what makes the spec degenerate.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter {name}: {message}")
@@ -51,6 +67,15 @@ impl fmt::Display for GraphError {
             } => write!(
                 f,
                 "feature table has {feature_rows} rows but the graph has {graph_nodes} nodes"
+            ),
+            GraphError::DegenerateDataset {
+                name,
+                vertices,
+                edges,
+                message,
+            } => write!(
+                f,
+                "dataset {name} ({vertices} vertices, {edges} edges) is degenerate: {message}"
             ),
         }
     }

@@ -126,7 +126,11 @@ pub fn rmat(num_nodes: usize, target_edges: usize, seed: u64) -> Result<EdgeList
 ///
 /// Propagates errors from [`rmat`] and rejects impossible edge counts
 /// (`target_edges > num_nodes * (num_nodes - 1)`).
-pub fn rmat_exact(num_nodes: usize, target_edges: usize, seed: u64) -> Result<EdgeList, GraphError> {
+pub fn rmat_exact(
+    num_nodes: usize,
+    target_edges: usize,
+    seed: u64,
+) -> Result<EdgeList, GraphError> {
     let max_edges = num_nodes.saturating_mul(num_nodes.saturating_sub(1));
     if target_edges > max_edges {
         return Err(GraphError::invalid(

@@ -38,6 +38,7 @@ mod edge_list;
 mod error;
 mod features;
 pub mod generators;
+mod plan_cache;
 pub mod reorder;
 mod shard;
 mod stats;
@@ -46,6 +47,7 @@ pub use csr::CsrGraph;
 pub use edge_list::{Edge, EdgeList};
 pub use error::GraphError;
 pub use features::NodeFeatures;
+pub use plan_cache::{PlanKey, ShardPlanCache};
 pub use shard::{Shard, ShardCoord, ShardGrid, TraversalOrder};
 pub use stats::GraphStats;
 

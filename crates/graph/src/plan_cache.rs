@@ -1,0 +1,166 @@
+//! Shard-plan caching for compile-once, run-many simulation sessions.
+//!
+//! Sharding an edge list into a [`ShardGrid`](crate::ShardGrid) is the
+//! expensive part of compiling a workload, and its inputs are only the edge
+//! list, the nodes-per-shard parameter `n` and whether self-loop edges are
+//! added. A [`ShardPlanCache`] pins one edge list and memoises every grid
+//! built from it, so sweeping many `(config, dataflow)` scenarios over the
+//! same graph reshards only when `n` actually changes.
+
+use crate::{EdgeList, GraphError, ShardGrid};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: the two parameters that determine a shard grid for a fixed
+/// edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Maximum nodes per shard (the paper's `n`).
+    pub nodes_per_shard: usize,
+    /// Whether self-loop edges are added before sharding (self-inclusive
+    /// aggregation).
+    pub include_self_loops: bool,
+}
+
+/// A memoising sharder over one immutable edge list.
+///
+/// Thread-safe: scenario sweeps shard from many worker threads at once, and
+/// every caller asking for the same `(n, self-loops)` pair receives the same
+/// [`Arc<ShardGrid>`].
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{generators, ShardPlanCache};
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let edges = generators::rmat(128, 512, 3)?;
+/// let cache = ShardPlanCache::new(edges);
+/// let a = cache.plan(32, false)?;
+/// let b = cache.plan(32, false)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // cached, not rebuilt
+/// assert_eq!(cache.cached_plans(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardPlanCache {
+    edges: EdgeList,
+    with_self_loops: OnceLock<EdgeList>,
+    plans: Mutex<HashMap<PlanKey, Arc<ShardGrid>>>,
+}
+
+impl ShardPlanCache {
+    /// Creates a cache over `edges`.
+    pub fn new(edges: EdgeList) -> Self {
+        Self {
+            edges,
+            with_self_loops: OnceLock::new(),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The edge list the cache shards (without self-loops).
+    pub fn edges(&self) -> &EdgeList {
+        &self.edges
+    }
+
+    /// The edge list with one self-loop per node, built on first use.
+    pub fn edges_with_self_loops(&self) -> &EdgeList {
+        self.with_self_loops.get_or_init(|| {
+            let mut with_self = self.edges.clone();
+            with_self.add_self_loops();
+            with_self
+        })
+    }
+
+    /// Returns the shard grid for `(nodes_per_shard, include_self_loops)`,
+    /// building and caching it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardGrid::build`] errors (zero `nodes_per_shard`, empty
+    /// node set).
+    pub fn plan(
+        &self,
+        nodes_per_shard: usize,
+        include_self_loops: bool,
+    ) -> Result<Arc<ShardGrid>, GraphError> {
+        let key = PlanKey {
+            nodes_per_shard,
+            include_self_loops,
+        };
+        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock so concurrent misses on *different* keys
+        // shard in parallel; a racing duplicate build of the same key is
+        // harmless and the first insert wins.
+        let edges = if include_self_loops {
+            self.edges_with_self_loops()
+        } else {
+            &self.edges
+        };
+        let grid = Arc::new(ShardGrid::build(edges, nodes_per_shard)?);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Ok(Arc::clone(plans.entry(key).or_insert(grid)))
+    }
+
+    /// Number of distinct shard grids currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn cache() -> ShardPlanCache {
+        ShardPlanCache::new(generators::rmat(100, 400, 1).unwrap())
+    }
+
+    #[test]
+    fn identical_keys_share_one_grid() {
+        let cache = cache();
+        let a = cache.plan(16, true).unwrap();
+        let b = cache.plan(16, true).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.cached_plans(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_grids() {
+        let cache = cache();
+        let plain = cache.plan(16, false).unwrap();
+        let with_self = cache.plan(16, true).unwrap();
+        let coarser = cache.plan(64, false).unwrap();
+        assert_eq!(cache.cached_plans(), 3);
+        // Self-loops add one edge per node.
+        assert_eq!(with_self.total_edges(), plain.total_edges() + 100);
+        assert!(coarser.grid_dim() < plain.grid_dim());
+    }
+
+    #[test]
+    fn cached_grid_matches_a_fresh_build() {
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let cache = ShardPlanCache::new(edges.clone());
+        let cached = cache.plan(16, false).unwrap();
+        let fresh = ShardGrid::build(&edges, 16).unwrap();
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn invalid_parameters_error_without_caching() {
+        let cache = cache();
+        assert!(cache.plan(0, false).is_err());
+        assert_eq!(cache.cached_plans(), 0);
+    }
+
+    #[test]
+    fn plan_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardPlanCache>();
+    }
+}

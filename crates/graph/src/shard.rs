@@ -46,7 +46,10 @@ pub struct ShardCoord {
 impl ShardCoord {
     /// Creates a new coordinate.
     pub fn new(src_block: usize, dst_block: usize) -> Self {
-        Self { src_block, dst_block }
+        Self {
+            src_block,
+            dst_block,
+        }
     }
 }
 
@@ -353,7 +356,11 @@ mod tests {
         let edges = sample_edges();
         for nps in [1, 2, 3, 4, 8, 16] {
             let grid = ShardGrid::build(&edges, nps).unwrap();
-            assert_eq!(grid.total_edges(), edges.num_edges(), "nodes_per_shard={nps}");
+            assert_eq!(
+                grid.total_edges(),
+                edges.num_edges(),
+                "nodes_per_shard={nps}"
+            );
         }
     }
 
@@ -402,7 +409,10 @@ mod tests {
     fn traversal_visits_every_shard_once() {
         let edges = sample_edges();
         let grid = ShardGrid::build(&edges, 3).unwrap();
-        for order in [TraversalOrder::SourceStationary, TraversalOrder::DestinationStationary] {
+        for order in [
+            TraversalOrder::SourceStationary,
+            TraversalOrder::DestinationStationary,
+        ] {
             let coords: Vec<ShardCoord> = grid.traversal(order).collect();
             assert_eq!(coords.len(), 9);
             let mut sorted = coords.clone();
@@ -457,7 +467,10 @@ mod tests {
     #[test]
     fn display_impls() {
         assert_eq!(ShardCoord::new(1, 2).to_string(), "(1, 2)");
-        assert_eq!(TraversalOrder::SourceStationary.to_string(), "src-stationary");
+        assert_eq!(
+            TraversalOrder::SourceStationary.to_string(),
+            "src-stationary"
+        );
         assert_eq!(
             TraversalOrder::DestinationStationary.to_string(),
             "dst-stationary"
@@ -466,6 +479,9 @@ mod tests {
 
     #[test]
     fn default_order_is_destination_stationary() {
-        assert_eq!(TraversalOrder::default(), TraversalOrder::DestinationStationary);
+        assert_eq!(
+            TraversalOrder::default(),
+            TraversalOrder::DestinationStationary
+        );
     }
 }

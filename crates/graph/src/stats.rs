@@ -49,12 +49,20 @@ impl GraphStats {
         let mut degrees: Vec<usize> = (0..n).map(|v| graph.in_degree(v as u32)).collect();
         degrees.sort_unstable();
         let num_edges = graph.num_edges();
-        let average = if n == 0 { 0.0 } else { num_edges as f64 / n as f64 };
+        let average = if n == 0 {
+            0.0
+        } else {
+            num_edges as f64 / n as f64
+        };
         let max = degrees.last().copied().unwrap_or(0);
         let median = percentile(&degrees, 0.5);
         let p99 = percentile(&degrees, 0.99);
         let isolated = degrees.iter().filter(|&&d| d == 0).count();
-        let skew = if average > 0.0 { max as f64 / average } else { 0.0 };
+        let skew = if average > 0.0 {
+            max as f64 / average
+        } else {
+            0.0
+        };
         Self {
             num_nodes: n,
             num_edges,

@@ -47,7 +47,7 @@ mod stats;
 mod systolic;
 
 pub use bandwidth::BandwidthChannel;
-pub use clock::{Cycle, ClockDomain};
+pub use clock::{ClockDomain, Cycle};
 pub use double_buffer::DoubleBuffer;
 pub use dram::{DramConfig, DramModel};
 pub use error::SimError;

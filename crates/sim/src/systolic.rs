@@ -43,7 +43,10 @@ impl SystolicArray {
     ///
     /// Panics if `rows` or `cols` is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "systolic array dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "systolic array dimensions must be positive"
+        );
         Self { rows, cols }
     }
 
@@ -213,7 +216,10 @@ mod tests {
         let a = SystolicArray::new(64, 64);
         let low = a.utilization(64, 8, 64);
         let high = a.utilization(64, 512, 64);
-        assert!(high > low, "longer reductions amortise fill/drain: {low} vs {high}");
+        assert!(
+            high > low,
+            "longer reductions amortise fill/drain: {low} vs {high}"
+        );
         assert!(high <= 1.0);
     }
 
@@ -260,7 +266,10 @@ mod tests {
         let b32 = a.weight_stationary_cycles(1000, 32, 16);
         assert_eq!(b64, b32);
         // Per unit of K, B=32 is twice as expensive.
-        assert!(a.weight_stationary_utilization(1000, 32, 16) < a.weight_stationary_utilization(1000, 64, 16));
+        assert!(
+            a.weight_stationary_utilization(1000, 32, 16)
+                < a.weight_stationary_utilization(1000, 64, 16)
+        );
     }
 
     #[test]

@@ -147,7 +147,9 @@ impl Matrix {
     /// # }
     /// ```
     pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, TensorError> {
-        let first = rows.first().ok_or(TensorError::EmptyInput { op: "from_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::EmptyInput { op: "from_rows" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
@@ -253,7 +255,11 @@ impl Matrix {
     ///
     /// Panics if `row` is out of bounds.
     pub fn row(&self, row: usize) -> &[f32] {
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -263,7 +269,11 @@ impl Matrix {
     ///
     /// Panics if `row` is out of bounds.
     pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -324,7 +334,10 @@ impl Matrix {
     /// assert_eq!(block.get(0, 0), 1.0);
     /// ```
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "invalid column range {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "invalid column range {start}..{end}"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
@@ -455,7 +468,10 @@ mod tests {
     fn from_vec_rejects_bad_length() {
         assert!(matches!(
             Matrix::from_vec(2, 2, vec![1.0; 3]),
-            Err(TensorError::InvalidBufferLength { expected: 4, actual: 3 })
+            Err(TensorError::InvalidBufferLength {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 

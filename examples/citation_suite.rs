@@ -1,7 +1,7 @@
 //! Runs the paper's nine-benchmark citation suite (three datasets × three
-//! networks) end to end: GNNerator with and without feature blocking, the GPU
-//! roofline baseline and the HyGCN baseline — the data behind Figure 3 and
-//! Table V.
+//! networks) end to end as one parallel scenario sweep: GNNerator with and
+//! without feature blocking, the GPU roofline baseline and the HyGCN
+//! baseline — the data behind Figure 3 and Table V.
 //!
 //! Run with `cargo run --release --example citation_suite` (add
 //! `-- --scale 0.25` for scaled-down graphs; the default uses the paper's
@@ -10,13 +10,20 @@
 //! dataflow differences the paper measures).
 
 use gnnerator_bench::rows::{format_ms, format_speedup, geomean, Table};
-use gnnerator_bench::suite::{full_suite, scale_from_args, SuiteContext, SuiteOptions};
+use gnnerator_bench::suite::{scale_from_args, SuiteContext, SuiteOptions};
 use std::error::Error;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let scale = scale_from_args(std::env::args());
     println!("Synthesising the citation datasets at scale {scale}...");
     let ctx = SuiteContext::materialize(&SuiteOptions::paper().with_scale(scale))?;
+
+    // All 18 GNNerator scenario points (9 workloads x 2 dataflows) run as a
+    // single parallel sweep over compile-once sessions.
+    let start = Instant::now();
+    let results = ctx.run_suite()?;
+    let sweep_seconds = start.elapsed().as_secs_f64();
 
     let mut table = Table::new(
         "Citation suite: runtimes and speedups",
@@ -32,12 +39,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let mut vs_gpu = Vec::new();
     let mut vs_hygcn = Vec::new();
-    for workload in full_suite() {
-        let result = ctx.run_workload(&workload)?;
+    for result in &results {
         vs_gpu.push(result.speedup_blocked_vs_gpu());
         vs_hygcn.push(result.speedup_blocked_vs_hygcn());
         table.add_row(vec![
-            workload.label(),
+            result.workload.label(),
             format_ms(result.gnnerator_blocked.seconds()),
             format_ms(result.gnnerator_unblocked.seconds()),
             format_ms(result.gpu.seconds),
@@ -58,5 +64,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!("{table}");
     println!("Paper reference: 8.0x geomean over the GPU, 3.15x average over HyGCN.");
+    println!(
+        "Swept {} scenario points in {:.2} s ({} datasets, {} compiled sessions cached).",
+        results.len() * 2,
+        sweep_seconds,
+        ctx.runner().cached_datasets(),
+        ctx.runner().cached_sessions(),
+    );
     Ok(())
 }

@@ -1,10 +1,11 @@
 //! Explores the dataflow design space the paper discusses in Section IV:
 //! feature-block size (Figure 4), shard-traversal order (Table I) and their
-//! effect on DRAM traffic and execution time, on a single workload.
+//! effect on DRAM traffic and execution time, on a single workload — swept
+//! as one parallel scenario batch through the sweep engine.
 //!
 //! Run with `cargo run --release --example dataflow_explorer`.
 
-use gnnerator::{cost, DataflowConfig, GnneratorConfig, Simulator};
+use gnnerator::{cost, DataflowConfig, GnneratorConfig, ScenarioSpec, SweepRunner};
 use gnnerator_bench::rows::Table;
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
@@ -14,41 +15,59 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     // Citeseer has the paper's widest features (3703 dims), which makes it
     // the most dataflow-sensitive workload.
-    let dataset = DatasetKind::Citeseer.spec().scaled(0.5).synthesize(7)?;
-    let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 6)?;
+    let spec = DatasetKind::Citeseer.spec().scaled(0.5);
     let config = GnneratorConfig::paper_default();
-    println!("Workload: GCN on {}", dataset.spec);
+    let scenario = |dataflow: DataflowConfig| {
+        ScenarioSpec::new(NetworkKind::Gcn, spec, 7, 16, 6, config.clone(), dataflow)
+    };
+    println!("Workload: GCN on {spec}");
     println!();
 
-    // --- Block-size sweep (Figure 4) ---
+    // --- Block-size sweep (Figure 4) + traversal orders, one batch ---
+    let block_sizes = [32usize, 64, 128, 256, 1024, 4096];
+    let mut scenarios: Vec<ScenarioSpec> = block_sizes
+        .iter()
+        .map(|&b| scenario(DataflowConfig::blocked(b)))
+        .collect();
+    scenarios.push(scenario(DataflowConfig::conventional()));
+    scenarios.push(scenario(
+        DataflowConfig::conventional().with_traversal(TraversalOrder::DestinationStationary),
+    ));
+    scenarios.push(scenario(
+        DataflowConfig::conventional().with_traversal(TraversalOrder::SourceStationary),
+    ));
+
+    let runner = SweepRunner::new();
+    let results = runner.run(&scenarios)?;
+    let (blocked, rest) = results.split_at(block_sizes.len());
+    let (conventional, orders) = rest.split_first().expect("conventional point present");
+    let baseline = blocked[1].report.total_cycles as f64; // B = 64
+
     let mut table = Table::new(
         "Feature-block size sweep",
-        &["dataflow", "cycles", "DRAM MB", "grid S (layer 0)", "vs B=64"],
+        &[
+            "dataflow",
+            "cycles",
+            "DRAM MB",
+            "grid S (layer 0)",
+            "vs B=64",
+        ],
     );
-    let baseline = Simulator::with_dataflow(config.clone(), DataflowConfig::blocked(64))?
-        .simulate(&model, &dataset)?;
-    for b in [32usize, 64, 128, 256, 1024, 4096] {
-        let report = Simulator::with_dataflow(config.clone(), DataflowConfig::blocked(b))?
-            .simulate(&model, &dataset)?;
+    for (b, run) in block_sizes.iter().zip(blocked) {
         table.add_row(vec![
             format!("B={b}"),
-            report.total_cycles.to_string(),
-            format!("{:.1}", report.dram_bytes() as f64 / 1e6),
-            report.layers[0].grid_dim.to_string(),
-            format!("{:.2}x", report.total_cycles as f64 / baseline.total_cycles as f64),
+            run.report.total_cycles.to_string(),
+            format!("{:.1}", run.report.dram_bytes() as f64 / 1e6),
+            run.report.layers[0].grid_dim.to_string(),
+            format!("{:.2}x", run.report.total_cycles as f64 / baseline),
         ]);
     }
-    let conventional = Simulator::with_dataflow(config.clone(), DataflowConfig::conventional())?
-        .simulate(&model, &dataset)?;
     table.add_row(vec![
         "conventional".to_string(),
-        conventional.total_cycles.to_string(),
-        format!("{:.1}", conventional.dram_bytes() as f64 / 1e6),
-        conventional.layers[0].grid_dim.to_string(),
-        format!(
-            "{:.2}x",
-            conventional.total_cycles as f64 / baseline.total_cycles as f64
-        ),
+        conventional.report.total_cycles.to_string(),
+        format!("{:.1}", conventional.report.dram_bytes() as f64 / 1e6),
+        conventional.report.layers[0].grid_dim.to_string(),
+        format!("{:.2}x", conventional.report.total_cycles as f64 / baseline),
     ]);
     println!("{table}");
 
@@ -57,29 +76,27 @@ fn main() -> Result<(), Box<dyn Error>> {
         "Shard traversal order (conventional dataflow)",
         &["order", "cycles", "DRAM reads MB", "DRAM writes MB"],
     );
-    for order in [
-        TraversalOrder::DestinationStationary,
-        TraversalOrder::SourceStationary,
-    ] {
-        let report = Simulator::with_dataflow(
-            config.clone(),
-            DataflowConfig::conventional().with_traversal(order),
-        )?
-        .simulate(&model, &dataset)?;
+    for run in orders {
+        let order = run.scenario.dataflow.traversal.expect("order pinned");
         table.add_row(vec![
             order.to_string(),
-            report.total_cycles.to_string(),
-            format!("{:.1}", report.dram_read_bytes() as f64 / 1e6),
-            format!("{:.1}", report.dram_write_bytes() as f64 / 1e6),
+            run.report.total_cycles.to_string(),
+            format!("{:.1}", run.report.dram_read_bytes() as f64 / 1e6),
+            format!("{:.1}", run.report.dram_write_bytes() as f64 / 1e6),
         ]);
     }
     println!("{table}");
 
     // --- The analytical model behind the choice (Table I) ---
-    let s = conventional.layers[0].grid_dim as u64;
+    let s = conventional.report.layers[0].grid_dim as u64;
     let src = cost::source_stationary(s, 1);
     let dst = cost::destination_stationary(s, 1);
     println!("Analytical Table I at S={s}, I=1: src-stationary {src}, dst-stationary {dst}");
     println!("Chosen order: {}", cost::choose_order(s, 1));
+    println!(
+        "Sweep reused one dataset and {} compiled session(s) across {} points.",
+        runner.cached_sessions(),
+        scenarios.len()
+    );
     Ok(())
 }

@@ -1,19 +1,21 @@
 //! Design-space exploration in the spirit of Section VI-B (Figure 5): where
 //! should the next generation of GNNerator spend additional hardware —
 //! on-chip graph memory, Dense Engine compute, or memory bandwidth — and how
-//! does the answer change with the network's hidden dimension?
+//! does the answer change with the network's hidden dimension? The whole
+//! 12-point (configuration × hidden-dimension) grid runs as one parallel
+//! sweep.
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use gnnerator::{DataflowConfig, GnneratorConfig, Simulator};
+use gnnerator::{DataflowConfig, GnneratorConfig, ScenarioSpec, SweepRunner};
 use gnnerator_bench::rows::{format_speedup, Table};
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let dataset = DatasetKind::Pubmed.spec().scaled(0.25).synthesize(3)?;
-    println!("Workload: GCN on {}", dataset.spec);
+    let spec = DatasetKind::Pubmed.spec().scaled(0.25);
+    println!("Workload: GCN on {spec}");
 
     let base = GnneratorConfig::paper_default();
     let candidates = [
@@ -22,22 +24,42 @@ fn main() -> Result<(), Box<dyn Error>> {
         ("2x dense compute", base.with_double_dense_compute()),
         ("2x bandwidth", base.with_double_feature_bandwidth()),
     ];
+    let hidden_dims = [16usize, 128, 1024];
+    let dataflow = DataflowConfig::paper_default();
+
+    // Enumerate the full grid, then run it as one parallel batch: sessions
+    // are keyed by (dataset, model shape), so the four configurations of one
+    // hidden dimension share a single compiled session.
+    let mut scenarios = Vec::new();
+    for (_, config) in &candidates {
+        for &hidden in &hidden_dims {
+            scenarios.push(ScenarioSpec::new(
+                NetworkKind::Gcn,
+                spec,
+                3,
+                hidden,
+                3,
+                config.clone(),
+                dataflow,
+            ));
+        }
+    }
+    let runner = SweepRunner::new();
+    let results = runner.run(&scenarios)?;
 
     let mut table = Table::new(
         "Scaling study: speedup over the baseline configuration",
         &["configuration", "hidden 16", "hidden 128", "hidden 1024"],
     );
-    let dataflow = DataflowConfig::paper_default();
-    for (name, config) in &candidates {
+    let baseline_rows = &results[0..hidden_dims.len()];
+    for ((name, _), group) in candidates
+        .iter()
+        .zip(results.chunks_exact(hidden_dims.len()))
+    {
         let mut cells = vec![name.to_string()];
-        for hidden in [16usize, 128, 1024] {
-            let model = NetworkKind::Gcn.build(dataset.features.dim(), hidden, 3, 1)?;
-            let baseline_report = Simulator::with_dataflow(base.clone(), dataflow)?
-                .simulate(&model, &dataset)?;
-            let report =
-                Simulator::with_dataflow(config.clone(), dataflow)?.simulate(&model, &dataset)?;
+        for (run, baseline) in group.iter().zip(baseline_rows) {
             cells.push(format_speedup(
-                baseline_report.total_cycles as f64 / report.total_cycles as f64,
+                baseline.report.total_cycles as f64 / run.report.total_cycles as f64,
             ));
         }
         table.add_row(cells);
@@ -50,10 +72,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Engine utilisation breakdown for the baseline at the extremes, showing
     // *why* the best investment flips.
-    for hidden in [16usize, 1024] {
-        let model = NetworkKind::Gcn.build(dataset.features.dim(), hidden, 3, 1)?;
-        let report = Simulator::with_dataflow(base.clone(), dataflow)?.simulate(&model, &dataset)?;
-        let l0 = &report.layers[0];
+    for (i, &hidden) in hidden_dims.iter().enumerate() {
+        if hidden == 128 {
+            continue;
+        }
+        let l0 = &baseline_rows[i].report.layers[0];
         println!(
             "hidden {hidden:>4}: layer-0 dense engine {:>4.0}% busy, graph engine {:>4.0}% busy, {:.1} MB DRAM",
             l0.dense_engine_utilization() * 100.0,
@@ -61,5 +84,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             l0.dram_bytes() as f64 / 1e6,
         );
     }
+    println!(
+        "Sweep reused {} dataset and {} compiled sessions across {} points.",
+        runner.cached_datasets(),
+        runner.cached_sessions(),
+        scenarios.len()
+    );
     Ok(())
 }

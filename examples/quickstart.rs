@@ -1,9 +1,9 @@
-//! Quickstart: simulate a GCN on a (scaled-down) Cora through GNNerator and
-//! compare the feature-blocked dataflow against the conventional one.
+//! Quickstart: compile a GCN-on-Cora workload once into a [`SimSession`],
+//! then execute it under the feature-blocked and conventional dataflows.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use gnnerator::{DataflowConfig, GnneratorConfig, Simulator};
+use gnnerator::{DataflowConfig, GnneratorConfig, SimSession, Simulator};
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
 use std::error::Error;
@@ -19,19 +19,25 @@ fn main() -> Result<(), Box<dyn Error>> {
     let model = NetworkKind::Gcn.build_paper_config(dataset.features.dim(), 7)?;
     println!("Model:   {model}");
 
-    // 3. Simulate on the Table IV GNNerator configuration with the
-    //    feature-dimension-blocking dataflow (B = 64).
+    // 3. Open a session: the model and graph are validated once, and every
+    //    configuration compiled from here shares the session's shard plans.
+    let session = SimSession::new(model, &dataset)?;
     let config = GnneratorConfig::paper_default();
     println!("Target:  {config}");
-    let blocked = Simulator::new(config.clone())?.simulate(&model, &dataset)?;
+
+    // 4. Compile + execute the Table IV platform with the
+    //    feature-dimension-blocking dataflow (B = 64).
+    let blocked_workload = session.compile(&config, DataflowConfig::paper_default())?;
+    let blocked = Simulator::execute(&blocked_workload)?;
     println!();
     println!("--- feature-blocked dataflow (B = 64) ---");
     println!("{blocked}");
 
-    // 4. Compare with the conventional dataflow (the whole feature vector
-    //    stays on-chip, so far fewer nodes fit per shard).
-    let conventional = Simulator::with_dataflow(config, DataflowConfig::conventional())?
-        .simulate(&model, &dataset)?;
+    // 5. Compare with the conventional dataflow (the whole feature vector
+    //    stays on-chip, so far fewer nodes fit per shard). The session
+    //    reshards only because the shard parameter changes; identical
+    //    parameters would reuse the cached plan.
+    let conventional = session.simulate(&config, DataflowConfig::conventional())?;
     println!("--- conventional dataflow (B = D) ---");
     println!("{conventional}");
 
@@ -41,5 +47,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         conventional.dram_bytes() as f64 / 1e6,
         blocked.dram_bytes() as f64 / 1e6,
     );
+    println!("{session}");
     Ok(())
 }

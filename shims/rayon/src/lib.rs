@@ -1,0 +1,184 @@
+//! Hermetic stand-in for the `rayon` crate.
+//!
+//! Provides the `par_iter().map(..).collect()` shape the sweep engine uses,
+//! implemented with `std::thread::scope` and an atomic work-stealing cursor.
+//! Results are always collected **in input order**, independent of thread
+//! scheduling, so parallel execution is observably identical to serial
+//! execution for pure per-item work — the property the sweep determinism
+//! tests rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The rayon-style prelude: `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads a parallel map will use for a large input.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Conversion of `&collection` into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type iterated over.
+    type Item: Sync + 'data;
+
+    /// Returns a parallel iterator over references to the elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each element through `f` on the worker pool.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map on the worker pool and collects results in input order.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_ordered_vec(par_map_ordered(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelResults<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered_vec(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<T, E> FromParallelResults<Result<T, E>> for Result<Vec<T>, E> {
+    /// Folds to the first error in input order.
+    ///
+    /// Unlike real rayon this does **not** short-circuit the in-flight work:
+    /// every item is computed before the fold. An acceptable trade for this
+    /// workspace, where batch errors are rare and batches are modest.
+    fn from_ordered_vec(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+fn par_map_ordered<'data, T, R>(items: &'data [T], f: &(impl Fn(&'data T) -> R + Sync)) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_results_to_first_error_in_input_order() {
+        let input: Vec<i32> = vec![1, 2, 3];
+        let ok: Result<Vec<i32>, String> = input.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 3, 4]);
+        let err: Result<Vec<i32>, String> = input
+            .par_iter()
+            .map(|&x| {
+                if x == 2 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Hermetic stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so
+//! `#[derive(Serialize, Deserialize)]` compiles without network access, and
+//! defines the matching marker traits (blanket-implemented, since no code in
+//! the workspace serialises through serde yet).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

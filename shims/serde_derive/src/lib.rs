@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace builds hermetically (no crates.io access), and nothing in it
+//! actually serialises data yet — the derives on config/report types exist so
+//! downstream tooling can be added without touching every struct. These
+//! macros therefore accept any item and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts any derive input and generates no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any derive input and generates no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

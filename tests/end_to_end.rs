@@ -44,7 +44,10 @@ fn compiled_program_structure_matches_the_model() {
     assert_eq!(program.num_layers(), model.num_layers());
     assert_eq!(program.num_nodes, dataset.num_nodes());
     for plan in &program.layers {
-        assert!(plan.pre_dense.is_some(), "GraphSAGE-Pool layers have a pooling MLP");
+        assert!(
+            plan.pre_dense.is_some(),
+            "GraphSAGE-Pool layers have a pooling MLP"
+        );
         assert!(plan.post_dense.is_some());
         assert!(plan.aggregation.is_some());
         assert!(plan.block_size <= 64);
@@ -57,7 +60,11 @@ fn feature_blocking_helps_memory_bound_workloads() {
     // Citeseer (3703-dim features) is the paper's most memory-bound
     // workload: blocking must reduce both DRAM traffic and cycles once the
     // graph no longer fits on-chip under the conventional dataflow.
-    let dataset = DatasetKind::Citeseer.spec().scaled(0.6).synthesize(11).unwrap();
+    let dataset = DatasetKind::Citeseer
+        .spec()
+        .scaled(0.6)
+        .synthesize(11)
+        .unwrap();
     let model = NetworkKind::Gcn
         .build_paper_config(dataset.features.dim(), 6)
         .unwrap();
@@ -76,7 +83,10 @@ fn feature_blocking_helps_memory_bound_workloads() {
         conventional.layers[0].grid_dim > 1,
         "the conventional dataflow should need a multi-shard grid"
     );
-    assert_eq!(blocked.layers[0].grid_dim, 1, "blocking should fit the graph on-chip");
+    assert_eq!(
+        blocked.layers[0].grid_dim, 1,
+        "blocking should fit the graph on-chip"
+    );
     assert!(blocked.dram_bytes() < conventional.dram_bytes());
     assert!(blocked.total_cycles < conventional.total_cycles);
 }
@@ -94,7 +104,8 @@ fn accelerator_beats_both_baselines_on_the_paper_workloads() {
             .unwrap()
             .simulate(&model, &dataset)
             .unwrap();
-        let gpu = GpuModel::rtx_2080_ti().estimate(&model, dataset.num_nodes(), dataset.num_edges());
+        let gpu =
+            GpuModel::rtx_2080_ti().estimate(&model, dataset.num_nodes(), dataset.num_edges());
         let hygcn =
             HygcnModel::paper_default().estimate(&model, dataset.num_nodes(), dataset.num_edges());
         assert!(
@@ -117,7 +128,9 @@ fn scaled_configurations_never_slow_the_accelerator_down() {
     let dataset = tiny(DatasetKind::Pubmed, 9);
     let base_cfg = GnneratorConfig::paper_default();
     for hidden in [16usize, 256] {
-        let model = NetworkKind::Gcn.build(dataset.features.dim(), hidden, 3, 1).unwrap();
+        let model = NetworkKind::Gcn
+            .build(dataset.features.dim(), hidden, 3, 1)
+            .unwrap();
         let base = Simulator::new(base_cfg.clone())
             .unwrap()
             .simulate(&model, &dataset)
@@ -149,7 +162,11 @@ fn scaled_configurations_never_slow_the_accelerator_down() {
 fn traversal_order_choice_matches_the_analytical_model() {
     // The compiler's automatic order choice must agree with the Table I cost
     // model: destination-stationary for the conventional multi-shard grids.
-    let dataset = DatasetKind::Citeseer.spec().scaled(0.6).synthesize(2).unwrap();
+    let dataset = DatasetKind::Citeseer
+        .spec()
+        .scaled(0.6)
+        .synthesize(2)
+        .unwrap();
     let model = NetworkKind::Gcn
         .build_paper_config(dataset.features.dim(), 6)
         .unwrap();

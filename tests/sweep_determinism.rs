@@ -1,0 +1,159 @@
+//! Cross-crate determinism guarantees of the scenario-sweep engine: parallel
+//! execution over compile-once sessions must be observably identical — bit
+//! for bit — to serial, freshly-compiled, per-run simulation, and must not
+//! depend on the order scenarios are enumerated in.
+
+use gnnerator::{
+    DataflowConfig, GnneratorConfig, Report, ScenarioSpec, SimSession, Simulator, SweepRunner,
+};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+
+/// A 36-point grid: 3 datasets × 3 networks × 4 dataflow/config variants, at
+/// a small scale so the full matrix stays fast.
+fn scenario_grid() -> Vec<ScenarioSpec> {
+    let base = GnneratorConfig::paper_default();
+    let variants = [
+        (base.clone(), DataflowConfig::blocked(64)),
+        (base.clone(), DataflowConfig::blocked(32)),
+        (base.clone(), DataflowConfig::conventional()),
+        (
+            base.with_double_feature_bandwidth(),
+            DataflowConfig::blocked(64),
+        ),
+    ];
+    let mut scenarios = Vec::new();
+    for kind in DatasetKind::ALL {
+        for network in NetworkKind::ALL {
+            for (config, dataflow) in &variants {
+                scenarios.push(ScenarioSpec::new(
+                    network,
+                    kind.spec().scaled(0.04),
+                    13,
+                    16,
+                    4,
+                    config.clone(),
+                    *dataflow,
+                ));
+            }
+        }
+    }
+    scenarios
+}
+
+/// The pre-session way to run one scenario: synthesise, build, compile and
+/// simulate from scratch with a throwaway `Simulator`.
+fn fresh_per_run_report(scenario: &ScenarioSpec) -> Report {
+    let dataset = scenario.dataset.synthesize(scenario.seed).unwrap();
+    let model = scenario
+        .network
+        .build(
+            dataset.features.dim(),
+            scenario.hidden_dim,
+            scenario.out_dim,
+            scenario.hidden_layers,
+        )
+        .unwrap();
+    Simulator::with_dataflow(scenario.config.clone(), scenario.dataflow)
+        .unwrap()
+        .simulate(&model, &dataset)
+        .unwrap()
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_fresh_serial_simulation() {
+    let scenarios = scenario_grid();
+    assert!(scenarios.len() >= 32, "{} points", scenarios.len());
+
+    let runner = SweepRunner::new();
+    let parallel = runner.run(&scenarios).unwrap();
+    assert_eq!(parallel.len(), scenarios.len());
+
+    for (scenario, result) in scenarios.iter().zip(&parallel) {
+        let fresh = fresh_per_run_report(scenario);
+        assert_eq!(result.report, fresh, "{scenario}");
+    }
+}
+
+#[test]
+fn parallel_and_serial_runner_paths_agree() {
+    let scenarios = scenario_grid();
+    let runner = SweepRunner::new();
+    let parallel = runner.run(&scenarios).unwrap();
+    let serial = runner.run_serial(&scenarios).unwrap();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn scenario_order_does_not_change_results() {
+    let scenarios = scenario_grid();
+    let mut reversed = scenarios.clone();
+    reversed.reverse();
+    // Interleave a third order: odd indices first, then even.
+    let mut interleaved: Vec<ScenarioSpec> = scenarios.iter().skip(1).step_by(2).cloned().collect();
+    interleaved.extend(scenarios.iter().step_by(2).cloned());
+
+    let forward = SweepRunner::new().run(&scenarios).unwrap();
+    let backward = SweepRunner::new().run(&reversed).unwrap();
+    let shuffled = SweepRunner::new().run(&interleaved).unwrap();
+
+    let find = |results: &[gnnerator::ScenarioResult], scenario: &ScenarioSpec| {
+        results
+            .iter()
+            .find(|r| &r.scenario == scenario)
+            .unwrap_or_else(|| panic!("missing {scenario}"))
+            .report
+            .clone()
+    };
+    for scenario in &scenarios {
+        let a = find(&forward, scenario);
+        let b = find(&backward, scenario);
+        let c = find(&shuffled, scenario);
+        assert_eq!(a, b, "{scenario}");
+        assert_eq!(a, c, "{scenario}");
+    }
+}
+
+#[test]
+fn repeated_sweeps_over_one_runner_are_stable() {
+    let scenarios = scenario_grid();
+    let runner = SweepRunner::new();
+    let first = runner.run(&scenarios).unwrap();
+    // Second run hits every cache (datasets, sessions, shard plans).
+    let second = runner.run(&scenarios).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(runner.cached_datasets(), 3);
+    assert_eq!(runner.cached_sessions(), 9);
+}
+
+#[test]
+fn session_reuse_matches_fresh_compilation_end_to_end() {
+    let dataset = DatasetKind::Pubmed
+        .spec()
+        .scaled(0.04)
+        .synthesize(21)
+        .unwrap();
+    let model = NetworkKind::GraphsagePool
+        .build_paper_config(dataset.features.dim(), 3)
+        .unwrap();
+    let session = SimSession::new(model.clone(), &dataset).unwrap();
+    let config = GnneratorConfig::paper_default();
+
+    // Exercise the same session across many dataflows, interleaved with
+    // repeats, and compare every report against a from-scratch compile.
+    let dataflows = [
+        DataflowConfig::blocked(64),
+        DataflowConfig::conventional(),
+        DataflowConfig::blocked(16),
+        DataflowConfig::blocked(64),
+        DataflowConfig::conventional(),
+    ];
+    for dataflow in dataflows {
+        let reused = session.simulate(&config, dataflow).unwrap();
+        let fresh_session = SimSession::new(model.clone(), &dataset).unwrap();
+        let fresh = fresh_session.simulate(&config, dataflow).unwrap();
+        assert_eq!(reused, fresh, "{dataflow}");
+    }
+    // The repeats above must not have grown the plan cache.
+    assert!(session.cached_shard_plans() <= 3);
+}
