@@ -62,6 +62,10 @@ pub struct SweepBenchmark {
     pub threads: usize,
     /// Dataset scale the sweep ran at.
     pub scale: f64,
+    /// Seconds the sweep's sessions spent building shard grids, summed
+    /// across worker threads (CPU time, so it can exceed the wall-clock
+    /// `parallel_seconds` on multi-core runners; cache hits are free).
+    pub shard_build_seconds: f64,
 }
 
 impl SweepBenchmark {
@@ -87,11 +91,15 @@ impl SweepBenchmark {
         ));
         out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
         out.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        out.push_str(&format!(
+            "  \"shard_build_seconds\": {:.6},\n",
+            self.shard_build_seconds
+        ));
         out.push_str("  \"points\": [\n");
         for (i, result) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"label\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"total_cycles\": {}, \"seconds\": {:e}, \"dram_bytes\": {}}}{}\n",
+                "    {{\"label\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"total_cycles\": {}, \"seconds\": {:e}, \"dram_bytes\": {}, \"occupancy\": {:.6}, \"occupied_shards\": {}, \"simulate_seconds\": {:e}}}{}\n",
                 json_string(&result.scenario.label()),
                 json_string(result.scenario.network.short_name()),
                 json_string(result.scenario.dataset.name),
@@ -100,6 +108,9 @@ impl SweepBenchmark {
                 result.report.total_cycles,
                 result.report.seconds(),
                 result.report.dram_bytes(),
+                result.report.shard_occupancy(),
+                result.report.occupied_shards(),
+                result.simulate_seconds,
                 comma
             ));
         }
@@ -133,6 +144,7 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
     let start = Instant::now();
     let results = cold_runner.run(&scenarios)?;
     let parallel_seconds = start.elapsed().as_secs_f64();
+    let shard_build_seconds = cold_runner.total_shard_build_seconds();
 
     let start = Instant::now();
     let mut serial = Vec::with_capacity(scenarios.len());
@@ -165,6 +177,7 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
         bit_identical,
         threads: rayon::current_num_threads(),
         scale: ctx.options().scale,
+        shard_build_seconds,
     })
 }
 
@@ -217,11 +230,16 @@ mod tests {
     fn json_report_is_well_formed() {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let bench = bench_sweep(&ctx).unwrap();
+        assert!(bench.shard_build_seconds > 0.0);
         let json = bench.to_json();
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("\"num_points\": 36"));
+        assert!(json.contains("\"shard_build_seconds\""));
+        assert!(json.contains("\"occupancy\""));
+        assert!(json.contains("\"occupied_shards\""));
+        assert!(json.contains("\"simulate_seconds\""));
         assert!(json.contains("cora-gcn"));
         // Balanced braces/brackets (no raw quotes inside our labels).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -8,12 +8,8 @@
 //! a fast way to explore dataflow choices without running the simulator.
 
 use crate::program::{LayerPlan, Program};
+use gnnerator_graph::BYTES_PER_FEATURE_ELEMENT as BYTES_PER_ELEMENT;
 use serde::{Deserialize, Serialize};
-
-/// Bytes per feature element (fp32).
-const BYTES_PER_ELEMENT: u64 = 4;
-/// Bytes per edge record.
-const BYTES_PER_EDGE: u64 = 8;
 
 /// Analytical off-chip traffic estimate for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,17 +93,16 @@ pub fn estimate_layer_traffic(plan: &LayerPlan) -> LayerTrafficEstimate {
         write += num_nodes * pre.out_dim as u64 * BYTES_PER_ELEMENT;
     }
 
-    // Aggregation over the shard grid: per feature block, every shard's edge
-    // list plus the active slice of each unique source's feature.
+    // Aggregation over the shard grid: per feature block, every occupied
+    // shard's edge list plus the active slice of each unique source's
+    // feature. The sparse grid's metadata makes this a sum over occupied
+    // shards — no edge lists are walked.
     if plan.aggregation.is_some() {
         let mut edge_bytes = 0u64;
         let mut unique_source_loads = 0u64;
-        for shard in plan.grid.iter() {
-            if shard.is_empty() {
-                continue;
-            }
-            edge_bytes += shard.num_edges() as u64 * BYTES_PER_EDGE;
-            unique_source_loads += shard.unique_sources().len() as u64;
+        for meta in plan.grid.metas() {
+            edge_bytes += meta.edge_fetch_bytes();
+            unique_source_loads += meta.unique_source_count() as u64;
         }
         read += blocks * edge_bytes;
         read += blocks * unique_source_loads * plan.block_size as u64 * BYTES_PER_ELEMENT;

@@ -95,8 +95,11 @@ pub fn execute_blocked(
             for block_idx in 0..plan.num_blocks {
                 let lo = block_idx * plan.block_size;
                 let hi = (lo + plan.block_size).min(dim);
-                for coord in plan.grid.traversal(plan.traversal) {
-                    let shard = plan.grid.shard(coord);
+                // Walk only occupied shards, in the same serpentine order the
+                // hardware would: empty shards contribute no edges, so the
+                // edge-processing order (and the floating-point result) is
+                // unchanged.
+                for shard in plan.grid.occupied_traversal(plan.traversal) {
                     for edge in shard.edges() {
                         let (src, dst) = (edge.src as usize, edge.dst as usize);
                         if block_idx == 0 {

@@ -9,14 +9,9 @@
 //! shard's fetch overlaps the current shard's compute.
 
 use crate::{GnneratorError, GraphEngineConfig};
-use gnnerator_graph::Shard;
+use gnnerator_graph::{ShardMeta, BYTES_PER_FEATURE_ELEMENT as BYTES_PER_ELEMENT};
 use gnnerator_sim::Cycle;
 use serde::{Deserialize, Serialize};
-
-/// Bytes per feature element (fp32).
-const BYTES_PER_ELEMENT: u64 = 4;
-/// Bytes per edge record (32-bit source id + 32-bit destination id).
-const BYTES_PER_EDGE: u64 = 8;
 
 /// The Shard Compute Unit: an array of Graph Processing Elements, each a set
 /// of SIMD apply/reduce lanes.
@@ -92,6 +87,10 @@ impl ShardComputeUnit {
 /// The Shard Edge Fetch, Shard Feature Fetch and Shard Writeback units'
 /// traffic model: how many bytes must move for one shard under a given
 /// feature-block width.
+///
+/// The per-shard inputs are [`ShardMeta`] records — the sparse grid's
+/// precomputed edge/endpoint counts — so costing a shard never touches its
+/// edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct FetchPlanner;
 
@@ -102,14 +101,14 @@ impl FetchPlanner {
     }
 
     /// Bytes of edge records fetched for a shard.
-    pub fn edge_bytes(&self, shard: &Shard) -> u64 {
-        shard.num_edges() as u64 * BYTES_PER_EDGE
+    pub fn edge_bytes(&self, shard: &ShardMeta) -> u64 {
+        shard.edge_fetch_bytes()
     }
 
     /// Bytes of source-node features fetched for a shard when `block_dim`
     /// feature dimensions are resident.
-    pub fn source_feature_bytes(&self, shard: &Shard, block_dim: usize) -> u64 {
-        shard.unique_sources().len() as u64 * block_dim as u64 * BYTES_PER_ELEMENT
+    pub fn source_feature_bytes(&self, shard: &ShardMeta, block_dim: usize) -> u64 {
+        shard.source_feature_bytes(block_dim)
     }
 
     /// Bytes of destination accumulators written back for `num_dst_nodes`
@@ -213,10 +212,13 @@ mod tests {
     use super::*;
     use gnnerator_graph::{EdgeList, ShardGrid};
 
-    fn sample_shard() -> Shard {
+    fn sample_meta() -> ShardMeta {
         let edges = EdgeList::from_pairs(8, &[(0, 4), (1, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
         let grid = ShardGrid::build(&edges, 4).unwrap();
-        grid.shard(gnnerator_graph::ShardCoord::new(0, 1)).clone()
+        *grid
+            .shard(gnnerator_graph::ShardCoord::new(0, 1))
+            .meta()
+            .expect("shard (0, 1) is occupied")
     }
 
     #[test]
@@ -254,12 +256,17 @@ mod tests {
 
     #[test]
     fn fetch_planner_byte_accounting() {
-        let shard = sample_shard();
+        let meta = sample_meta();
         let f = FetchPlanner::new();
-        assert_eq!(f.edge_bytes(&shard), shard.num_edges() as u64 * 8);
+        assert_eq!(f.edge_bytes(&meta), meta.num_edges() as u64 * 8);
+        assert_eq!(f.edge_bytes(&meta), meta.edge_fetch_bytes());
         assert_eq!(
-            f.source_feature_bytes(&shard, 64),
-            shard.unique_sources().len() as u64 * 64 * 4
+            f.source_feature_bytes(&meta, 64),
+            meta.unique_source_count() as u64 * 64 * 4
+        );
+        assert_eq!(
+            f.source_feature_bytes(&meta, 64),
+            meta.source_feature_bytes(64)
         );
         assert_eq!(f.destination_bytes(100, 16), 100 * 16 * 4);
         assert_eq!(f.destination_reload_bytes(100, 16), 2 * 100 * 16 * 4);

@@ -130,6 +130,32 @@ impl Report {
         self.dram_read_bytes() + self.dram_write_bytes()
     }
 
+    /// Total non-empty shards processed per feature block, summed over
+    /// layers.
+    pub fn occupied_shards(&self) -> usize {
+        self.layers.iter().map(|l| l.occupied_shards).sum()
+    }
+
+    /// Fraction of shard-grid cells (summed over layers) that contained
+    /// edges — how much of a dense `S²` sweep the occupancy-aware walk
+    /// actually performs.
+    ///
+    /// Only layers that processed shards count: a layer with no aggregation
+    /// stage never walks its grid, so its cells would deflate the metric.
+    /// Returns `1.0` when no layer walked any shards (nothing was skipped).
+    pub fn shard_occupancy(&self) -> f64 {
+        let cells: usize = self
+            .layers
+            .iter()
+            .filter(|l| l.occupied_shards > 0)
+            .map(|l| l.grid_dim * l.grid_dim)
+            .sum();
+        if cells == 0 {
+            return 1.0;
+        }
+        self.occupied_shards() as f64 / cells as f64
+    }
+
     /// Speedup of this run over a baseline that took `baseline_seconds`.
     pub fn speedup_over_seconds(&self, baseline_seconds: f64) -> f64 {
         baseline_seconds / self.seconds()
@@ -207,6 +233,27 @@ mod tests {
         assert_eq!(r.dram_read_bytes(), 1500);
         assert_eq!(r.dram_write_bytes(), 300);
         assert_eq!(r.dram_bytes(), 1800);
+    }
+
+    #[test]
+    fn occupancy_aggregates_layers() {
+        let mut r = report(100);
+        // Two layers of 2x2 grids with 3 occupied shards each.
+        assert_eq!(r.occupied_shards(), 6);
+        assert!((r.shard_occupancy() - 6.0 / 8.0).abs() < 1e-9);
+        // A layer that never walked its grid (no aggregation stage) does not
+        // deflate the ratio.
+        let mut dense_only = layer(100, 0, 0);
+        dense_only.occupied_shards = 0;
+        r.layers.push(dense_only);
+        assert_eq!(r.occupied_shards(), 6);
+        assert!((r.shard_occupancy() - 6.0 / 8.0).abs() < 1e-9);
+        let empty = Report {
+            layers: vec![],
+            ..report(100)
+        };
+        assert_eq!(empty.occupied_shards(), 0);
+        assert!((empty.shard_occupancy() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl SimSession {
         self.plans.cached_plans()
     }
 
+    /// Cumulative wall-clock seconds this session has spent building shard
+    /// grids (cache hits are free; feeds `BENCH_sweep.json`'s
+    /// `shard_build_seconds`).
+    pub fn shard_build_seconds(&self) -> f64 {
+        self.plans.build_seconds()
+    }
+
     /// Compiles this session's workload for one `(platform, dataflow)` point.
     ///
     /// Shard grids are reused from the session cache whenever the derived

@@ -2,7 +2,7 @@
 
 use crate::program::LayerPlan;
 use crate::GraphEngine;
-use gnnerator_graph::{ShardCoord, TraversalOrder};
+use gnnerator_graph::{ShardMeta, TraversalOrder};
 use gnnerator_sim::{Cycle, DramModel};
 
 /// Per-destination-column completion bookkeeping for one feature block.
@@ -67,31 +67,31 @@ impl<'e> GraphTimer<'e> {
         self.stall
     }
 
-    /// Processes one shard through the fetch → compute pipeline, updating the
-    /// engine cursors and the column completion times.
+    /// Processes one occupied shard through the fetch → compute pipeline,
+    /// updating the engine cursors and the column completion times.
     ///
-    /// Returns `true` if the shard contained edges (occupancy accounting).
+    /// Callers hand in the shard's precomputed [`ShardMeta`]; the sparse
+    /// grid's occupancy-aware walks never surface empty shards (which are
+    /// no-ops by construction: no bytes, no cycles, no column updates).
     #[allow(clippy::too_many_arguments)]
     pub fn process_shard(
         &mut self,
         plan: &LayerPlan,
         dram: &mut DramModel,
-        coord: ShardCoord,
+        meta: &ShardMeta,
         block_dim: usize,
         pre_done: &[Cycle],
         layer_start: Cycle,
         columns: &mut ColumnState,
-    ) -> bool {
-        let shard = plan.grid.shard(coord);
-        if shard.is_empty() {
-            return false;
-        }
+    ) {
+        debug_assert!(meta.num_edges() > 0, "occupied walks never yield empties");
+        let coord = meta.coord();
         let fetch = self.engine.fetch();
-        let mut load_bytes = fetch.edge_bytes(shard) + fetch.source_feature_bytes(shard, block_dim);
+        let mut load_bytes = fetch.edge_bytes(meta) + fetch.source_feature_bytes(meta, block_dim);
         let mut spill_bytes = 0u64;
         if plan.traversal == TraversalOrder::SourceStationary {
             // Destination accumulators do not stay resident across rows.
-            let dst_nodes = shard.unique_destinations().len();
+            let dst_nodes = meta.unique_destination_count();
             if columns.visited[coord.dst_block] {
                 load_bytes += fetch.destination_bytes(dst_nodes, block_dim);
             }
@@ -109,7 +109,7 @@ impl<'e> GraphTimer<'e> {
 
         let load_done = dram.read(self.fetch_free, load_bytes);
         self.fetch_free = load_done;
-        let compute_cycles = self.engine.shard_cycles(shard.num_edges(), block_dim);
+        let compute_cycles = self.engine.shard_cycles(meta.num_edges(), block_dim);
         let start = self.compute_free.max(load_done).max(dependency);
         self.stall += start - self.compute_free;
         let end = start + compute_cycles;
@@ -119,6 +119,5 @@ impl<'e> GraphTimer<'e> {
             dram.write(end, spill_bytes);
         }
         columns.done[coord.dst_block] = columns.done[coord.dst_block].max(end);
-        true
     }
 }

@@ -5,7 +5,7 @@ use super::dense_timing::DenseTimer;
 use super::graph_timing::{ColumnState, GraphTimer};
 use crate::program::LayerPlan;
 use crate::{DenseEngine, GraphEngine, LayerReport};
-use gnnerator_graph::{ShardCoord, TraversalOrder};
+use gnnerator_graph::TraversalOrder;
 use gnnerator_sim::{Cycle, DramModel};
 
 /// Simulates one layer, returning a report with cycles counted from the
@@ -55,22 +55,29 @@ pub(crate) fn simulate_layer(
         let mut columns = ColumnState::new(s, layer_start);
 
         if plan.aggregation.is_some() {
+            // The walks below visit only *occupied* shards through the sparse
+            // grid index. Empty shards are provably no-ops in `process_shard`
+            // (no DRAM requests, no cycles, no column updates), so skipping
+            // them leaves every cycle and byte count bit-identical while the
+            // loop scales with occupied shards instead of `S²`.
             match plan.traversal {
                 TraversalOrder::DestinationStationary => {
                     // Column by column; the consumer dense job for a column
-                    // is issued as soon as the column finishes.
+                    // is issued as soon as the column finishes. Within a
+                    // column the occupied shards come back in ascending
+                    // source-block order, matching the dense walk.
                     for dst in 0..s {
-                        for src in 0..s {
-                            let non_empty = graph.process_shard(
+                        for meta in plan.grid.column_metas(dst) {
+                            graph.process_shard(
                                 plan,
                                 dram,
-                                ShardCoord::new(src, dst),
+                                meta,
                                 block_dim,
                                 &pre_done,
                                 layer_start,
                                 &mut columns,
                             );
-                            if non_empty && first_block {
+                            if first_block {
                                 occupied_shards += 1;
                             }
                         }
@@ -91,17 +98,17 @@ pub(crate) fn simulate_layer(
                     // between visits, and the consumer dense jobs can only
                     // run after the final row.
                     for src in 0..s {
-                        for dst in 0..s {
-                            let non_empty = graph.process_shard(
+                        for meta in plan.grid.row_metas(src) {
+                            graph.process_shard(
                                 plan,
                                 dram,
-                                ShardCoord::new(src, dst),
+                                meta,
                                 block_dim,
                                 &pre_done,
                                 layer_start,
                                 &mut columns,
                             );
-                            if non_empty && first_block {
+                            if first_block {
                                 occupied_shards += 1;
                             }
                         }

@@ -8,6 +8,13 @@
 //! between the two engines ([`layer`]). It executes a compiled
 //! [`Program`](crate::Program) layer by layer and feature block by feature
 //! block, following Algorithm 1.
+//!
+//! The walk over the shard grid is **occupancy-aware**: each column (or row,
+//! under the source-stationary order) visits only the shards the sparse
+//! [`ShardGrid`](gnnerator_graph::ShardGrid) index lists as non-empty. Empty
+//! shards move no bytes and consume no cycles, so the reports are
+//! bit-identical to a dense `S²` sweep while the cost per feature block drops
+//! from `O(S²)` to `O(occupied + S)`.
 
 mod dense_timing;
 mod graph_timing;

@@ -19,6 +19,7 @@ use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One scenario point of a sweep: everything needed to synthesise the
 /// dataset, build the model and simulate it under one configuration.
@@ -100,7 +101,7 @@ impl fmt::Display for ScenarioSpec {
 }
 
 /// The result of one scenario point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// The scenario that was simulated.
     pub scenario: ScenarioSpec,
@@ -110,6 +111,19 @@ pub struct ScenarioResult {
     pub num_nodes: usize,
     /// Edges in the materialised graph (for baseline estimators).
     pub num_edges: usize,
+    /// Wall-clock seconds this point took to compile (against warm caches)
+    /// and simulate. Excluded from equality: timing jitter must not break
+    /// the bit-identity guarantees the sweep engine is tested against.
+    pub simulate_seconds: f64,
+}
+
+impl PartialEq for ScenarioResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+            && self.report == other.report
+            && self.num_nodes == other.num_nodes
+            && self.num_edges == other.num_edges
+    }
 }
 
 type DatasetKey = (DatasetSpec, u64);
@@ -244,12 +258,15 @@ impl SweepRunner {
     /// Propagates synthesis, compilation and simulation errors.
     pub fn run_one(&self, scenario: &ScenarioSpec) -> Result<ScenarioResult, GnneratorError> {
         let session = self.session(scenario)?;
+        let start = Instant::now();
         let report = session.simulate(&scenario.config, scenario.dataflow)?;
+        let simulate_seconds = start.elapsed().as_secs_f64();
         Ok(ScenarioResult {
             scenario: scenario.clone(),
             report,
             num_nodes: session.num_nodes(),
             num_edges: session.num_edges(),
+            simulate_seconds,
         })
     }
 
@@ -309,6 +326,17 @@ impl SweepRunner {
     /// Number of sessions compiled so far.
     pub fn cached_sessions(&self) -> usize {
         self.sessions.lock().expect("session cache poisoned").len()
+    }
+
+    /// Cumulative wall-clock seconds every cached session has spent building
+    /// shard grids.
+    pub fn total_shard_build_seconds(&self) -> f64 {
+        self.sessions
+            .lock()
+            .expect("session cache poisoned")
+            .values()
+            .map(|session| session.shard_build_seconds())
+            .sum()
     }
 }
 
@@ -371,6 +399,20 @@ mod tests {
             assert_eq!(result.report.model_name, scenario.network.to_string());
             assert_eq!(result.report.dataset_name, scenario.dataset.name);
         }
+    }
+
+    #[test]
+    fn timing_metadata_is_recorded_but_ignored_by_equality() {
+        let scenarios = scenario_grid();
+        let runner = SweepRunner::new();
+        let results = runner.run(&scenarios).unwrap();
+        assert!(results.iter().all(|r| r.simulate_seconds > 0.0));
+        assert!(runner.total_shard_build_seconds() > 0.0);
+        let mut a = results[0].clone();
+        let mut b = results[0].clone();
+        a.simulate_seconds = 1.0;
+        b.simulate_seconds = 2.0;
+        assert_eq!(a, b, "wall-clock jitter must not break bit-identity");
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi and an
 //!   R-MAT/power-law generator) used to stand in for the real datasets,
 //! * [`datasets`] — the Table II dataset specifications and synthesisers,
-//! * [`ShardGrid`] — the 2-D shard grid with source-/destination-stationary
-//!   traversal orders,
+//! * [`ShardGrid`] — the 2-D shard grid, stored sparsely as one sorted edge
+//!   arena plus per-occupied-shard [`ShardMeta`], with source-/destination-
+//!   stationary traversal orders that skip empty cells,
 //! * [`GraphStats`] — degree and locality statistics used in reports.
 //!
 //! # Examples
@@ -48,7 +49,10 @@ pub use edge_list::{Edge, EdgeList};
 pub use error::GraphError;
 pub use features::NodeFeatures;
 pub use plan_cache::{PlanKey, ShardPlanCache};
-pub use shard::{Shard, ShardCoord, ShardGrid, TraversalOrder};
+pub use shard::{
+    OccupiedTraversal, SerpentineCoords, ShardCoord, ShardGrid, ShardMeta, ShardView,
+    TraversalOrder, BYTES_PER_EDGE, BYTES_PER_FEATURE_ELEMENT,
+};
 pub use stats::GraphStats;
 
 /// Node identifier type used throughout the workspace.

@@ -10,6 +10,7 @@
 use crate::{EdgeList, GraphError, ShardGrid};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Cache key: the two parameters that determine a shard grid for a fixed
 /// edge list.
@@ -48,6 +49,10 @@ pub struct ShardPlanCache {
     edges: EdgeList,
     with_self_loops: OnceLock<EdgeList>,
     plans: Mutex<HashMap<PlanKey, Arc<ShardGrid>>>,
+    /// Cumulative wall-clock seconds spent inside [`ShardGrid::build`]
+    /// (cache hits cost nothing; racing duplicate builds both count, since
+    /// both actually burned the time).
+    build_seconds: Mutex<f64>,
 }
 
 impl ShardPlanCache {
@@ -57,6 +62,7 @@ impl ShardPlanCache {
             edges,
             with_self_loops: OnceLock::new(),
             plans: Mutex::new(HashMap::new()),
+            build_seconds: Mutex::new(0.0),
         }
     }
 
@@ -101,7 +107,10 @@ impl ShardPlanCache {
         } else {
             &self.edges
         };
+        let build_start = Instant::now();
         let grid = Arc::new(ShardGrid::build(edges, nodes_per_shard)?);
+        *self.build_seconds.lock().expect("build timer poisoned") +=
+            build_start.elapsed().as_secs_f64();
         let mut plans = self.plans.lock().expect("plan cache poisoned");
         Ok(Arc::clone(plans.entry(key).or_insert(grid)))
     }
@@ -109,6 +118,12 @@ impl ShardPlanCache {
     /// Number of distinct shard grids currently cached.
     pub fn cached_plans(&self) -> usize {
         self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Cumulative wall-clock seconds this cache has spent building shard
+    /// grids (cache hits are free).
+    pub fn build_seconds(&self) -> f64 {
+        *self.build_seconds.lock().expect("build timer poisoned")
     }
 }
 
@@ -149,6 +164,19 @@ mod tests {
         let cached = cache.plan(16, false).unwrap();
         let fresh = ShardGrid::build(&edges, 16).unwrap();
         assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn build_seconds_accumulate_only_on_misses() {
+        let cache = cache();
+        assert_eq!(cache.build_seconds(), 0.0);
+        cache.plan(16, false).unwrap();
+        let after_first = cache.build_seconds();
+        assert!(after_first > 0.0);
+        cache.plan(16, false).unwrap();
+        assert_eq!(cache.build_seconds(), after_first, "hits are free");
+        cache.plan(64, false).unwrap();
+        assert!(cache.build_seconds() > after_first);
     }
 
     #[test]

@@ -3,6 +3,12 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
+/// Bytes per edge record streamed by the Shard Edge Fetch unit (32-bit source
+/// id + 32-bit destination id).
+pub const BYTES_PER_EDGE: u64 = 8;
+/// Bytes per feature element (fp32) moved by the Shard Feature Fetch unit.
+pub const BYTES_PER_FEATURE_ELEMENT: u64 = 4;
+
 /// Traversal order over the 2-D shard grid (Section IV-A, Table I).
 ///
 /// * **Source-stationary** walks across a *row* of the grid: one block of
@@ -59,41 +65,100 @@ impl fmt::Display for ShardCoord {
     }
 }
 
-/// One sub-graph shard: the edges whose sources fall in one node block and
-/// whose destinations fall in another.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Shard {
+/// Precomputed metadata of one *occupied* shard: everything the timing
+/// simulator and the traffic models need, without touching the shard's edges.
+///
+/// A [`ShardGrid`] stores one `ShardMeta` per non-empty grid cell. The edge
+/// count and the distinct-endpoint counts are fixed at build time, so the
+/// cycle/byte cost of processing a shard under any feature-block width is a
+/// couple of multiplies away — the simulator's hot loop never walks edge
+/// lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMeta {
     coord: ShardCoord,
-    edges: Vec<Edge>,
-    unique_sources: Vec<NodeId>,
-    unique_destinations: Vec<NodeId>,
+    /// Start of this shard's edges in the grid's shared arena.
+    edge_start: u32,
+    num_edges: u32,
+    unique_sources: u32,
+    unique_destinations: u32,
 }
 
-impl Shard {
-    fn new(coord: ShardCoord, mut edges: Vec<Edge>) -> Self {
-        edges.sort_unstable();
-        let mut unique_sources: Vec<NodeId> = edges.iter().map(|e| e.src).collect();
-        unique_sources.sort_unstable();
-        unique_sources.dedup();
-        let mut unique_destinations: Vec<NodeId> = edges.iter().map(|e| e.dst).collect();
-        unique_destinations.sort_unstable();
-        unique_destinations.dedup();
-        Self {
-            coord,
-            edges,
-            unique_sources,
-            unique_destinations,
-        }
-    }
-
+impl ShardMeta {
     /// The shard's grid coordinate.
     pub fn coord(&self) -> ShardCoord {
         self.coord
     }
 
+    /// Number of edges in the shard (always positive: only occupied shards
+    /// have metadata).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges as usize
+    }
+
+    /// Number of distinct source nodes referenced by the shard's edges.
+    ///
+    /// The Shard Feature Fetch unit must bring these nodes' features (or the
+    /// active block of their dimensions) on-chip before compute starts.
+    pub fn unique_source_count(&self) -> usize {
+        self.unique_sources as usize
+    }
+
+    /// Number of distinct destination nodes referenced by the shard's edges.
+    pub fn unique_destination_count(&self) -> usize {
+        self.unique_destinations as usize
+    }
+
+    /// Bytes of edge records the Shard Edge Fetch unit streams for this shard.
+    pub fn edge_fetch_bytes(&self) -> u64 {
+        self.num_edges as u64 * BYTES_PER_EDGE
+    }
+
+    /// Bytes of source-node features fetched when `block_dim` feature
+    /// dimensions are resident.
+    pub fn source_feature_bytes(&self, block_dim: usize) -> u64 {
+        self.unique_sources as u64 * block_dim as u64 * BYTES_PER_FEATURE_ELEMENT
+    }
+
+    /// Bytes of destination accumulators touched when `block_dim` feature
+    /// dimensions are resident (one spill *or* one reload; Table I's
+    /// write-cost term pays it twice).
+    pub fn destination_feature_bytes(&self, block_dim: usize) -> u64 {
+        self.unique_destinations as u64 * block_dim as u64 * BYTES_PER_FEATURE_ELEMENT
+    }
+
+    fn edge_range(&self) -> Range<usize> {
+        let start = self.edge_start as usize;
+        start..start + self.num_edges as usize
+    }
+}
+
+/// A borrowed view of one shard: its metadata plus its slice of the grid's
+/// shared edge arena.
+///
+/// Produced by [`ShardGrid::shard`], [`ShardGrid::iter`] and
+/// [`ShardGrid::occupied_traversal`]. Views are cheap (two pointers); the
+/// edges themselves live in the grid's arena and are never copied.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    coord: ShardCoord,
+    meta: Option<&'a ShardMeta>,
+    edges: &'a [Edge],
+}
+
+impl<'a> ShardView<'a> {
+    /// The shard's grid coordinate.
+    pub fn coord(&self) -> ShardCoord {
+        self.coord
+    }
+
+    /// The shard's metadata, or `None` if the shard is empty.
+    pub fn meta(&self) -> Option<&'a ShardMeta> {
+        self.meta
+    }
+
     /// Edges contained in the shard, sorted by `(src, dst)`.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    pub fn edges(&self) -> &'a [Edge] {
+        self.edges
     }
 
     /// Number of edges in the shard.
@@ -106,27 +171,39 @@ impl Shard {
         self.edges.is_empty()
     }
 
-    /// Distinct source nodes referenced by the shard's edges.
-    ///
-    /// The Shard Feature Fetch Unit must bring these nodes' features (or the
-    /// active block of their dimensions) on-chip before compute starts.
-    pub fn unique_sources(&self) -> &[NodeId] {
-        &self.unique_sources
+    /// Number of distinct source nodes referenced by the shard's edges.
+    pub fn unique_source_count(&self) -> usize {
+        self.meta.map_or(0, ShardMeta::unique_source_count)
     }
 
-    /// Distinct destination nodes referenced by the shard's edges.
-    pub fn unique_destinations(&self) -> &[NodeId] {
-        &self.unique_destinations
+    /// Number of distinct destination nodes referenced by the shard's edges.
+    pub fn unique_destination_count(&self) -> usize {
+        self.meta.map_or(0, ShardMeta::unique_destination_count)
     }
 }
 
-/// A GridGraph-style two-dimensional shard grid (Figure 1).
+/// A GridGraph-style two-dimensional shard grid (Figure 1), stored sparsely.
 ///
 /// The node id space is cut into `grid_dim` contiguous blocks of at most
 /// `nodes_per_shard` nodes; shard `(i, j)` holds every edge whose source lies
 /// in block `i` and whose destination lies in block `j`. Each shard therefore
 /// contains at most `nodes_per_shard²` edges, matching the paper's "maximum
 /// of n² edges" definition.
+///
+/// Real graphs sharded this way are extremely sparse at the shard level —
+/// most of the `S²` cells hold no edges — so the grid never materialises
+/// per-cell storage. Instead it keeps:
+///
+/// * one **edge arena**: every edge, sorted by `(src_block, dst_block, src,
+///   dst)`, so each shard's edges are one contiguous slice;
+/// * one [`ShardMeta`] per *occupied* shard (row-major), carrying the edge
+///   count, distinct-endpoint counts and arena offset;
+/// * CSR-style offset indexes over both grid axes (`row_offsets` for
+///   source-stationary walks, `col_offsets`/`col_entries` for
+///   destination-stationary walks), so traversals touch only occupied cells.
+///
+/// Memory is `O(E + occupied + S)` instead of the dense `O(S² + E)` (with a
+/// second edge copy) a `Vec<Shard>` layout costs.
 ///
 /// # Examples
 ///
@@ -138,8 +215,12 @@ impl Shard {
 /// let grid = ShardGrid::build(&edges, 3)?;
 /// assert_eq!(grid.grid_dim(), 2);
 /// assert_eq!(grid.total_edges(), 4);
+/// // The four edges land in two of the four grid cells; the occupancy-aware
+/// // walk visits only those.
+/// assert_eq!(grid.occupied_shards(), 2);
 /// let visited: Vec<_> = grid.traversal(TraversalOrder::DestinationStationary).collect();
 /// assert_eq!(visited.len(), 4);
+/// assert_eq!(grid.occupied_traversal(TraversalOrder::DestinationStationary).count(), 2);
 /// # Ok(())
 /// # }
 /// ```
@@ -148,13 +229,28 @@ pub struct ShardGrid {
     num_nodes: usize,
     nodes_per_shard: usize,
     grid_dim: usize,
-    /// Row-major `grid_dim x grid_dim` shard storage.
-    shards: Vec<Shard>,
+    /// Every edge, sorted by `(src_block, dst_block, src, dst)`.
+    arena: Vec<Edge>,
+    /// Metadata of occupied shards, row-major (`src_block` outer).
+    metas: Vec<ShardMeta>,
+    /// `metas[row_offsets[i]..row_offsets[i + 1]]` are row `i`'s occupied
+    /// shards, in ascending `dst_block` order.
+    row_offsets: Vec<usize>,
+    /// Indices into `metas`, sorted column-major (`dst_block` outer).
+    col_entries: Vec<usize>,
+    /// `col_entries[col_offsets[j]..col_offsets[j + 1]]` are column `j`'s
+    /// occupied shards, in ascending `src_block` order.
+    col_offsets: Vec<usize>,
 }
 
 impl ShardGrid {
     /// Builds a shard grid from an edge list, with at most `nodes_per_shard`
     /// source (and destination) nodes per shard.
+    ///
+    /// The build is a single sort of the edge arena by shard coordinate
+    /// followed by one linear scan that emits per-shard metadata — no
+    /// per-cell buckets are ever allocated, so the cost is
+    /// `O(E log E + S)` regardless of how empty the grid is.
     ///
     /// # Errors
     ///
@@ -168,26 +264,95 @@ impl ShardGrid {
         if num_nodes == 0 {
             return Err(GraphError::invalid("edges", "graph has no nodes"));
         }
-        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
-        let mut buckets: Vec<Vec<Edge>> = vec![Vec::new(); grid_dim * grid_dim];
-        for e in edges.iter() {
-            let i = e.src as usize / nodes_per_shard;
-            let j = e.dst as usize / nodes_per_shard;
-            buckets[i * grid_dim + j].push(*e);
+        if edges.num_edges() > u32::MAX as usize {
+            return Err(GraphError::invalid(
+                "edges",
+                "edge count exceeds the 32-bit arena index space",
+            ));
         }
-        let shards = buckets
-            .into_iter()
-            .enumerate()
-            .map(|(idx, bucket)| {
-                let coord = ShardCoord::new(idx / grid_dim, idx % grid_dim);
-                Shard::new(coord, bucket)
-            })
-            .collect();
+        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+
+        let mut arena: Vec<Edge> = edges.iter().copied().collect();
+        arena.sort_unstable_by_key(|e| {
+            (
+                e.src as usize / nodes_per_shard,
+                e.dst as usize / nodes_per_shard,
+                e.src,
+                e.dst,
+            )
+        });
+
+        // One scan over the sorted arena: each run of equal (src_block,
+        // dst_block) is an occupied shard. Within a run edges are sorted by
+        // (src, dst), so distinct sources fall out of adjacent comparisons;
+        // distinct destinations need one small sort of the run's endpoints.
+        let mut metas: Vec<ShardMeta> = Vec::new();
+        let mut dst_scratch: Vec<NodeId> = Vec::new();
+        let mut start = 0usize;
+        while start < arena.len() {
+            let coord = ShardCoord::new(
+                arena[start].src as usize / nodes_per_shard,
+                arena[start].dst as usize / nodes_per_shard,
+            );
+            let mut end = start + 1;
+            while end < arena.len()
+                && arena[end].src as usize / nodes_per_shard == coord.src_block
+                && arena[end].dst as usize / nodes_per_shard == coord.dst_block
+            {
+                end += 1;
+            }
+            let run = &arena[start..end];
+            let unique_sources = 1 + run.windows(2).filter(|w| w[0].src != w[1].src).count();
+            dst_scratch.clear();
+            dst_scratch.extend(run.iter().map(|e| e.dst));
+            dst_scratch.sort_unstable();
+            dst_scratch.dedup();
+            metas.push(ShardMeta {
+                coord,
+                edge_start: start as u32,
+                num_edges: (end - start) as u32,
+                unique_sources: unique_sources as u32,
+                unique_destinations: dst_scratch.len() as u32,
+            });
+            start = end;
+        }
+
+        // Row index: metas are already row-major, so offsets come from one
+        // counting pass.
+        let mut row_offsets = vec![0usize; grid_dim + 1];
+        for meta in &metas {
+            row_offsets[meta.coord.src_block + 1] += 1;
+        }
+        for i in 0..grid_dim {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+
+        // Column index: a permutation of the meta indices grouped by
+        // destination block, ascending source block within each group.
+        let mut col_offsets = vec![0usize; grid_dim + 1];
+        for meta in &metas {
+            col_offsets[meta.coord.dst_block + 1] += 1;
+        }
+        for j in 0..grid_dim {
+            col_offsets[j + 1] += col_offsets[j];
+        }
+        let mut col_entries = vec![0usize; metas.len()];
+        let mut cursor = col_offsets.clone();
+        for (index, meta) in metas.iter().enumerate() {
+            let slot = cursor[meta.coord.dst_block];
+            col_entries[slot] = index;
+            cursor[meta.coord.dst_block] += 1;
+        }
+
         Ok(Self {
             num_nodes,
             nodes_per_shard,
             grid_dim,
-            shards,
+            arena,
+            metas,
+            row_offsets,
+            col_entries,
+            col_offsets,
         })
     }
 
@@ -208,26 +373,96 @@ impl ShardGrid {
 
     /// Total number of edges across all shards.
     pub fn total_edges(&self) -> usize {
-        self.shards.iter().map(Shard::num_edges).sum()
+        self.arena.len()
     }
 
-    /// The shard at `coord`.
+    /// Number of shards that contain at least one edge.
+    pub fn occupied_shards(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The shared edge arena, sorted by `(src_block, dst_block, src, dst)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.arena
+    }
+
+    /// Metadata of every occupied shard, row-major.
+    pub fn metas(&self) -> &[ShardMeta] {
+        &self.metas
+    }
+
+    /// The edges of the shard described by `meta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meta` did not come from this grid and indexes out of the
+    /// arena.
+    pub fn edges_of(&self, meta: &ShardMeta) -> &[Edge] {
+        &self.arena[meta.edge_range()]
+    }
+
+    /// Metadata of row `src_block`'s occupied shards, ascending `dst_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_block >= grid_dim`.
+    pub fn row_metas(&self, src_block: usize) -> &[ShardMeta] {
+        assert!(src_block < self.grid_dim, "row {src_block} out of range");
+        &self.metas[self.row_offsets[src_block]..self.row_offsets[src_block + 1]]
+    }
+
+    /// Metadata of column `dst_block`'s occupied shards, ascending
+    /// `src_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_block >= grid_dim`.
+    pub fn column_metas(&self, dst_block: usize) -> impl Iterator<Item = &ShardMeta> + '_ {
+        assert!(dst_block < self.grid_dim, "column {dst_block} out of range");
+        self.col_entries[self.col_offsets[dst_block]..self.col_offsets[dst_block + 1]]
+            .iter()
+            .map(move |&index| &self.metas[index])
+    }
+
+    /// The shard at `coord` (a borrowed view; empty cells return an
+    /// edge-less view rather than failing).
     ///
     /// # Panics
     ///
     /// Panics if `coord` is outside the grid.
-    pub fn shard(&self, coord: ShardCoord) -> &Shard {
+    pub fn shard(&self, coord: ShardCoord) -> ShardView<'_> {
         assert!(
             coord.src_block < self.grid_dim && coord.dst_block < self.grid_dim,
             "shard {coord} out of range for {0}x{0} grid",
             self.grid_dim
         );
-        &self.shards[coord.src_block * self.grid_dim + coord.dst_block]
+        match self
+            .row_metas(coord.src_block)
+            .binary_search_by_key(&coord.dst_block, |m| m.coord.dst_block)
+        {
+            Ok(offset) => {
+                let meta = &self.row_metas(coord.src_block)[offset];
+                ShardView {
+                    coord,
+                    meta: Some(meta),
+                    edges: self.edges_of(meta),
+                }
+            }
+            Err(_) => ShardView {
+                coord,
+                meta: None,
+                edges: &[],
+            },
+        }
     }
 
-    /// Iterates over all shards in row-major order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Shard> {
-        self.shards.iter()
+    /// Iterates over the occupied shards in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = ShardView<'_>> + '_ {
+        self.metas.iter().map(move |meta| ShardView {
+            coord: meta.coord,
+            meta: Some(meta),
+            edges: self.edges_of(meta),
+        })
     }
 
     /// The contiguous range of node ids belonging to block `block`.
@@ -251,61 +486,159 @@ impl ShardGrid {
     /// Fraction of shards that contain at least one edge.
     ///
     /// Real-world graphs sharded this way are sparse at the shard level too;
-    /// this statistic feeds the report's locality section.
+    /// this statistic feeds the report's locality section and quantifies how
+    /// much work the occupancy-aware traversals skip.
     pub fn occupancy(&self) -> f64 {
-        if self.shards.is_empty() {
+        let cells = self.grid_dim * self.grid_dim;
+        if cells == 0 {
             return 0.0;
         }
-        let non_empty = self.shards.iter().filter(|s| !s.is_empty()).count();
-        non_empty as f64 / self.shards.len() as f64
+        self.metas.len() as f64 / cells as f64
     }
 
     /// Maximum number of edges in any single shard.
     pub fn max_shard_edges(&self) -> usize {
-        self.shards.iter().map(Shard::num_edges).max().unwrap_or(0)
+        self.metas
+            .iter()
+            .map(ShardMeta::num_edges)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Returns the shard coordinates in the S-pattern (serpentine) order for
-    /// the given traversal.
+    /// Returns every grid coordinate — occupied or not — in the S-pattern
+    /// (serpentine) order for the given traversal.
     ///
     /// For [`TraversalOrder::DestinationStationary`] the walk proceeds column
     /// by column (destination block outer loop), alternating the direction of
     /// each column so consecutive shards share a source block boundary. For
     /// [`TraversalOrder::SourceStationary`] the walk proceeds row by row.
-    pub fn traversal(&self, order: TraversalOrder) -> impl Iterator<Item = ShardCoord> + '_ {
-        let s = self.grid_dim;
-        let coords: Vec<ShardCoord> = match order {
-            TraversalOrder::DestinationStationary => (0..s)
-                .flat_map(|dst| {
-                    let inner: Vec<usize> = if dst % 2 == 0 {
-                        (0..s).collect()
-                    } else {
-                        (0..s).rev().collect()
-                    };
-                    inner.into_iter().map(move |src| ShardCoord::new(src, dst))
-                })
-                .collect(),
-            TraversalOrder::SourceStationary => (0..s)
-                .flat_map(|src| {
-                    let inner: Vec<usize> = if src % 2 == 0 {
-                        (0..s).collect()
-                    } else {
-                        (0..s).rev().collect()
-                    };
-                    inner.into_iter().map(move |dst| ShardCoord::new(src, dst))
-                })
-                .collect(),
-        };
-        coords.into_iter()
+    ///
+    /// The iterator is allocation-free: coordinates are computed from a
+    /// linear index. For walks that should skip empty cells, use
+    /// [`ShardGrid::occupied_traversal`].
+    pub fn traversal(&self, order: TraversalOrder) -> SerpentineCoords {
+        SerpentineCoords {
+            grid_dim: self.grid_dim,
+            order,
+            next: 0,
+            total: self.grid_dim * self.grid_dim,
+        }
+    }
+
+    /// Returns the *occupied* shards in the same S-pattern order as
+    /// [`ShardGrid::traversal`], skipping empty cells via the sparse index.
+    ///
+    /// This is the subsequence of the full serpentine walk restricted to
+    /// shards that actually contain edges, so any consumer for whom empty
+    /// shards are no-ops (the timing simulator, the functional executor)
+    /// observes an identical processing order at `O(occupied + S)` cost
+    /// instead of `O(S²)`.
+    pub fn occupied_traversal(&self, order: TraversalOrder) -> OccupiedTraversal<'_> {
+        OccupiedTraversal {
+            grid: self,
+            order,
+            outer: 0,
+            group: 0..0,
+            reverse: false,
+        }
     }
 }
 
-impl<'a> IntoIterator for &'a ShardGrid {
-    type Item = &'a Shard;
-    type IntoIter = std::slice::Iter<'a, Shard>;
+/// Allocation-free serpentine coordinate iterator returned by
+/// [`ShardGrid::traversal`].
+#[derive(Debug, Clone)]
+pub struct SerpentineCoords {
+    grid_dim: usize,
+    order: TraversalOrder,
+    next: usize,
+    total: usize,
+}
 
-    fn into_iter(self) -> Self::IntoIter {
-        self.shards.iter()
+impl Iterator for SerpentineCoords {
+    type Item = ShardCoord;
+
+    fn next(&mut self) -> Option<ShardCoord> {
+        if self.next >= self.total {
+            return None;
+        }
+        let s = self.grid_dim;
+        let outer = self.next / s;
+        let raw = self.next % s;
+        let inner = if outer % 2 == 0 { raw } else { s - 1 - raw };
+        self.next += 1;
+        Some(match self.order {
+            TraversalOrder::DestinationStationary => ShardCoord::new(inner, outer),
+            TraversalOrder::SourceStationary => ShardCoord::new(outer, inner),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SerpentineCoords {}
+
+/// Occupied-only serpentine shard iterator returned by
+/// [`ShardGrid::occupied_traversal`].
+///
+/// Walks the sparse row/column index group by group, reversing every other
+/// group to follow the S-pattern, and yields a [`ShardView`] per occupied
+/// shard.
+#[derive(Debug, Clone)]
+pub struct OccupiedTraversal<'a> {
+    grid: &'a ShardGrid,
+    order: TraversalOrder,
+    /// Next outer row/column group to open.
+    outer: usize,
+    /// Remaining entry range of the currently open group.
+    group: Range<usize>,
+    /// Whether the open group is consumed back to front.
+    reverse: bool,
+}
+
+impl<'a> OccupiedTraversal<'a> {
+    fn meta_at(&self, entry: usize) -> &'a ShardMeta {
+        match self.order {
+            TraversalOrder::SourceStationary => &self.grid.metas[entry],
+            TraversalOrder::DestinationStationary => &self.grid.metas[self.grid.col_entries[entry]],
+        }
+    }
+}
+
+impl<'a> Iterator for OccupiedTraversal<'a> {
+    type Item = ShardView<'a>;
+
+    fn next(&mut self) -> Option<ShardView<'a>> {
+        loop {
+            if !self.group.is_empty() {
+                let entry = if self.reverse {
+                    self.group.end -= 1;
+                    self.group.end
+                } else {
+                    let e = self.group.start;
+                    self.group.start += 1;
+                    e
+                };
+                let meta = self.meta_at(entry);
+                return Some(ShardView {
+                    coord: meta.coord,
+                    meta: Some(meta),
+                    edges: self.grid.edges_of(meta),
+                });
+            }
+            if self.outer >= self.grid.grid_dim {
+                return None;
+            }
+            let offsets = match self.order {
+                TraversalOrder::SourceStationary => &self.grid.row_offsets,
+                TraversalOrder::DestinationStationary => &self.grid.col_offsets,
+            };
+            self.group = offsets[self.outer]..offsets[self.outer + 1];
+            self.reverse = self.outer % 2 == 1;
+            self.outer += 1;
+        }
     }
 }
 
@@ -361,6 +694,8 @@ mod tests {
                 edges.num_edges(),
                 "nodes_per_shard={nps}"
             );
+            let from_shards: usize = grid.iter().map(|s| s.num_edges()).sum();
+            assert_eq!(from_shards, edges.num_edges(), "nodes_per_shard={nps}");
         }
     }
 
@@ -369,11 +704,27 @@ mod tests {
         let edges = sample_edges();
         let grid = ShardGrid::build(&edges, 4).unwrap();
         for shard in grid.iter() {
+            assert!(!shard.is_empty(), "iter() yields only occupied shards");
             for e in shard.edges() {
                 assert_eq!(e.src as usize / 4, shard.coord().src_block);
                 assert_eq!(e.dst as usize / 4, shard.coord().dst_block);
             }
         }
+    }
+
+    #[test]
+    fn arena_is_sorted_and_shards_are_contiguous_slices() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 3).unwrap();
+        let mut offset = 0;
+        for meta in grid.metas() {
+            let slice = grid.edges_of(meta);
+            assert_eq!(slice.as_ptr(), grid.edges()[offset..].as_ptr());
+            offset += slice.len();
+            // Within a shard, edges are sorted by (src, dst).
+            assert!(slice.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_eq!(offset, grid.total_edges());
     }
 
     #[test]
@@ -386,13 +737,36 @@ mod tests {
     }
 
     #[test]
-    fn unique_sources_and_destinations() {
+    fn unique_endpoint_counts() {
         let edges = EdgeList::from_pairs(4, &[(0, 2), (0, 3), (1, 2)]).unwrap();
         let grid = ShardGrid::build(&edges, 2).unwrap();
         let shard = grid.shard(ShardCoord::new(0, 1));
-        assert_eq!(shard.unique_sources(), &[0, 1]);
-        assert_eq!(shard.unique_destinations(), &[2, 3]);
+        assert_eq!(shard.unique_source_count(), 2);
+        assert_eq!(shard.unique_destination_count(), 2);
         assert_eq!(shard.num_edges(), 3);
+        // The other three cells of the 2x2 grid are empty views.
+        let empty = grid.shard(ShardCoord::new(1, 0));
+        assert!(empty.is_empty());
+        assert!(empty.meta().is_none());
+        assert_eq!(empty.unique_source_count(), 0);
+        assert_eq!(empty.unique_destination_count(), 0);
+        assert_eq!(grid.occupied_shards(), 1);
+    }
+
+    #[test]
+    fn meta_fetch_byte_costs() {
+        let edges = EdgeList::from_pairs(4, &[(0, 2), (0, 3), (1, 2)]).unwrap();
+        let grid = ShardGrid::build(&edges, 2).unwrap();
+        let meta = *grid.shard(ShardCoord::new(0, 1)).meta().unwrap();
+        assert_eq!(meta.edge_fetch_bytes(), 3 * BYTES_PER_EDGE);
+        assert_eq!(
+            meta.source_feature_bytes(64),
+            2 * 64 * BYTES_PER_FEATURE_ELEMENT
+        );
+        assert_eq!(
+            meta.destination_feature_bytes(16),
+            2 * 16 * BYTES_PER_FEATURE_ELEMENT
+        );
     }
 
     #[test]
@@ -415,6 +789,7 @@ mod tests {
         ] {
             let coords: Vec<ShardCoord> = grid.traversal(order).collect();
             assert_eq!(coords.len(), 9);
+            assert_eq!(grid.traversal(order).len(), 9);
             let mut sorted = coords.clone();
             sorted.sort();
             sorted.dedup();
@@ -457,11 +832,79 @@ mod tests {
     }
 
     #[test]
+    fn occupied_traversal_is_the_serpentine_subsequence() {
+        let edges = sample_edges();
+        for nps in [1, 2, 3, 4] {
+            let grid = ShardGrid::build(&edges, nps).unwrap();
+            for order in [
+                TraversalOrder::SourceStationary,
+                TraversalOrder::DestinationStationary,
+            ] {
+                let expected: Vec<ShardCoord> = grid
+                    .traversal(order)
+                    .filter(|&c| !grid.shard(c).is_empty())
+                    .collect();
+                let occupied: Vec<ShardCoord> =
+                    grid.occupied_traversal(order).map(|s| s.coord()).collect();
+                assert_eq!(occupied, expected, "nps={nps} {order}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_index_occupied_shards() {
+        let edges = sample_edges();
+        let grid = ShardGrid::build(&edges, 3).unwrap();
+        let mut row_total = 0;
+        for src in 0..grid.grid_dim() {
+            let mut prev = None;
+            for meta in grid.row_metas(src) {
+                assert_eq!(meta.coord().src_block, src);
+                if let Some(p) = prev {
+                    assert!(p < meta.coord().dst_block);
+                }
+                prev = Some(meta.coord().dst_block);
+                row_total += meta.num_edges();
+            }
+        }
+        assert_eq!(row_total, grid.total_edges());
+        let mut col_total = 0;
+        for dst in 0..grid.grid_dim() {
+            let mut prev = None;
+            for meta in grid.column_metas(dst) {
+                assert_eq!(meta.coord().dst_block, dst);
+                if let Some(p) = prev {
+                    assert!(p < meta.coord().src_block);
+                }
+                prev = Some(meta.coord().src_block);
+                col_total += meta.num_edges();
+            }
+        }
+        assert_eq!(col_total, grid.total_edges());
+    }
+
+    #[test]
     fn occupancy_counts_non_empty_shards() {
         let edges = EdgeList::from_pairs(4, &[(0, 0), (0, 1)]).unwrap();
         let grid = ShardGrid::build(&edges, 2).unwrap();
         // Only shard (0, 0) has edges out of 4 shards.
         assert!((grid.occupancy() - 0.25).abs() < 1e-9);
+        assert_eq!(grid.occupied_shards(), 1);
+    }
+
+    #[test]
+    fn edgeless_graph_builds_an_empty_grid() {
+        let edges = EdgeList::new(5);
+        let grid = ShardGrid::build(&edges, 2).unwrap();
+        assert_eq!(grid.grid_dim(), 3);
+        assert_eq!(grid.occupied_shards(), 0);
+        assert_eq!(grid.occupancy(), 0.0);
+        assert_eq!(grid.max_shard_edges(), 0);
+        assert_eq!(
+            grid.occupied_traversal(TraversalOrder::default()).count(),
+            0
+        );
+        assert_eq!(grid.traversal(TraversalOrder::default()).count(), 9);
     }
 
     #[test]

@@ -4,9 +4,70 @@
 //! partition of the edge set, CSR conversion preserves edges, and the
 //! synthetic generators respect their advertised statistics.
 
-use gnnerator_graph::{generators, CsrGraph, Edge, EdgeList, ShardGrid, TraversalOrder};
+use gnnerator_graph::{
+    generators, CsrGraph, Edge, EdgeList, ShardCoord, ShardGrid, TraversalOrder,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// A naive dense reference sharder: one `Vec<Edge>` bucket per grid cell,
+/// the way the pre-sparse `ShardGrid` stored shards. The property tests
+/// check the sparse arena/index representation against this.
+struct DenseReference {
+    grid_dim: usize,
+    /// Row-major `grid_dim x grid_dim` buckets, each sorted by `(src, dst)`.
+    buckets: Vec<Vec<Edge>>,
+}
+
+impl DenseReference {
+    fn build(edges: &EdgeList, nps: usize) -> Self {
+        let grid_dim = edges.num_nodes().div_ceil(nps);
+        let mut buckets: Vec<Vec<Edge>> = vec![Vec::new(); grid_dim * grid_dim];
+        for e in edges.iter() {
+            buckets[(e.src as usize / nps) * grid_dim + e.dst as usize / nps].push(*e);
+        }
+        for bucket in &mut buckets {
+            bucket.sort_unstable();
+        }
+        Self { grid_dim, buckets }
+    }
+
+    fn bucket(&self, coord: ShardCoord) -> &[Edge] {
+        &self.buckets[coord.src_block * self.grid_dim + coord.dst_block]
+    }
+
+    fn unique_sources(&self, coord: ShardCoord) -> usize {
+        let set: HashSet<_> = self.bucket(coord).iter().map(|e| e.src).collect();
+        set.len()
+    }
+
+    fn unique_destinations(&self, coord: ShardCoord) -> usize {
+        let set: HashSet<_> = self.bucket(coord).iter().map(|e| e.dst).collect();
+        set.len()
+    }
+
+    /// Serpentine coordinates the way the dense implementation enumerated
+    /// them: outer loop over columns (dst-stationary) or rows
+    /// (src-stationary), inner direction alternating.
+    fn serpentine(&self, order: TraversalOrder) -> Vec<ShardCoord> {
+        let s = self.grid_dim;
+        let mut coords = Vec::with_capacity(s * s);
+        for outer in 0..s {
+            let inner: Vec<usize> = if outer % 2 == 0 {
+                (0..s).collect()
+            } else {
+                (0..s).rev().collect()
+            };
+            for i in inner {
+                coords.push(match order {
+                    TraversalOrder::DestinationStationary => ShardCoord::new(i, outer),
+                    TraversalOrder::SourceStationary => ShardCoord::new(outer, i),
+                });
+            }
+        }
+        coords
+    }
+}
 
 /// Strategy for a small random edge list.
 fn edge_list() -> impl Strategy<Value = EdgeList> {
@@ -73,6 +134,84 @@ proptest! {
             .filter(|w| w[0].src_block != w[1].src_block)
             .count();
         prop_assert_eq!(changes, grid.grid_dim() - 1);
+    }
+
+    #[test]
+    fn sparse_grid_matches_the_dense_reference(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let reference = DenseReference::build(&edges, nps);
+        prop_assert_eq!(grid.grid_dim(), reference.grid_dim);
+
+        // Per-cell agreement: edges, metadata and the `shard()` lookup all
+        // match the naive buckets — occupied or not.
+        let mut occupied = 0usize;
+        for src in 0..grid.grid_dim() {
+            for dst in 0..grid.grid_dim() {
+                let coord = ShardCoord::new(src, dst);
+                let view = grid.shard(coord);
+                let expected = reference.bucket(coord);
+                prop_assert_eq!(view.edges(), expected, "{}", coord);
+                prop_assert_eq!(view.coord(), coord);
+                prop_assert_eq!(
+                    view.unique_source_count(),
+                    reference.unique_sources(coord),
+                    "{}", coord
+                );
+                prop_assert_eq!(
+                    view.unique_destination_count(),
+                    reference.unique_destinations(coord),
+                    "{}", coord
+                );
+                if let Some(meta) = view.meta() {
+                    occupied += 1;
+                    prop_assert_eq!(meta.num_edges(), expected.len());
+                    prop_assert_eq!(grid.edges_of(meta), expected);
+                } else {
+                    prop_assert!(expected.is_empty());
+                }
+            }
+        }
+        prop_assert_eq!(grid.occupied_shards(), occupied);
+        let cells = grid.grid_dim() * grid.grid_dim();
+        prop_assert!((grid.occupancy() - occupied as f64 / cells as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traversals_match_the_dense_reference(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let reference = DenseReference::build(&edges, nps);
+        for order in [TraversalOrder::SourceStationary, TraversalOrder::DestinationStationary] {
+            // The full serpentine walk enumerates exactly the dense order.
+            let dense: Vec<ShardCoord> = reference.serpentine(order);
+            let sparse: Vec<ShardCoord> = grid.traversal(order).collect();
+            prop_assert_eq!(&sparse, &dense, "{}", order);
+            // The occupied walk is its non-empty subsequence, edges intact.
+            let expected: Vec<ShardCoord> = dense
+                .into_iter()
+                .filter(|&c| !reference.bucket(c).is_empty())
+                .collect();
+            let occupied: Vec<ShardCoord> =
+                grid.occupied_traversal(order).map(|s| s.coord()).collect();
+            prop_assert_eq!(&occupied, &expected, "{}", order);
+            for shard in grid.occupied_traversal(order) {
+                prop_assert_eq!(shard.edges(), reference.bucket(shard.coord()));
+            }
+        }
+        // Row/column index walks agree with the reference too.
+        for src in 0..grid.grid_dim() {
+            for meta in grid.row_metas(src) {
+                prop_assert_eq!(meta.coord().src_block, src);
+                prop_assert_eq!(meta.num_edges(), reference.bucket(meta.coord()).len());
+            }
+        }
+        for dst in 0..grid.grid_dim() {
+            for meta in grid.column_metas(dst) {
+                prop_assert_eq!(meta.coord().dst_block, dst);
+                prop_assert_eq!(meta.num_edges(), reference.bucket(meta.coord()).len());
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         conventional.dram_bytes() as f64 / 1e6,
         blocked.dram_bytes() as f64 / 1e6,
     );
-    println!("{session}");
+    // The sparse shard grid tracks how many cells actually hold edges; the
+    // simulator's occupancy-aware walk visits only those.
+    println!(
+        "Shard occupancy: blocked {:.0}% ({} shards), conventional {:.0}% ({} shards)",
+        blocked.shard_occupancy() * 100.0,
+        blocked.occupied_shards(),
+        conventional.shard_occupancy() * 100.0,
+        conventional.occupied_shards(),
+    );
+    println!(
+        "{session} ({:.2} ms spent sharding)",
+        session.shard_build_seconds() * 1e3
+    );
     Ok(())
 }
