@@ -1,4 +1,4 @@
-use crate::BaselineEstimate;
+use crate::{BaselineEstimate, FEATURE_BYTES};
 use gnnerator_gnn::{Aggregator, GnnModel, Stage};
 use serde::{Deserialize, Serialize};
 
@@ -145,7 +145,7 @@ impl GpuModel {
                 let n = *out_dim as f64;
                 let m = num_nodes as f64;
                 let flops = 2.0 * m * k * n;
-                let bytes = 4.0 * (m * k + k * n + m * n);
+                let bytes = FEATURE_BYTES * (m * k + k * n + m * n);
                 let _ = concat_self;
                 let _ = layer_in_dim;
                 let compute = flops / (peak_flops * self.config.dense_efficiency);
@@ -167,7 +167,7 @@ impl GpuModel {
                 let n = num_nodes as f64;
                 // Gather traffic: one source-feature read per edge plus the
                 // destination write.
-                let mut bytes = 4.0 * (e * d + n * d);
+                let mut bytes = FEATURE_BYTES * (e * d + n * d);
                 if *aggregator == Aggregator::Max {
                     // Per-edge message materialisation (write + re-read).
                     bytes *= self.config.edge_materialisation_factor;

@@ -18,6 +18,12 @@
 //!   accelerator that processes one node's full feature at a time, including
 //!   its window-based sparsity-elimination optimisation.
 //!
+//! Both models plug into the sweep path through the [`Backend`] trait — the
+//! platform abstraction every compute platform (including the simulated
+//! accelerator in the core crate) implements — as [`GpuRooflineBackend`] and
+//! [`HygcnBackend`]. Sweeps enumerate platform × dataset × configuration
+//! grids through that one interface rather than calling the models directly.
+//!
 //! The absolute times are estimates; the benchmark harness only relies on the
 //! *relative* ordering and rough magnitudes, which is the level at which the
 //! paper's figures are reproduced (see `EXPERIMENTS.md`).
@@ -39,10 +45,19 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod estimate;
 mod gpu;
 mod hygcn;
 
-pub use estimate::BaselineEstimate;
+pub use backend::{Backend, BackendError, BackendEvaluation, GpuRooflineBackend, HygcnBackend};
+pub use estimate::{guarded_speedup, BaselineEstimate};
 pub use gpu::{GpuConfig, GpuModel};
 pub use hygcn::{HygcnConfig, HygcnModel};
+
+/// Bytes per feature element, shared with the sharder's fetch-cost model so
+/// the baselines and the accelerator price traffic identically.
+pub(crate) const FEATURE_BYTES: f64 = gnnerator_graph::BYTES_PER_FEATURE_ELEMENT as f64;
+
+/// Bytes per packed edge record, shared with the sharder's fetch-cost model.
+pub(crate) const EDGE_BYTES: f64 = gnnerator_graph::BYTES_PER_EDGE as f64;

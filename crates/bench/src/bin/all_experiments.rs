@@ -4,6 +4,7 @@
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin all_experiments [-- --scale 0.25]`
 
+use gnnerator::BackendKind;
 use gnnerator_bench::experiments::{self, FIGURE4_BLOCK_SIZES};
 use gnnerator_bench::rows::format_ms;
 use gnnerator_bench::suite::{scale_from_args, SuiteContext, SuiteOptions};
@@ -24,16 +25,19 @@ fn main() {
     let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
 
     // Raw per-workload runtimes, for reference — one parallel sweep over the
-    // whole suite.
+    // whole suite, accelerator and baseline backends alike.
     println!();
-    println!("Per-workload runtimes:");
+    println!("Per-workload runtimes (all backends from one sweep):");
     for result in experiments::run_full_suite(&ctx).expect("simulation failed") {
         println!(
-            "  {:<18} gnnerator {:>12}  w/o blocking {:>12}  gpu {:>12}  hygcn {:>12}",
+            "  {:<18} {} {:>12}  w/o blocking {:>12}  {} {:>12}  {} {:>12}",
             result.workload.label(),
+            BackendKind::Gnnerator,
             format_ms(result.gnnerator_blocked.seconds()),
             format_ms(result.gnnerator_unblocked.seconds()),
+            BackendKind::GpuRoofline,
             format_ms(result.gpu.seconds),
+            BackendKind::Hygcn,
             format_ms(result.hygcn.seconds),
         );
     }
@@ -58,9 +62,10 @@ fn main() {
     let (rows, gmeans) = experiments::figure5(&ctx).expect("figure 5 failed");
     println!("{}", experiments::figure5_table(&rows, &gmeans));
 
-    // Sweep-engine benchmark: the 36-point grid through the parallel
-    // compile-once path versus the serial per-run path, checked bit for bit.
-    println!("Benchmarking the sweep engine (36 scenario points)...");
+    // Sweep-engine benchmark: the 54-point mixed-backend grid through the
+    // parallel compile-once path versus the serial per-run path, checked bit
+    // for bit.
+    println!("Benchmarking the sweep engine (54 scenario points across all backends)...");
     let bench = sweep_report::bench_sweep(&ctx).expect("sweep benchmark failed");
     println!(
         "  parallel sweep: {:.3} s   serial per-run: {:.3} s   speedup {:.2}x on {} threads   bit-identical: {}",
@@ -69,6 +74,14 @@ fn main() {
         bench.speedup(),
         bench.threads,
         bench.bit_identical,
+    );
+    println!(
+        "  points per backend: {}",
+        BackendKind::ALL
+            .into_iter()
+            .map(|b| format!("{b} {}", bench.points_for(b)))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     println!(
         "  runner caches: {} datasets, {} compiled sessions",

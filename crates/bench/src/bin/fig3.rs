@@ -1,6 +1,7 @@
 //! Regenerates Figure 3: speedup of GNNerator (with and without feature
-//! blocking) over the RTX 2080 Ti baseline for the nine-benchmark suite,
-//! executed as one parallel 18-point scenario sweep.
+//! blocking) over the GPU-roofline (RTX 2080 Ti) backend for the
+//! nine-benchmark suite, executed as one parallel 36-point scenario sweep
+//! that evaluates the accelerator and both baseline backends together.
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin fig3 [-- --scale 0.1]`
 

@@ -1,5 +1,6 @@
-//! Regenerates Table V: speedup of GNNerator over HyGCN for GCN on the three
-//! citation datasets, executed as one parallel 6-point scenario sweep.
+//! Regenerates Table V: speedup of GNNerator over the HyGCN backend for GCN
+//! on the three citation datasets, read off the unified sweep's speedup
+//! columns (every accelerator point carries its baseline seconds).
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin table5 [-- --scale 0.1]`
 

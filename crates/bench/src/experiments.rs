@@ -10,7 +10,7 @@
 
 use crate::rows::{format_speedup, geomean, Table};
 use crate::suite::{full_suite, SuiteContext, Workload, WorkloadResult};
-use gnnerator::{cost, DataflowConfig, GnneratorConfig, GnneratorError, ScenarioSpec};
+use gnnerator::{cost, BackendKind, DataflowConfig, GnneratorConfig, GnneratorError, ScenarioSpec};
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
 
@@ -51,7 +51,10 @@ pub fn figure3(ctx: &SuiteContext) -> Result<(Vec<Figure3Row>, f64, f64), Gnnera
 /// Formats Figure 3 as a text table.
 pub fn figure3_table(rows: &[Figure3Row], gm_blocked: f64, gm_unblocked: f64) -> Table {
     let mut table = Table::new(
-        "Figure 3: speedup over RTX 2080 Ti",
+        &format!(
+            "Figure 3: speedup over the {} baseline (RTX 2080 Ti)",
+            BackendKind::GpuRoofline
+        ),
         &["benchmark", "GNNerator", "GNNerator w/o blocking"],
     );
     for row in rows {
@@ -80,7 +83,9 @@ pub struct Table5Row {
     pub with_blocking: f64,
 }
 
-/// Table V: speedups of GNNerator over HyGCN for GCN on the three datasets.
+/// Table V: speedups of GNNerator over HyGCN for GCN on the three datasets,
+/// read straight off the unified sweep's speedup columns (every accelerator
+/// point carries its HyGCN baseline seconds).
 ///
 /// # Errors
 ///
@@ -108,11 +113,14 @@ pub fn table5(ctx: &SuiteContext) -> Result<Vec<Table5Row>, GnneratorError> {
         .iter()
         .zip(results.chunks_exact(2))
         .map(|(workload, pair)| {
-            let hygcn = ctx.estimate_hygcn(workload)?;
+            let column = |r: &gnnerator::ScenarioResult| {
+                r.speedup_vs_hygcn()
+                    .expect("accelerator points carry baseline columns")
+            };
             Ok(Table5Row {
                 dataset: workload.dataset.to_string(),
-                with_blocking: hygcn.seconds / pair[0].report.seconds(),
-                without_blocking: hygcn.seconds / pair[1].report.seconds(),
+                with_blocking: column(&pair[0]),
+                without_blocking: column(&pair[1]),
             })
         })
         .collect()
@@ -121,7 +129,11 @@ pub fn table5(ctx: &SuiteContext) -> Result<Vec<Table5Row>, GnneratorError> {
 /// Formats Table V as a text table.
 pub fn table5_table(rows: &[Table5Row]) -> Table {
     let mut table = Table::new(
-        "Table V: speedup of GNNerator over HyGCN (GCN)",
+        &format!(
+            "Table V: speedup of {} over the {} baseline (GCN)",
+            BackendKind::Gnnerator,
+            BackendKind::Hygcn
+        ),
         &["configuration", "cora", "citeseer", "pubmed"],
     );
     let pick = |f: &dyn Fn(&Table5Row) -> f64| -> Vec<String> {
@@ -186,7 +198,7 @@ pub fn figure4(
         let ratios: Vec<f64> = chunk
             .iter()
             .zip(baseline)
-            .map(|(run, base)| run.report.total_cycles as f64 / base.report.total_cycles as f64)
+            .map(|(run, base)| accelerator_cycles(run) / accelerator_cycles(base))
             .collect();
         rows.push(Figure4Row {
             block_size: b,
@@ -268,10 +280,10 @@ pub fn figure5(ctx: &SuiteContext) -> Result<(Vec<Figure5Row>, [f64; 3]), Gnnera
     let mut rows = Vec::new();
     let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (label, group) in labels.into_iter().zip(results.chunks_exact(4)) {
-        let baseline = group[0].report.total_cycles as f64;
+        let baseline = accelerator_cycles(&group[0]);
         let mut speedups = [0.0; 3];
         for (i, run) in group[1..].iter().enumerate() {
-            speedups[i] = baseline / run.report.total_cycles as f64;
+            speedups[i] = baseline / accelerator_cycles(run);
             ratios[i].push(speedups[i]);
         }
         rows.push(Figure5Row {
@@ -411,6 +423,16 @@ pub fn run_full_suite(ctx: &SuiteContext) -> Result<Vec<WorkloadResult>, Gnnerat
     ctx.run_suite()
 }
 
+/// Total cycles of an accelerator scenario result (the figures' grids only
+/// enumerate simulated points).
+fn accelerator_cycles(result: &gnnerator::ScenarioResult) -> f64 {
+    result
+        .report
+        .as_ref()
+        .expect("figure grids enumerate accelerator points only")
+        .total_cycles as f64
+}
+
 fn capitalise(s: String) -> String {
     let mut chars = s.chars();
     match chars.next() {
@@ -447,7 +469,7 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.with_blocking > 0.0));
         let table = table5_table(&rows);
-        assert!(table.to_string().contains("HyGCN"));
+        assert!(table.to_string().contains(BackendKind::Hygcn.as_str()));
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! synthesised once, models are compiled once per (dataset, network) pair
 //! into [`SimSession`](gnnerator::SimSession)s, and every figure/table
 //! enumerates [`ScenarioSpec`]s that execute in parallel through one code
-//! path. Baseline estimates (GPU roofline, HyGCN) ride along per workload.
+//! path. Baseline platforms (GPU roofline, HyGCN) are scenario points of the
+//! same sweep — [`SuiteContext::run_workload`] enumerates accelerator *and*
+//! baseline [`BackendKind`]s in one batch instead of stitching estimates on
+//! afterwards.
 
 use gnnerator::{
-    DataflowConfig, GnneratorConfig, GnneratorError, Report, ScenarioResult, ScenarioSpec,
-    SweepRunner,
+    BackendEvaluation, BackendKind, DataflowConfig, GnneratorConfig, GnneratorError, Report,
+    ScenarioResult, ScenarioSpec, SweepRunner,
 };
-use gnnerator_baselines::{BaselineEstimate, GpuModel, HygcnConfig, HygcnModel};
+use gnnerator_baselines::HygcnConfig;
 use gnnerator_gnn::{GnnModel, NetworkKind};
 use gnnerator_graph::datasets::{Dataset, DatasetKind, DatasetSpec};
 use std::fmt;
@@ -53,12 +56,10 @@ impl Workload {
 
     /// HyGCN's window-shrinking sparsity-elimination speedup for this
     /// dataset, as quoted in the paper (≈1.1× for Cora/Pubmed, ≈3× for
-    /// Citeseer).
+    /// Citeseer). Delegates to the shared per-dataset table the HyGCN
+    /// backend itself uses.
     pub fn hygcn_sparsity_speedup(&self) -> f64 {
-        match self.dataset {
-            DatasetKind::Citeseer => 3.0,
-            DatasetKind::Cora | DatasetKind::Pubmed => 1.1,
-        }
+        HygcnConfig::paper_sparsity_for(self.dataset.spec().name)
     }
 }
 
@@ -170,7 +171,8 @@ impl Default for SuiteOptions {
     }
 }
 
-/// Results of running one workload on every platform.
+/// Results of running one workload on every platform, folded from one
+/// unified sweep (two accelerator dataflows plus both baseline backends).
 #[derive(Debug, Clone)]
 pub struct WorkloadResult {
     /// The workload that was run.
@@ -179,11 +181,11 @@ pub struct WorkloadResult {
     pub gnnerator_blocked: Report,
     /// GNNerator with the conventional dataflow ("w/o Feature Blocking").
     pub gnnerator_unblocked: Report,
-    /// The RTX 2080 Ti baseline estimate.
-    pub gpu: BaselineEstimate,
-    /// The HyGCN baseline estimate (with its dataset-specific sparsity
+    /// The GPU-roofline (RTX 2080 Ti) backend's evaluation.
+    pub gpu: BackendEvaluation,
+    /// The HyGCN backend's evaluation (with its dataset-specific sparsity
     /// elimination applied).
-    pub hygcn: BaselineEstimate,
+    pub hygcn: BackendEvaluation,
 }
 
 impl WorkloadResult {
@@ -354,7 +356,11 @@ impl SuiteContext {
         dataflow: DataflowConfig,
     ) -> Result<Report, GnneratorError> {
         let scenario = self.scenario(workload, self.options.config.clone(), dataflow);
-        Ok(self.runner.run_one(&scenario)?.report)
+        Ok(self
+            .runner
+            .run_one(&scenario)?
+            .report
+            .expect("accelerator scenario carries a report"))
     }
 
     /// Simulates GNNerator with an explicit platform configuration (used by
@@ -370,42 +376,29 @@ impl SuiteContext {
         dataflow: DataflowConfig,
     ) -> Result<Report, GnneratorError> {
         let scenario = self.scenario(workload, config, dataflow);
-        Ok(self.runner.run_one(&scenario)?.report)
+        Ok(self
+            .runner
+            .run_one(&scenario)?
+            .report
+            .expect("accelerator scenario carries a report"))
     }
 
-    /// Estimates the GPU baseline for a workload.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model-construction errors.
-    pub fn estimate_gpu(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
-        let dataset = self.dataset(workload.dataset)?;
-        let model = self.model_for(workload)?;
-        Ok(GpuModel::rtx_2080_ti().estimate(&model, dataset.num_nodes(), dataset.num_edges()))
+    /// Builds the scenario point that evaluates a workload on a baseline
+    /// platform. Baseline backends ignore the accelerator configuration and
+    /// dataflow, so the context defaults are stamped in for labelling only.
+    pub fn baseline_scenario(&self, workload: &Workload, backend: BackendKind) -> ScenarioSpec {
+        self.scenario(
+            workload,
+            self.options.config.clone(),
+            self.blocked_dataflow(),
+        )
+        .with_backend(backend)
     }
 
-    /// Estimates the HyGCN baseline for a workload, applying the
-    /// dataset-specific sparsity-elimination factor.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model-construction errors.
-    pub fn estimate_hygcn(&self, workload: &Workload) -> Result<BaselineEstimate, GnneratorError> {
-        let dataset = self.dataset(workload.dataset)?;
-        let model = self.model_for(workload)?;
-        let config =
-            HygcnConfig::paper_default().with_sparsity_speedup(workload.hygcn_sparsity_speedup());
-        Ok(HygcnModel::new(config).estimate(&model, dataset.num_nodes(), dataset.num_edges()))
-    }
-
-    /// Runs one workload on all four platforms (both GNNerator dataflows in
-    /// parallel, plus the two analytical baselines).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation and estimation errors.
-    pub fn run_workload(&self, workload: &Workload) -> Result<WorkloadResult, GnneratorError> {
-        let scenarios = [
+    /// The four scenario points of one workload, in fold order: blocked and
+    /// conventional GNNerator, then the GPU-roofline and HyGCN backends.
+    fn workload_scenarios(&self, workload: &Workload) -> [ScenarioSpec; 4] {
+        [
             self.scenario(
                 workload,
                 self.options.config.clone(),
@@ -416,20 +409,40 @@ impl SuiteContext {
                 self.options.config.clone(),
                 DataflowConfig::conventional(),
             ),
-        ];
-        let mut results = self.runner.run(&scenarios)?;
-        let unblocked = results.pop().expect("two scenarios in, two results out");
-        let blocked = results.pop().expect("two scenarios in, two results out");
-        Ok(WorkloadResult {
-            workload: *workload,
-            gnnerator_blocked: blocked.report,
-            gnnerator_unblocked: unblocked.report,
-            gpu: self.estimate_gpu(workload)?,
-            hygcn: self.estimate_hygcn(workload)?,
-        })
+            self.baseline_scenario(workload, BackendKind::GpuRoofline),
+            self.baseline_scenario(workload, BackendKind::Hygcn),
+        ]
     }
 
-    /// Runs the whole nine-benchmark suite as one parallel sweep.
+    fn fold_workload(workload: Workload, chunk: &[ScenarioResult]) -> WorkloadResult {
+        WorkloadResult {
+            workload,
+            gnnerator_blocked: chunk[0]
+                .report
+                .clone()
+                .expect("blocked point is an accelerator scenario"),
+            gnnerator_unblocked: chunk[1]
+                .report
+                .clone()
+                .expect("conventional point is an accelerator scenario"),
+            gpu: chunk[2].evaluation.clone(),
+            hygcn: chunk[3].evaluation.clone(),
+        }
+    }
+
+    /// Runs one workload on all four platforms — both GNNerator dataflows
+    /// plus the GPU-roofline and HyGCN backends — as one parallel sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and backend-evaluation errors.
+    pub fn run_workload(&self, workload: &Workload) -> Result<WorkloadResult, GnneratorError> {
+        let results = self.runner.run(&self.workload_scenarios(workload))?;
+        Ok(Self::fold_workload(*workload, &results))
+    }
+
+    /// Runs the whole nine-benchmark suite — accelerator and baseline
+    /// platforms — as one parallel sweep of 36 scenario points.
     ///
     /// # Errors
     ///
@@ -438,31 +451,14 @@ impl SuiteContext {
         let workloads = full_suite();
         let scenarios: Vec<ScenarioSpec> = workloads
             .iter()
-            .flat_map(|w| {
-                [
-                    self.scenario(w, self.options.config.clone(), self.blocked_dataflow()),
-                    self.scenario(
-                        w,
-                        self.options.config.clone(),
-                        DataflowConfig::conventional(),
-                    ),
-                ]
-            })
+            .flat_map(|w| self.workload_scenarios(w))
             .collect();
         let results = self.run_scenarios(&scenarios)?;
-        workloads
+        Ok(workloads
             .iter()
-            .zip(results.chunks_exact(2))
-            .map(|(workload, pair)| {
-                Ok(WorkloadResult {
-                    workload: *workload,
-                    gnnerator_blocked: pair[0].report.clone(),
-                    gnnerator_unblocked: pair[1].report.clone(),
-                    gpu: self.estimate_gpu(workload)?,
-                    hygcn: self.estimate_hygcn(workload)?,
-                })
-            })
-            .collect()
+            .zip(results.chunks_exact(4))
+            .map(|(workload, chunk)| Self::fold_workload(*workload, chunk))
+            .collect())
     }
 }
 
@@ -547,6 +543,40 @@ mod tests {
             assert_eq!(result.gnnerator_blocked, single.gnnerator_blocked);
             assert_eq!(result.gnnerator_unblocked, single.gnnerator_unblocked);
         }
+    }
+
+    #[test]
+    fn workload_results_agree_with_the_speedup_columns() {
+        // The gpu/hygcn evaluations folded into a WorkloadResult must be the
+        // same numbers the accelerator points carry as baseline_seconds —
+        // one sweep, one source of truth for every speedup figure.
+        let ctx = quick_context();
+        let w = Workload::new(DatasetKind::Citeseer, NetworkKind::Gcn);
+        let result = ctx.run_workload(&w).unwrap();
+        let blocked = ctx
+            .runner()
+            .run_one(&ctx.scenario(&w, ctx.options().config.clone(), ctx.blocked_dataflow()))
+            .unwrap();
+        let baselines = blocked.baseline_seconds.unwrap();
+        assert_eq!(result.gpu.seconds, baselines.gpu);
+        assert_eq!(result.hygcn.seconds, baselines.hygcn);
+        assert_eq!(
+            result.speedup_blocked_vs_gpu(),
+            blocked.speedup_vs_gpu().unwrap()
+        );
+        assert_eq!(
+            result.speedup_blocked_vs_hygcn(),
+            blocked.speedup_vs_hygcn().unwrap()
+        );
+    }
+
+    #[test]
+    fn baseline_scenarios_name_their_backend() {
+        let ctx = quick_context();
+        let w = Workload::new(DatasetKind::Cora, NetworkKind::Gcn);
+        let s = ctx.baseline_scenario(&w, BackendKind::Hygcn);
+        assert_eq!(s.backend, BackendKind::Hygcn);
+        assert_eq!(s.label(), "cora-gcn/hygcn");
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! The `BENCH_sweep` benchmark: parallel sweep-engine throughput versus the
-//! serial per-run simulator path, with a bit-identity check, emitted as
-//! machine-readable JSON so future changes can track the performance
-//! trajectory.
+//! serial per-run path, with a bit-identity check across every backend,
+//! emitted as machine-readable JSON so future changes can track the
+//! performance trajectory.
+//!
+//! The grid mixes platforms: every workload runs under four accelerator
+//! dataflows *and* on the GPU-roofline and HyGCN backends, all through one
+//! [`SweepRunner`] invocation. Accelerator rows carry `speedup_vs_gpu` /
+//! `speedup_vs_hygcn` columns derived from the baseline seconds attached by
+//! the sweep engine itself.
 
 use crate::suite::{full_suite, SuiteContext};
 use gnnerator::{
-    DataflowConfig, GnneratorError, ScenarioResult, ScenarioSpec, Simulator, SweepRunner,
+    Backend, BackendKind, DataflowConfig, GnneratorError, GpuRooflineBackend, HygcnBackend, Report,
+    ScenarioResult, ScenarioSpec, Simulator, SweepRunner,
 };
 use std::time::Instant;
 
-/// The dataflows every workload is swept across (4 × 9 workloads = 36
-/// scenario points).
+/// The dataflows every workload is swept across on the accelerator.
 pub const SWEEP_DATAFLOWS: [DataflowConfig; 4] = [
     DataflowConfig {
         blocking: gnnerator::BlockingPolicy::FeatureBlocked { block_size: 64 },
@@ -30,19 +36,254 @@ pub const SWEEP_DATAFLOWS: [DataflowConfig; 4] = [
     },
 ];
 
+/// The baseline platforms every workload is additionally evaluated on.
+pub const SWEEP_BASELINES: [BackendKind; 2] = [BackendKind::GpuRoofline, BackendKind::Hygcn];
+
 /// Enumerates the benchmark's scenario grid: the nine paper workloads under
-/// each of [`SWEEP_DATAFLOWS`].
+/// each of [`SWEEP_DATAFLOWS`], plus one point per baseline backend in
+/// [`SWEEP_BASELINES`] (9 × (4 + 2) = 54 points).
 pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
     let config = ctx.options().config.clone();
     full_suite()
         .iter()
         .flat_map(|workload| {
-            SWEEP_DATAFLOWS
+            let mut points: Vec<ScenarioSpec> = SWEEP_DATAFLOWS
                 .iter()
                 .map(|dataflow| ctx.scenario(workload, config.clone(), *dataflow))
-                .collect::<Vec<_>>()
+                .collect();
+            points.extend(
+                SWEEP_BASELINES
+                    .iter()
+                    .map(|&backend| ctx.baseline_scenario(workload, backend)),
+            );
+            points
         })
         .collect()
+}
+
+/// One machine-readable row of `BENCH_sweep.json`'s `points` array.
+///
+/// The struct is its own serializer/deserializer (the workspace's serde is a
+/// hermetic no-op shim): [`SweepPoint::to_json`] and [`SweepPoint::from_json`]
+/// round-trip every field exactly, which the tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Human-readable point label.
+    pub label: String,
+    /// Backend label ([`BackendKind`]'s `Display`).
+    pub backend: String,
+    /// Network short name.
+    pub network: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataflow description (accelerator configuration; baselines ignore it).
+    pub dataflow: String,
+    /// Platform-configuration name.
+    pub config: String,
+    /// End-to-end seconds on the point's platform.
+    pub seconds: f64,
+    /// Wall-clock seconds spent evaluating the point.
+    pub simulate_seconds: f64,
+    /// Total cycles (accelerator points only).
+    pub total_cycles: Option<u64>,
+    /// DRAM traffic in bytes (accelerator points only).
+    pub dram_bytes: Option<u64>,
+    /// Shard-grid occupancy (accelerator points only).
+    pub occupancy: Option<f64>,
+    /// Occupied shards walked (accelerator points only).
+    pub occupied_shards: Option<u64>,
+    /// GPU-roofline baseline seconds (accelerator points only).
+    pub baseline_gpu_seconds: Option<f64>,
+    /// HyGCN baseline seconds (accelerator points only).
+    pub baseline_hygcn_seconds: Option<f64>,
+    /// Speedup over the GPU roofline (accelerator points only).
+    pub speedup_vs_gpu: Option<f64>,
+    /// Speedup over HyGCN (accelerator points only).
+    pub speedup_vs_hygcn: Option<f64>,
+}
+
+impl SweepPoint {
+    /// Builds the row for one scenario result.
+    pub fn from_result(result: &ScenarioResult) -> Self {
+        let report = result.report.as_ref();
+        Self {
+            label: result.scenario.label(),
+            backend: result.backend().to_string(),
+            network: result.scenario.network.short_name().to_string(),
+            dataset: result.scenario.dataset.name.to_string(),
+            dataflow: result.scenario.dataflow.to_string(),
+            config: result.scenario.config.name.clone(),
+            seconds: result.seconds(),
+            simulate_seconds: result.simulate_seconds,
+            total_cycles: result.evaluation.total_cycles,
+            dram_bytes: result.evaluation.dram_bytes,
+            occupancy: report.map(Report::shard_occupancy),
+            occupied_shards: report.map(|r| r.occupied_shards() as u64),
+            baseline_gpu_seconds: result.baseline_seconds.map(|b| b.gpu),
+            baseline_hygcn_seconds: result.baseline_seconds.map(|b| b.hygcn),
+            speedup_vs_gpu: result.speedup_vs_gpu(),
+            speedup_vs_hygcn: result.speedup_vs_hygcn(),
+        }
+    }
+
+    /// Renders the row as a single-line JSON object.
+    ///
+    /// JSON has no representation for non-finite numbers, so an infinite or
+    /// NaN column (e.g. the `f64::INFINITY` sentinel `guarded_speedup`
+    /// returns for a degenerate zero-second run) serialises as `null` rather
+    /// than producing an unparseable document.
+    pub fn to_json(&self) -> String {
+        fn opt_f64(value: Option<f64>) -> String {
+            value
+                .filter(|v| v.is_finite())
+                .map_or_else(|| "null".to_string(), |v| format!("{v}"))
+        }
+        fn opt_u64(value: Option<u64>) -> String {
+            value.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        format!(
+            "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"seconds\": {}, \"simulate_seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \"occupancy\": {}, \"occupied_shards\": {}, \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}}}",
+            json_string(&self.label),
+            json_string(&self.backend),
+            json_string(&self.network),
+            json_string(&self.dataset),
+            json_string(&self.dataflow),
+            json_string(&self.config),
+            self.seconds,
+            self.simulate_seconds,
+            opt_u64(self.total_cycles),
+            opt_u64(self.dram_bytes),
+            opt_f64(self.occupancy),
+            opt_u64(self.occupied_shards),
+            opt_f64(self.baseline_gpu_seconds),
+            opt_f64(self.baseline_hygcn_seconds),
+            opt_f64(self.speedup_vs_gpu),
+            opt_f64(self.speedup_vs_hygcn),
+        )
+    }
+
+    /// Parses a row previously rendered by [`SweepPoint::to_json`].
+    ///
+    /// Fields may appear in any order; unknown fields are ignored. Returns
+    /// `None` on malformed input or missing required fields.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let fields = parse_flat_object(text)?;
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+        let string = |key: &str| match get(key)? {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        };
+        let f64_field = |key: &str| match get(key)? {
+            JsonValue::Number(n) => Some(n),
+            _ => None,
+        };
+        let opt_f64 = |key: &str| match get(key)? {
+            JsonValue::Number(n) => Some(Some(n)),
+            JsonValue::Null => Some(None),
+            _ => None,
+        };
+        let opt_u64 = |key: &str| match get(key)? {
+            JsonValue::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(Some(n as u64)),
+            JsonValue::Null => Some(None),
+            _ => None,
+        };
+        Some(Self {
+            label: string("label")?,
+            backend: string("backend")?,
+            network: string("network")?,
+            dataset: string("dataset")?,
+            dataflow: string("dataflow")?,
+            config: string("config")?,
+            seconds: f64_field("seconds")?,
+            simulate_seconds: f64_field("simulate_seconds")?,
+            total_cycles: opt_u64("total_cycles")?,
+            dram_bytes: opt_u64("dram_bytes")?,
+            occupancy: opt_f64("occupancy")?,
+            occupied_shards: opt_u64("occupied_shards")?,
+            baseline_gpu_seconds: opt_f64("baseline_gpu_seconds")?,
+            baseline_hygcn_seconds: opt_f64("baseline_hygcn_seconds")?,
+            speedup_vs_gpu: opt_f64("speedup_vs_gpu")?,
+            speedup_vs_hygcn: opt_f64("speedup_vs_hygcn")?,
+        })
+    }
+}
+
+/// A scalar value inside a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    String(String),
+    Number(f64),
+    Null,
+}
+
+/// Parses a flat (non-nested) JSON object of string/number/null values into
+/// `(key, value)` pairs, preserving order.
+fn parse_flat_object(text: &str) -> Option<Vec<(String, JsonValue)>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?.trim();
+    let mut fields = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest.trim_start())?;
+        let after_colon = after_key.trim_start().strip_prefix(':')?;
+        let (value, after_value) = parse_value(after_colon.trim_start())?;
+        fields.push((key, value));
+        rest = after_value.trim_start();
+        if let Some(next) = rest.strip_prefix(',') {
+            rest = next;
+        } else {
+            break;
+        }
+    }
+    rest.is_empty().then_some(fields)
+}
+
+/// Parses one JSON string literal, returning it and the remaining input.
+fn parse_string(text: &str) -> Option<(String, &str)> {
+    let mut chars = text.strip_prefix('"')?.char_indices();
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &text[i + 2..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parses one scalar JSON value, returning it and the remaining input.
+fn parse_value(text: &str) -> Option<(JsonValue, &str)> {
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text)?;
+        return Some((JsonValue::String(s), rest));
+    }
+    if let Some(rest) = text.strip_prefix("null") {
+        return Some((JsonValue::Null, rest));
+    }
+    let end = text
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(text.len());
+    let number = text[..end].parse::<f64>().ok()?;
+    Some((JsonValue::Number(number), &text[end..]))
 }
 
 /// Results of one sweep benchmark run.
@@ -53,10 +294,12 @@ pub struct SweepBenchmark {
     /// Wall-clock seconds of the parallel, compile-once sweep.
     pub parallel_seconds: f64,
     /// Wall-clock seconds of the serial path (a fresh `Simulator` compiling
-    /// from scratch per scenario, the way the harness worked before the
-    /// session refactor).
+    /// from scratch per accelerator scenario, and direct backend evaluations
+    /// for the baselines — the way the harness worked before the session and
+    /// backend refactors).
     pub serial_seconds: f64,
-    /// Whether every parallel report was bit-identical to its serial twin.
+    /// Whether every parallel result was bit-identical to its serial twin
+    /// (evaluations for all backends, full reports for accelerator points).
     pub bit_identical: bool,
     /// Worker threads available to the sweep engine.
     pub threads: usize,
@@ -74,6 +317,14 @@ impl SweepBenchmark {
         self.serial_seconds / self.parallel_seconds.max(1e-12)
     }
 
+    /// Number of points evaluated on `backend`.
+    pub fn points_for(&self, backend: BackendKind) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.backend() == backend)
+            .count()
+    }
+
     /// Renders the benchmark as a JSON document (`BENCH_sweep.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -81,6 +332,21 @@ impl SweepBenchmark {
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"num_points\": {},\n", self.results.len()));
+        out.push_str("  \"points_per_backend\": {");
+        for (i, backend) in BackendKind::ALL.into_iter().enumerate() {
+            let comma = if i + 1 == BackendKind::ALL.len() {
+                ""
+            } else {
+                ", "
+            };
+            out.push_str(&format!(
+                "{}: {}{}",
+                json_string(backend.as_str()),
+                self.points_for(backend),
+                comma
+            ));
+        }
+        out.push_str("},\n");
         out.push_str(&format!(
             "  \"parallel_seconds\": {:.6},\n",
             self.parallel_seconds
@@ -99,18 +365,8 @@ impl SweepBenchmark {
         for (i, result) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"label\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"total_cycles\": {}, \"seconds\": {:e}, \"dram_bytes\": {}, \"occupancy\": {:.6}, \"occupied_shards\": {}, \"simulate_seconds\": {:e}}}{}\n",
-                json_string(&result.scenario.label()),
-                json_string(result.scenario.network.short_name()),
-                json_string(result.scenario.dataset.name),
-                json_string(&result.scenario.dataflow.to_string()),
-                json_string(&result.scenario.config.name),
-                result.report.total_cycles,
-                result.report.seconds(),
-                result.report.dram_bytes(),
-                result.report.shard_occupancy(),
-                result.report.occupied_shards(),
-                result.simulate_seconds,
+                "    {}{}\n",
+                SweepPoint::from_result(result).to_json(),
                 comma
             ));
         }
@@ -119,9 +375,43 @@ impl SweepBenchmark {
     }
 }
 
-/// Runs the sweep benchmark on `ctx`: the 36-point grid through the parallel
-/// sweep engine, then the same grid through the serial per-run simulator
-/// path, comparing reports bit for bit.
+/// Evaluates one scenario the pre-sweep way: a fresh `Simulator` compiled
+/// from scratch for accelerator points, a direct backend evaluation for
+/// baselines.
+fn serial_reference(
+    ctx: &SuiteContext,
+    scenario: &ScenarioSpec,
+) -> Result<(gnnerator::BackendEvaluation, Option<Report>), GnneratorError> {
+    let dataset = ctx.runner().dataset(scenario)?;
+    let model = scenario
+        .network
+        .build(
+            dataset.features.dim(),
+            scenario.hidden_dim,
+            scenario.out_dim,
+            scenario.hidden_layers,
+        )
+        .map_err(GnneratorError::from)?;
+    match scenario.backend {
+        BackendKind::Gnnerator => {
+            let report = Simulator::with_dataflow(scenario.config.clone(), scenario.dataflow)?
+                .simulate(&model, &dataset)?;
+            Ok((report.to_evaluation(), Some(report)))
+        }
+        BackendKind::GpuRoofline => GpuRooflineBackend::rtx_2080_ti()
+            .evaluate(&model, dataset.num_nodes(), dataset.num_edges())
+            .map(|eval| (eval, None))
+            .map_err(|e| GnneratorError::backend(e.to_string())),
+        BackendKind::Hygcn => HygcnBackend::for_dataset(scenario.dataset.name)
+            .evaluate(&model, dataset.num_nodes(), dataset.num_edges())
+            .map(|eval| (eval, None))
+            .map_err(|e| GnneratorError::backend(e.to_string())),
+    }
+}
+
+/// Runs the sweep benchmark on `ctx`: the 54-point mixed-backend grid
+/// through the parallel sweep engine, then the same grid through the serial
+/// per-run path, comparing results bit for bit.
 ///
 /// Both paths share pre-synthesised datasets (synthesis is identical work
 /// either way and is excluded from the timings). The sweep path runs on a
@@ -132,7 +422,7 @@ impl SweepBenchmark {
 ///
 /// # Errors
 ///
-/// Propagates simulation errors from either path.
+/// Propagates simulation and backend-evaluation errors from either path.
 pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError> {
     let scenarios = sweep_scenarios(ctx);
     let cold_runner = SweepRunner::new();
@@ -149,26 +439,16 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
     let start = Instant::now();
     let mut serial = Vec::with_capacity(scenarios.len());
     for scenario in &scenarios {
-        let dataset = ctx.runner().dataset(scenario)?;
-        let model = scenario
-            .network
-            .build(
-                dataset.features.dim(),
-                scenario.hidden_dim,
-                scenario.out_dim,
-                scenario.hidden_layers,
-            )
-            .map_err(GnneratorError::from)?;
-        let report = Simulator::with_dataflow(scenario.config.clone(), scenario.dataflow)?
-            .simulate(&model, &dataset)?;
-        serial.push(report);
+        serial.push(serial_reference(ctx, scenario)?);
     }
     let serial_seconds = start.elapsed().as_secs_f64();
 
     let bit_identical = results
         .iter()
         .zip(&serial)
-        .all(|(parallel, serial)| &parallel.report == serial);
+        .all(|(parallel, (evaluation, report))| {
+            &parallel.evaluation == evaluation && &parallel.report == report
+        });
 
     Ok(SweepBenchmark {
         results,
@@ -205,14 +485,19 @@ mod tests {
     use crate::suite::SuiteOptions;
 
     #[test]
-    fn sweep_grid_has_at_least_32_points() {
+    fn sweep_grid_covers_every_backend() {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let scenarios = sweep_scenarios(&ctx);
-        assert!(scenarios.len() >= 32, "{} points", scenarios.len());
-        // 9 workloads x 4 dataflows, all distinct.
-        assert_eq!(scenarios.len(), 36);
+        // 9 workloads x (4 accelerator dataflows + 2 baselines), all
+        // distinct.
+        assert_eq!(scenarios.len(), 54);
         for pair in scenarios.windows(2) {
             assert_ne!(pair[0], pair[1]);
+        }
+        for backend in BackendKind::ALL {
+            let count = scenarios.iter().filter(|s| s.backend == backend).count();
+            let expected = if backend.is_accelerator() { 36 } else { 9 };
+            assert_eq!(count, expected, "{backend}");
         }
     }
 
@@ -221,7 +506,10 @@ mod tests {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let bench = bench_sweep(&ctx).unwrap();
         assert!(bench.bit_identical);
-        assert_eq!(bench.results.len(), 36);
+        assert_eq!(bench.results.len(), 54);
+        assert_eq!(bench.points_for(BackendKind::Gnnerator), 36);
+        assert_eq!(bench.points_for(BackendKind::GpuRoofline), 9);
+        assert_eq!(bench.points_for(BackendKind::Hygcn), 9);
         assert!(bench.parallel_seconds > 0.0);
         assert!(bench.serial_seconds > 0.0);
     }
@@ -235,15 +523,105 @@ mod tests {
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"bit_identical\": true"));
-        assert!(json.contains("\"num_points\": 36"));
+        assert!(json.contains("\"num_points\": 54"));
+        assert!(json.contains("\"points_per_backend\""));
         assert!(json.contains("\"shard_build_seconds\""));
         assert!(json.contains("\"occupancy\""));
         assert!(json.contains("\"occupied_shards\""));
         assert!(json.contains("\"simulate_seconds\""));
+        assert!(json.contains("\"backend\": \"gnnerator\""));
+        assert!(json.contains("\"backend\": \"gpu-roofline\""));
+        assert!(json.contains("\"backend\": \"hygcn\""));
+        assert!(json.contains("\"speedup_vs_gpu\""));
+        assert!(json.contains("\"speedup_vs_hygcn\""));
         assert!(json.contains("cora-gcn"));
+        // Speedups must be finite: JSON has no inf/NaN representation.
+        assert!(!json.contains("inf"));
+        assert!(!json.contains("NaN"));
         // Balanced braces/brackets (no raw quotes inside our labels).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sweep_points_round_trip_through_json() {
+        let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
+        let scenarios = sweep_scenarios(&ctx);
+        let results = ctx.run_scenarios(&scenarios).unwrap();
+        for result in &results {
+            let point = SweepPoint::from_result(result);
+            let parsed = SweepPoint::from_json(&point.to_json())
+                .unwrap_or_else(|| panic!("unparseable row: {}", point.to_json()));
+            assert_eq!(parsed, point, "{}", result.scenario);
+            // Accelerator rows carry the speedup columns, baselines don't.
+            if result.backend().is_accelerator() {
+                assert!(parsed.speedup_vs_gpu.unwrap().is_finite());
+                assert!(parsed.speedup_vs_hygcn.unwrap().is_finite());
+                assert!(parsed.baseline_gpu_seconds.unwrap() > 0.0);
+                assert!(parsed.baseline_hygcn_seconds.unwrap() > 0.0);
+                assert!(parsed.total_cycles.unwrap() > 0);
+            } else {
+                assert_eq!(parsed.speedup_vs_gpu, None);
+                assert_eq!(parsed.speedup_vs_hygcn, None);
+                assert_eq!(parsed.total_cycles, None);
+                assert_eq!(parsed.occupancy, None);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_point_parser_handles_escapes_order_and_junk() {
+        let json = "{\"backend\": \"gnnerator\", \"label\": \"a\\\"b\\\\c\\nd\", \
+                    \"network\": \"gcn\", \"dataset\": \"cora\", \"dataflow\": \"x\", \
+                    \"config\": \"y\", \"unknown_field\": 3, \"seconds\": 1e-3, \
+                    \"simulate_seconds\": 0.5, \"total_cycles\": null, \"dram_bytes\": null, \
+                    \"occupancy\": null, \"occupied_shards\": null, \
+                    \"baseline_gpu_seconds\": null, \"baseline_hygcn_seconds\": null, \
+                    \"speedup_vs_gpu\": null, \"speedup_vs_hygcn\": null}";
+        let point = SweepPoint::from_json(json).unwrap();
+        assert_eq!(point.label, "a\"b\\c\nd");
+        assert_eq!(point.seconds, 1e-3);
+        assert_eq!(point.total_cycles, None);
+        // Round-trip of the escaped label.
+        assert_eq!(SweepPoint::from_json(&point.to_json()), Some(point));
+        // Malformed inputs are rejected, not panicked on.
+        assert_eq!(SweepPoint::from_json("not json"), None);
+        assert_eq!(SweepPoint::from_json("{\"label\": }"), None);
+        assert_eq!(SweepPoint::from_json("{}"), None);
+    }
+
+    #[test]
+    fn non_finite_columns_serialise_as_null_not_invalid_json() {
+        let mut point = SweepPoint {
+            label: "x".into(),
+            backend: "gnnerator".into(),
+            network: "gcn".into(),
+            dataset: "cora".into(),
+            dataflow: "d".into(),
+            config: "c".into(),
+            seconds: 1.0e-3,
+            simulate_seconds: 1.0e-4,
+            total_cycles: Some(1),
+            dram_bytes: Some(2),
+            occupancy: Some(f64::NAN),
+            occupied_shards: Some(3),
+            baseline_gpu_seconds: Some(1.0),
+            baseline_hygcn_seconds: Some(1.0),
+            speedup_vs_gpu: Some(f64::INFINITY),
+            speedup_vs_hygcn: Some(f64::NEG_INFINITY),
+        };
+        let json = point.to_json();
+        assert!(!json.contains("inf"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        let parsed = SweepPoint::from_json(&json).unwrap();
+        assert_eq!(parsed.speedup_vs_gpu, None);
+        assert_eq!(parsed.speedup_vs_hygcn, None);
+        assert_eq!(parsed.occupancy, None);
+        // Finite columns still round-trip exactly.
+        point.occupancy = Some(0.75);
+        point.speedup_vs_gpu = Some(4.0);
+        point.speedup_vs_hygcn = Some(2.0);
+        assert_eq!(SweepPoint::from_json(&point.to_json()), Some(point));
     }
 
     #[test]

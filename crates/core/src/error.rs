@@ -22,6 +22,12 @@ pub enum GnneratorError {
         /// Description of the problem.
         message: String,
     },
+    /// A backend failed to evaluate a scenario point.
+    Backend {
+        /// Description of the problem (the backend's own error, flattened so
+        /// this type stays `Clone + PartialEq`).
+        message: String,
+    },
     /// An underlying graph-substrate error.
     Graph(GraphError),
     /// An underlying GNN-model error.
@@ -51,6 +57,13 @@ impl GnneratorError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for [`GnneratorError::Backend`].
+    pub fn backend(message: impl Into<String>) -> Self {
+        GnneratorError::Backend {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for GnneratorError {
@@ -67,6 +80,9 @@ impl fmt::Display for GnneratorError {
                     f,
                     "workload cannot be mapped onto the accelerator: {message}"
                 )
+            }
+            GnneratorError::Backend { message } => {
+                write!(f, "backend evaluation failed: {message}")
             }
             GnneratorError::Graph(e) => write!(f, "graph error: {e}"),
             GnneratorError::Gnn(e) => write!(f, "model error: {e}"),
@@ -119,6 +135,9 @@ mod tests {
         assert!(GnneratorError::unmappable("bad")
             .to_string()
             .contains("mapped"));
+        assert!(GnneratorError::backend("bad")
+            .to_string()
+            .contains("backend"));
     }
 
     #[test]

@@ -17,8 +17,13 @@
 //!   producer/consumer stalls) producing a [`Report`],
 //! * [`SimSession`] / [`CompiledWorkload`] — compile-once, run-many sessions
 //!   sharing shard plans across configurations,
+//! * [`Backend`] / [`BackendKind`] — the platform abstraction: the simulated
+//!   accelerator ([`GnneratorBackend`]) and the analytical GPU-roofline and
+//!   HyGCN baselines all evaluate scenarios through one trait,
 //! * [`SweepRunner`] / [`ScenarioSpec`] — the parallel scenario-sweep engine
-//!   the benchmark harness enumerates the paper's figures and tables with,
+//!   the benchmark harness enumerates the paper's figures and tables with;
+//!   one sweep mixes accelerator and baseline points and accelerator results
+//!   carry speedup columns against both baselines,
 //! * [`functional`] — a bit-faithful functional execution of the blocked
 //!   dataflow, cross-checked against the reference executor in tests.
 //!
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod backend;
 mod compiler;
 mod config;
 pub mod cost;
@@ -62,6 +68,10 @@ mod session;
 mod simulator;
 mod sweep;
 
+pub use backend::{
+    Backend, BackendError, BackendEvaluation, BackendKind, GnneratorBackend, GpuRooflineBackend,
+    HygcnBackend,
+};
 pub use compiler::Compiler;
 pub use config::{DenseEngineConfig, GnneratorConfig, GraphEngineConfig};
 pub use dataflow::{BlockingPolicy, DataflowConfig};
@@ -72,4 +82,4 @@ pub use program::{DenseOp, LayerPlan, Program};
 pub use report::{LayerReport, Report};
 pub use session::{CompiledWorkload, SimSession};
 pub use simulator::Simulator;
-pub use sweep::{ScenarioResult, ScenarioSpec, SweepRunner};
+pub use sweep::{BaselineSeconds, ScenarioResult, ScenarioSpec, SweepRunner};

@@ -10,7 +10,8 @@
 //! nodes-per-shard parameter share one grid instead of re-sharding.
 
 use crate::{
-    Compiler, DataflowConfig, GnneratorConfig, GnneratorError, Program, Report, Simulator,
+    BackendEvaluation, Compiler, DataflowConfig, GnneratorConfig, GnneratorError, Program, Report,
+    Simulator,
 };
 use gnnerator_gnn::GnnModel;
 use gnnerator_graph::datasets::Dataset;
@@ -155,6 +156,20 @@ impl SimSession {
         dataflow: DataflowConfig,
     ) -> Result<Report, GnneratorError> {
         Simulator::execute(&self.compile(config, dataflow)?)
+    }
+
+    /// Like [`SimSession::simulate`], but returns the platform-neutral
+    /// [`BackendEvaluation`] the sweep path's backends trade in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulation errors.
+    pub fn evaluate(
+        &self,
+        config: &GnneratorConfig,
+        dataflow: DataflowConfig,
+    ) -> Result<BackendEvaluation, GnneratorError> {
+        Ok(self.simulate(config, dataflow)?.to_evaluation())
     }
 }
 

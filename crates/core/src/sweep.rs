@@ -1,18 +1,31 @@
 //! The parallel scenario-sweep engine.
 //!
 //! Every figure and table of the paper's evaluation enumerates scenario
-//! points — (network × dataset × platform configuration × dataflow) — and
-//! simulates each one. A [`SweepRunner`] owns the two caches that make this
-//! cheap (synthesised datasets, keyed by spec and seed; compiled
-//! [`SimSession`]s, keyed by dataset and model shape) and executes a batch of
-//! [`ScenarioSpec`]s in parallel via rayon.
+//! points — (backend × network × dataset × platform configuration ×
+//! dataflow) — and evaluates each one. A [`SweepRunner`] owns the two caches
+//! that make this cheap (synthesised datasets, keyed by spec and seed;
+//! compiled [`SimSession`]s, keyed by dataset and model shape) and executes a
+//! batch of [`ScenarioSpec`]s in parallel via rayon.
 //!
-//! Parallel execution is observably identical to serial execution: the
-//! simulator is deterministic, scenarios are independent, and results are
+//! Scenario execution routes through the [`Backend`] trait: the simulated
+//! accelerator ([`GnneratorBackend`]) and the two analytical baselines
+//! ([`GpuRooflineBackend`](crate::GpuRooflineBackend),
+//! [`HygcnBackend`](crate::HygcnBackend)) all produce a
+//! [`BackendEvaluation`], so one sweep enumerates accelerator *and* baseline
+//! points. Accelerator points additionally keep their cycle-level [`Report`]
+//! and carry both baselines' estimated seconds, so speedup columns fall out
+//! of a single pass.
+//!
+//! Parallel execution is observably identical to serial execution: every
+//! backend is deterministic, scenarios are independent, and results are
 //! returned in input order. The sweep determinism tests pin this property
-//! bit-for-bit.
+//! bit-for-bit across all backends.
 
-use crate::{DataflowConfig, GnneratorConfig, GnneratorError, Report, SimSession};
+use crate::{
+    Backend, BackendEvaluation, BackendKind, DataflowConfig, GnneratorBackend, GnneratorConfig,
+    GnneratorError, GpuRooflineBackend, HygcnBackend, Report, SimSession,
+};
+use gnnerator_baselines::guarded_speedup;
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::{Dataset, DatasetSpec};
 use rayon::prelude::*;
@@ -22,9 +35,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One scenario point of a sweep: everything needed to synthesise the
-/// dataset, build the model and simulate it under one configuration.
+/// dataset, build the model and evaluate it on one platform under one
+/// configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
+    /// The platform that evaluates the point.
+    pub backend: BackendKind,
     /// The GNN architecture.
     pub network: NetworkKind,
     /// The dataset specification (scaling already applied).
@@ -38,14 +54,17 @@ pub struct ScenarioSpec {
     pub out_dim: usize,
     /// Number of hidden layers (1 in Table III).
     pub hidden_layers: usize,
-    /// Platform configuration to simulate.
+    /// Platform configuration to simulate (accelerator backends only;
+    /// analytical baselines ignore it).
     pub config: GnneratorConfig,
-    /// Dataflow configuration to simulate.
+    /// Dataflow configuration to simulate (accelerator backends only).
     pub dataflow: DataflowConfig,
 }
 
 impl ScenarioSpec {
-    /// Creates a scenario with the paper's model shape (one hidden layer).
+    /// Creates an accelerator scenario with the paper's model shape (one
+    /// hidden layer). Use [`ScenarioSpec::with_backend`] to retarget the
+    /// point at a baseline platform.
     pub fn new(
         network: NetworkKind,
         dataset: DatasetSpec,
@@ -56,6 +75,7 @@ impl ScenarioSpec {
         dataflow: DataflowConfig,
     ) -> Self {
         Self {
+            backend: BackendKind::Gnnerator,
             network,
             dataset,
             seed,
@@ -67,15 +87,32 @@ impl ScenarioSpec {
         }
     }
 
-    /// A human-readable point label (`cora-gcn/blocked (B = 64)/gnnerator`).
+    /// Returns a copy of this scenario evaluated on a different platform.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// A human-readable point label (`cora-gcn/blocked (B = 64)/gnnerator`
+    /// for accelerator points, `cora-gcn/gpu-roofline` for baselines, whose
+    /// evaluation does not depend on a dataflow or platform configuration).
     pub fn label(&self) -> String {
-        format!(
-            "{}-{}/{}/{}",
-            self.dataset.name,
-            self.network.short_name(),
-            self.dataflow,
-            self.config.name
-        )
+        if self.backend.is_accelerator() {
+            format!(
+                "{}-{}/{}/{}",
+                self.dataset.name,
+                self.network.short_name(),
+                self.dataflow,
+                self.config.name
+            )
+        } else {
+            format!(
+                "{}-{}/{}",
+                self.dataset.name,
+                self.network.short_name(),
+                self.backend
+            )
+        }
     }
 
     fn dataset_key(&self) -> DatasetKey {
@@ -100,27 +137,94 @@ impl fmt::Display for ScenarioSpec {
     }
 }
 
+/// Both reference baselines' estimated seconds for one (model, dataset)
+/// point, attached to accelerator results so speedup columns ride along in
+/// the same sweep pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineSeconds {
+    /// GPU-roofline (RTX 2080 Ti) estimate in seconds.
+    pub gpu: f64,
+    /// HyGCN estimate in seconds (with the dataset's sparsity factor).
+    pub hygcn: f64,
+}
+
+impl BaselineSeconds {
+    /// Estimates both baselines for a session's (model, graph) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-evaluation errors.
+    pub fn estimate(session: &SimSession) -> Result<Self, GnneratorError> {
+        let evaluate = |backend: &dyn Backend| -> Result<f64, GnneratorError> {
+            backend
+                .evaluate(session.model(), session.num_nodes(), session.num_edges())
+                .map(|eval| eval.seconds)
+                .map_err(|e| GnneratorError::backend(e.to_string()))
+        };
+        Ok(Self {
+            gpu: evaluate(&GpuRooflineBackend::rtx_2080_ti())?,
+            hygcn: evaluate(&HygcnBackend::for_dataset(session.dataset_name()))?,
+        })
+    }
+}
+
 /// The result of one scenario point.
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
-    /// The scenario that was simulated.
+    /// The scenario that was evaluated.
     pub scenario: ScenarioSpec,
-    /// The simulation report.
-    pub report: Report,
-    /// Nodes in the materialised graph (for baseline estimators).
+    /// The platform-neutral evaluation (seconds, per-layer breakdown,
+    /// telemetry) every backend produces.
+    pub evaluation: BackendEvaluation,
+    /// The cycle-level simulation report — present only for accelerator
+    /// backends; analytical baselines work directly in seconds.
+    pub report: Option<Report>,
+    /// Both baselines' estimated seconds for this point's (model, dataset) —
+    /// attached to accelerator points so speedups need no second pass;
+    /// `None` for baseline points (they *are* the baseline).
+    pub baseline_seconds: Option<BaselineSeconds>,
+    /// Nodes in the materialised graph.
     pub num_nodes: usize,
-    /// Edges in the materialised graph (for baseline estimators).
+    /// Edges in the materialised graph.
     pub num_edges: usize,
     /// Wall-clock seconds this point took to compile (against warm caches)
-    /// and simulate. Excluded from equality: timing jitter must not break
+    /// and evaluate. Excluded from equality: timing jitter must not break
     /// the bit-identity guarantees the sweep engine is tested against.
     pub simulate_seconds: f64,
+}
+
+impl ScenarioResult {
+    /// The platform that evaluated this point.
+    pub fn backend(&self) -> BackendKind {
+        self.scenario.backend
+    }
+
+    /// End-to-end execution time in seconds on the point's platform.
+    pub fn seconds(&self) -> f64 {
+        self.evaluation.seconds
+    }
+
+    /// Speedup of this accelerator point over the GPU-roofline baseline
+    /// (`None` for baseline points).
+    pub fn speedup_vs_gpu(&self) -> Option<f64> {
+        self.baseline_seconds
+            .map(|b| guarded_speedup(b.gpu, self.evaluation.seconds))
+    }
+
+    /// Speedup of this accelerator point over the HyGCN baseline (`None` for
+    /// baseline points).
+    pub fn speedup_vs_hygcn(&self) -> Option<f64> {
+        self.baseline_seconds
+            .map(|b| guarded_speedup(b.hygcn, self.evaluation.seconds))
+    }
 }
 
 impl PartialEq for ScenarioResult {
     fn eq(&self, other: &Self) -> bool {
         self.scenario == other.scenario
+            && self.evaluation == other.evaluation
             && self.report == other.report
+            && self.baseline_seconds == other.baseline_seconds
             && self.num_nodes == other.num_nodes
             && self.num_edges == other.num_edges
     }
@@ -130,33 +234,38 @@ type DatasetKey = (DatasetSpec, u64);
 type SessionKey = (DatasetSpec, u64, NetworkKind, usize, usize, usize);
 
 /// Executes batches of scenarios in parallel over shared dataset/session
-/// caches.
+/// caches, dispatching each point through its [`Backend`].
 ///
 /// # Examples
 ///
 /// ```
-/// use gnnerator::{DataflowConfig, GnneratorConfig, ScenarioSpec, SweepRunner};
+/// use gnnerator::{BackendKind, DataflowConfig, GnneratorConfig, ScenarioSpec, SweepRunner};
 /// use gnnerator_gnn::NetworkKind;
 /// use gnnerator_graph::datasets::DatasetKind;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let runner = SweepRunner::new();
 /// let spec = DatasetKind::Cora.spec().scaled(0.05);
-/// let scenarios: Vec<ScenarioSpec> = [32, 64]
+/// // One grid mixing the accelerator and both baseline platforms.
+/// let base = ScenarioSpec::new(
+///     NetworkKind::Gcn,
+///     spec,
+///     7,
+///     16,
+///     7,
+///     GnneratorConfig::paper_default(),
+///     DataflowConfig::paper_default(),
+/// );
+/// let scenarios: Vec<ScenarioSpec> = BackendKind::ALL
 ///     .into_iter()
-///     .map(|b| ScenarioSpec::new(
-///         NetworkKind::Gcn,
-///         spec,
-///         7,
-///         16,
-///         7,
-///         GnneratorConfig::paper_default(),
-///         DataflowConfig::blocked(b),
-///     ))
+///     .map(|backend| base.clone().with_backend(backend))
 ///     .collect();
 /// let results = runner.run(&scenarios)?;
-/// assert_eq!(results.len(), 2);
-/// assert!(results.iter().all(|r| r.report.total_cycles > 0));
+/// assert_eq!(results.len(), 3);
+/// assert!(results.iter().all(|r| r.evaluation.seconds > 0.0));
+/// // The accelerator point carries speedups against both baselines.
+/// assert!(results[0].speedup_vs_gpu().unwrap().is_finite());
+/// assert!(results[0].speedup_vs_hygcn().unwrap().is_finite());
 /// # Ok(())
 /// # }
 /// ```
@@ -223,6 +332,9 @@ impl SweepRunner {
     /// Returns the compiled session for a scenario's (dataset, model) pair,
     /// building and caching it on first request.
     ///
+    /// Sessions are keyed by dataset and model shape only, so accelerator
+    /// and baseline points over the same workload share one session.
+    ///
     /// # Errors
     ///
     /// Propagates dataset-synthesis and model-construction errors.
@@ -251,19 +363,61 @@ impl SweepRunner {
         Ok(Arc::clone(cache.entry(key).or_insert(session)))
     }
 
-    /// Simulates a single scenario through the session cache.
+    /// Builds the [`Backend`] that evaluates `scenario`, sharing the
+    /// scenario's compiled session.
     ///
     /// # Errors
     ///
-    /// Propagates synthesis, compilation and simulation errors.
+    /// Propagates synthesis and model-construction errors.
+    pub fn backend(&self, scenario: &ScenarioSpec) -> Result<Box<dyn Backend>, GnneratorError> {
+        let session = self.session(scenario)?;
+        Ok(Self::make_backend(scenario, session))
+    }
+
+    fn make_backend(scenario: &ScenarioSpec, session: Arc<SimSession>) -> Box<dyn Backend> {
+        match scenario.backend {
+            BackendKind::Gnnerator => Box::new(GnneratorBackend::new(
+                session,
+                scenario.config.clone(),
+                scenario.dataflow,
+            )),
+            BackendKind::GpuRoofline => Box::new(GpuRooflineBackend::rtx_2080_ti()),
+            BackendKind::Hygcn => Box::new(HygcnBackend::for_dataset(scenario.dataset.name)),
+        }
+    }
+
+    /// Evaluates a single scenario through the session cache and its
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis, compilation, simulation and backend-evaluation
+    /// errors.
     pub fn run_one(&self, scenario: &ScenarioSpec) -> Result<ScenarioResult, GnneratorError> {
         let session = self.session(scenario)?;
         let start = Instant::now();
-        let report = session.simulate(&scenario.config, scenario.dataflow)?;
+        let (evaluation, report, baseline_seconds) = if scenario.backend.is_accelerator() {
+            let backend = GnneratorBackend::new(
+                Arc::clone(&session),
+                scenario.config.clone(),
+                scenario.dataflow,
+            );
+            let report = backend.simulate()?;
+            let baselines = BaselineSeconds::estimate(&session)?;
+            (report.to_evaluation(), Some(report), Some(baselines))
+        } else {
+            let backend = Self::make_backend(scenario, Arc::clone(&session));
+            let evaluation = backend
+                .evaluate(session.model(), session.num_nodes(), session.num_edges())
+                .map_err(|e| GnneratorError::backend(e.to_string()))?;
+            (evaluation, None, None)
+        };
         let simulate_seconds = start.elapsed().as_secs_f64();
         Ok(ScenarioResult {
             scenario: scenario.clone(),
+            evaluation,
             report,
+            baseline_seconds,
             num_nodes: session.num_nodes(),
             num_edges: session.num_edges(),
             simulate_seconds,
@@ -276,8 +430,8 @@ impl SweepRunner {
     /// Sessions (and the datasets underneath them) are materialised first —
     /// one per distinct (dataset, model) pair, in parallel — then every
     /// scenario executes on the worker pool against the shared compiled
-    /// state. Reports are bit-identical to [`SweepRunner::run_serial`] on the
-    /// same scenarios.
+    /// state. Results are bit-identical to [`SweepRunner::run_serial`] on
+    /// the same scenarios, for every backend.
     ///
     /// # Errors
     ///
@@ -298,7 +452,7 @@ impl SweepRunner {
             .map(|scenario| self.session(scenario).map(|_| ()))
             .collect::<Result<Vec<()>, GnneratorError>>()?;
 
-        // Phase 2: simulate every scenario point in parallel.
+        // Phase 2: evaluate every scenario point in parallel.
         scenarios
             .par_iter()
             .map(|scenario| self.run_one(scenario))
@@ -369,9 +523,19 @@ mod tests {
         scenarios
     }
 
+    fn mixed_backend_grid() -> Vec<ScenarioSpec> {
+        let mut scenarios = Vec::new();
+        for scenario in scenario_grid() {
+            for backend in BackendKind::ALL {
+                scenarios.push(scenario.clone().with_backend(backend));
+            }
+        }
+        scenarios
+    }
+
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
-        let scenarios = scenario_grid();
+        let scenarios = mixed_backend_grid();
         let runner = SweepRunner::new();
         let parallel = runner.run(&scenarios).unwrap();
         let serial = runner.run_serial(&scenarios).unwrap();
@@ -381,10 +545,11 @@ mod tests {
 
     #[test]
     fn caches_deduplicate_datasets_and_sessions() {
-        let scenarios = scenario_grid();
+        let scenarios = mixed_backend_grid();
         let runner = SweepRunner::new();
         runner.run(&scenarios).unwrap();
-        // 2 datasets; 2 datasets x 3 networks = 6 sessions; 12 scenarios.
+        // 2 datasets; 2 datasets x 3 networks = 6 sessions; backend and
+        // dataflow variants all share them.
         assert_eq!(runner.cached_datasets(), 2);
         assert_eq!(runner.cached_sessions(), 6);
     }
@@ -396,8 +561,91 @@ mod tests {
         let results = runner.run(&scenarios).unwrap();
         for (scenario, result) in scenarios.iter().zip(&results) {
             assert_eq!(&result.scenario, scenario);
-            assert_eq!(result.report.model_name, scenario.network.to_string());
-            assert_eq!(result.report.dataset_name, scenario.dataset.name);
+            let report = result.report.as_ref().expect("accelerator point");
+            assert_eq!(report.model_name, scenario.network.to_string());
+            assert_eq!(report.dataset_name, scenario.dataset.name);
+        }
+    }
+
+    #[test]
+    fn accelerator_points_carry_reports_and_finite_speedups() {
+        let scenarios = scenario_grid();
+        let runner = SweepRunner::new();
+        for result in runner.run(&scenarios).unwrap() {
+            assert_eq!(result.backend(), BackendKind::Gnnerator);
+            let report = result.report.as_ref().expect("accelerator point");
+            assert_eq!(result.evaluation.total_cycles, Some(report.total_cycles));
+            assert_eq!(result.seconds(), report.seconds());
+            let vs_gpu = result.speedup_vs_gpu().unwrap();
+            let vs_hygcn = result.speedup_vs_hygcn().unwrap();
+            assert!(vs_gpu.is_finite() && vs_gpu > 0.0, "{}", result.scenario);
+            assert!(
+                vs_hygcn.is_finite() && vs_hygcn > 0.0,
+                "{}",
+                result.scenario
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_points_have_evaluations_but_no_report() {
+        let scenarios: Vec<ScenarioSpec> = scenario_grid()
+            .into_iter()
+            .flat_map(|s| {
+                [
+                    s.clone().with_backend(BackendKind::GpuRoofline),
+                    s.with_backend(BackendKind::Hygcn),
+                ]
+            })
+            .collect();
+        let runner = SweepRunner::new();
+        for result in runner.run(&scenarios).unwrap() {
+            assert!(result.report.is_none(), "{}", result.scenario);
+            assert!(result.baseline_seconds.is_none());
+            assert!(result.speedup_vs_gpu().is_none());
+            assert!(result.speedup_vs_hygcn().is_none());
+            assert!(result.seconds() > 0.0);
+            assert!(result.evaluation.total_cycles.is_none());
+            let expected = match result.backend() {
+                BackendKind::GpuRoofline => "rtx-2080-ti",
+                BackendKind::Hygcn => "hygcn",
+                BackendKind::Gnnerator => unreachable!("grid is baselines only"),
+            };
+            assert_eq!(result.evaluation.platform, expected);
+        }
+    }
+
+    #[test]
+    fn baseline_points_match_accelerator_speedup_denominators() {
+        // The baseline seconds attached to an accelerator point must be the
+        // same numbers a dedicated baseline point produces: one sweep, one
+        // source of truth.
+        let base = scenario_grid().remove(0);
+        let scenarios = [
+            base.clone(),
+            base.clone().with_backend(BackendKind::GpuRoofline),
+            base.with_backend(BackendKind::Hygcn),
+        ];
+        let runner = SweepRunner::new();
+        let results = runner.run(&scenarios).unwrap();
+        let baselines = results[0].baseline_seconds.unwrap();
+        assert_eq!(baselines.gpu, results[1].seconds());
+        assert_eq!(baselines.hygcn, results[2].seconds());
+    }
+
+    #[test]
+    fn backend_accessor_dispatches_through_the_trait() {
+        let base = scenario_grid().remove(0);
+        let runner = SweepRunner::new();
+        for kind in BackendKind::ALL {
+            let scenario = base.clone().with_backend(kind);
+            let backend = runner.backend(&scenario).unwrap();
+            let session = runner.session(&scenario).unwrap();
+            let eval = backend
+                .evaluate(session.model(), session.num_nodes(), session.num_edges())
+                .unwrap();
+            let result = runner.run_one(&scenario).unwrap();
+            assert_eq!(eval, result.evaluation, "{kind}");
         }
     }
 
@@ -425,12 +673,17 @@ mod tests {
     }
 
     #[test]
-    fn labels_identify_the_point() {
+    fn labels_identify_the_point_and_platform() {
         let scenario = &scenario_grid()[0];
         let label = scenario.label();
         assert!(label.contains("cora"));
         assert!(label.contains("gcn"));
         assert!(label.contains("gnnerator"));
         assert_eq!(scenario.to_string(), label);
+        // Baseline labels name the backend instead of dataflow/config.
+        let gpu = scenario.clone().with_backend(BackendKind::GpuRoofline);
+        assert_eq!(gpu.label(), "cora-gcn/gpu-roofline");
+        let hygcn = scenario.clone().with_backend(BackendKind::Hygcn);
+        assert_eq!(hygcn.label(), "cora-gcn/hygcn");
     }
 }

@@ -41,7 +41,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let results = runner.run(&scenarios)?;
     let (blocked, rest) = results.split_at(block_sizes.len());
     let (conventional, orders) = rest.split_first().expect("conventional point present");
-    let baseline = blocked[1].report.total_cycles as f64; // B = 64
+    // All points are accelerator scenarios, so every result carries a
+    // cycle-level report.
+    let report_of = |run: &gnnerator::ScenarioResult| {
+        run.report
+            .clone()
+            .expect("accelerator point carries a report")
+    };
+    let baseline = report_of(&blocked[1]).total_cycles as f64; // B = 64
 
     let mut table = Table::new(
         "Feature-block size sweep",
@@ -54,20 +61,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         ],
     );
     for (b, run) in block_sizes.iter().zip(blocked) {
+        let report = report_of(run);
         table.add_row(vec![
             format!("B={b}"),
-            run.report.total_cycles.to_string(),
-            format!("{:.1}", run.report.dram_bytes() as f64 / 1e6),
-            run.report.layers[0].grid_dim.to_string(),
-            format!("{:.2}x", run.report.total_cycles as f64 / baseline),
+            report.total_cycles.to_string(),
+            format!("{:.1}", report.dram_bytes() as f64 / 1e6),
+            report.layers[0].grid_dim.to_string(),
+            format!("{:.2}x", report.total_cycles as f64 / baseline),
         ]);
     }
+    let conventional_report = report_of(conventional);
     table.add_row(vec![
         "conventional".to_string(),
-        conventional.report.total_cycles.to_string(),
-        format!("{:.1}", conventional.report.dram_bytes() as f64 / 1e6),
-        conventional.report.layers[0].grid_dim.to_string(),
-        format!("{:.2}x", conventional.report.total_cycles as f64 / baseline),
+        conventional_report.total_cycles.to_string(),
+        format!("{:.1}", conventional_report.dram_bytes() as f64 / 1e6),
+        conventional_report.layers[0].grid_dim.to_string(),
+        format!("{:.2}x", conventional_report.total_cycles as f64 / baseline),
     ]);
     println!("{table}");
 
@@ -78,17 +87,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     for run in orders {
         let order = run.scenario.dataflow.traversal.expect("order pinned");
+        let report = report_of(run);
         table.add_row(vec![
             order.to_string(),
-            run.report.total_cycles.to_string(),
-            format!("{:.1}", run.report.dram_read_bytes() as f64 / 1e6),
-            format!("{:.1}", run.report.dram_write_bytes() as f64 / 1e6),
+            report.total_cycles.to_string(),
+            format!("{:.1}", report.dram_read_bytes() as f64 / 1e6),
+            format!("{:.1}", report.dram_write_bytes() as f64 / 1e6),
         ]);
     }
     println!("{table}");
 
     // --- The analytical model behind the choice (Table I) ---
-    let s = conventional.report.layers[0].grid_dim as u64;
+    let s = conventional_report.layers[0].grid_dim as u64;
     let src = cost::source_stationary(s, 1);
     let dst = cost::destination_stationary(s, 1);
     println!("Analytical Table I at S={s}, I=1: src-stationary {src}, dst-stationary {dst}");

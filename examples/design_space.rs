@@ -58,8 +58,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     {
         let mut cells = vec![name.to_string()];
         for (run, baseline) in group.iter().zip(baseline_rows) {
+            let (run_report, baseline_report) = (
+                run.report.as_ref().expect("accelerator point"),
+                baseline.report.as_ref().expect("accelerator point"),
+            );
             cells.push(format_speedup(
-                baseline.report.total_cycles as f64 / run.report.total_cycles as f64,
+                baseline_report.total_cycles as f64 / run_report.total_cycles as f64,
             ));
         }
         table.add_row(cells);
@@ -76,7 +80,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         if hidden == 128 {
             continue;
         }
-        let l0 = &baseline_rows[i].report.layers[0];
+        let report = baseline_rows[i].report.as_ref().expect("accelerator point");
+        let l0 = &report.layers[0];
         println!(
             "hidden {hidden:>4}: layer-0 dense engine {:>4.0}% busy, graph engine {:>4.0}% busy, {:.1} MB DRAM",
             l0.dense_engine_utilization() * 100.0,

@@ -1,0 +1,130 @@
+//! Golden pins for the backend unification: the new sweep path — baseline
+//! platforms as `BackendKind` scenario points, speedups read off the
+//! accelerator points' baseline columns — must reproduce the Figure 3 and
+//! Table V numbers the pre-refactor harness produced by calling the baseline
+//! estimators directly.
+//!
+//! The constants below were captured from the old code path (per-workload
+//! `GpuModel`/`HygcnModel` estimates stitched onto accelerator reports) at
+//! `SuiteOptions::quick()` (scale 0.05, seed 42) immediately before the
+//! refactor.
+
+// The goldens are printed with 17 significant digits so they round-trip the
+// captured f64s exactly; losing digits would weaken the pin.
+#![allow(clippy::excessive_precision)]
+
+use gnnerator_baselines::{Backend, GpuRooflineBackend, HygcnBackend};
+use gnnerator_bench::experiments;
+use gnnerator_bench::suite::{SuiteContext, SuiteOptions, Workload};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+use std::sync::OnceLock;
+
+fn context() -> &'static SuiteContext {
+    static CONTEXT: OnceLock<SuiteContext> = OnceLock::new();
+    CONTEXT.get_or_init(|| SuiteContext::materialize(&SuiteOptions::quick()).expect("synthesis"))
+}
+
+/// Figure 3 rows (label, blocked speedup, unblocked speedup) from the old
+/// baseline-estimator path at scale 0.05, seed 42.
+const FIGURE3_GOLDEN: [(&str, f64, f64); 9] = [
+    ("cora-gcn", 1.07122422853362682e1, 9.45031304500214731e0),
+    ("cora-gsage", 5.50392543483103580e0, 5.16924901002743375e0),
+    (
+        "cora-gsage-max",
+        4.28510871370645496e0,
+        4.25799794671750842e0,
+    ),
+    ("citeseer-gcn", 6.77108648368955990e0, 5.59953809418908754e0),
+    (
+        "citeseer-gsage",
+        3.51162806094597002e0,
+        3.20008906387413283e0,
+    ),
+    (
+        "citeseer-gsage-max",
+        3.95935683538648364e0,
+        3.94347799687949063e0,
+    ),
+    ("pub-gcn", 1.21448939889047942e1, 7.96915959441570454e0),
+    ("pub-gsage", 5.73644996040113764e0, 4.67393340700476045e0),
+    (
+        "pub-gsage-max",
+        9.43539183414563887e0,
+        8.90443396284391753e0,
+    ),
+];
+
+const FIGURE3_GMEAN_GOLDEN: (f64, f64) = (6.30006160640159507e0, 5.53488037311781156e0);
+
+/// Table V rows (dataset, with blocking, without blocking) from the old
+/// path at scale 0.05, seed 42.
+const TABLE5_GOLDEN: [(&str, f64, f64); 3] = [
+    ("cora", 6.23080705406299229e-1, 5.49680222081109338e-1),
+    ("citeseer", 4.37277949547483502e-1, 3.61619149620699021e-1),
+    ("pubmed", 1.17169593313198028e0, 7.68836014195511064e-1),
+];
+
+fn assert_close(actual: f64, golden: f64, what: &str) {
+    let tolerance = 1e-12 * golden.abs();
+    assert!(
+        (actual - golden).abs() <= tolerance,
+        "{what}: {actual} != golden {golden}"
+    );
+}
+
+#[test]
+fn figure3_reproduces_the_pre_backend_refactor_numbers() {
+    let (rows, gm_blocked, gm_unblocked) = experiments::figure3(context()).unwrap();
+    assert_eq!(rows.len(), FIGURE3_GOLDEN.len());
+    for (row, (label, blocked, unblocked)) in rows.iter().zip(FIGURE3_GOLDEN) {
+        assert_eq!(row.label, label);
+        assert_close(row.gnnerator, blocked, label);
+        assert_close(row.without_blocking, unblocked, label);
+    }
+    assert_close(gm_blocked, FIGURE3_GMEAN_GOLDEN.0, "gmean blocked");
+    assert_close(gm_unblocked, FIGURE3_GMEAN_GOLDEN.1, "gmean unblocked");
+}
+
+#[test]
+fn table5_reproduces_the_pre_backend_refactor_numbers() {
+    let rows = experiments::table5(context()).unwrap();
+    assert_eq!(rows.len(), TABLE5_GOLDEN.len());
+    for (row, (dataset, with_blocking, without_blocking)) in rows.iter().zip(TABLE5_GOLDEN) {
+        assert_eq!(row.dataset, dataset);
+        assert_close(row.with_blocking, with_blocking, dataset);
+        assert_close(row.without_blocking, without_blocking, dataset);
+    }
+}
+
+#[test]
+fn unified_sweep_speedups_equal_direct_model_estimates() {
+    // Independent of any golden constants: the speedup columns the unified
+    // sweep emits must equal recomputing the old way — a direct baseline
+    // model estimate divided by the accelerator report's seconds.
+    let ctx = context();
+    for dataset in DatasetKind::ALL {
+        let workload = Workload::new(dataset, NetworkKind::Gcn);
+        let result = ctx.run_workload(&workload).unwrap();
+        let graph = ctx.dataset(dataset).unwrap();
+        let model = ctx.model_for(&workload).unwrap();
+        let gpu = GpuRooflineBackend::rtx_2080_ti()
+            .evaluate(&model, graph.num_nodes(), graph.num_edges())
+            .unwrap();
+        let hygcn = HygcnBackend::for_dataset(graph.spec.name)
+            .evaluate(&model, graph.num_nodes(), graph.num_edges())
+            .unwrap();
+        assert_eq!(
+            result.speedup_blocked_vs_gpu(),
+            gpu.seconds / result.gnnerator_blocked.seconds(),
+            "{workload}"
+        );
+        assert_eq!(
+            result.speedup_blocked_vs_hygcn(),
+            hygcn.seconds / result.gnnerator_blocked.seconds(),
+            "{workload}"
+        );
+        assert_eq!(result.gpu.seconds, gpu.seconds, "{workload}");
+        assert_eq!(result.hygcn.seconds, hygcn.seconds, "{workload}");
+    }
+}
