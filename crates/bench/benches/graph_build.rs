@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the graph-build pipeline: R-MAT synthesis
+//! (through the chunked parallel builder) and `ShardGrid::build`, at dataset
+//! scales 0.25 and 1.0, so future PRs can track graph-build regressions the
+//! same way the sweep engine is tracked.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench graph_build`.
+
+use criterion::{black_box, Criterion};
+use gnnerator_graph::datasets::DatasetKind;
+use gnnerator_graph::{generators, ShardGrid};
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("graph_build");
+    group.sample_size(5);
+
+    for scale in [0.25, 1.0] {
+        // Pubmed is the largest Table II dataset: the historical graph-build
+        // hot spot.
+        let spec = DatasetKind::Pubmed.spec().scaled(scale);
+        group.bench_function(format!("rmat/pubmed@{scale}"), |b| {
+            b.iter(|| {
+                generators::rmat_exact(black_box(spec.vertices), black_box(spec.edges), 42)
+                    .expect("valid spec")
+            })
+        });
+
+        let edges = generators::rmat_exact(spec.vertices, spec.edges, 42).expect("valid spec");
+        // 512 nodes per shard is the order the paper's SRAM sizing derives
+        // for these graphs.
+        group.bench_function(format!("shard_grid_build/pubmed@{scale}"), |b| {
+            b.iter(|| ShardGrid::build(black_box(&edges), 512).expect("valid parameters"))
+        });
+    }
+
+    // One ogbn-scale point (quarter scale ≈ 290k edges) keeps the pipeline's
+    // new ceiling visible without making the bench run minutes long.
+    let arxiv = DatasetKind::OgbnArxiv.spec().scaled(0.25);
+    group.bench_function("rmat/ogbn-arxiv@0.25", |b| {
+        b.iter(|| {
+            generators::rmat_exact(black_box(arxiv.vertices), black_box(arxiv.edges), 42)
+                .expect("valid spec")
+        })
+    });
+    group.finish();
+    criterion.final_summary();
+}

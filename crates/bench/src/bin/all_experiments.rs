@@ -9,6 +9,8 @@ use gnnerator_bench::experiments::{self, FIGURE4_BLOCK_SIZES};
 use gnnerator_bench::rows::format_ms;
 use gnnerator_bench::suite::{scale_from_args, SuiteContext, SuiteOptions};
 use gnnerator_bench::sweep_report;
+use gnnerator_graph::ArtifactCache;
+use std::sync::Arc;
 
 fn main() {
     let scale = scale_from_args(std::env::args());
@@ -21,8 +23,17 @@ fn main() {
     println!("{}", experiments::table2_table());
     println!("{}", experiments::table4_table());
 
-    println!("Synthesising datasets...");
-    let ctx = SuiteContext::materialize(&options).expect("dataset synthesis failed");
+    // Persistent graph-artifact cache (GNNERATOR_CACHE=off disables; any
+    // other value overrides the target/gnnerator-cache default directory).
+    let cache = Arc::new(ArtifactCache::from_env());
+    match cache.root() {
+        Some(root) => println!("Artifact cache: {}", root.display()),
+        None => println!("Artifact cache: disabled (GNNERATOR_CACHE=off)"),
+    }
+
+    println!("Materialising datasets (cache first, synthesis on miss)...");
+    let ctx = SuiteContext::materialize_with_cache(&options, cache)
+        .expect("dataset materialisation failed");
 
     // Raw per-workload runtimes, for reference — one parallel sweep over the
     // whole suite, accelerator and baseline backends alike.
@@ -62,10 +73,10 @@ fn main() {
     let (rows, gmeans) = experiments::figure5(&ctx).expect("figure 5 failed");
     println!("{}", experiments::figure5_table(&rows, &gmeans));
 
-    // Sweep-engine benchmark: the 54-point mixed-backend grid through the
-    // parallel compile-once path versus the serial per-run path, checked bit
-    // for bit.
-    println!("Benchmarking the sweep engine (54 scenario points across all backends)...");
+    // Sweep-engine benchmark: the 57-point mixed-backend grid (nine paper
+    // workloads plus the ogbn-arxiv-scale extension) through the parallel
+    // compile-once path versus the serial per-run path, checked bit for bit.
+    println!("Benchmarking the sweep engine (57 scenario points across all backends)...");
     let bench = sweep_report::bench_sweep(&ctx).expect("sweep benchmark failed");
     println!(
         "  parallel sweep: {:.3} s   serial per-run: {:.3} s   speedup {:.2}x on {} threads   bit-identical: {}",
@@ -87,6 +98,15 @@ fn main() {
         "  runner caches: {} datasets, {} compiled sessions",
         ctx.runner().cached_datasets(),
         ctx.runner().cached_sessions(),
+    );
+    println!(
+        "  graph builds: {} datasets synthesized, {} loaded from cache ({:.3} s); \
+         shard grids: {} built, {} loaded from cache",
+        bench.datasets_synthesized,
+        bench.datasets_loaded,
+        bench.graph_build_seconds,
+        bench.shard_grids_built,
+        bench.shard_grids_loaded,
     );
     let path = "BENCH_sweep.json";
     std::fs::write(path, bench.to_json()).expect("failed to write BENCH_sweep.json");

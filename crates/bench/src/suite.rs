@@ -16,6 +16,7 @@ use gnnerator::{
 use gnnerator_baselines::HygcnConfig;
 use gnnerator_gnn::{GnnModel, NetworkKind};
 use gnnerator_graph::datasets::{Dataset, DatasetKind, DatasetSpec};
+use gnnerator_graph::ArtifactCache;
 use std::fmt;
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ impl Workload {
             DatasetKind::Cora => 7,
             DatasetKind::Citeseer => 6,
             DatasetKind::Pubmed => 3,
+            DatasetKind::OgbnArxiv => 40,
         }
     }
 
@@ -223,15 +225,34 @@ pub struct SuiteContext {
 }
 
 impl SuiteContext {
-    /// Synthesises every dataset in the suite according to `options`.
+    /// Synthesises every dataset in the suite according to `options`, with a
+    /// purely in-memory runner.
     ///
     /// # Errors
     ///
     /// Propagates dataset-synthesis errors.
     pub fn materialize(options: &SuiteOptions) -> Result<Self, GnneratorError> {
+        Self::build(options, SweepRunner::new())
+    }
+
+    /// Like [`SuiteContext::materialize`], but datasets and shard grids are
+    /// additionally persisted in (and loaded from) `cache`, so repeated
+    /// harness runs skip synthesis and re-sharding entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-materialisation errors.
+    pub fn materialize_with_cache(
+        options: &SuiteOptions,
+        cache: Arc<ArtifactCache>,
+    ) -> Result<Self, GnneratorError> {
+        Self::build(options, SweepRunner::new().with_artifact_cache(cache))
+    }
+
+    fn build(options: &SuiteOptions, runner: SweepRunner) -> Result<Self, GnneratorError> {
         let ctx = Self {
             options: options.clone(),
-            runner: Arc::new(SweepRunner::new()),
+            runner: Arc::new(runner),
         };
         // Materialise eagerly so synthesis errors surface here and later
         // sweeps only pay simulation time.
@@ -269,13 +290,10 @@ impl SuiteContext {
         }
     }
 
-    /// The synthesis seed for `kind` (consecutive seeds in Table II order).
+    /// The synthesis seed for `kind` (consecutive seeds in Table II order;
+    /// the ogbn extension continues the sequence).
     pub fn dataset_seed(&self, kind: DatasetKind) -> u64 {
-        let index = DatasetKind::ALL
-            .iter()
-            .position(|k| *k == kind)
-            .expect("kind is one of the three datasets");
-        self.options.seed + index as u64
+        self.options.seed + kind.seed_offset()
     }
 
     /// The blocked dataflow these options describe.

@@ -5,15 +5,22 @@
 //!
 //! The grid mixes platforms: every workload runs under four accelerator
 //! dataflows *and* on the GPU-roofline and HyGCN backends, all through one
-//! [`SweepRunner`] invocation. Accelerator rows carry `speedup_vs_gpu` /
+//! [`SweepRunner`] invocation, plus an ogbn-arxiv-scale extension point
+//! (≥1M edges at full scale) that the streaming graph-build pipeline opened
+//! to the same path. Accelerator rows carry `speedup_vs_gpu` /
 //! `speedup_vs_hygcn` columns derived from the baseline seconds attached by
-//! the sweep engine itself.
+//! the sweep engine itself; the document's top level records the
+//! graph-build telemetry (`graph_build_seconds`, synthesis/load and shard
+//! build/load counters) that the warm-cache CI assertions check.
 
-use crate::suite::{full_suite, SuiteContext};
+use crate::suite::{full_suite, SuiteContext, Workload};
 use gnnerator::{
     Backend, BackendKind, DataflowConfig, GnneratorError, GpuRooflineBackend, HygcnBackend, Report,
     ScenarioResult, ScenarioSpec, Simulator, SweepRunner,
 };
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The dataflows every workload is swept across on the accelerator.
@@ -41,10 +48,11 @@ pub const SWEEP_BASELINES: [BackendKind; 2] = [BackendKind::GpuRoofline, Backend
 
 /// Enumerates the benchmark's scenario grid: the nine paper workloads under
 /// each of [`SWEEP_DATAFLOWS`], plus one point per baseline backend in
-/// [`SWEEP_BASELINES`] (9 × (4 + 2) = 54 points).
+/// [`SWEEP_BASELINES`] (9 × (4 + 2) = 54 points), plus the ogbn-arxiv-scale
+/// extension points from [`ogbn_scenarios`] (3 more: 57 total).
 pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
     let config = ctx.options().config.clone();
-    full_suite()
+    let mut scenarios: Vec<ScenarioSpec> = full_suite()
         .iter()
         .flat_map(|workload| {
             let mut points: Vec<ScenarioSpec> = SWEEP_DATAFLOWS
@@ -58,7 +66,26 @@ pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
             );
             points
         })
-        .collect()
+        .collect();
+    scenarios.extend(ogbn_scenarios(ctx));
+    scenarios
+}
+
+/// The ogbn-arxiv-scale extension of the sweep: a ≥1M-edge synthetic GCN
+/// workload (at full scale) that the streaming graph-build pipeline opened
+/// to the same path — one accelerator point (which carries both baseline
+/// speedup columns) plus both baseline backends.
+pub fn ogbn_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
+    let workload = Workload::new(DatasetKind::OgbnArxiv, NetworkKind::Gcn);
+    vec![
+        ctx.scenario(
+            &workload,
+            ctx.options().config.clone(),
+            ctx.blocked_dataflow(),
+        ),
+        ctx.baseline_scenario(&workload, BackendKind::GpuRoofline),
+        ctx.baseline_scenario(&workload, BackendKind::Hygcn),
+    ]
 }
 
 /// One machine-readable row of `BENCH_sweep.json`'s `points` array.
@@ -309,6 +336,17 @@ pub struct SweepBenchmark {
     /// across worker threads (CPU time, so it can exceed the wall-clock
     /// `parallel_seconds` on multi-core runners; cache hits are free).
     pub shard_build_seconds: f64,
+    /// Seconds spent materialising graphs (dataset synthesis, or the
+    /// artifact-cache loads that replaced it), summed across worker threads.
+    pub graph_build_seconds: f64,
+    /// Datasets synthesised from scratch this run (0 on a warm-cache run).
+    pub datasets_synthesized: usize,
+    /// Datasets loaded from the persistent artifact cache.
+    pub datasets_loaded: usize,
+    /// Shard grids built from scratch this run (0 on a warm-cache run).
+    pub shard_grids_built: usize,
+    /// Shard grids loaded from the persistent artifact cache.
+    pub shard_grids_loaded: usize,
 }
 
 impl SweepBenchmark {
@@ -361,6 +399,26 @@ impl SweepBenchmark {
             "  \"shard_build_seconds\": {:.6},\n",
             self.shard_build_seconds
         ));
+        out.push_str(&format!(
+            "  \"graph_build_seconds\": {:.6},\n",
+            self.graph_build_seconds
+        ));
+        out.push_str(&format!(
+            "  \"datasets_synthesized\": {},\n",
+            self.datasets_synthesized
+        ));
+        out.push_str(&format!(
+            "  \"datasets_loaded\": {},\n",
+            self.datasets_loaded
+        ));
+        out.push_str(&format!(
+            "  \"shard_grids_built\": {},\n",
+            self.shard_grids_built
+        ));
+        out.push_str(&format!(
+            "  \"shard_grids_loaded\": {},\n",
+            self.shard_grids_loaded
+        ));
         out.push_str("  \"points\": [\n");
         for (i, result) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
@@ -409,23 +467,30 @@ fn serial_reference(
     }
 }
 
-/// Runs the sweep benchmark on `ctx`: the 54-point mixed-backend grid
-/// through the parallel sweep engine, then the same grid through the serial
-/// per-run path, comparing results bit for bit.
+/// Runs the sweep benchmark on `ctx`: the 57-point mixed-backend grid
+/// (the nine paper workloads plus the ogbn-arxiv extension) through the
+/// parallel sweep engine, then the same grid through the serial per-run
+/// path, comparing results bit for bit.
 ///
-/// Both paths share pre-synthesised datasets (synthesis is identical work
-/// either way and is excluded from the timings). The sweep path runs on a
-/// **cold** runner, so its time includes the one-time compilation of each
+/// Both paths share pre-materialised datasets (materialisation is identical
+/// work either way and is excluded from the timings). The sweep path runs on
+/// a **cold** runner, so its time includes the one-time compilation of each
 /// distinct (dataset, model) session — the honest cost of the compile-once
 /// architecture — while the serial path re-compiles per scenario the way the
-/// harness did before the session refactor.
+/// harness did before the session refactor. When `ctx`'s runner has a
+/// persistent artifact cache the cold runner shares it, so the serial path
+/// (which always shards from scratch) doubles as a correctness check of the
+/// cached artifacts on every run.
 ///
 /// # Errors
 ///
 /// Propagates simulation and backend-evaluation errors from either path.
 pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError> {
     let scenarios = sweep_scenarios(ctx);
-    let cold_runner = SweepRunner::new();
+    let cold_runner = match ctx.runner().artifact_cache() {
+        Some(cache) => SweepRunner::new().with_artifact_cache(Arc::clone(cache)),
+        None => SweepRunner::new(),
+    };
     for scenario in &scenarios {
         let dataset = ctx.runner().dataset(scenario)?;
         cold_runner.insert_dataset(scenario.dataset, scenario.seed, dataset);
@@ -458,6 +523,14 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
         threads: rayon::current_num_threads(),
         scale: ctx.options().scale,
         shard_build_seconds,
+        graph_build_seconds: ctx.runner().graph_build_seconds(),
+        datasets_synthesized: ctx.runner().datasets_synthesized()
+            + cold_runner.datasets_synthesized(),
+        datasets_loaded: ctx.runner().datasets_loaded() + cold_runner.datasets_loaded(),
+        shard_grids_built: ctx.runner().total_shard_grids_built()
+            + cold_runner.total_shard_grids_built(),
+        shard_grids_loaded: ctx.runner().total_shard_grids_loaded()
+            + cold_runner.total_shard_grids_loaded(),
     })
 }
 
@@ -488,17 +561,27 @@ mod tests {
     fn sweep_grid_covers_every_backend() {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let scenarios = sweep_scenarios(&ctx);
-        // 9 workloads x (4 accelerator dataflows + 2 baselines), all
-        // distinct.
-        assert_eq!(scenarios.len(), 54);
+        // 9 workloads x (4 accelerator dataflows + 2 baselines) + 3
+        // ogbn-arxiv extension points, all distinct.
+        assert_eq!(scenarios.len(), 57);
         for pair in scenarios.windows(2) {
             assert_ne!(pair[0], pair[1]);
         }
         for backend in BackendKind::ALL {
             let count = scenarios.iter().filter(|s| s.backend == backend).count();
-            let expected = if backend.is_accelerator() { 36 } else { 9 };
+            let expected = if backend.is_accelerator() { 37 } else { 10 };
             assert_eq!(count, expected, "{backend}");
         }
+        // The ogbn extension rides along with an accelerator point (so the
+        // speedup columns exist) and both baselines.
+        let ogbn: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.dataset.name == "ogbn-arxiv")
+            .collect();
+        assert_eq!(ogbn.len(), 3);
+        assert!(ogbn.iter().any(|s| s.backend.is_accelerator()));
+        // At full scale the extension point is a >= 1M-edge graph.
+        assert!(DatasetKind::OgbnArxiv.spec().edges >= 1_000_000);
     }
 
     #[test]
@@ -506,12 +589,26 @@ mod tests {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let bench = bench_sweep(&ctx).unwrap();
         assert!(bench.bit_identical);
-        assert_eq!(bench.results.len(), 54);
-        assert_eq!(bench.points_for(BackendKind::Gnnerator), 36);
-        assert_eq!(bench.points_for(BackendKind::GpuRoofline), 9);
-        assert_eq!(bench.points_for(BackendKind::Hygcn), 9);
+        assert_eq!(bench.results.len(), 57);
+        assert_eq!(bench.points_for(BackendKind::Gnnerator), 37);
+        assert_eq!(bench.points_for(BackendKind::GpuRoofline), 10);
+        assert_eq!(bench.points_for(BackendKind::Hygcn), 10);
         assert!(bench.parallel_seconds > 0.0);
         assert!(bench.serial_seconds > 0.0);
+        // No artifact cache attached: everything was synthesised and built.
+        assert!(bench.datasets_synthesized > 0);
+        assert_eq!(bench.datasets_loaded, 0);
+        assert!(bench.shard_grids_built > 0);
+        assert_eq!(bench.shard_grids_loaded, 0);
+        assert!(bench.graph_build_seconds > 0.0);
+        // The ogbn accelerator point exists and carries finite speedups.
+        let ogbn = bench
+            .results
+            .iter()
+            .find(|r| r.scenario.dataset.name == "ogbn-arxiv" && r.backend().is_accelerator())
+            .expect("ogbn accelerator point");
+        assert!(ogbn.speedup_vs_gpu().unwrap().is_finite());
+        assert!(ogbn.speedup_vs_hygcn().unwrap().is_finite());
     }
 
     #[test]
@@ -523,9 +620,15 @@ mod tests {
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"bit_identical\": true"));
-        assert!(json.contains("\"num_points\": 54"));
+        assert!(json.contains("\"num_points\": 57"));
         assert!(json.contains("\"points_per_backend\""));
         assert!(json.contains("\"shard_build_seconds\""));
+        assert!(json.contains("\"graph_build_seconds\""));
+        assert!(json.contains("\"datasets_synthesized\""));
+        assert!(json.contains("\"datasets_loaded\""));
+        assert!(json.contains("\"shard_grids_built\""));
+        assert!(json.contains("\"shard_grids_loaded\""));
+        assert!(json.contains("\"dataset\": \"ogbn-arxiv\""));
         assert!(json.contains("\"occupancy\""));
         assert!(json.contains("\"occupied_shards\""));
         assert!(json.contains("\"simulate_seconds\""));

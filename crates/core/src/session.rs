@@ -15,8 +15,9 @@ use crate::{
 };
 use gnnerator_gnn::GnnModel;
 use gnnerator_graph::datasets::Dataset;
-use gnnerator_graph::{EdgeList, ShardPlanCache};
+use gnnerator_graph::{ArtifactCache, EdgeList, ShardPlanCache};
 use std::fmt;
+use std::sync::Arc;
 
 /// A reusable simulation context: one model, one graph, many configurations.
 ///
@@ -48,10 +49,14 @@ pub struct SimSession {
     model: GnnModel,
     dataset_name: String,
     plans: ShardPlanCache,
+    /// Wall-clock seconds materialising the session's graph took (dataset
+    /// synthesis or artifact-cache load; `0.0` for bare edge lists).
+    graph_build_seconds: f64,
 }
 
 impl SimSession {
-    /// Creates a session for `model` running on `dataset`.
+    /// Creates a session for `model` running on `dataset`, with purely
+    /// in-memory shard-plan caching.
     ///
     /// # Errors
     ///
@@ -59,6 +64,30 @@ impl SimSession {
     /// dimension does not match the model's input dimension, or if the graph
     /// has no nodes.
     pub fn new(model: GnnModel, dataset: &Dataset) -> Result<Self, GnneratorError> {
+        Self::build(model, dataset, None)
+    }
+
+    /// Like [`SimSession::new`], but shard grids are additionally persisted
+    /// in (and loaded from) `cache`, keyed by the dataset's `(spec, seed)`
+    /// identity — repeated harness runs skip re-sharding entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnneratorError::Unmappable`] under the same conditions as
+    /// [`SimSession::new`].
+    pub fn with_artifact_cache(
+        model: GnnModel,
+        dataset: &Dataset,
+        cache: Arc<ArtifactCache>,
+    ) -> Result<Self, GnneratorError> {
+        Self::build(model, dataset, Some(cache))
+    }
+
+    fn build(
+        model: GnnModel,
+        dataset: &Dataset,
+        cache: Option<Arc<ArtifactCache>>,
+    ) -> Result<Self, GnneratorError> {
         if dataset.features.dim() != model.input_dim() {
             return Err(GnneratorError::unmappable(format!(
                 "dataset features are {}-dimensional but the model expects {}",
@@ -66,10 +95,28 @@ impl SimSession {
                 model.input_dim()
             )));
         }
-        Self::from_edges(model, dataset.edge_list.clone(), dataset.spec.name)
+        if dataset.edge_list.num_nodes() == 0 {
+            return Err(GnneratorError::unmappable("graph has no nodes"));
+        }
+        let plans = match cache {
+            Some(cache) => ShardPlanCache::with_disk_cache(
+                dataset.edge_list.clone(),
+                cache,
+                ArtifactCache::dataset_key(&dataset.spec, dataset.seed),
+            ),
+            None => ShardPlanCache::new(dataset.edge_list.clone()),
+        };
+        Ok(Self {
+            model,
+            dataset_name: dataset.spec.name.to_string(),
+            plans,
+            graph_build_seconds: dataset.build_seconds,
+        })
     }
 
-    /// Creates a session for `model` running on a bare edge list.
+    /// Creates a session for `model` running on a bare edge list (no
+    /// persistent shard-plan caching: an anonymous edge list has no stable
+    /// cache identity).
     ///
     /// # Errors
     ///
@@ -86,6 +133,7 @@ impl SimSession {
             model,
             dataset_name: dataset_name.into(),
             plans: ShardPlanCache::new(edges),
+            graph_build_seconds: 0.0,
         })
     }
 
@@ -120,6 +168,24 @@ impl SimSession {
     /// `shard_build_seconds`).
     pub fn shard_build_seconds(&self) -> f64 {
         self.plans.build_seconds()
+    }
+
+    /// Wall-clock seconds materialising this session's graph took (dataset
+    /// synthesis, or the artifact-cache load that replaced it; feeds
+    /// `BENCH_sweep.json`'s `graph_build_seconds`).
+    pub fn graph_build_seconds(&self) -> f64 {
+        self.graph_build_seconds
+    }
+
+    /// Number of shard grids this session built from scratch.
+    pub fn shard_grids_built(&self) -> usize {
+        self.plans.grids_built()
+    }
+
+    /// Number of shard grids this session loaded from the persistent
+    /// artifact cache.
+    pub fn shard_grids_loaded(&self) -> usize {
+        self.plans.grids_loaded()
     }
 
     /// Compiles this session's workload for one `(platform, dataflow)` point.
@@ -341,5 +407,45 @@ mod tests {
         assert_eq!(workload.program().num_layers(), 2);
         assert!(workload.to_string().contains("cora"));
         assert!(session.to_string().contains("cached shard plans"));
+    }
+
+    #[test]
+    fn artifact_cached_sessions_reload_grids_bit_identically() {
+        use gnnerator_graph::ArtifactCache;
+        use std::sync::Arc;
+
+        let dir =
+            std::env::temp_dir().join(format!("gnnerator-session-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Arc::new(ArtifactCache::new(&dir));
+        let dataset = DatasetKind::Cora
+            .spec()
+            .scaled(0.03)
+            .synthesize(11)
+            .unwrap();
+        let model = NetworkKind::Gcn
+            .build_paper_config(dataset.features.dim(), 7)
+            .unwrap();
+        let config = GnneratorConfig::paper_default();
+
+        let cold =
+            SimSession::with_artifact_cache(model.clone(), &dataset, Arc::clone(&cache)).unwrap();
+        let cold_report = cold
+            .simulate(&config, DataflowConfig::paper_default())
+            .unwrap();
+        assert!(cold.shard_grids_built() > 0);
+        assert_eq!(cold.shard_grids_loaded(), 0);
+        assert!(cold.graph_build_seconds() > 0.0);
+
+        // A fresh session over the same dataset loads every grid from disk
+        // and reproduces the report bit for bit.
+        let warm = SimSession::with_artifact_cache(model, &dataset, cache).unwrap();
+        let warm_report = warm
+            .simulate(&config, DataflowConfig::paper_default())
+            .unwrap();
+        assert_eq!(warm.shard_grids_built(), 0, "warm session never reshards");
+        assert!(warm.shard_grids_loaded() > 0);
+        assert_eq!(warm_report, cold_report);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

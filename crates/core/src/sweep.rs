@@ -28,9 +28,11 @@ use crate::{
 use gnnerator_baselines::guarded_speedup;
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::{Dataset, DatasetSpec};
+use gnnerator_graph::ArtifactCache;
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -273,12 +275,37 @@ type SessionKey = (DatasetSpec, u64, NetworkKind, usize, usize, usize);
 pub struct SweepRunner {
     datasets: Mutex<HashMap<DatasetKey, Arc<Dataset>>>,
     sessions: Mutex<HashMap<SessionKey, Arc<SimSession>>>,
+    /// Persistent artifact cache consulted before synthesising datasets or
+    /// sharding graphs. `None` (the default) keeps the runner fully
+    /// in-memory, which is what unit tests and one-shot sweeps want.
+    artifact_cache: Option<Arc<ArtifactCache>>,
+    /// Datasets materialised by actually running the synthesiser.
+    datasets_synthesized: AtomicUsize,
+    /// Datasets materialised by reading the artifact cache.
+    datasets_loaded: AtomicUsize,
+    /// Wall-clock seconds spent materialising graphs (synthesis or cache
+    /// load), summed across worker threads.
+    graph_build_seconds: Mutex<f64>,
 }
 
 impl SweepRunner {
     /// Creates a runner with empty caches.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns this runner with a persistent [`ArtifactCache`] attached:
+    /// datasets and shard grids are loaded from disk when present and stored
+    /// back after a fresh build, so repeated harness runs skip synthesis and
+    /// re-sharding entirely.
+    pub fn with_artifact_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.artifact_cache = cache.is_enabled().then_some(cache);
+        self
+    }
+
+    /// The persistent artifact cache, if one is attached.
+    pub fn artifact_cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.artifact_cache.as_ref()
     }
 
     /// Returns the materialised dataset for a scenario, synthesising and
@@ -311,9 +338,45 @@ impl SweepRunner {
         {
             return Ok(Arc::clone(hit));
         }
-        let dataset = Arc::new(spec.synthesize(seed)?);
+        // Materialise outside the lock so distinct keys proceed in parallel.
+        // A racing duplicate materialisation of the same key is harmless —
+        // the first insert wins, and only the winner is counted, so the
+        // telemetry counters stay deterministic under any thread schedule.
+        let dataset = Arc::new(self.materialize_dataset(spec, seed)?);
         let mut cache = self.datasets.lock().expect("dataset cache poisoned");
-        Ok(Arc::clone(cache.entry((spec, seed)).or_insert(dataset)))
+        match cache.entry((spec, seed)) {
+            std::collections::hash_map::Entry::Occupied(entry) => Ok(Arc::clone(entry.get())),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                if dataset.loaded_from_cache {
+                    self.datasets_loaded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.datasets_synthesized.fetch_add(1, Ordering::Relaxed);
+                }
+                *self
+                    .graph_build_seconds
+                    .lock()
+                    .expect("graph build timer poisoned") += dataset.build_seconds;
+                Ok(Arc::clone(entry.insert(dataset)))
+            }
+        }
+    }
+
+    /// Loads a dataset from the artifact cache or synthesises it fresh. A
+    /// corrupt or stale artifact counts as a miss: the dataset is
+    /// re-synthesised and the artifact overwritten. (Provenance counting
+    /// happens in [`SweepRunner::dataset_for`], against the winning insert.)
+    fn materialize_dataset(&self, spec: DatasetSpec, seed: u64) -> Result<Dataset, GnneratorError> {
+        if let Some(cache) = &self.artifact_cache {
+            match cache.load_dataset(&spec, seed) {
+                Ok(Some(dataset)) => return Ok(dataset),
+                Ok(None) | Err(gnnerator_graph::GraphError::CacheArtifact { .. }) => {}
+                Err(other) => return Err(other.into()),
+            }
+            let dataset = spec.synthesize(seed)?;
+            cache.store_dataset(&dataset).ok(); // best-effort persistence
+            return Ok(dataset);
+        }
+        Ok(spec.synthesize(seed)?)
     }
 
     /// Seeds the dataset cache with an already-materialised dataset for
@@ -358,7 +421,12 @@ impl SweepRunner {
                 scenario.hidden_layers,
             )
             .map_err(GnneratorError::from)?;
-        let session = Arc::new(SimSession::new(model, &dataset)?);
+        let session = Arc::new(match &self.artifact_cache {
+            Some(artifacts) => {
+                SimSession::with_artifact_cache(model, &dataset, Arc::clone(artifacts))?
+            }
+            None => SimSession::new(model, &dataset)?,
+        });
         let mut cache = self.sessions.lock().expect("session cache poisoned");
         Ok(Arc::clone(cache.entry(key).or_insert(session)))
     }
@@ -490,6 +558,46 @@ impl SweepRunner {
             .expect("session cache poisoned")
             .values()
             .map(|session| session.shard_build_seconds())
+            .sum()
+    }
+
+    /// Cumulative wall-clock seconds spent materialising graphs (synthesis
+    /// or artifact-cache loads), summed across worker threads.
+    pub fn graph_build_seconds(&self) -> f64 {
+        *self
+            .graph_build_seconds
+            .lock()
+            .expect("graph build timer poisoned")
+    }
+
+    /// Number of datasets this runner synthesised from scratch.
+    pub fn datasets_synthesized(&self) -> usize {
+        self.datasets_synthesized.load(Ordering::Relaxed)
+    }
+
+    /// Number of datasets this runner loaded from the artifact cache.
+    pub fn datasets_loaded(&self) -> usize {
+        self.datasets_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Total shard grids built from scratch across every cached session.
+    pub fn total_shard_grids_built(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session cache poisoned")
+            .values()
+            .map(|session| session.shard_grids_built())
+            .sum()
+    }
+
+    /// Total shard grids loaded from the artifact cache across every cached
+    /// session.
+    pub fn total_shard_grids_loaded(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session cache poisoned")
+            .values()
+            .map(|session| session.shard_grids_loaded())
             .sum()
     }
 }
@@ -670,6 +778,43 @@ mod tests {
         let runner = SweepRunner::new();
         let err = runner.run(&[scenario]).unwrap_err();
         assert!(matches!(err, GnneratorError::Graph(_)), "{err}");
+    }
+
+    #[test]
+    fn artifact_cached_runner_is_bit_identical_and_skips_rebuilds() {
+        let dir =
+            std::env::temp_dir().join(format!("gnnerator-sweep-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let scenarios = mixed_backend_grid();
+
+        // Reference: a fully in-memory runner.
+        let plain = SweepRunner::new();
+        let reference = plain.run(&scenarios).unwrap();
+        assert_eq!(plain.datasets_synthesized(), plain.cached_datasets());
+        assert_eq!(plain.datasets_loaded(), 0);
+        assert!(plain.total_shard_grids_built() > 0);
+        assert_eq!(plain.total_shard_grids_loaded(), 0);
+
+        // Cold cached runner: synthesises and builds, publishing artifacts.
+        let cache = Arc::new(gnnerator_graph::ArtifactCache::new(&dir));
+        let cold = SweepRunner::new().with_artifact_cache(Arc::clone(&cache));
+        assert!(cold.artifact_cache().is_some());
+        let cold_results = cold.run(&scenarios).unwrap();
+        assert_eq!(cold_results, reference, "cache must not change results");
+        assert!(cold.datasets_synthesized() > 0);
+        assert!(cold.total_shard_grids_built() > 0);
+
+        // Warm cached runner: zero synthesis, zero shard builds, identical
+        // results bit for bit.
+        let warm = SweepRunner::new().with_artifact_cache(cache);
+        let warm_results = warm.run(&scenarios).unwrap();
+        assert_eq!(warm_results, reference);
+        assert_eq!(warm.datasets_synthesized(), 0, "all datasets from disk");
+        assert_eq!(warm.datasets_loaded(), warm.cached_datasets());
+        assert_eq!(warm.total_shard_grids_built(), 0, "all grids from disk");
+        assert!(warm.total_shard_grids_loaded() > 0);
+        assert!(warm.graph_build_seconds() > 0.0, "loads are timed too");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,746 @@
+//! Persistent on-disk artifact cache for expensive graph-build products.
+//!
+//! Dataset synthesis and shard-grid construction are deterministic functions
+//! of small keys — `(DatasetSpec, seed)` and `(spec, seed, nodes_per_shard,
+//! include_self_loops)` respectively — so their outputs can be memoised on
+//! disk and reloaded by later processes. GNNBuilder and HP-GNN both lean on
+//! exactly this kind of cached preprocessing to make accelerator design-space
+//! exploration cheap; here it turns the repeated-harness-run cold start
+//! (synthesis + re-sharding, ~25% of a full sweep) into a handful of file
+//! reads.
+//!
+//! # Format
+//!
+//! Artifacts are single files under the cache root (default
+//! `target/gnnerator-cache/`, overridable — or disabled with `off` — via the
+//! `GNNERATOR_CACHE` environment variable). Each file is a hand-rolled
+//! little-endian binary record (the workspace's serde is a hermetic no-op
+//! shim, so there is no derive-based serialisation to lean on):
+//!
+//! ```text
+//! magic    b"GNNA"
+//! version  u32      — FORMAT_VERSION; any mismatch rejects the artifact
+//! kind     u8       — 1 = dataset, 2 = shard grid
+//! key_len  u32      — length of the UTF-8 key string
+//! key      [u8]     — full key, verified on load (collision-proof)
+//! len      u64      — payload length in bytes
+//! checksum u64      — FNV-1a 64 over the payload
+//! payload  [u8]
+//! ```
+//!
+//! Loads distinguish a *miss* (no file: `Ok(None)`) from an *unusable
+//! artifact* (bad magic, stale version, checksum or key mismatch, truncated
+//! payload: [`GraphError::CacheArtifact`]). Callers treat the latter as a
+//! miss with a cause and rebuild; stores overwrite atomically
+//! (write-to-temp + rename), so racing writers and torn writes cannot
+//! corrupt a previously good entry.
+
+use crate::datasets::{Dataset, DatasetKind, DatasetSpec};
+use crate::{CsrGraph, Edge, EdgeList, GraphError, NodeFeatures, ShardCoord, ShardGrid, ShardMeta};
+use gnnerator_tensor::Matrix;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk format version; bump whenever the byte layout changes so stale
+/// artifacts are rejected (and rebuilt) instead of misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Environment variable controlling the cache: unset → `target/gnnerator-cache`,
+/// `off`/`0` → disabled, anything else → used as the cache directory.
+pub const CACHE_ENV_VAR: &str = "GNNERATOR_CACHE";
+
+const MAGIC: &[u8; 4] = b"GNNA";
+const KIND_DATASET: u8 = 1;
+const KIND_GRID: u8 = 2;
+
+/// Monotonic nonce making concurrent temp-file names unique within a process.
+static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A persistent, checksummed store of graph-build artifacts.
+///
+/// The cache is safe to share across threads (all methods take `&self`) and
+/// across processes (stores are atomic renames; loads verify checksums).
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::datasets::DatasetKind;
+/// use gnnerator_graph::ArtifactCache;
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let dir = std::env::temp_dir().join("gnnerator-cache-doctest");
+/// let cache = ArtifactCache::new(&dir);
+/// let spec = DatasetKind::Cora.spec().scaled(0.02);
+/// let dataset = spec.synthesize(7)?;
+/// cache.store_dataset(&dataset)?;
+/// let reloaded = cache.load_dataset(&spec, 7)?.expect("hit");
+/// assert_eq!(reloaded.edge_list, dataset.edge_list);
+/// assert!(reloaded.loaded_from_cache);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ArtifactCache {
+    /// `None` means the cache is disabled: every load misses, every store is
+    /// a no-op.
+    root: Option<PathBuf>,
+}
+
+impl ArtifactCache {
+    /// Creates a cache rooted at `root` (created lazily on first store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: Some(root.into()),
+        }
+    }
+
+    /// Creates a disabled cache: loads always miss, stores are no-ops.
+    pub fn disabled() -> Self {
+        Self { root: None }
+    }
+
+    /// Builds the cache from the `GNNERATOR_CACHE` environment variable (see
+    /// [`CACHE_ENV_VAR`]).
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var(CACHE_ENV_VAR).ok().as_deref())
+    }
+
+    /// The pure policy behind [`ArtifactCache::from_env`]: `None` or an
+    /// empty string selects the default root, `off`/`0` (case-insensitive)
+    /// disables the cache, anything else is the root directory.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        match value.map(str::trim) {
+            Some(v) if v.eq_ignore_ascii_case("off") || v == "0" => Self::disabled(),
+            Some(v) if !v.is_empty() => Self::new(v),
+            _ => Self::new("target/gnnerator-cache"),
+        }
+    }
+
+    /// Returns `true` when the cache has a backing directory.
+    pub fn is_enabled(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// The cache root, if enabled.
+    pub fn root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// The cache identity of a `(spec, seed)` dataset.
+    pub fn dataset_key(spec: &DatasetSpec, seed: u64) -> String {
+        format!(
+            "dataset/{}/v{}/e{}/f{}/seed{}",
+            spec.name, spec.vertices, spec.edges, spec.feature_dim, seed
+        )
+    }
+
+    /// The cache identity of a shard grid derived from the graph identified
+    /// by `graph_key`.
+    pub fn grid_key(graph_key: &str, nodes_per_shard: usize, include_self_loops: bool) -> String {
+        format!(
+            "{graph_key}/nps{nodes_per_shard}/loops{}",
+            u8::from(include_self_loops)
+        )
+    }
+
+    fn file_for(&self, prefix: &str, key: &str) -> Option<PathBuf> {
+        self.root
+            .as_ref()
+            .map(|root| root.join(format!("{prefix}-{:016x}.bin", fnv1a64(key.as_bytes()))))
+    }
+
+    /// Stores a synthesised dataset under its `(spec, seed)` key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] if the file cannot be written.
+    /// Callers normally treat store failures as best-effort (a cold next run,
+    /// not a wrong one).
+    pub fn store_dataset(&self, dataset: &Dataset) -> Result<(), GraphError> {
+        let key = Self::dataset_key(&dataset.spec, dataset.seed);
+        let Some(path) = self.file_for("ds", &key) else {
+            return Ok(());
+        };
+        let mut payload = Vec::new();
+        write_u8(&mut payload, kind_tag(dataset.spec.kind));
+        write_u64(&mut payload, dataset.spec.vertices as u64);
+        write_u64(&mut payload, dataset.spec.edges as u64);
+        write_u64(&mut payload, dataset.spec.feature_dim as u64);
+        write_u64(&mut payload, dataset.seed);
+        write_u64(&mut payload, dataset.edge_list.num_nodes() as u64);
+        write_u64(&mut payload, dataset.edge_list.num_edges() as u64);
+        for e in dataset.edge_list.iter() {
+            write_u32(&mut payload, e.src);
+            write_u32(&mut payload, e.dst);
+        }
+        write_u64(&mut payload, dataset.features.num_nodes() as u64);
+        write_u64(&mut payload, dataset.features.dim() as u64);
+        for &value in dataset.features.as_matrix().as_slice() {
+            payload.extend_from_slice(&value.to_le_bytes());
+        }
+        write_artifact(&path, KIND_DATASET, &key, &payload)
+    }
+
+    /// Loads the dataset stored under `(spec, seed)`.
+    ///
+    /// Returns `Ok(None)` on a clean miss. The loaded dataset is bit-identical
+    /// to the synthesised original (u32 edge endpoints and f32 feature bits
+    /// round-trip exactly; the CSR form is deterministically rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
+    /// mismatched-key files — callers should fall back to a fresh build.
+    pub fn load_dataset(
+        &self,
+        spec: &DatasetSpec,
+        seed: u64,
+    ) -> Result<Option<Dataset>, GraphError> {
+        let key = Self::dataset_key(spec, seed);
+        let Some(path) = self.file_for("ds", &key) else {
+            return Ok(None);
+        };
+        let start = std::time::Instant::now();
+        let Some(payload) = read_artifact(&path, KIND_DATASET, &key)? else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload, &path);
+        let kind = kind_from_tag(r.u8()?)
+            .ok_or_else(|| reject(&path, "unknown dataset kind tag".to_string()))?;
+        let vertices = r.u64()? as usize;
+        let edges = r.u64()? as usize;
+        let feature_dim = r.u64()? as usize;
+        let stored_seed = r.u64()?;
+        // The spec's `name` is identity only through the key string (already
+        // verified by read_artifact), so a spec carrying a custom name still
+        // hits; the numeric fields are double-checked here.
+        let stored_spec = DatasetSpec {
+            kind,
+            name: spec.name,
+            vertices,
+            edges,
+            feature_dim,
+        };
+        if stored_spec != *spec || stored_seed != seed {
+            return Err(reject(
+                &path,
+                format!("stored identity {stored_spec} (seed {stored_seed}) does not match the requested key"),
+            ));
+        }
+        let num_nodes = r.u64()? as usize;
+        let num_edges = r.u64()? as usize;
+        let pairs: Vec<Edge> = r
+            .byte_records(num_edges, 8)?
+            .chunks_exact(8)
+            .map(|rec| {
+                Edge::new(
+                    u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        let edge_list = EdgeList::from_edges(num_nodes, pairs)
+            .map_err(|e| reject(&path, format!("invalid edge list: {e}")))?;
+        let rows = r.u64()? as usize;
+        let dim = r.u64()? as usize;
+        let count = rows
+            .checked_mul(dim)
+            .ok_or_else(|| reject(&path, "feature table dimensions overflow".to_string()))?;
+        let values: Vec<f32> = r
+            .byte_records(count, 4)?
+            .chunks_exact(4)
+            .map(|rec| f32::from_le_bytes(rec.try_into().expect("4 bytes")))
+            .collect();
+        r.finish()?;
+        let matrix = Matrix::from_vec(rows, dim, values)
+            .map_err(|e| reject(&path, format!("invalid feature table: {e}")))?;
+        let graph = CsrGraph::from_edge_list(&edge_list);
+        Ok(Some(Dataset {
+            spec: *spec,
+            seed,
+            edge_list,
+            graph,
+            features: NodeFeatures::from_matrix(matrix),
+            build_seconds: start.elapsed().as_secs_f64(),
+            loaded_from_cache: true,
+        }))
+    }
+
+    /// Stores a shard grid under the given full grid key (see
+    /// [`ArtifactCache::grid_key`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] if the file cannot be written.
+    pub fn store_grid(&self, key: &str, grid: &ShardGrid) -> Result<(), GraphError> {
+        let Some(path) = self.file_for("grid", key) else {
+            return Ok(());
+        };
+        let mut payload = Vec::new();
+        write_u64(&mut payload, grid.num_nodes() as u64);
+        write_u64(&mut payload, grid.nodes_per_shard() as u64);
+        write_u64(&mut payload, grid.total_edges() as u64);
+        for e in grid.edges() {
+            write_u32(&mut payload, e.src);
+            write_u32(&mut payload, e.dst);
+        }
+        write_u64(&mut payload, grid.metas().len() as u64);
+        for meta in grid.metas() {
+            write_u64(&mut payload, meta.coord().src_block as u64);
+            write_u64(&mut payload, meta.coord().dst_block as u64);
+            write_u32(&mut payload, meta.edge_start());
+            write_u32(&mut payload, meta.num_edges() as u32);
+            write_u32(&mut payload, meta.unique_source_count() as u32);
+            write_u32(&mut payload, meta.unique_destination_count() as u32);
+        }
+        write_artifact(&path, KIND_GRID, key, &payload)
+    }
+
+    /// Loads the shard grid stored under `key`, skipping the arena sort and
+    /// metadata scan a fresh [`ShardGrid::build`] pays (the cheap CSR-style
+    /// row/column indexes are rebuilt).
+    ///
+    /// Returns `Ok(None)` on a clean miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
+    /// mismatched files.
+    pub fn load_grid(&self, key: &str) -> Result<Option<ShardGrid>, GraphError> {
+        let Some(path) = self.file_for("grid", key) else {
+            return Ok(None);
+        };
+        let Some(payload) = read_artifact(&path, KIND_GRID, key)? else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload, &path);
+        let num_nodes = r.u64()? as usize;
+        let nodes_per_shard = r.u64()? as usize;
+        if num_nodes == 0 || nodes_per_shard == 0 {
+            return Err(reject(&path, "degenerate grid dimensions".to_string()));
+        }
+        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+        let arena_len = r.u64()? as usize;
+        let arena: Vec<Edge> = r
+            .byte_records(arena_len, 8)?
+            .chunks_exact(8)
+            .map(|rec| {
+                Edge::new(
+                    u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        if arena
+            .iter()
+            .any(|e| e.src as usize >= num_nodes || e.dst as usize >= num_nodes)
+        {
+            return Err(reject(
+                &path,
+                "arena edge endpoint out of range".to_string(),
+            ));
+        }
+        let meta_count = r.u64()? as usize;
+        let mut metas = Vec::with_capacity(meta_count);
+        let mut expected_start = 0u64;
+        for _ in 0..meta_count {
+            let src_block = r.u64()? as usize;
+            let dst_block = r.u64()? as usize;
+            let edge_start = r.u32()?;
+            let num_edges = r.u32()?;
+            let unique_sources = r.u32()?;
+            let unique_destinations = r.u32()?;
+            if src_block >= grid_dim || dst_block >= grid_dim {
+                return Err(reject(&path, "shard coordinate out of range".to_string()));
+            }
+            if num_edges == 0 || u64::from(edge_start) != expected_start {
+                return Err(reject(
+                    &path,
+                    "shard arena ranges are not contiguous".to_string(),
+                ));
+            }
+            expected_start += u64::from(num_edges);
+            metas.push(ShardMeta::from_raw(
+                ShardCoord::new(src_block, dst_block),
+                edge_start,
+                num_edges,
+                unique_sources,
+                unique_destinations,
+            ));
+        }
+        r.finish()?;
+        if expected_start != arena_len as u64 {
+            return Err(reject(
+                &path,
+                "shard metadata does not cover the arena".to_string(),
+            ));
+        }
+        Ok(Some(ShardGrid::assemble(
+            num_nodes,
+            nodes_per_shard,
+            arena,
+            metas,
+        )))
+    }
+}
+
+impl Default for ArtifactCache {
+    /// The environment-configured cache (see [`ArtifactCache::from_env`]).
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+fn kind_tag(kind: DatasetKind) -> u8 {
+    match kind {
+        DatasetKind::Cora => 0,
+        DatasetKind::Citeseer => 1,
+        DatasetKind::Pubmed => 2,
+        DatasetKind::OgbnArxiv => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<DatasetKind> {
+    match tag {
+        0 => Some(DatasetKind::Cora),
+        1 => Some(DatasetKind::Citeseer),
+        2 => Some(DatasetKind::Pubmed),
+        3 => Some(DatasetKind::OgbnArxiv),
+        _ => None,
+    }
+}
+
+/// FNV-1a 64-bit: a small, stable, dependency-free checksum. Not
+/// cryptographic — it guards against torn writes and bit rot, not attackers
+/// (the cache directory is as trusted as the build directory it lives in).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn write_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn reject(path: &Path, message: String) -> GraphError {
+    GraphError::cache(path.display().to_string(), message)
+}
+
+/// Writes a complete artifact file atomically (temp file + rename).
+fn write_artifact(path: &Path, kind: u8, key: &str, payload: &[u8]) -> Result<(), GraphError> {
+    let io_err = |what: &str, e: std::io::Error| reject(path, format!("{what}: {e}"));
+    let dir = path.parent().expect("cache files always live under a root");
+    std::fs::create_dir_all(dir).map_err(|e| io_err("creating cache directory", e))?;
+
+    let mut bytes = Vec::with_capacity(4 + 4 + 1 + 4 + key.len() + 8 + 8 + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    write_u32(&mut bytes, FORMAT_VERSION);
+    write_u8(&mut bytes, kind);
+    write_u32(&mut bytes, key.len() as u32);
+    bytes.extend_from_slice(key.as_bytes());
+    write_u64(&mut bytes, payload.len() as u64);
+    write_u64(&mut bytes, fnv1a64(payload));
+    bytes.extend_from_slice(payload);
+
+    let nonce = TEMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let temp = path.with_extension(format!("tmp.{}.{nonce}", std::process::id()));
+    std::fs::write(&temp, &bytes).map_err(|e| io_err("writing cache artifact", e))?;
+    std::fs::rename(&temp, path).map_err(|e| {
+        std::fs::remove_file(&temp).ok();
+        io_err("publishing cache artifact", e)
+    })
+}
+
+/// Reads and validates an artifact file, returning its payload.
+///
+/// `Ok(None)` when the file does not exist; [`GraphError::CacheArtifact`]
+/// when it exists but cannot be trusted.
+fn read_artifact(path: &Path, kind: u8, key: &str) -> Result<Option<Vec<u8>>, GraphError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(reject(path, format!("reading cache artifact: {e}"))),
+    };
+    let mut r = Reader::new(&bytes, path);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(reject(
+            path,
+            "bad magic (not a gnnerator artifact)".to_string(),
+        ));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(reject(
+            path,
+            format!("stale format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    let stored_kind = r.u8()?;
+    if stored_kind != kind {
+        return Err(reject(path, format!("wrong artifact kind {stored_kind}")));
+    }
+    let key_len = r.u32()? as usize;
+    let stored_key = r.take(key_len)?;
+    if stored_key != key.as_bytes() {
+        return Err(reject(
+            path,
+            format!(
+                "key mismatch: stored {:?}, requested {key:?}",
+                String::from_utf8_lossy(stored_key)
+            ),
+        ));
+    }
+    let payload_len = r.u64()? as usize;
+    let checksum = r.u64()?;
+    let payload = r.take(payload_len)?;
+    r.finish()?;
+    if fnv1a64(payload) != checksum {
+        return Err(reject(path, "payload checksum mismatch".to_string()));
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+/// Bounds-checked little-endian byte reader with typed cache errors.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], path: &'a Path) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            path,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GraphError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| reject(self.path, "truncated artifact".to_string()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, GraphError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, GraphError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, GraphError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Takes `count` fixed-width records in one bounds-checked slice — the
+    /// bulk path for edge pairs and feature values, where per-element reads
+    /// would cost millions of redundant checks on ogbn-scale artifacts.
+    fn byte_records(&mut self, count: usize, width: usize) -> Result<&'a [u8], GraphError> {
+        let total = count
+            .checked_mul(width)
+            .ok_or_else(|| reject(self.path, "record count overflows".to_string()))?;
+        self.take(total)
+    }
+
+    /// Asserts the reader consumed every byte (trailing garbage is a sign of
+    /// corruption or a layout drift the version bump missed).
+    fn finish(&self) -> Result<(), GraphError> {
+        if self.pos != self.bytes.len() {
+            return Err(reject(
+                self.path,
+                "trailing bytes after payload".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::sync::atomic::AtomicUsize;
+
+    static TEST_DIR_NONCE: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_cache(label: &str) -> (ArtifactCache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnerator-cache-test-{}-{label}-{}",
+            std::process::id(),
+            TEST_DIR_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        (ArtifactCache::new(&dir), dir)
+    }
+
+    #[test]
+    fn dataset_round_trips_bit_identically() {
+        let (cache, dir) = temp_cache("ds");
+        let spec = DatasetKind::Citeseer.spec().scaled(0.03);
+        let original = spec.synthesize(5).unwrap();
+        assert!(cache.load_dataset(&spec, 5).unwrap().is_none(), "cold miss");
+        cache.store_dataset(&original).unwrap();
+        let loaded = cache.load_dataset(&spec, 5).unwrap().expect("hit");
+        assert_eq!(loaded.edge_list, original.edge_list);
+        assert_eq!(loaded.graph, original.graph);
+        assert_eq!(loaded.features, original.features);
+        assert_eq!(loaded.spec, original.spec);
+        assert_eq!(loaded.seed, 5);
+        assert!(loaded.loaded_from_cache);
+        // A different seed is a different key.
+        assert!(cache.load_dataset(&spec, 6).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_round_trips_bit_identically() {
+        let (cache, dir) = temp_cache("grid");
+        let edges = generators::rmat(200, 900, 3).unwrap();
+        let grid = ShardGrid::build(&edges, 32).unwrap();
+        let key = ArtifactCache::grid_key("dataset/test/seed3", 32, false);
+        assert!(cache.load_grid(&key).unwrap().is_none());
+        cache.store_grid(&key, &grid).unwrap();
+        let loaded = cache.load_grid(&key).unwrap().expect("hit");
+        assert_eq!(loaded, grid, "same arena, metas and indexes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_typed_error() {
+        let (cache, dir) = temp_cache("corrupt");
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("g", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+
+        // Flip one payload byte on disk.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&file, bytes).unwrap();
+
+        assert!(matches!(
+            cache.load_grid(&key),
+            Err(GraphError::CacheArtifact { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_version_and_wrong_key_are_typed_errors() {
+        let (cache, dir) = temp_cache("stale");
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("g", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+
+        // Bump the stored version field (bytes 4..8).
+        let mut bytes = std::fs::read(&file).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        std::fs::write(&file, &bytes).unwrap();
+        let err = cache.load_grid(&key).unwrap_err();
+        assert!(err.to_string().contains("stale format version"), "{err}");
+
+        // Restore the version but corrupt the key bytes.
+        bytes[4] = bytes[4].wrapping_sub(1);
+        bytes[13] ^= 0xff; // first key byte (4 magic + 4 version + 1 kind + 4 len)
+        std::fs::write(&file, &bytes).unwrap();
+        let err = cache.load_grid(&key).unwrap_err();
+        assert!(err.to_string().contains("key mismatch"), "{err}");
+
+        // Truncation is caught too.
+        std::fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load_grid(&key).is_err());
+
+        // Not an artifact at all.
+        std::fs::write(&file, b"definitely not a cache file").unwrap();
+        let err = cache.load_grid(&key).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = ArtifactCache::disabled();
+        assert!(!cache.is_enabled());
+        assert!(cache.root().is_none());
+        let spec = DatasetKind::Cora.spec().scaled(0.02);
+        let dataset = spec.synthesize(1).unwrap();
+        cache.store_dataset(&dataset).unwrap();
+        assert!(cache.load_dataset(&spec, 1).unwrap().is_none());
+        let grid = ShardGrid::build(&dataset.edge_list, 16).unwrap();
+        cache.store_grid("k", &grid).unwrap();
+        assert!(cache.load_grid("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn env_value_policy() {
+        assert!(!ArtifactCache::from_env_value(Some("off")).is_enabled());
+        assert!(!ArtifactCache::from_env_value(Some("OFF")).is_enabled());
+        assert!(!ArtifactCache::from_env_value(Some("0")).is_enabled());
+        let default = ArtifactCache::from_env_value(None);
+        assert_eq!(default.root().unwrap(), Path::new("target/gnnerator-cache"));
+        assert_eq!(
+            ArtifactCache::from_env_value(Some("")).root().unwrap(),
+            Path::new("target/gnnerator-cache")
+        );
+        let custom = ArtifactCache::from_env_value(Some("/tmp/somewhere"));
+        assert_eq!(custom.root().unwrap(), Path::new("/tmp/somewhere"));
+    }
+
+    #[test]
+    fn keys_are_distinct_per_parameter() {
+        let spec = DatasetKind::Cora.spec();
+        let base = ArtifactCache::dataset_key(&spec, 42);
+        assert_ne!(base, ArtifactCache::dataset_key(&spec, 43));
+        assert_ne!(base, ArtifactCache::dataset_key(&spec.scaled(0.5), 42));
+        let g = ArtifactCache::grid_key(&base, 32, false);
+        assert_ne!(g, ArtifactCache::grid_key(&base, 32, true));
+        assert_ne!(g, ArtifactCache::grid_key(&base, 64, false));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so a refactor cannot silently invalidate every artifact.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"gnnerator"), fnv1a64(b"gnnerator"));
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

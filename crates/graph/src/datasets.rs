@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifier for one of the paper's benchmark datasets.
+/// Identifier for one of the benchmark datasets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetKind {
     /// Cora: 2708 vertices, 10556 edges, 1433-dimensional features.
@@ -23,15 +23,43 @@ pub enum DatasetKind {
     Citeseer,
     /// Pubmed: 19717 vertices, 88648 edges, 500-dimensional features.
     Pubmed,
+    /// ogbn-arxiv: 169343 vertices, 1166243 directed edges, 128-dimensional
+    /// features — an OGB-scale workload (an order of magnitude beyond
+    /// Table II) that the streaming graph-build pipeline opens to the sweep.
+    /// Synthesised, like the others; swap in the real download when
+    /// networked builds land.
+    OgbnArxiv,
 }
 
 impl DatasetKind {
-    /// All three datasets in the order Table II lists them.
+    /// The paper's three Table II datasets, in the order the table lists
+    /// them. [`DatasetKind::OgbnArxiv`] is intentionally excluded: the
+    /// figure/table reproductions enumerate exactly the paper's workloads.
     pub const ALL: [DatasetKind; 3] = [
         DatasetKind::Cora,
         DatasetKind::Citeseer,
         DatasetKind::Pubmed,
     ];
+
+    /// Every dataset the harness knows, Table II plus the ogbn-scale
+    /// extension.
+    pub const EXTENDED: [DatasetKind; 4] = [
+        DatasetKind::Cora,
+        DatasetKind::Citeseer,
+        DatasetKind::Pubmed,
+        DatasetKind::OgbnArxiv,
+    ];
+
+    /// Stable per-kind offset added to a base synthesis seed so each dataset
+    /// gets a distinct deterministic seed.
+    pub fn seed_offset(self) -> u64 {
+        match self {
+            DatasetKind::Cora => 0,
+            DatasetKind::Citeseer => 1,
+            DatasetKind::Pubmed => 2,
+            DatasetKind::OgbnArxiv => 3,
+        }
+    }
 
     /// The Table II specification for this dataset.
     pub fn spec(self) -> DatasetSpec {
@@ -57,16 +85,24 @@ impl DatasetKind {
                 edges: 88648,
                 feature_dim: 500,
             },
+            DatasetKind::OgbnArxiv => DatasetSpec {
+                kind: self,
+                name: "ogbn-arxiv",
+                vertices: 169_343,
+                edges: 1_166_243,
+                feature_dim: 128,
+            },
         }
     }
 
     /// Short lowercase name as used in the paper's figure labels
-    /// (`cora`, `citeseer`, `pub`).
+    /// (`cora`, `citeseer`, `pub`; `arxiv` for the ogbn extension).
     pub fn short_name(self) -> &'static str {
         match self {
             DatasetKind::Cora => "cora",
             DatasetKind::Citeseer => "citeseer",
             DatasetKind::Pubmed => "pub",
+            DatasetKind::OgbnArxiv => "arxiv",
         }
     }
 }
@@ -138,6 +174,7 @@ impl DatasetSpec {
     /// ```
     pub fn synthesize(&self, seed: u64) -> Result<Dataset, GraphError> {
         self.validate()?;
+        let start = std::time::Instant::now();
         let edge_list = generators::rmat_exact(self.vertices, self.edges, seed)?;
         let graph = CsrGraph::from_edge_list(&edge_list);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
@@ -146,9 +183,12 @@ impl DatasetSpec {
         });
         Ok(Dataset {
             spec: *self,
+            seed,
             edge_list,
             graph,
             features,
+            build_seconds: start.elapsed().as_secs_f64(),
+            loaded_from_cache: false,
         })
     }
 
@@ -272,12 +312,23 @@ impl fmt::Display for DatasetSpec {
 pub struct Dataset {
     /// The specification this dataset was synthesised from.
     pub spec: DatasetSpec,
+    /// The seed it was synthesised with — together with `spec` this is the
+    /// dataset's identity in the persistent
+    /// [`ArtifactCache`](crate::ArtifactCache).
+    pub seed: u64,
     /// Edge-list form (input to the sharder).
     pub edge_list: EdgeList,
     /// CSR form (input to the reference executor).
     pub graph: CsrGraph,
     /// Node feature table.
     pub features: NodeFeatures,
+    /// Wall-clock seconds materialising this dataset took (synthesis, or a
+    /// cache load — see `loaded_from_cache`). Feeds the
+    /// `graph_build_seconds` telemetry in `BENCH_sweep.json`.
+    pub build_seconds: f64,
+    /// `true` when the dataset was read back from the artifact cache rather
+    /// than synthesised.
+    pub loaded_from_cache: bool,
 }
 
 impl Dataset {
@@ -449,9 +500,47 @@ mod tests {
 
     #[test]
     fn average_degree_is_sensible() {
-        for kind in DatasetKind::ALL {
+        for kind in DatasetKind::EXTENDED {
             let d = kind.spec().average_degree();
             assert!(d > 2.0 && d < 10.0, "{kind}: average degree {d}");
         }
+    }
+
+    #[test]
+    fn ogbn_arxiv_spec_is_beyond_table_ii_scale() {
+        let spec = DatasetKind::OgbnArxiv.spec();
+        assert_eq!(
+            (spec.vertices, spec.edges, spec.feature_dim),
+            (169_343, 1_166_243, 128)
+        );
+        assert!(spec.edges >= 1_000_000, "ogbn-scale means >= 1M edges");
+        assert_eq!(spec.name, "ogbn-arxiv");
+        assert_eq!(DatasetKind::OgbnArxiv.short_name(), "arxiv");
+        assert!(spec.validate().is_ok());
+        // Scaled-down variants stay viable for smoke runs.
+        let small = spec.scaled(0.05);
+        assert!(small.validate().is_ok());
+        assert!(small.edges >= 32);
+    }
+
+    #[test]
+    fn seed_offsets_are_distinct_and_stable() {
+        let offsets: Vec<u64> = DatasetKind::EXTENDED
+            .iter()
+            .map(|k| k.seed_offset())
+            .collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+        // ALL stays the paper's trio: figure reproductions must not grow.
+        assert_eq!(DatasetKind::ALL.len(), 3);
+        assert!(!DatasetKind::ALL.contains(&DatasetKind::OgbnArxiv));
+    }
+
+    #[test]
+    fn synthesize_stamps_provenance() {
+        let spec = DatasetKind::Cora.spec().scaled(0.02);
+        let ds = spec.synthesize(9).unwrap();
+        assert_eq!(ds.seed, 9);
+        assert!(!ds.loaded_from_cache);
+        assert!(ds.build_seconds > 0.0);
     }
 }

@@ -1,0 +1,262 @@
+//! Streaming, chunked edge-list construction.
+//!
+//! The synthetic generators used to build one giant `Vec<Edge>` and sort it
+//! at the end — an `O(E log E)` single-threaded wall that made ogbn-scale
+//! graphs (millions of edges) the cold-start bottleneck of every sweep. The
+//! [`EdgeListBuilder`] replaces that flow with the classic external-sort
+//! shape, kept in memory:
+//!
+//! 1. generators *stream* edges into the builder, which seals them into
+//!    fixed-capacity chunks;
+//! 2. [`EdgeListBuilder::finish`] sorts the sealed chunks **in parallel**
+//!    (rayon) — each chunk is small enough to sort fast and the sorts are
+//!    independent;
+//! 3. a k-way heap merge emits one globally sorted, duplicate-free
+//!    [`EdgeList`] in a single pass.
+//!
+//! The output is bit-identical to `collect → sort_unstable → dedup` on the
+//! same edge multiset (the property tests pin this), so the generators'
+//! seeded determinism is preserved.
+
+use crate::{Edge, EdgeList, GraphError};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default number of edges per sealed chunk (~512 KiB of edge records): big
+/// enough that per-chunk sort overhead amortises, small enough that a dozen
+/// worker threads all get work on million-edge graphs.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
+
+/// A streaming builder that accumulates edges in sorted chunks and merges
+/// them into a canonical (sorted, deduplicated) [`EdgeList`].
+///
+/// # Examples
+///
+/// ```
+/// use gnnerator_graph::{Edge, EdgeListBuilder};
+///
+/// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+/// let mut builder = EdgeListBuilder::new(4);
+/// builder.push(Edge::new(2, 1))?;
+/// builder.push(Edge::new(0, 3))?;
+/// builder.push(Edge::new(2, 1))?; // duplicate, removed on finish
+/// let edges = builder.finish();
+/// assert_eq!(edges.as_slice(), &[Edge::new(0, 3), Edge::new(2, 1)]);
+/// assert!(edges.is_sorted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EdgeListBuilder {
+    num_nodes: usize,
+    chunk_capacity: usize,
+    /// Sealed, still-unsorted chunks of exactly `chunk_capacity` edges.
+    sealed: Vec<Vec<Edge>>,
+    /// The chunk currently being filled.
+    current: Vec<Edge>,
+}
+
+impl EdgeListBuilder {
+    /// Creates a builder for a graph over `num_nodes` nodes with the default
+    /// chunk capacity.
+    pub fn new(num_nodes: usize) -> Self {
+        Self::with_chunk_capacity(num_nodes, DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Creates a builder with an explicit chunk capacity (clamped to at
+    /// least 1). Small capacities are useful in tests to force many-chunk
+    /// merges.
+    pub fn with_chunk_capacity(num_nodes: usize, chunk_capacity: usize) -> Self {
+        let chunk_capacity = chunk_capacity.max(1);
+        Self {
+            num_nodes,
+            chunk_capacity,
+            sealed: Vec::new(),
+            current: Vec::with_capacity(chunk_capacity.min(1 << 20)),
+        }
+    }
+
+    /// Number of nodes the builder validates endpoints against.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of raw (pre-dedup) edges streamed in so far.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * self.chunk_capacity + self.current.len()
+    }
+
+    /// Returns `true` if no edges have been streamed in.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.current.is_empty()
+    }
+
+    /// Streams one edge into the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is
+    /// `>= num_nodes`.
+    pub fn push(&mut self, edge: Edge) -> Result<(), GraphError> {
+        for node in [edge.src, edge.dst] {
+            if node as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        self.current.push(edge);
+        if self.current.len() >= self.chunk_capacity {
+            let full = std::mem::replace(
+                &mut self.current,
+                Vec::with_capacity(self.chunk_capacity.min(1 << 20)),
+            );
+            self.sealed.push(full);
+        }
+        Ok(())
+    }
+
+    /// Streams an edge and its reverse — the building block of symmetric
+    /// (undirected-semantics) graphs, replacing a post-hoc
+    /// [`EdgeList::symmetrize`] pass over the full list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range.
+    pub fn push_symmetric(&mut self, edge: Edge) -> Result<(), GraphError> {
+        self.push(edge)?;
+        self.push(edge.reversed())
+    }
+
+    /// Sorts all chunks in parallel, k-way merges them and returns the
+    /// canonical edge list: sorted by `(src, dst)`, duplicates removed.
+    ///
+    /// Self-loops are *kept* (the builder is policy-free); generators that
+    /// need simple graphs simply never stream self-loops in.
+    pub fn finish(mut self) -> EdgeList {
+        if !self.current.is_empty() {
+            let rest = std::mem::take(&mut self.current);
+            self.sealed.push(rest);
+        }
+        self.sealed
+            .par_iter_mut()
+            .for_each(|chunk| chunk.sort_unstable());
+
+        let merged = match self.sealed.len() {
+            0 => Vec::new(),
+            1 => {
+                let mut only = self.sealed.pop().expect("one chunk");
+                only.dedup();
+                only
+            }
+            _ => merge_chunks(&self.sealed),
+        };
+        EdgeList::from_sorted_edges_unchecked(self.num_nodes, merged)
+    }
+}
+
+/// K-way merge of sorted chunks with duplicate elimination, via a min-heap of
+/// `(head edge, chunk index)` cursors: `O(E log k)` comparisons total.
+fn merge_chunks(chunks: &[Vec<Edge>]) -> Vec<Edge> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out: Vec<Edge> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; chunks.len()];
+    let mut heap: BinaryHeap<Reverse<(Edge, usize)>> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, chunk)| !chunk.is_empty())
+        .map(|(i, chunk)| Reverse((chunk[0], i)))
+        .collect();
+    while let Some(Reverse((edge, chunk_index))) = heap.pop() {
+        if out.last() != Some(&edge) {
+            out.push(edge);
+        }
+        cursors[chunk_index] += 1;
+        if let Some(&next) = chunks[chunk_index].get(cursors[chunk_index]) {
+            heap.push(Reverse((next, chunk_index)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(num_nodes: usize, edges: &[Edge]) -> EdgeList {
+        let mut all: Vec<Edge> = edges.to_vec();
+        all.sort_unstable();
+        all.dedup();
+        EdgeList::from_edges(num_nodes, all).unwrap()
+    }
+
+    #[test]
+    fn builder_matches_collect_sort_dedup() {
+        // A deterministic pseudo-random edge stream spanning many chunks.
+        let n = 50usize;
+        let mut state = 0x1234_5678_u64;
+        let mut edges = Vec::new();
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let src = ((state >> 33) % n as u64) as u32;
+            let dst = ((state >> 17) % n as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        for capacity in [1, 7, 64, 4096, usize::MAX] {
+            let mut builder = EdgeListBuilder::with_chunk_capacity(n, capacity);
+            for &e in &edges {
+                builder.push(e).unwrap();
+            }
+            let built = builder.finish();
+            assert_eq!(built, reference(n, &edges), "capacity {capacity}");
+            assert!(built.is_sorted());
+        }
+    }
+
+    #[test]
+    fn symmetric_push_matches_symmetrize() {
+        let n = 20usize;
+        let pairs: &[(u32, u32)] = &[(0, 1), (5, 2), (19, 0), (5, 2), (3, 4)];
+        let mut builder = EdgeListBuilder::with_chunk_capacity(n, 3);
+        for &(s, d) in pairs {
+            builder.push_symmetric(Edge::new(s, d)).unwrap();
+        }
+        let built = builder.finish();
+        let mut reference = EdgeList::from_pairs(n, pairs).unwrap();
+        reference.symmetrize();
+        assert_eq!(built, reference);
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoints() {
+        let mut builder = EdgeListBuilder::new(3);
+        assert!(matches!(
+            builder.push(Edge::new(0, 3)),
+            Err(GraphError::NodeOutOfRange { node: 3, .. })
+        ));
+        assert!(builder.push_symmetric(Edge::new(4, 0)).is_err());
+        assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_an_empty_list() {
+        let builder = EdgeListBuilder::new(10);
+        let edges = builder.finish();
+        assert!(edges.is_empty());
+        assert_eq!(edges.num_nodes(), 10);
+    }
+
+    #[test]
+    fn len_counts_raw_edges_across_chunks() {
+        let mut builder = EdgeListBuilder::with_chunk_capacity(4, 2);
+        for _ in 0..5 {
+            builder.push(Edge::new(0, 1)).unwrap();
+        }
+        assert_eq!(builder.len(), 5);
+        assert!(!builder.is_empty());
+        // Duplicates collapse on finish.
+        assert_eq!(builder.finish().num_edges(), 1);
+    }
+}

@@ -47,6 +47,18 @@ pub enum GraphError {
         /// Description of what makes the spec degenerate.
         message: String,
     },
+    /// A persistent artifact-cache entry could not be used: the file is
+    /// corrupt (bad magic, checksum mismatch, truncated payload), was written
+    /// by a different format version, or does not match the requested key.
+    ///
+    /// Callers treat this as a *miss with a cause*: the artifact is rebuilt
+    /// from scratch and the stale file overwritten.
+    CacheArtifact {
+        /// Path of the offending cache file.
+        path: String,
+        /// Description of why the artifact was rejected.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +89,9 @@ impl fmt::Display for GraphError {
                 f,
                 "dataset {name} ({vertices} vertices, {edges} edges) is degenerate: {message}"
             ),
+            GraphError::CacheArtifact { path, message } => {
+                write!(f, "unusable cache artifact {path}: {message}")
+            }
         }
     }
 }
@@ -88,6 +103,14 @@ impl GraphError {
     pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
         GraphError::InvalidParameter {
             name,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GraphError::CacheArtifact`].
+    pub fn cache(path: impl Into<String>, message: impl Into<String>) -> Self {
+        GraphError::CacheArtifact {
+            path: path.into(),
             message: message.into(),
         }
     }
@@ -115,6 +138,10 @@ mod tests {
         };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('4'));
+
+        let e = GraphError::cache("/tmp/ds-1.bin", "checksum mismatch");
+        assert!(e.to_string().contains("ds-1.bin"));
+        assert!(e.to_string().contains("checksum"));
     }
 
     #[test]

@@ -8,13 +8,21 @@
 //!
 //! * [`EdgeList`] and [`CsrGraph`] — edge-list and compressed-sparse-row
 //!   graph representations,
+//! * [`EdgeListBuilder`] — streaming chunked construction: generators emit
+//!   edge chunks that are sorted in parallel and k-way merged, instead of
+//!   sorting one giant vector at the end,
 //! * [`NodeFeatures`] — the dense per-node feature table,
-//! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi and an
-//!   R-MAT/power-law generator) used to stand in for the real datasets,
-//! * [`datasets`] — the Table II dataset specifications and synthesisers,
+//! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi with
+//!   geometric skip sampling and an R-MAT/power-law generator) used to stand
+//!   in for the real datasets,
+//! * [`datasets`] — the Table II dataset specifications (plus an ogbn-scale
+//!   extension) and synthesisers,
 //! * [`ShardGrid`] — the 2-D shard grid, stored sparsely as one sorted edge
 //!   arena plus per-occupied-shard [`ShardMeta`], with source-/destination-
 //!   stationary traversal orders that skip empty cells,
+//! * [`ArtifactCache`] — a persistent, checksummed on-disk store of
+//!   synthesised datasets and shard grids, keyed by `(spec, seed)` and shard
+//!   parameters, so repeated harness runs skip synthesis and re-sharding,
 //! * [`GraphStats`] — degree and locality statistics used in reports.
 //!
 //! # Examples
@@ -33,8 +41,10 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod csr;
 pub mod datasets;
+mod edge_builder;
 mod edge_list;
 mod error;
 mod features;
@@ -44,7 +54,9 @@ pub mod reorder;
 mod shard;
 mod stats;
 
+pub use cache::{ArtifactCache, CACHE_ENV_VAR, FORMAT_VERSION};
 pub use csr::CsrGraph;
+pub use edge_builder::{EdgeListBuilder, DEFAULT_CHUNK_CAPACITY};
 pub use edge_list::{Edge, EdgeList};
 pub use error::GraphError;
 pub use features::NodeFeatures;

@@ -130,6 +130,29 @@ impl ShardMeta {
         let start = self.edge_start as usize;
         start..start + self.num_edges as usize
     }
+
+    /// Raw constructor used by the artifact cache's deserialiser.
+    pub(crate) fn from_raw(
+        coord: ShardCoord,
+        edge_start: u32,
+        num_edges: u32,
+        unique_sources: u32,
+        unique_destinations: u32,
+    ) -> Self {
+        Self {
+            coord,
+            edge_start,
+            num_edges,
+            unique_sources,
+            unique_destinations,
+        }
+    }
+
+    /// Start offset of this shard's edges in the grid arena (cache
+    /// serialisation only).
+    pub(crate) fn edge_start(&self) -> u32 {
+        self.edge_start
+    }
 }
 
 /// A borrowed view of one shard: its metadata plus its slice of the grid's
@@ -270,8 +293,6 @@ impl ShardGrid {
                 "edge count exceeds the 32-bit arena index space",
             ));
         }
-        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
-
         let mut arena: Vec<Edge> = edges.iter().copied().collect();
         arena.sort_unstable_by_key(|e| {
             (
@@ -317,6 +338,22 @@ impl ShardGrid {
             start = end;
         }
 
+        Ok(Self::assemble(num_nodes, nodes_per_shard, arena, metas))
+    }
+
+    /// Assembles a grid from a sorted arena and its row-major occupied-shard
+    /// metadata, rebuilding the CSR-style row/column indexes. Shared by
+    /// [`ShardGrid::build`] and the artifact cache's deserialiser (the
+    /// indexes are cheap linear passes, so they are recomputed rather than
+    /// stored).
+    pub(crate) fn assemble(
+        num_nodes: usize,
+        nodes_per_shard: usize,
+        arena: Vec<Edge>,
+        metas: Vec<ShardMeta>,
+    ) -> Self {
+        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+
         // Row index: metas are already row-major, so offsets come from one
         // counting pass.
         let mut row_offsets = vec![0usize; grid_dim + 1];
@@ -344,7 +381,7 @@ impl ShardGrid {
             cursor[meta.coord.dst_block] += 1;
         }
 
-        Ok(Self {
+        Self {
             num_nodes,
             nodes_per_shard,
             grid_dim,
@@ -353,7 +390,7 @@ impl ShardGrid {
             row_offsets,
             col_entries,
             col_offsets,
-        })
+        }
     }
 
     /// Number of nodes in the underlying graph.

@@ -5,10 +5,12 @@
 //! synthetic generators respect their advertised statistics.
 
 use gnnerator_graph::{
-    generators, CsrGraph, Edge, EdgeList, ShardCoord, ShardGrid, TraversalOrder,
+    generators, ArtifactCache, CsrGraph, Edge, EdgeList, EdgeListBuilder, ShardCoord, ShardGrid,
+    TraversalOrder,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A naive dense reference sharder: one `Vec<Edge>` bucket per grid cell,
 /// the way the pre-sparse `ShardGrid` stored shards. The property tests
@@ -277,4 +279,75 @@ proptest! {
         }
         prop_assert_eq!(covered, edges.num_nodes());
     }
+
+    #[test]
+    fn chunked_builder_is_bit_identical_to_the_in_memory_path(
+        edges in edge_list(),
+        capacity in 1usize..64,
+    ) {
+        // Any chunk capacity (forcing anywhere from one to hundreds of
+        // chunk merges) must reproduce collect → sort → dedup exactly.
+        let mut builder = EdgeListBuilder::with_chunk_capacity(edges.num_nodes(), capacity);
+        for e in edges.iter() {
+            builder.push(*e).unwrap();
+        }
+        let built = builder.finish();
+        let mut reference: Vec<Edge> = edges.iter().copied().collect();
+        reference.sort_unstable();
+        reference.dedup();
+        prop_assert_eq!(built.as_slice(), reference.as_slice());
+        prop_assert!(built.is_sorted());
+    }
+
+    #[test]
+    fn merge_based_canonical_ops_match_the_resort_reference(edges in edge_list()) {
+        // dedup → symmetrize → add_self_loops down the sorted fast paths
+        // must equal the historical always-resort pipeline.
+        let mut fast = edges.clone();
+        fast.dedup();
+        fast.symmetrize();
+        fast.add_self_loops();
+
+        let mut reference: Vec<Edge> = edges
+            .iter()
+            .copied()
+            .filter(|e| e.src != e.dst)
+            .collect();
+        reference.sort_unstable();
+        reference.dedup();
+        let reversed: Vec<Edge> = reference.iter().map(|e| e.reversed()).collect();
+        reference.extend(reversed);
+        reference.sort_unstable();
+        reference.dedup();
+        reference.extend((0..edges.num_nodes() as u32).map(|v| Edge::new(v, v)));
+        reference.sort_unstable();
+        reference.dedup();
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+        prop_assert!(fast.is_sorted());
+    }
+
+    #[test]
+    fn grid_cache_round_trip_is_bit_identical(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let dir = unique_cache_dir();
+        let cache = ArtifactCache::new(&dir);
+        let key = ArtifactCache::grid_key("prop-graph", nps, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let loaded = cache.load_grid(&key).unwrap().expect("stored artifact");
+        std::fs::remove_dir_all(&dir).ok();
+        // Same arena, same metas, same indexes — full structural equality.
+        prop_assert_eq!(loaded, grid);
+    }
+}
+
+/// A fresh scratch directory per proptest case (cases run sequentially but
+/// test binaries run in parallel, so include the pid).
+fn unique_cache_dir() -> std::path::PathBuf {
+    static NONCE: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gnnerator-prop-cache-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
 }

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// The rayon-style prelude: `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// Number of worker threads a parallel map will use for a large input.
@@ -41,6 +42,66 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = T;
     fn par_iter(&'data self) -> ParIter<'data, T> {
         ParIter { items: self }
+    }
+}
+
+/// Conversion of `&mut collection` into a mutable parallel iterator.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type iterated over.
+    type Item: Send + 'data;
+
+    /// Returns a parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'data, T: Send> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Applies `f` to every element on the worker pool.
+    ///
+    /// The slice is statically partitioned into one contiguous span per
+    /// worker — the right shape for the workspace's use (sorting same-sized
+    /// chunks, where per-item cost is uniform).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let span = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for chunk in self.items.chunks_mut(span) {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -180,5 +241,18 @@ mod tests {
         let input: Vec<u8> = Vec::new();
         let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut items: Vec<Vec<u32>> = (0..37).map(|i| vec![i, 1000 - i]).collect();
+        items.par_iter_mut().for_each(|chunk| chunk.sort_unstable());
+        for (i, chunk) in items.iter().enumerate() {
+            assert!(chunk.windows(2).all(|w| w[0] <= w[1]), "chunk {i}");
+            assert_eq!(chunk.len(), 2);
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 }

@@ -1,0 +1,175 @@
+//! End-to-end guarantees of the streaming graph-build pipeline and the
+//! persistent artifact cache: a warm-cache run performs zero dataset
+//! synthesis and zero shard builds while reproducing every simulation report
+//! bit for bit, and damaged cache state degrades to a fresh build (with a
+//! typed error at the cache layer), never to wrong results.
+
+use gnnerator::{
+    BackendKind, DataflowConfig, GnneratorConfig, ScenarioSpec, SimSession, SweepRunner,
+};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+use gnnerator_graph::{ArtifactCache, GraphError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static NONCE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gnnerator-e2e-cache-{}-{label}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A small mixed-backend grid including the ogbn-arxiv extension dataset.
+fn grid() -> Vec<ScenarioSpec> {
+    let mut scenarios = Vec::new();
+    for kind in [DatasetKind::Cora, DatasetKind::OgbnArxiv] {
+        let base = ScenarioSpec::new(
+            NetworkKind::Gcn,
+            kind.spec().scaled(0.02),
+            21,
+            16,
+            4,
+            GnneratorConfig::paper_default(),
+            DataflowConfig::blocked(64),
+        );
+        for backend in BackendKind::ALL {
+            scenarios.push(base.clone().with_backend(backend));
+        }
+        scenarios.push(base.clone().with_backend(BackendKind::Gnnerator));
+        scenarios.last_mut().unwrap().dataflow = DataflowConfig::conventional();
+    }
+    scenarios
+}
+
+#[test]
+fn warm_cache_run_skips_all_graph_builds_and_is_bit_identical() {
+    let dir = scratch_dir("warm");
+    let scenarios = grid();
+
+    let cold = SweepRunner::new().with_artifact_cache(Arc::new(ArtifactCache::new(&dir)));
+    let cold_results = cold.run(&scenarios).unwrap();
+    assert!(cold.datasets_synthesized() > 0);
+    assert_eq!(cold.datasets_loaded(), 0);
+    assert!(cold.total_shard_grids_built() > 0);
+    assert!(cold.graph_build_seconds() > 0.0);
+
+    // A brand new runner (a later harness invocation, in effect).
+    let warm = SweepRunner::new().with_artifact_cache(Arc::new(ArtifactCache::new(&dir)));
+    let warm_results = warm.run(&scenarios).unwrap();
+    assert_eq!(warm.datasets_synthesized(), 0, "zero dataset synthesis");
+    assert_eq!(warm.total_shard_grids_built(), 0, "zero shard builds");
+    assert!(warm.datasets_loaded() > 0);
+    assert!(warm.total_shard_grids_loaded() > 0);
+
+    assert_eq!(warm_results.len(), cold_results.len());
+    for (w, c) in warm_results.iter().zip(&cold_results) {
+        // ScenarioResult equality covers evaluations and full reports
+        // (total cycles, per-layer breakdowns, DRAM traffic).
+        assert_eq!(w, c, "{}", c.scenario);
+        if let (Some(wr), Some(cr)) = (&w.report, &c.report) {
+            assert_eq!(wr.total_cycles, cr.total_cycles);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_cache_files_fall_back_to_identical_fresh_builds() {
+    let dir = scratch_dir("corrupt");
+    let dataset = DatasetKind::Citeseer
+        .spec()
+        .scaled(0.03)
+        .synthesize(5)
+        .unwrap();
+    let model = NetworkKind::Gcn
+        .build_paper_config(dataset.features.dim(), 6)
+        .unwrap();
+    let config = GnneratorConfig::paper_default();
+    let cache = Arc::new(ArtifactCache::new(&dir));
+    cache.store_dataset(&dataset).unwrap();
+
+    let pristine =
+        SimSession::with_artifact_cache(model.clone(), &dataset, Arc::clone(&cache)).unwrap();
+    let reference = pristine
+        .simulate(&config, DataflowConfig::paper_default())
+        .unwrap();
+
+    // Vandalise every artifact on disk.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+    }
+
+    // The cache layer reports typed errors for the damaged artifacts...
+    assert!(matches!(
+        cache.load_dataset(&dataset.spec, dataset.seed),
+        Err(GraphError::CacheArtifact { .. })
+    ));
+    // ...the runner falls back to synthesis (and repairs the artifact)...
+    let runner = SweepRunner::new().with_artifact_cache(Arc::clone(&cache));
+    let rebuilt = runner.dataset_for(dataset.spec, dataset.seed).unwrap();
+    assert_eq!(runner.datasets_synthesized(), 1);
+    assert_eq!(runner.datasets_loaded(), 0);
+    assert_eq!(rebuilt.edge_list, dataset.edge_list);
+    assert!(cache
+        .load_dataset(&dataset.spec, dataset.seed)
+        .unwrap()
+        .is_some());
+    // ...and a session over the repaired state reproduces the report.
+    let session = SimSession::with_artifact_cache(model, &rebuilt, cache).unwrap();
+    let report = session
+        .simulate(&config, DataflowConfig::paper_default())
+        .unwrap();
+    assert_eq!(report, reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_off_escape_hatch_disables_persistence() {
+    // GNNERATOR_CACHE=off resolves to a disabled cache, and a runner built
+    // on one behaves exactly like a cache-less runner.
+    let cache = ArtifactCache::from_env_value(Some("off"));
+    assert!(!cache.is_enabled());
+    let runner = SweepRunner::new().with_artifact_cache(Arc::new(cache));
+    assert!(
+        runner.artifact_cache().is_none(),
+        "disabled caches are dropped at attach time"
+    );
+    let scenarios = grid();
+    let results = runner.run(&scenarios).unwrap();
+    assert_eq!(results.len(), scenarios.len());
+    assert_eq!(runner.datasets_loaded(), 0);
+    assert_eq!(runner.total_shard_grids_loaded(), 0);
+}
+
+#[test]
+fn ogbn_scale_spec_flows_through_the_streaming_pipeline() {
+    // A meaningful slice of ogbn-arxiv (≈10% → ~117k edges) synthesises
+    // through the chunked builder — multiple sealed chunks — and simulates.
+    let spec = DatasetKind::OgbnArxiv.spec().scaled(0.1);
+    assert!(spec.edges > 100_000);
+    let dataset = spec.synthesize(31).unwrap();
+    assert_eq!(dataset.num_edges(), spec.edges);
+    assert!(dataset.edge_list.is_sorted());
+    let model = NetworkKind::Gcn
+        .build(dataset.features.dim(), 16, 40, 1)
+        .unwrap();
+    let session = SimSession::new(model, &dataset).unwrap();
+    let report = session
+        .simulate(
+            &GnneratorConfig::paper_default(),
+            DataflowConfig::blocked(64),
+        )
+        .unwrap();
+    assert!(report.total_cycles > 0);
+    assert_eq!(report.dataset_name, "ogbn-arxiv");
+}
