@@ -1,0 +1,266 @@
+//! Load generator for the serving API.
+//!
+//! Starts an in-process [`SessionServer`], warms its session pool, then
+//! measures three ways of answering the same mixed-backend request stream:
+//!
+//! 1. **cold replay** — no server: every request builds a fresh
+//!    [`SimSession`](gnnerator::SimSession) and evaluates it, the way the
+//!    harness answered one-shot questions before the serving layer (the
+//!    same convention `BENCH_sweep.json`'s `serial_seconds` uses: datasets
+//!    are pre-materialised and shared, compilation is paid per request);
+//! 2. **serial HTTP** — one client replaying the stream against the warm
+//!    server, one request in flight at a time;
+//! 3. **concurrent HTTP** — the same stream split over N client threads.
+//!
+//! The headline number is concurrent-server throughput versus the cold
+//! serial replay: that is what the warm [`SessionPool`] buys. The
+//! concurrent-versus-serial-HTTP ratio additionally shows client-side
+//! pipelining (≈1.0 on a single-core host, where both streams saturate the
+//! CPU; >1 on multi-core runners). When a `BENCH_sweep.json` from
+//! `all_experiments` is present, a `"serving"` section is appended
+//! (idempotently, replacing any previous one).
+//!
+//! Usage: `cargo run -p gnnerator-bench --release --bin serve_bench -- \
+//!     [--clients 4] [--requests 6] [--scale 0.25] [--require-speedup]`
+//!
+//! [`SessionPool`]: gnnerator_serve::SessionPool
+//! [`SessionServer`]: gnnerator_serve::SessionServer
+
+use gnnerator::{build_session, evaluate_scenario, materialize_dataset, ScenarioSpec};
+use gnnerator_bench::suite::scale_from_args;
+use gnnerator_graph::datasets::Dataset;
+use gnnerator_serve::{client, scenario_from_json, Json, ServeConfig, SessionServer};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The benchmark's request mix: both paper datasets' GCN workloads on every
+/// backend, so one run exercises accelerator simulation and both analytical
+/// baselines through the same front door.
+fn request_bodies(scale: f64) -> Vec<String> {
+    let mut bodies = Vec::new();
+    for dataset in ["cora", "citeseer"] {
+        for backend in ["gnnerator", "gpu-roofline", "hygcn"] {
+            bodies.push(format!(
+                "{{\"dataset\": \"{dataset}\", \"network\": \"gcn\", \"backend\": \"{backend}\", \
+                 \"scale\": {scale}, \"seed\": 42}}"
+            ));
+        }
+    }
+    bodies
+}
+
+fn send(addr: SocketAddr, body: &str) -> f64 {
+    let response = client::post(addr, "/simulate", body).expect("request failed");
+    assert!(
+        response.is_ok(),
+        "server answered {}: {}",
+        response.status,
+        response.body
+    );
+    let point = response.json().expect("response is JSON");
+    let seconds = point
+        .get("seconds")
+        .and_then(Json::as_f64)
+        .expect("response carries seconds");
+    assert!(seconds.is_finite() && seconds > 0.0, "degenerate point");
+    point
+        .get("latency_seconds")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients = flag(&args, "--clients", 4).max(1);
+    let requests_per_client = flag(&args, "--requests", 6).max(1);
+    let scale = scale_from_args(args.iter().cloned());
+    let require_speedup = args.iter().any(|a| a == "--require-speedup");
+
+    let bodies = request_bodies(scale);
+    let scenarios: Vec<ScenarioSpec> = bodies
+        .iter()
+        .map(|body| {
+            scenario_from_json(&Json::parse(body).expect("request mix is valid JSON"))
+                .expect("request mix maps to scenarios")
+        })
+        .collect();
+    let total_requests = clients * requests_per_client;
+
+    // Cold replay baseline: pre-materialise datasets (identical work either
+    // way, excluded from the timing — the BENCH_sweep convention), then pay
+    // a fresh session build per request.
+    let mut datasets: HashMap<(String, u64), Arc<Dataset>> = HashMap::new();
+    for scenario in &scenarios {
+        datasets
+            .entry((scenario.dataset.name.to_string(), scenario.seed))
+            .or_insert_with(|| {
+                Arc::new(
+                    materialize_dataset(scenario.dataset, scenario.seed, None)
+                        .expect("request-mix datasets synthesise"),
+                )
+            });
+    }
+    let start = Instant::now();
+    for i in 0..total_requests {
+        let scenario = &scenarios[i % scenarios.len()];
+        let dataset = &datasets[&(scenario.dataset.name.to_string(), scenario.seed)];
+        let session =
+            Arc::new(build_session(scenario, dataset, None).expect("cold session build failed"));
+        evaluate_scenario(scenario, &session).expect("cold evaluation failed");
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    // The warm server under test.
+    let server = SessionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: clients,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("failed to start server");
+    let addr = server.local_addr();
+    println!(
+        "serve_bench: server on {addr}, {clients} clients x {requests_per_client} requests, scale {scale}"
+    );
+
+    // Warm the pool: after this, the steady state pays evaluation only.
+    let warm_start = Instant::now();
+    for body in &bodies {
+        send(addr, body);
+    }
+    let warm_seconds = warm_start.elapsed().as_secs_f64();
+    println!(
+        "warm-up: {} distinct scenarios in {warm_seconds:.3}s",
+        bodies.len()
+    );
+
+    // Serial HTTP replay: one client, one request in flight at a time.
+    let start = Instant::now();
+    let mut serial_latency = 0.0;
+    for i in 0..total_requests {
+        serial_latency += send(addr, &bodies[i % bodies.len()]);
+    }
+    let serial_seconds = start.elapsed().as_secs_f64();
+
+    // Concurrent HTTP replay: the same request stream split over N clients.
+    let start = Instant::now();
+    let concurrent_latency: f64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut latency = 0.0;
+                    for i in 0..requests_per_client {
+                        latency +=
+                            send(addr, &bodies[(c * requests_per_client + i) % bodies.len()]);
+                    }
+                    latency
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let concurrent_seconds = start.elapsed().as_secs_f64();
+
+    let cold_rps = total_requests as f64 / cold_seconds.max(1e-12);
+    let serial_rps = total_requests as f64 / serial_seconds.max(1e-12);
+    let concurrent_rps = total_requests as f64 / concurrent_seconds.max(1e-12);
+    let speedup_vs_cold = concurrent_rps / cold_rps.max(1e-12);
+    let client_pipelining = concurrent_rps / serial_rps.max(1e-12);
+
+    let stats = client::get(addr, "/stats")
+        .expect("stats request failed")
+        .json()
+        .expect("stats are JSON");
+    let pool = stats.get("pool").expect("stats carry a pool section");
+    let pool_count = |key: &str| pool.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let (hits, misses, built) = (
+        pool_count("hits"),
+        pool_count("misses"),
+        pool_count("sessions_built"),
+    );
+    server.shutdown();
+
+    println!(
+        "cold replay (fresh session per request): {total_requests} requests in {cold_seconds:.3}s ({cold_rps:.1} req/s)"
+    );
+    println!(
+        "serial HTTP (warm pool):                 {total_requests} requests in {serial_seconds:.3}s ({serial_rps:.1} req/s)"
+    );
+    println!(
+        "concurrent HTTP ({clients} clients):     {total_requests} requests in {concurrent_seconds:.3}s ({concurrent_rps:.1} req/s)"
+    );
+    println!("concurrent server vs cold serial replay: {speedup_vs_cold:.2}x");
+    println!("client pipelining (concurrent vs serial HTTP): {client_pipelining:.2}x");
+    println!("pool: {hits} hits / {misses} misses, {built} sessions built");
+    assert_eq!(
+        built as usize,
+        bodies.len() / 3,
+        "steady state must reuse warm sessions (one per dataset-model pair)"
+    );
+
+    let section = format!(
+        "{{\"clients\": {clients}, \"requests_per_client\": {requests_per_client}, \
+         \"total_requests\": {total_requests}, \"scale\": {scale}, \
+         \"warmup_seconds\": {warm_seconds:.6}, \"cold_replay_seconds\": {cold_seconds:.6}, \
+         \"serial_seconds\": {serial_seconds:.6}, \"concurrent_seconds\": {concurrent_seconds:.6}, \
+         \"cold_replay_rps\": {cold_rps:.3}, \"serial_rps\": {serial_rps:.3}, \
+         \"concurrent_rps\": {concurrent_rps:.3}, \"speedup_vs_cold_replay\": {speedup_vs_cold:.3}, \
+         \"client_pipelining\": {client_pipelining:.3}, \
+         \"mean_serial_latency_seconds\": {:.6}, \"mean_concurrent_latency_seconds\": {:.6}, \
+         \"pool_hits\": {hits}, \"pool_misses\": {misses}, \"sessions_built\": {built}}}",
+        serial_latency / total_requests as f64,
+        concurrent_latency / total_requests as f64,
+    );
+    match append_serving_section("BENCH_sweep.json", &section) {
+        Ok(true) => println!("appended serving section to BENCH_sweep.json"),
+        Ok(false) => println!("BENCH_sweep.json not found; serving section not persisted"),
+        Err(e) => println!("could not update BENCH_sweep.json: {e}"),
+    }
+
+    if require_speedup && speedup_vs_cold <= 1.0 {
+        eprintln!(
+            "FAIL: concurrent server throughput ({concurrent_rps:.1} req/s) did not exceed the \
+             cold serial replay ({cold_rps:.1} req/s)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Splices (or replaces) the `"serving"` section into an existing
+/// `BENCH_sweep.json`. Returns `Ok(false)` when the file does not exist.
+fn append_serving_section(path: &str, section: &str) -> std::io::Result<bool> {
+    const MARKER: &str = ",\n  \"serving\": ";
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    // Re-runs replace the previous section instead of stacking duplicates.
+    let base = match text.find(MARKER) {
+        Some(i) => text[..i].to_string(),
+        None => match text.trim_end().strip_suffix('}') {
+            // Exactly one closing brace: stripping more would unbalance a
+            // document whose points array abuts the top-level close.
+            Some(without_close) => without_close.trim_end().to_string(),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "BENCH_sweep.json does not end with a JSON object",
+                ));
+            }
+        },
+    };
+    std::fs::write(path, format!("{base}{MARKER}{section}\n}}\n"))?;
+    Ok(true)
+}

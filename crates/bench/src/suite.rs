@@ -46,14 +46,10 @@ impl Workload {
     }
 
     /// Number of output classes of the dataset (used as the model's output
-    /// dimension, as DGL's node-classification setup does).
+    /// dimension, as DGL's node-classification setup does). Delegates to the
+    /// shared per-dataset table the serving API defaults to as well.
     pub fn num_classes(&self) -> usize {
-        match self.dataset {
-            DatasetKind::Cora => 7,
-            DatasetKind::Citeseer => 6,
-            DatasetKind::Pubmed => 3,
-            DatasetKind::OgbnArxiv => 40,
-        }
+        self.dataset.num_classes()
     }
 
     /// HyGCN's window-shrinking sparsity-elimination speedup for this

@@ -20,6 +20,9 @@ use gnnerator::{
 };
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::DatasetKind;
+// One escaping policy for every JSON artifact: the serving layer's writer
+// is the shared implementation.
+use gnnerator_serve::json::json_string;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -532,24 +535,6 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
         shard_grids_loaded: ctx.runner().total_shard_grids_loaded()
             + cold_runner.total_shard_grids_loaded(),
     })
-}
-
-fn json_string(value: &str) -> String {
-    let mut out = String::with_capacity(value.len() + 2);
-    out.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -82,4 +82,7 @@ pub use program::{DenseOp, LayerPlan, Program};
 pub use report::{LayerReport, Report};
 pub use session::{CompiledWorkload, SimSession};
 pub use simulator::Simulator;
-pub use sweep::{BaselineSeconds, ScenarioResult, ScenarioSpec, SweepRunner};
+pub use sweep::{
+    build_session, evaluate_scenario, materialize_dataset, BaselineSeconds, ScenarioResult,
+    ScenarioSpec, SessionKey, SweepRunner,
+};

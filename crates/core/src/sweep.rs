@@ -121,7 +121,12 @@ impl ScenarioSpec {
         (self.dataset, self.seed)
     }
 
-    fn session_key(&self) -> SessionKey {
+    /// The cache identity of this scenario's compiled session: dataset and
+    /// model shape only, so accelerator and baseline points — and repeated
+    /// serving requests — over the same workload share one
+    /// [`SimSession`]. This is the key the [`SweepRunner`]'s session cache
+    /// and the serving layer's session pool agree on.
+    pub fn session_key(&self) -> SessionKey {
         (
             self.dataset,
             self.seed,
@@ -131,6 +136,105 @@ impl ScenarioSpec {
             self.hidden_layers,
         )
     }
+}
+
+/// Materialises a scenario's dataset: loaded from the artifact cache when
+/// one is supplied and holds a usable entry, synthesised fresh otherwise
+/// (with the fresh build stored back, best-effort). A corrupt or stale
+/// artifact counts as a miss with a cause, not an error.
+///
+/// This is the single materialisation path shared by the [`SweepRunner`]
+/// and the serving layer's session pool, so both produce bit-identical
+/// graphs for the same `(spec, seed)` key.
+///
+/// # Errors
+///
+/// Propagates dataset-synthesis errors (degenerate specs) and
+/// non-artifact cache I/O errors.
+pub fn materialize_dataset(
+    spec: DatasetSpec,
+    seed: u64,
+    cache: Option<&ArtifactCache>,
+) -> Result<Dataset, GnneratorError> {
+    if let Some(cache) = cache {
+        match cache.load_dataset(&spec, seed) {
+            Ok(Some(dataset)) => return Ok(dataset),
+            Ok(None) | Err(gnnerator_graph::GraphError::CacheArtifact { .. }) => {}
+            Err(other) => return Err(other.into()),
+        }
+        let dataset = spec.synthesize(seed)?;
+        cache.store_dataset(&dataset).ok(); // best-effort persistence
+        return Ok(dataset);
+    }
+    Ok(spec.synthesize(seed)?)
+}
+
+/// Builds the compiled session for a scenario's (dataset, model) pair —
+/// the model is constructed from the scenario's shape fields, and shard
+/// grids are persisted in `cache` when one is supplied.
+///
+/// # Errors
+///
+/// Propagates model-construction and session-validation errors.
+pub fn build_session(
+    scenario: &ScenarioSpec,
+    dataset: &Dataset,
+    cache: Option<&Arc<ArtifactCache>>,
+) -> Result<SimSession, GnneratorError> {
+    let model = scenario
+        .network
+        .build(
+            dataset.features.dim(),
+            scenario.hidden_dim,
+            scenario.out_dim,
+            scenario.hidden_layers,
+        )
+        .map_err(GnneratorError::from)?;
+    match cache {
+        Some(artifacts) => SimSession::with_artifact_cache(model, dataset, Arc::clone(artifacts)),
+        None => SimSession::new(model, dataset),
+    }
+}
+
+/// Evaluates one scenario against an already-compiled session, producing
+/// the same [`ScenarioResult`] the sweep engine does — this *is* the body
+/// of [`SweepRunner::run_one`], shared with the serving layer so served
+/// responses are bit-identical to sweep results.
+///
+/// # Errors
+///
+/// Propagates compilation, simulation and backend-evaluation errors.
+pub fn evaluate_scenario(
+    scenario: &ScenarioSpec,
+    session: &Arc<SimSession>,
+) -> Result<ScenarioResult, GnneratorError> {
+    let start = Instant::now();
+    let (evaluation, report, baseline_seconds) = if scenario.backend.is_accelerator() {
+        let backend = GnneratorBackend::new(
+            Arc::clone(session),
+            scenario.config.clone(),
+            scenario.dataflow,
+        );
+        let report = backend.simulate()?;
+        let baselines = BaselineSeconds::estimate(session)?;
+        (report.to_evaluation(), Some(report), Some(baselines))
+    } else {
+        let backend = SweepRunner::make_backend(scenario, Arc::clone(session));
+        let evaluation = backend
+            .evaluate(session.model(), session.num_nodes(), session.num_edges())
+            .map_err(|e| GnneratorError::backend(e.to_string()))?;
+        (evaluation, None, None)
+    };
+    let simulate_seconds = start.elapsed().as_secs_f64();
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        evaluation,
+        report,
+        baseline_seconds,
+        num_nodes: session.num_nodes(),
+        num_edges: session.num_edges(),
+        simulate_seconds,
+    })
 }
 
 impl fmt::Display for ScenarioSpec {
@@ -233,7 +337,10 @@ impl PartialEq for ScenarioResult {
 }
 
 type DatasetKey = (DatasetSpec, u64);
-type SessionKey = (DatasetSpec, u64, NetworkKind, usize, usize, usize);
+
+/// The cache identity of a compiled session: `(dataset spec, seed, network,
+/// hidden_dim, out_dim, hidden_layers)`. See [`ScenarioSpec::session_key`].
+pub type SessionKey = (DatasetSpec, u64, NetworkKind, usize, usize, usize);
 
 /// Executes batches of scenarios in parallel over shared dataset/session
 /// caches, dispatching each point through its [`Backend`].
@@ -366,17 +473,7 @@ impl SweepRunner {
     /// re-synthesised and the artifact overwritten. (Provenance counting
     /// happens in [`SweepRunner::dataset_for`], against the winning insert.)
     fn materialize_dataset(&self, spec: DatasetSpec, seed: u64) -> Result<Dataset, GnneratorError> {
-        if let Some(cache) = &self.artifact_cache {
-            match cache.load_dataset(&spec, seed) {
-                Ok(Some(dataset)) => return Ok(dataset),
-                Ok(None) | Err(gnnerator_graph::GraphError::CacheArtifact { .. }) => {}
-                Err(other) => return Err(other.into()),
-            }
-            let dataset = spec.synthesize(seed)?;
-            cache.store_dataset(&dataset).ok(); // best-effort persistence
-            return Ok(dataset);
-        }
-        Ok(spec.synthesize(seed)?)
+        materialize_dataset(spec, seed, self.artifact_cache.as_deref())
     }
 
     /// Seeds the dataset cache with an already-materialised dataset for
@@ -412,21 +509,11 @@ impl SweepRunner {
             return Ok(Arc::clone(hit));
         }
         let dataset = self.dataset(scenario)?;
-        let model = scenario
-            .network
-            .build(
-                dataset.features.dim(),
-                scenario.hidden_dim,
-                scenario.out_dim,
-                scenario.hidden_layers,
-            )
-            .map_err(GnneratorError::from)?;
-        let session = Arc::new(match &self.artifact_cache {
-            Some(artifacts) => {
-                SimSession::with_artifact_cache(model, &dataset, Arc::clone(artifacts))?
-            }
-            None => SimSession::new(model, &dataset)?,
-        });
+        let session = Arc::new(build_session(
+            scenario,
+            &dataset,
+            self.artifact_cache.as_ref(),
+        )?);
         let mut cache = self.sessions.lock().expect("session cache poisoned");
         Ok(Arc::clone(cache.entry(key).or_insert(session)))
     }
@@ -463,33 +550,7 @@ impl SweepRunner {
     /// errors.
     pub fn run_one(&self, scenario: &ScenarioSpec) -> Result<ScenarioResult, GnneratorError> {
         let session = self.session(scenario)?;
-        let start = Instant::now();
-        let (evaluation, report, baseline_seconds) = if scenario.backend.is_accelerator() {
-            let backend = GnneratorBackend::new(
-                Arc::clone(&session),
-                scenario.config.clone(),
-                scenario.dataflow,
-            );
-            let report = backend.simulate()?;
-            let baselines = BaselineSeconds::estimate(&session)?;
-            (report.to_evaluation(), Some(report), Some(baselines))
-        } else {
-            let backend = Self::make_backend(scenario, Arc::clone(&session));
-            let evaluation = backend
-                .evaluate(session.model(), session.num_nodes(), session.num_edges())
-                .map_err(|e| GnneratorError::backend(e.to_string()))?;
-            (evaluation, None, None)
-        };
-        let simulate_seconds = start.elapsed().as_secs_f64();
-        Ok(ScenarioResult {
-            scenario: scenario.clone(),
-            evaluation,
-            report,
-            baseline_seconds,
-            num_nodes: session.num_nodes(),
-            num_edges: session.num_edges(),
-            simulate_seconds,
-        })
+        evaluate_scenario(scenario, &session)
     }
 
     /// Runs a batch of scenarios in parallel, returning results in input
@@ -503,28 +564,34 @@ impl SweepRunner {
     ///
     /// # Errors
     ///
-    /// Returns the first error in scenario order.
+    /// Returns the lowest-index failing scenario's error — deterministic
+    /// across runs and thread schedules, and identical to the error
+    /// [`SweepRunner::run_serial`] reports for the same batch.
     pub fn run(&self, scenarios: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>, GnneratorError> {
         // Phase 1: materialise each distinct session once, in parallel.
         // (Dataset synthesis dominates; doing it here keeps the scenario
-        // phase free of cache-miss stampedes.) Deduplication preserves first
-        // appearance order so errors surface deterministically, in scenario
-        // order.
+        // phase free of cache-miss stampedes.) Build failures are *not*
+        // propagated here: a session-build error would surface in whatever
+        // order the deduplicated keys race, which is not necessarily the
+        // lowest failing scenario index. Phase 2 re-derives every error
+        // per-scenario, so deferring costs only a retried (rare) failure.
         let mut seen = HashSet::new();
         let unique: Vec<&ScenarioSpec> = scenarios
             .iter()
             .filter(|scenario| seen.insert(scenario.session_key()))
             .collect();
-        unique
+        let _warmed: Vec<Result<(), GnneratorError>> = unique
             .par_iter()
             .map(|scenario| self.session(scenario).map(|_| ()))
-            .collect::<Result<Vec<()>, GnneratorError>>()?;
+            .collect();
 
-        // Phase 2: evaluate every scenario point in parallel.
-        scenarios
+        // Phase 2: evaluate every scenario point in parallel, then fold to
+        // the first error in *scenario* order (never completion order).
+        let results: Vec<Result<ScenarioResult, GnneratorError>> = scenarios
             .par_iter()
             .map(|scenario| self.run_one(scenario))
-            .collect()
+            .collect();
+        results.into_iter().collect()
     }
 
     /// Runs a batch of scenarios one after another on the calling thread,
@@ -778,6 +845,56 @@ mod tests {
         let runner = SweepRunner::new();
         let err = runner.run(&[scenario]).unwrap_err();
         assert!(matches!(err, GnneratorError::Graph(_)), "{err}");
+    }
+
+    #[test]
+    fn run_reports_the_lowest_index_failing_scenarios_error() {
+        // Regression: two scenarios fail for different reasons in different
+        // phases. Scenario 0 compiles against a healthy session but has an
+        // invalid dataflow (caught at evaluation); scenario 1's dataset is
+        // degenerate (caught at session build). The old implementation
+        // propagated the phase-1 session-build error — i.e. scenario 1's —
+        // even though scenario 0 fails too; under real-rayon short-circuit
+        // semantics the winner would additionally depend on the thread
+        // schedule. The reported error must deterministically be scenario
+        // 0's, exactly as the serial path reports it.
+        let base = scenario_grid().remove(0);
+        let mut bad_dataflow = base.clone();
+        bad_dataflow.dataflow = DataflowConfig {
+            blocking: crate::BlockingPolicy::FeatureBlocked { block_size: 0 },
+            traversal: None,
+        };
+        let mut bad_dataset = base.clone();
+        bad_dataset.dataset.edges = 0;
+        bad_dataset.seed += 1; // distinct session key from scenario 0
+        let scenarios = [bad_dataflow, bad_dataset];
+
+        for _ in 0..8 {
+            let runner = SweepRunner::new();
+            let parallel_err = runner.run(&scenarios).unwrap_err();
+            assert!(
+                matches!(parallel_err, GnneratorError::InvalidDataflow { .. }),
+                "expected scenario 0's dataflow error, got: {parallel_err}"
+            );
+            let serial_err = SweepRunner::new().run_serial(&scenarios).unwrap_err();
+            assert_eq!(parallel_err, serial_err);
+        }
+    }
+
+    #[test]
+    fn extracted_helpers_match_run_one_bit_for_bit() {
+        // The serving layer builds sessions and evaluates scenarios through
+        // the standalone helpers; they must agree with the runner's own
+        // path exactly.
+        let scenario = scenario_grid().remove(0);
+        let runner = SweepRunner::new();
+        let via_runner = runner.run_one(&scenario).unwrap();
+
+        let dataset = materialize_dataset(scenario.dataset, scenario.seed, None).unwrap();
+        let session = Arc::new(build_session(&scenario, &dataset, None).unwrap());
+        let via_helpers = evaluate_scenario(&scenario, &session).unwrap();
+        assert_eq!(via_helpers, via_runner);
+        assert_eq!(session.num_nodes(), via_runner.num_nodes);
     }
 
     #[test]

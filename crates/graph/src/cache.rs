@@ -45,8 +45,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// artifacts are rejected (and rebuilt) instead of misread.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Environment variable controlling the cache: unset → `target/gnnerator-cache`,
-/// `off`/`0` → disabled, anything else → used as the cache directory.
+/// Environment variable controlling the cache. Accepted values (matched
+/// after trimming surrounding whitespace):
+///
+/// | value                                  | behaviour                        |
+/// |----------------------------------------|----------------------------------|
+/// | unset                                  | cache at `target/gnnerator-cache` |
+/// | `off` / `OFF` (any case), `0`, empty   | cache disabled                   |
+/// | anything else                          | used as the cache directory      |
+///
+/// `off`, `0` and the empty string are deliberately *not* interpreted as
+/// relative cache directories: `GNNERATOR_CACHE= cargo test` and
+/// `GNNERATOR_CACHE=0 …` mean "no cache", never "a directory named `0`".
 pub const CACHE_ENV_VAR: &str = "GNNERATOR_CACHE";
 
 const MAGIC: &[u8; 4] = b"GNNA";
@@ -55,6 +65,13 @@ const KIND_GRID: u8 = 2;
 
 /// Monotonic nonce making concurrent temp-file names unique within a process.
 static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// How old an orphaned `*.tmp.<pid>.<nonce>` file must be before a cache
+/// opened on the same root deletes it. A process killed between
+/// `std::fs::write` and `rename` leaves its temp file behind forever; the
+/// window is generous enough that no live writer (stores take milliseconds)
+/// can have its in-flight temp swept out from under it.
+const STALE_TEMP_WINDOW: std::time::Duration = std::time::Duration::from_secs(60 * 60);
 
 /// A persistent, checksummed store of graph-build artifacts.
 ///
@@ -89,10 +106,15 @@ pub struct ArtifactCache {
 
 impl ArtifactCache {
     /// Creates a cache rooted at `root` (created lazily on first store).
+    ///
+    /// Opening a root also sweeps orphaned `*.tmp.<pid>.<nonce>` files left
+    /// by writers killed between their temp write and the publishing rename
+    /// — but only files older than a safety window, so a concurrent store's
+    /// in-flight temp file is never touched.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self {
-            root: Some(root.into()),
-        }
+        let root = root.into();
+        sweep_stale_temp_files(&root, STALE_TEMP_WINDOW);
+        Self { root: Some(root) }
     }
 
     /// Creates a disabled cache: loads always miss, stores are no-ops.
@@ -106,14 +128,17 @@ impl ArtifactCache {
         Self::from_env_value(std::env::var(CACHE_ENV_VAR).ok().as_deref())
     }
 
-    /// The pure policy behind [`ArtifactCache::from_env`]: `None` or an
-    /// empty string selects the default root, `off`/`0` (case-insensitive)
-    /// disables the cache, anything else is the root directory.
+    /// The pure policy behind [`ArtifactCache::from_env`] (see
+    /// [`CACHE_ENV_VAR`] for the value table): `None` (unset) selects the
+    /// default root; `off` (case-insensitive), `0` and the empty string
+    /// disable the cache; anything else is the root directory.
     pub fn from_env_value(value: Option<&str>) -> Self {
         match value.map(str::trim) {
-            Some(v) if v.eq_ignore_ascii_case("off") || v == "0" => Self::disabled(),
-            Some(v) if !v.is_empty() => Self::new(v),
-            _ => Self::new("target/gnnerator-cache"),
+            Some(v) if v.eq_ignore_ascii_case("off") || v == "0" || v.is_empty() => {
+                Self::disabled()
+            }
+            Some(v) => Self::new(v),
+            None => Self::new("target/gnnerator-cache"),
         }
     }
 
@@ -439,6 +464,58 @@ fn reject(path: &Path, message: String) -> GraphError {
     GraphError::cache(path.display().to_string(), message)
 }
 
+/// Deletes orphaned temp files under `root` that are older than `window`.
+///
+/// Best-effort on every step: a missing root, unreadable metadata or a
+/// losing race against another sweeper are all fine — the only hard
+/// requirement is never deleting a published artifact or a temp file young
+/// enough to belong to a live writer.
+fn sweep_stale_temp_files(root: &Path, window: std::time::Duration) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return; // nothing cached yet (or the root is unreadable)
+    };
+    let now = std::time::SystemTime::now();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !is_temp_artifact_name(name) {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|meta| meta.modified())
+            .ok()
+            // A modification time in the future reads as "not stale".
+            .and_then(|modified| now.duration_since(modified).ok())
+            .is_some_and(|age| age >= window);
+        if stale {
+            std::fs::remove_file(entry.path()).ok();
+        }
+    }
+}
+
+/// Whether a file name matches the `<prefix>-<hex16>.tmp.<pid>.<nonce>`
+/// pattern [`write_artifact`] produces (prefix `ds` or `grid`). The match is
+/// deliberately exact: `GNNERATOR_CACHE` may point the cache at a directory
+/// shared with other tools, and the sweep must only ever delete files this
+/// cache itself could have written. Published artifacts end in `.bin` and
+/// can never match.
+fn is_temp_artifact_name(name: &str) -> bool {
+    let Some((artifact, suffix)) = name.split_once(".tmp.") else {
+        return false;
+    };
+    let stem_ok = ["ds-", "grid-"].iter().any(|prefix| {
+        artifact
+            .strip_prefix(prefix)
+            .is_some_and(|hex| hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()))
+    });
+    stem_ok
+        && match suffix.split_once('.') {
+            Some((pid, nonce)) => pid.parse::<u64>().is_ok() && nonce.parse::<u64>().is_ok(),
+            None => false,
+        }
+}
+
 /// Writes a complete artifact file atomically (temp file + rename).
 fn write_artifact(path: &Path, kind: u8, key: &str, payload: &[u8]) -> Result<(), GraphError> {
     let io_err = |what: &str, e: std::io::Error| reject(path, format!("{what}: {e}"));
@@ -717,12 +794,75 @@ mod tests {
         assert!(!ArtifactCache::from_env_value(Some("0")).is_enabled());
         let default = ArtifactCache::from_env_value(None);
         assert_eq!(default.root().unwrap(), Path::new("target/gnnerator-cache"));
-        assert_eq!(
-            ArtifactCache::from_env_value(Some("")).root().unwrap(),
-            Path::new("target/gnnerator-cache")
-        );
+        // The empty string disables the cache rather than being taken as a
+        // relative directory (`GNNERATOR_CACHE= cargo test` means "off").
+        assert!(!ArtifactCache::from_env_value(Some("")).is_enabled());
+        assert!(!ArtifactCache::from_env_value(Some("  ")).is_enabled());
+        assert!(!ArtifactCache::from_env_value(Some(" off ")).is_enabled());
         let custom = ArtifactCache::from_env_value(Some("/tmp/somewhere"));
         assert_eq!(custom.root().unwrap(), Path::new("/tmp/somewhere"));
+    }
+
+    #[test]
+    fn temp_artifact_names_are_recognised_exactly() {
+        assert!(is_temp_artifact_name("ds-0123456789abcdef.tmp.4242.7"));
+        assert!(is_temp_artifact_name("grid-00ff00ff00ff00ff.tmp.1.0"));
+        // Published artifacts and unrelated files never match — the cache
+        // root may be a shared directory, so only names this cache could
+        // itself have written are sweepable.
+        assert!(!is_temp_artifact_name("ds-0123456789abcdef.bin"));
+        assert!(!is_temp_artifact_name("notes.tmp.txt"));
+        assert!(!is_temp_artifact_name("backup.tmp.123.456"));
+        assert!(!is_temp_artifact_name("ds-ab.tmp.12.7"), "hex too short");
+        assert!(
+            !is_temp_artifact_name("ds-0123456789abcdeg.tmp.1.2"),
+            "not hex"
+        );
+        assert!(!is_temp_artifact_name("ds-0123456789abcdef.tmp.x.7"));
+        assert!(!is_temp_artifact_name("ds-0123456789abcdef.tmp.12.y"));
+        assert!(!is_temp_artifact_name("ds-0123456789abcdef.tmp.12"));
+        assert!(!is_temp_artifact_name(".tmp.1.2"));
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_swept_but_young_and_published_files_survive() {
+        let (cache, dir) = temp_cache("sweep");
+        // Publish a real artifact so the directory holds a `.bin` file.
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("g", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+
+        // Simulate a writer killed between write and rename.
+        let orphan = dir.join("ds-deadbeefdeadbeef.tmp.99999.3");
+        std::fs::write(&orphan, b"partial artifact").unwrap();
+        let unrelated = dir.join("README.txt");
+        std::fs::write(&unrelated, b"not ours").unwrap();
+
+        // A freshly opened cache (1-hour window) keeps the young orphan.
+        let reopened = ArtifactCache::new(&dir);
+        assert!(orphan.exists(), "young temp files must not be swept");
+        assert!(reopened.load_grid(&key).unwrap().is_some());
+
+        // With a zero safety window the orphan is stale and is deleted;
+        // published artifacts and unrelated files are untouched.
+        sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
+        assert!(!orphan.exists(), "stale temp files accumulate forever");
+        assert!(unrelated.exists());
+        assert!(ArtifactCache::new(&dir).load_grid(&key).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweeping_a_missing_root_is_a_no_op() {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnerator-cache-missing-{}-{}",
+            std::process::id(),
+            TEST_DIR_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
+        assert!(!dir.exists(), "sweeping must not create the root");
     }
 
     #[test]

@@ -95,6 +95,18 @@ impl DatasetKind {
         }
     }
 
+    /// Number of output classes of the dataset — the model's output
+    /// dimension in DGL's node-classification setup, which the benchmark
+    /// harness and the serving API both default to.
+    pub fn num_classes(self) -> usize {
+        match self {
+            DatasetKind::Cora => 7,
+            DatasetKind::Citeseer => 6,
+            DatasetKind::Pubmed => 3,
+            DatasetKind::OgbnArxiv => 40,
+        }
+    }
+
     /// Short lowercase name as used in the paper's figure labels
     /// (`cora`, `citeseer`, `pub`; `arxiv` for the ogbn extension).
     pub fn short_name(self) -> &'static str {

@@ -1,0 +1,60 @@
+//! The GNNerator session server binary.
+//!
+//! Usage: `cargo run -p gnnerator-serve --release --bin serve -- \
+//!     [--addr 127.0.0.1:8642] [--workers N] [--pool-capacity N]`
+//!
+//! The persistent artifact cache is configured through `GNNERATOR_CACHE`
+//! (unset → `target/gnnerator-cache`; `off`, `0` or empty → disabled).
+//! The server runs until a client posts `/shutdown`.
+
+use gnnerator_graph::ArtifactCache;
+use gnnerator_serve::{ServeConfig, SessionServer};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr = "127.0.0.1:8642".to_string();
+    let mut config = ServeConfig::default();
+    for window in args.windows(2) {
+        match window[0].as_str() {
+            "--addr" => addr = window[1].clone(),
+            "--workers" => {
+                if let Ok(workers) = window[1].parse() {
+                    config.workers = workers;
+                }
+            }
+            "--pool-capacity" => {
+                if let Ok(capacity) = window[1].parse() {
+                    config.pool_capacity = capacity;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let cache = Arc::new(ArtifactCache::from_env());
+    match cache.root() {
+        Some(root) => println!("artifact cache: {}", root.display()),
+        None => println!("artifact cache: disabled"),
+    }
+    config.artifact_cache = Some(cache);
+
+    let workers = config.workers;
+    let pool_capacity = config.pool_capacity;
+    let server = match SessionServer::start(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gnnerator-serve listening on http://{} ({} workers, pool capacity {})",
+        server.local_addr(),
+        workers,
+        pool_capacity
+    );
+    println!("endpoints: POST /simulate, POST /compile, POST /sweep, GET /stats, POST /shutdown");
+    server.wait();
+    println!("gnnerator-serve: shut down cleanly");
+}

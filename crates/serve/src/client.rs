@@ -1,0 +1,93 @@
+//! A tiny blocking HTTP client for the serving API.
+//!
+//! Used by the load generator, the integration tests and the examples; kept
+//! in the library so every consumer speaks the exact same (minimal) dialect
+//! the server implements. One request per connection (`Connection: close`),
+//! mirroring the server.
+
+use crate::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response from the serving API.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Option<Json> {
+        Json::parse(&self.body)
+    }
+
+    /// Whether the request succeeded (2xx).
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, transport or
+/// response-parsing failures.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<ClientResponse, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("sending request: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let (head, response_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {raw:?}"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+    Ok(ClientResponse {
+        status,
+        body: response_body.to_string(),
+    })
+}
+
+/// `POST`s a JSON body to `path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, String> {
+    request(addr, "POST", path, body)
+}
+
+/// `GET`s `path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, String> {
+    request(addr, "GET", path, "")
+}

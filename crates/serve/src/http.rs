@@ -1,0 +1,372 @@
+//! A hand-rolled, minimal HTTP/1.1 layer.
+//!
+//! The workspace builds hermetically (no hyper/axum), and the serving API
+//! needs exactly one shape: small JSON-over-`POST`/`GET` exchanges on a
+//! `Connection: close` socket. This module implements that subset — request
+//! line, headers, `Content-Length` body — with hard caps on header and body
+//! sizes so a misbehaving client cannot balloon server memory.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Wall-clock budget for reading one complete request. Socket read
+/// timeouts bound each *read call*, so a client trickling one byte per
+/// timeout window could otherwise hold a worker almost indefinitely; this
+/// deadline bounds the whole request regardless of how the bytes arrive.
+const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Upper bound on a request body. `/sweep` batches are the largest
+/// legitimate payloads; 8 MiB is orders of magnitude above any real one.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request: the subset the serving API dispatches on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, including any query string (the server strips the
+    /// query before dispatching; no endpoint reads it).
+    pub path: String,
+    /// Decoded request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// A problem reading or parsing a request, mapped to the HTTP status the
+/// server should answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to respond with (400 unless the failure is transport-level).
+    pub status: u16,
+    /// Human-readable description (returned in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// The stream is also writable because `Expect: 100-continue` clients
+/// (curl sends it for any body over ~1 KiB, e.g. a `/sweep` batch) hold
+/// the body back until the server answers with an interim `100 Continue` —
+/// without it every such request stalls for the client's give-up timeout
+/// (~1 s in curl) before the body arrives.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] for malformed or oversized requests and for
+/// transport failures (including a client that connected and sent nothing —
+/// the server's shutdown wake-up does exactly that).
+pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + REQUEST_READ_DEADLINE;
+    let check_deadline = || {
+        if Instant::now() > deadline {
+            return Err(HttpError {
+                status: 408,
+                message: "request not received within the read deadline".to_string(),
+            });
+        }
+        Ok(())
+    };
+    // Read byte-wise until the blank line; request heads are tiny and the
+    // per-connection cost is dwarfed by scenario evaluation.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                message: "request head too large".to_string(),
+            });
+        }
+        check_deadline()?;
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(HttpError::bad_request("connection closed mid-head")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(read_error("request", &e)),
+        }
+    }
+    let head =
+        String::from_utf8(head).map_err(|_| HttpError::bad_request("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::bad_request(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError {
+            status: 505,
+            message: format!("unsupported protocol {version}"),
+        });
+    }
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.trim().eq_ignore_ascii_case("100-continue")
+            {
+                expects_continue = true;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Bodies are framed by Content-Length only; silently
+                // treating a chunked body as empty would misreport a
+                // well-formed request as a client error.
+                return Err(HttpError {
+                    status: 501,
+                    message: format!(
+                        "transfer-encoding {:?} is not supported; send Content-Length",
+                        value.trim()
+                    ),
+                });
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} cap"),
+        });
+    }
+    if expects_continue && content_length > 0 {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| stream.flush())
+            .map_err(|e| HttpError::bad_request(format!("answering 100-continue: {e}")))?;
+    }
+
+    // Read the body in bounded slices so the overall deadline applies to
+    // trickled bodies too (a single read_exact would only be bounded by
+    // the per-read socket timeout, reset on every byte).
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        check_deadline()?;
+        let end = (filled + 8 * 1024).min(content_length);
+        match stream.read(&mut body[filled..end]) {
+            Ok(0) => return Err(HttpError::bad_request("connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e) => return Err(read_error("request body", &e)),
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Classifies a transport read failure: a socket-timeout expiry (the server
+/// arms read timeouts on every connection) is the client going silent — a
+/// 408, with no OS error text leaked — while anything else is a 400.
+fn read_error(what: &str, e: &std::io::Error) -> HttpError {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        HttpError {
+            status: 408,
+            message: format!("timed out reading the {what}"),
+        }
+    } else {
+        HttpError::bad_request(format!("reading {what}: {e}"))
+    }
+}
+
+/// The reason phrase for the handful of statuses the server produces.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        501 => "Not Implemented",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates transport errors (callers log and drop the connection).
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A test stream: reads from a fixed script, captures writes separately
+    /// (a plain `Cursor` would splice interim responses into the input).
+    struct FakeStream {
+        input: Cursor<Vec<u8>>,
+        written: Vec<u8>,
+    }
+
+    impl FakeStream {
+        fn new(raw: &str) -> Self {
+            Self {
+                input: Cursor::new(raw.as_bytes().to_vec()),
+                written: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for FakeStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut FakeStream::new(raw))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 18\r\n\r\n{\"dataset\":\"cora\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.body, "{\"dataset\":\"cora\"}");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_normalises_method_case() {
+        let req = parse("get /stats HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi").unwrap();
+        assert_eq!(req.body, "hi");
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response_before_the_body() {
+        // curl sends Expect: 100-continue for bodies over ~1 KiB and holds
+        // the body until the server answers; without the interim response
+        // every /sweep batch pays curl's ~1 s give-up timeout.
+        let mut stream = FakeStream::new(
+            "POST /sweep HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 4\r\n\r\nbody",
+        );
+        let req = read_request(&mut stream).unwrap();
+        assert_eq!(req.body, "body");
+        assert_eq!(stream.written, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // Bodyless requests never get (or need) the interim response.
+        let mut stream = FakeStream::new("GET /stats HTTP/1.1\r\nExpect: 100-continue\r\n\r\n");
+        read_request(&mut stream).unwrap();
+        assert!(stream.written.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_truncation_and_bad_lengths() {
+        assert_eq!(parse("").unwrap_err().status, 400);
+        assert_eq!(parse("POST\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("POST /x SPDY/3\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Declared body longer than what arrives.
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Oversized declared body is refused before allocation.
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_refused_explicitly() {
+        let err = parse("POST /sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+        assert!(err.message.contains("Content-Length"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_head_is_refused() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nPadding: {}\r\n\r\n",
+            "y".repeat(32 * 1024)
+        );
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\": true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(599), "Unknown");
+    }
+}

@@ -1,0 +1,431 @@
+//! A warm, bounded pool of compiled [`SimSession`]s.
+//!
+//! The serving layer's whole point is that sessions are expensive to build
+//! (dataset materialisation + validation + shard plans) but immutable and
+//! `Arc`-shareable once built (PRs 1–4). The pool keys sessions by
+//! [`ScenarioSpec::session_key`] — the same identity the sweep engine's
+//! session cache uses — holds the hottest `capacity` of them in memory (LRU
+//! eviction), and backs cold starts with the persistent [`ArtifactCache`] so
+//! an evicted or never-seen session loads its dataset and shard grids from
+//! disk before resorting to a rebuild.
+//!
+//! Concurrent requests for the *same* key serialise on a per-key build slot
+//! (no thundering herd: one requester builds, the rest wait and share the
+//! `Arc`), while requests for different keys build in parallel.
+
+use gnnerator::{
+    build_session, materialize_dataset, GnneratorError, ScenarioSpec, SessionKey, SimSession,
+};
+use gnnerator_graph::ArtifactCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One pool lookup's outcome: the shared session plus whether it was reused.
+#[derive(Debug, Clone)]
+pub struct PoolLookup {
+    /// The compiled session (shared; cheap to clone).
+    pub session: Arc<SimSession>,
+    /// `true` when the session was already warm in the pool (or another
+    /// in-flight request built it first and this one shared the result).
+    pub reused: bool,
+}
+
+/// A point-in-time snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Sessions currently held.
+    pub size: usize,
+    /// Maximum sessions held before LRU eviction kicks in.
+    pub capacity: usize,
+    /// Lookups answered by a warm session.
+    pub hits: usize,
+    /// Lookups that found no warm session.
+    pub misses: usize,
+    /// Sessions compiled from scratch (every miss that wasn't absorbed by a
+    /// concurrent builder of the same key).
+    pub sessions_built: usize,
+    /// Sessions dropped to stay within capacity.
+    pub evictions: usize,
+    /// Datasets synthesised from scratch while building sessions.
+    pub datasets_synthesized: usize,
+    /// Datasets loaded from the persistent artifact cache.
+    pub datasets_loaded: usize,
+}
+
+struct PoolEntry {
+    /// Per-key build slot: `None` until the first builder publishes.
+    slot: Arc<Mutex<Option<Arc<SimSession>>>>,
+    /// Recency stamp for LRU eviction (larger = more recently used).
+    last_used: u64,
+}
+
+struct PoolInner {
+    entries: HashMap<SessionKey, PoolEntry>,
+    tick: u64,
+}
+
+/// An LRU cache of `Arc<SimSession>` keyed by scenario session identity,
+/// backed by the persistent artifact cache.
+pub struct SessionPool {
+    capacity: usize,
+    artifact_cache: Option<Arc<ArtifactCache>>,
+    inner: Mutex<PoolInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    sessions_built: AtomicUsize,
+    evictions: AtomicUsize,
+    datasets_synthesized: AtomicUsize,
+    datasets_loaded: AtomicUsize,
+}
+
+impl SessionPool {
+    /// Creates a pool holding at most `capacity` warm sessions (minimum 1),
+    /// with cold starts optionally backed by a persistent artifact cache.
+    pub fn new(capacity: usize, artifact_cache: Option<Arc<ArtifactCache>>) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            artifact_cache: artifact_cache.filter(|c| c.is_enabled()),
+            inner: Mutex::new(PoolInner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            sessions_built: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            datasets_synthesized: AtomicUsize::new(0),
+            datasets_loaded: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the session for `scenario`, building (and pooling) it on
+    /// first request. Builds happen outside the pool lock; concurrent
+    /// requests for the same key share one build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-materialisation, model-construction and
+    /// session-validation errors. A failed build leaves no entry behind, so
+    /// later requests retry cleanly.
+    pub fn get(&self, scenario: &ScenarioSpec) -> Result<PoolLookup, GnneratorError> {
+        let key = scenario.session_key();
+        let slot = self.slot_for(key);
+        let mut guard = slot.lock().expect("session slot poisoned");
+        if let Some(session) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PoolLookup {
+                session: Arc::clone(session),
+                reused: true,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match self.build(scenario) {
+            Ok(session) => {
+                self.sessions_built.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(Arc::clone(&session));
+                // A racing peer whose build *failed* may have detached this
+                // slot from the map while we were building into it; re-attach
+                // so the session is actually pooled.
+                self.publish(key, &slot);
+                // Evict only now that the new entry has proven itself: a
+                // request doomed to fail must never cost a warm session.
+                self.evict_over_capacity(key);
+                Ok(PoolLookup {
+                    session,
+                    reused: false,
+                })
+            }
+            Err(e) => {
+                // Drop the (still-empty) entry so a doomed key cannot pin
+                // pool capacity; racing inserts of a fresh slot are kept.
+                let mut inner = self.inner.lock().expect("session pool poisoned");
+                if let Some(entry) = inner.entries.get(&key) {
+                    if Arc::ptr_eq(&entry.slot, &slot) {
+                        inner.entries.remove(&key);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns the build slot for `key`, bumping its recency (and inserting
+    /// an empty slot for a fresh key — the pool may transiently exceed
+    /// capacity until the build succeeds; see
+    /// [`SessionPool::evict_over_capacity`]).
+    fn slot_for(&self, key: SessionKey) -> Arc<Mutex<Option<Arc<SimSession>>>> {
+        let mut inner = self.inner.lock().expect("session pool poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.slot);
+        }
+        let slot = Arc::new(Mutex::new(None));
+        inner.entries.insert(
+            key,
+            PoolEntry {
+                slot: Arc::clone(&slot),
+                last_used: tick,
+            },
+        );
+        slot
+    }
+
+    /// Ensures `key` maps to an entry after a successful build into `slot`.
+    /// Normally a recency bump; if a peer's failed build removed the entry
+    /// while this build was in flight, the slot is re-inserted (an entry
+    /// installed by a newer lineage is left alone — rare, and that lineage
+    /// will publish its own session).
+    fn publish(&self, key: SessionKey, slot: &Arc<Mutex<Option<Arc<SimSession>>>>) {
+        let mut inner = self.inner.lock().expect("session pool poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => entry.last_used = tick,
+            None => {
+                inner.entries.insert(
+                    key,
+                    PoolEntry {
+                        slot: Arc::clone(slot),
+                        last_used: tick,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Evicts least-recently-used *built* entries until the pool is back
+    /// within capacity. Entries whose build is still in flight (empty slot,
+    /// or slot locked by a builder — `try_lock` keeps the `inner → slot`
+    /// lock order deadlock-free) are never victims: evicting them would
+    /// discard work another requester is waiting on.
+    fn evict_over_capacity(&self, keep: SessionKey) {
+        let mut inner = self.inner.lock().expect("session pool poisoned");
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .filter(|(_, entry)| matches!(entry.slot.try_lock().as_deref(), Ok(Some(_))))
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(coldest) => {
+                    inner.entries.remove(&coldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // everything else is in flight (or capacity 1)
+            }
+        }
+    }
+
+    /// Builds a session through the same materialisation path the sweep
+    /// engine uses, so pooled sessions are bit-identical to sweep sessions.
+    fn build(&self, scenario: &ScenarioSpec) -> Result<Arc<SimSession>, GnneratorError> {
+        let dataset = materialize_dataset(
+            scenario.dataset,
+            scenario.seed,
+            self.artifact_cache.as_deref(),
+        )?;
+        if dataset.loaded_from_cache {
+            self.datasets_loaded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.datasets_synthesized.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Arc::new(build_session(
+            scenario,
+            &dataset,
+            self.artifact_cache.as_ref(),
+        )?))
+    }
+
+    /// A consistent snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let size = self
+            .inner
+            .lock()
+            .expect("session pool poisoned")
+            .entries
+            .len();
+        PoolStats {
+            size,
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sessions_built: self.sessions_built.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            datasets_synthesized: self.datasets_synthesized.load(Ordering::Relaxed),
+            datasets_loaded: self.datasets_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "SessionPool {{ size: {}/{}, hits: {}, misses: {} }}",
+            stats.size, stats.capacity, stats.hits, stats.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnerator::{BackendKind, DataflowConfig, GnneratorConfig};
+    use gnnerator_gnn::NetworkKind;
+    use gnnerator_graph::datasets::DatasetKind;
+
+    fn scenario(kind: DatasetKind, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            NetworkKind::Gcn,
+            kind.spec().scaled(0.03),
+            seed,
+            8,
+            4,
+            GnneratorConfig::paper_default(),
+            DataflowConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn repeated_lookups_reuse_one_session() {
+        let pool = SessionPool::new(4, None);
+        let first = pool.get(&scenario(DatasetKind::Cora, 1)).unwrap();
+        assert!(!first.reused);
+        for _ in 0..3 {
+            let hit = pool.get(&scenario(DatasetKind::Cora, 1)).unwrap();
+            assert!(hit.reused);
+            assert!(Arc::ptr_eq(&hit.session, &first.session));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.sessions_built, 1, "zero rebuilds after the first");
+        assert_eq!(stats.size, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn backend_variants_share_the_session() {
+        // Accelerator and baseline points over one workload have the same
+        // session key, exactly like the sweep engine's cache.
+        let pool = SessionPool::new(4, None);
+        let base = scenario(DatasetKind::Cora, 1);
+        let a = pool.get(&base).unwrap();
+        let b = pool
+            .get(&base.clone().with_backend(BackendKind::Hygcn))
+            .unwrap();
+        assert!(b.reused);
+        assert!(Arc::ptr_eq(&a.session, &b.session));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_hottest_sessions() {
+        let pool = SessionPool::new(2, None);
+        let cora = scenario(DatasetKind::Cora, 1);
+        let citeseer = scenario(DatasetKind::Citeseer, 2);
+        let pubmed = scenario(DatasetKind::Pubmed, 3);
+        pool.get(&cora).unwrap();
+        pool.get(&citeseer).unwrap();
+        pool.get(&cora).unwrap(); // cora is now hotter than citeseer
+        pool.get(&pubmed).unwrap(); // evicts citeseer
+        let stats = pool.stats();
+        assert_eq!(stats.size, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(pool.get(&cora).unwrap().reused, "hot entry survived");
+        assert!(
+            !pool.get(&citeseer).unwrap().reused,
+            "cold entry was evicted and rebuilds"
+        );
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let pool = SessionPool::new(0, None);
+        let looked_up = pool.get(&scenario(DatasetKind::Cora, 1)).unwrap();
+        assert!(!looked_up.reused);
+        assert!(pool.get(&scenario(DatasetKind::Cora, 1)).unwrap().reused);
+        assert_eq!(pool.stats().capacity, 1);
+    }
+
+    #[test]
+    fn failed_builds_leave_no_entry_behind() {
+        let pool = SessionPool::new(4, None);
+        let mut degenerate = scenario(DatasetKind::Cora, 1);
+        degenerate.dataset.edges = 0;
+        assert!(pool.get(&degenerate).is_err());
+        let stats = pool.stats();
+        assert_eq!(stats.size, 0, "doomed keys must not pin capacity");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.sessions_built, 0);
+        // And the error repeats deterministically on retry.
+        assert!(pool.get(&degenerate).is_err());
+    }
+
+    #[test]
+    fn failed_builds_do_not_evict_warm_sessions() {
+        // A full pool serving real traffic must not lose warm sessions to
+        // requests that were never going to produce one.
+        let pool = SessionPool::new(1, None);
+        pool.get(&scenario(DatasetKind::Cora, 1)).unwrap();
+        for seed in 0..4 {
+            let mut degenerate = scenario(DatasetKind::Citeseer, seed);
+            degenerate.dataset.edges = 0;
+            assert!(pool.get(&degenerate).is_err());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.evictions, 0, "doomed keys must not cost capacity");
+        assert_eq!(stats.size, 1);
+        assert!(
+            pool.get(&scenario(DatasetKind::Cora, 1)).unwrap().reused,
+            "the warm session survived the failing traffic"
+        );
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_build() {
+        let pool = Arc::new(SessionPool::new(4, None));
+        let sessions: Vec<Arc<SimSession>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || pool.get(&scenario(DatasetKind::Cora, 1)).unwrap().session)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in sessions.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.sessions_built, 1, "one build, many sharers");
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert!(stats.hits >= 7, "waiters count as reuse");
+    }
+
+    #[test]
+    fn artifact_cache_backs_cold_starts() {
+        let dir = std::env::temp_dir().join(format!("gnnerator-pool-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Arc::new(ArtifactCache::new(&dir));
+        let spec = scenario(DatasetKind::Cora, 5);
+
+        let cold = SessionPool::new(2, Some(Arc::clone(&cache)));
+        cold.get(&spec).unwrap();
+        assert_eq!(cold.stats().datasets_synthesized, 1);
+        assert_eq!(cold.stats().datasets_loaded, 0);
+
+        // A fresh pool over the same artifact directory loads from disk.
+        let warm = SessionPool::new(2, Some(cache));
+        let warm_lookup = warm.get(&spec).unwrap();
+        assert!(!warm_lookup.reused, "fresh pool, so the *pool* missed");
+        assert_eq!(warm.stats().datasets_synthesized, 0);
+        assert_eq!(warm.stats().datasets_loaded, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,502 @@
+//! The long-lived session server.
+//!
+//! A [`SessionServer`] owns a `TcpListener`, one acceptor thread and a fixed
+//! pool of worker threads. Connections are handed from the acceptor to the
+//! workers over a channel; each worker reads one request, dispatches it and
+//! answers with a `Connection: close` JSON response. All scenario execution
+//! routes through the shared [`SessionPool`] and the core crate's
+//! [`evaluate_scenario`] — the very code path `SweepRunner::run_one` uses —
+//! so served results are bit-identical to sweep results.
+//!
+//! # Endpoints
+//!
+//! | endpoint         | body                        | answers with |
+//! |------------------|-----------------------------|--------------|
+//! | `POST /simulate` | one scenario object         | the evaluated point (seconds, cycles, speedups, `session_reused`, `latency_seconds`) |
+//! | `POST /compile`  | one accelerator scenario    | the compiled-workload summary (no execution) |
+//! | `POST /sweep`    | `{"scenarios": [...]}`      | every point, evaluated in order on this worker |
+//! | `GET /stats`     | —                           | pool hit/miss/eviction counters, per-endpoint request counts and latency |
+//! | `POST /shutdown` | —                           | `{"ok": true}`, then stops accepting and drains |
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{json_f64, json_opt_f64, json_opt_u64, json_string, Json};
+use crate::pool::SessionPool;
+use crate::request::scenario_from_json;
+use gnnerator::{evaluate_scenario, ScenarioResult};
+use gnnerator_graph::ArtifactCache;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for a slow client before dropping the connection.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration for a [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads answering requests (each runs one request at a time).
+    pub workers: usize,
+    /// Warm sessions the pool holds before LRU eviction.
+    pub pool_capacity: usize,
+    /// Persistent artifact cache backing cold session builds, if any.
+    pub artifact_cache: Option<Arc<ArtifactCache>>,
+}
+
+impl Default for ServeConfig {
+    /// Workers scale with the machine (capped at 8); 32 warm sessions; no
+    /// artifact cache (callers opt in, typically via
+    /// [`ArtifactCache::from_env`]).
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8),
+            pool_capacity: 32,
+            artifact_cache: None,
+        }
+    }
+}
+
+/// Latency/count accumulator for one endpoint.
+#[derive(Debug, Default, Clone, Copy)]
+struct EndpointStat {
+    requests: usize,
+    total_latency_seconds: f64,
+}
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    simulate: EndpointStat,
+    compile: EndpointStat,
+    sweep: EndpointStat,
+    stats: EndpointStat,
+}
+
+/// State shared by every worker.
+struct ServerState {
+    pool: SessionPool,
+    shutdown: AtomicBool,
+    /// The bound listener address — the shutdown path dials it to wake the
+    /// blocking acceptor.
+    addr: SocketAddr,
+    started: Instant,
+    requests: AtomicUsize,
+    errors: AtomicUsize,
+    endpoints: Mutex<EndpointStats>,
+}
+
+/// A running session server. Dropping the handle does *not* stop the
+/// server; call [`SessionServer::shutdown`] (or `POST /shutdown`) for a
+/// clean stop.
+pub struct SessionServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            pool: SessionPool::new(config.pool_capacity, config.artifact_cache),
+            shutdown: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+            requests: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            endpoints: Mutex::new(EndpointStats::default()),
+        });
+
+        let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&receiver, &state))
+            })
+            .collect();
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || acceptor_loop(&listener, &sender, &state))
+        };
+        Ok(Self {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (including the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current pool counters (handy for in-process tests; remote clients
+    /// use `GET /stats`).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.state.pool.stats()
+    }
+
+    /// Whether a shutdown has been requested (by [`SessionServer::shutdown`]
+    /// or a `POST /shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a stop and joins every thread: in-flight and queued
+    /// requests finish, new connections are refused.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.state, self.addr);
+        self.join();
+    }
+
+    /// Blocks until the server stops (i.e. until some client posts
+    /// `/shutdown`). This is what the `serve` binary runs on.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        for worker in self.workers.drain(..) {
+            // Workers catch per-request panics, but shutdown must still
+            // succeed even if one died some other way.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Flags the server for shutdown and nudges the (blocking) acceptor with a
+/// throwaway connection so it observes the flag.
+fn trigger_shutdown(state: &ServerState, mut addr: SocketAddr) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    if addr.ip().is_unspecified() {
+        // A wildcard bind (0.0.0.0 / ::) is not a dialable destination on
+        // every platform; the listener is always reachable via loopback.
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        });
+    }
+    let _ = TcpStream::connect(addr); // wake the acceptor; dropped unread
+}
+
+fn acceptor_loop(listener: &TcpListener, sender: &Sender<TcpStream>, state: &ServerState) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break; // the wake-up (or a late client); refuse and stop
+                }
+                if sender.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept errors (aborted handshakes, fd
+                // exhaustion) are not fatal; back off briefly so a
+                // persistent failure cannot busy-spin this thread and
+                // starve the workers that would free descriptors.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    // Dropping the sender lets workers drain the queue and exit.
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<ServerState>) {
+    loop {
+        let stream = {
+            let receiver = receiver.lock().expect("connection queue poisoned");
+            receiver.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                // A panicking request must cost one connection, not one
+                // worker: with a fixed pool, every leaked worker shrinks
+                // the server until nothing answers.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, state);
+                }));
+                if caught.is_err() {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT)).ok();
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(HttpError { status, message }) => {
+            // Includes the shutdown wake-up connection (closed mid-head);
+            // answering is best-effort because the peer may be gone.
+            write_response(&mut stream, status, &error_body(&message)).ok();
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let (status, body) = dispatch(&request, state);
+    if status >= 400 {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    record_latency(state, &request, started.elapsed().as_secs_f64());
+    write_response(&mut stream, status, &body).ok();
+}
+
+/// The dispatchable path: everything before any query string (no endpoint
+/// reads queries, but `GET /stats?probe=1` from a monitoring client must
+/// not 404).
+fn route(request: &Request) -> &str {
+    request.path.split('?').next().unwrap_or("")
+}
+
+fn record_latency(state: &ServerState, request: &Request, seconds: f64) {
+    let mut endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
+    let stat = match route(request) {
+        "/simulate" => &mut endpoints.simulate,
+        "/compile" => &mut endpoints.compile,
+        "/sweep" => &mut endpoints.sweep,
+        "/stats" => &mut endpoints.stats,
+        _ => return,
+    };
+    stat.requests += 1;
+    stat.total_latency_seconds += seconds;
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\": {}}}", json_string(message))
+}
+
+fn dispatch(request: &Request, state: &Arc<ServerState>) -> (u16, String) {
+    match (request.method.as_str(), route(request)) {
+        ("POST", "/simulate") => handle_simulate(&request.body, state),
+        ("POST", "/compile") => handle_compile(&request.body, state),
+        ("POST", "/sweep") => handle_sweep(&request.body, state),
+        ("GET", "/stats") => (200, stats_body(state)),
+        ("POST", "/shutdown") => {
+            trigger_shutdown(state, state.addr);
+            (200, "{\"ok\": true}".to_string())
+        }
+        (_, "/simulate" | "/compile" | "/sweep" | "/shutdown") => {
+            (405, error_body("use POST for this endpoint"))
+        }
+        (_, "/stats") => (405, error_body("use GET /stats")),
+        _ => (
+            404,
+            error_body(&format!("no such endpoint {}", request.path)),
+        ),
+    }
+}
+
+fn parse_body(body: &str) -> Result<Json, String> {
+    if body.trim().is_empty() {
+        return Err("empty request body; expected a JSON object".to_string());
+    }
+    Json::parse(body).ok_or_else(|| "malformed JSON body".to_string())
+}
+
+fn handle_simulate(body: &str, state: &Arc<ServerState>) -> (u16, String) {
+    let started = Instant::now();
+    let scenario = match parse_body(body).and_then(|json| scenario_from_json(&json)) {
+        Ok(scenario) => scenario,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let lookup = match state.pool.get(&scenario) {
+        Ok(lookup) => lookup,
+        Err(e) => return (500, error_body(&e.to_string())),
+    };
+    match evaluate_scenario(&scenario, &lookup.session) {
+        Ok(result) => (
+            200,
+            point_json(
+                &result,
+                Some((lookup.reused, started.elapsed().as_secs_f64())),
+            ),
+        ),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_compile(body: &str, state: &Arc<ServerState>) -> (u16, String) {
+    let started = Instant::now();
+    let scenario = match parse_body(body).and_then(|json| scenario_from_json(&json)) {
+        Ok(scenario) => scenario,
+        Err(message) => return (400, error_body(&message)),
+    };
+    if !scenario.backend.is_accelerator() {
+        return (
+            400,
+            error_body("only accelerator scenarios compile; baselines are analytical"),
+        );
+    }
+    let lookup = match state.pool.get(&scenario) {
+        Ok(lookup) => lookup,
+        Err(e) => return (500, error_body(&e.to_string())),
+    };
+    let workload = match lookup.session.compile(&scenario.config, scenario.dataflow) {
+        Ok(workload) => workload,
+        Err(e) => return (500, error_body(&e.to_string())),
+    };
+    let body = format!(
+        "{{\"model\": {}, \"dataset\": {}, \"config\": {}, \"dataflow\": {}, \
+         \"num_layers\": {}, \"num_nodes\": {}, \"num_edges\": {}, \
+         \"cached_shard_plans\": {}, \"session_reused\": {}, \"latency_seconds\": {}}}",
+        json_string(workload.model_name()),
+        json_string(workload.dataset_name()),
+        json_string(&workload.config().name),
+        json_string(&workload.dataflow().to_string()),
+        workload.program().num_layers(),
+        lookup.session.num_nodes(),
+        lookup.session.num_edges(),
+        lookup.session.cached_shard_plans(),
+        lookup.reused,
+        json_f64(started.elapsed().as_secs_f64()),
+    );
+    (200, body)
+}
+
+fn handle_sweep(body: &str, state: &Arc<ServerState>) -> (u16, String) {
+    let started = Instant::now();
+    let json = match parse_body(body) {
+        Ok(json) => json,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let Some(scenarios) = json.get("scenarios").and_then(Json::as_array) else {
+        return (
+            400,
+            error_body("body must be {\"scenarios\": [...]} with an array of scenario objects"),
+        );
+    };
+    let mut points = Vec::with_capacity(scenarios.len());
+    for (index, entry) in scenarios.iter().enumerate() {
+        let scenario = match scenario_from_json(entry) {
+            Ok(scenario) => scenario,
+            Err(message) => return (400, error_body(&format!("scenario {index}: {message}"))),
+        };
+        let result = state
+            .pool
+            .get(&scenario)
+            .and_then(|lookup| evaluate_scenario(&scenario, &lookup.session));
+        match result {
+            Ok(result) => points.push(point_json(&result, None)),
+            Err(e) => return (500, error_body(&format!("scenario {index}: {e}"))),
+        }
+    }
+    let body = format!(
+        "{{\"count\": {}, \"latency_seconds\": {}, \"points\": [{}]}}",
+        points.len(),
+        json_f64(started.elapsed().as_secs_f64()),
+        points.join(", "),
+    );
+    (200, body)
+}
+
+/// Renders one evaluated point. The numeric columns mirror
+/// `BENCH_sweep.json`'s rows (same names, same null-for-non-finite policy);
+/// `session_reused`/`latency_seconds` are appended for `/simulate`
+/// responses.
+fn point_json(result: &ScenarioResult, serving: Option<(bool, f64)>) -> String {
+    let report = result.report.as_ref();
+    let mut body = format!(
+        "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \
+         \"dataflow\": {}, \"config\": {}, \"num_nodes\": {}, \"num_edges\": {}, \
+         \"seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \
+         \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \
+         \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}",
+        json_string(&result.scenario.label()),
+        json_string(result.backend().as_str()),
+        json_string(result.scenario.network.short_name()),
+        json_string(result.scenario.dataset.name),
+        json_string(&result.scenario.dataflow.to_string()),
+        json_string(&result.scenario.config.name),
+        result.num_nodes,
+        result.num_edges,
+        json_f64(result.seconds()),
+        json_opt_u64(result.evaluation.total_cycles),
+        json_opt_u64(result.evaluation.dram_bytes),
+        json_opt_f64(result.baseline_seconds.map(|b| b.gpu)),
+        json_opt_f64(result.baseline_seconds.map(|b| b.hygcn)),
+        json_opt_f64(result.speedup_vs_gpu()),
+        json_opt_f64(result.speedup_vs_hygcn()),
+    );
+    if let Some(report) = report {
+        body.push_str(&format!(
+            ", \"occupancy\": {}, \"occupied_shards\": {}",
+            json_f64(report.shard_occupancy()),
+            report.occupied_shards(),
+        ));
+    }
+    if let Some((reused, latency)) = serving {
+        body.push_str(&format!(
+            ", \"session_reused\": {reused}, \"latency_seconds\": {}",
+            json_f64(latency)
+        ));
+    }
+    body.push('}');
+    body
+}
+
+fn stats_body(state: &Arc<ServerState>) -> String {
+    let pool = state.pool.stats();
+    let endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
+    let endpoint = |name: &str, stat: &EndpointStat| {
+        let mean = if stat.requests == 0 {
+            0.0
+        } else {
+            stat.total_latency_seconds / stat.requests as f64
+        };
+        format!(
+            "{}: {{\"requests\": {}, \"total_latency_seconds\": {}, \"mean_latency_seconds\": {}}}",
+            json_string(name),
+            stat.requests,
+            json_f64(stat.total_latency_seconds),
+            json_f64(mean),
+        )
+    };
+    format!(
+        "{{\"uptime_seconds\": {}, \"requests\": {}, \"errors\": {}, \
+         \"pool\": {{\"size\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \
+         \"sessions_built\": {}, \"evictions\": {}, \"datasets_synthesized\": {}, \
+         \"datasets_loaded\": {}}}, \"endpoints\": {{{}, {}, {}, {}}}}}",
+        json_f64(state.started.elapsed().as_secs_f64()),
+        state.requests.load(Ordering::Relaxed),
+        state.errors.load(Ordering::Relaxed),
+        pool.size,
+        pool.capacity,
+        pool.hits,
+        pool.misses,
+        pool.sessions_built,
+        pool.evictions,
+        pool.datasets_synthesized,
+        pool.datasets_loaded,
+        endpoint("simulate", &endpoints.simulate),
+        endpoint("compile", &endpoints.compile),
+        endpoint("sweep", &endpoints.sweep),
+        endpoint("stats", &endpoints.stats),
+    )
+}

@@ -1,0 +1,68 @@
+//! Serving quickstart: boot the session server, answer simulate requests
+//! for the same workload on all three platforms, and watch the warm
+//! [`SessionPool`](gnnerator_serve::SessionPool) absorb repeated traffic.
+//!
+//! Run with `cargo run --release --example serving`.
+
+use gnnerator_serve::{client, Json, ServeConfig, SessionServer};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Start the server on an ephemeral port. In production you would run
+    //    the `serve` binary instead:
+    //    `cargo run -p gnnerator-serve --release --bin serve -- --addr 127.0.0.1:8642`
+    let server = SessionServer::start("127.0.0.1:0", ServeConfig::default())?;
+    let addr = server.local_addr();
+    println!("session server listening on http://{addr}");
+
+    // 2. One workload, three platforms — the backend dispatch the sweep
+    //    engine uses is the same one behind the HTTP front door.
+    for backend in ["gnnerator", "gpu-roofline", "hygcn"] {
+        let body = format!(
+            "{{\"dataset\": \"cora\", \"network\": \"gcn\", \"backend\": \"{backend}\", \
+             \"scale\": 0.25, \"seed\": 42}}"
+        );
+        let response = client::post(addr, "/simulate", &body).map_err(io_error)?;
+        let point = response.json().ok_or("response was not JSON")?;
+        println!(
+            "  {:<14} {:>12.6} ms  (session_reused: {})",
+            backend,
+            point
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN)
+                * 1e3,
+            point
+                .get("session_reused")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        );
+    }
+
+    // 3. All three requests shared one compiled session (the session key is
+    //    the dataset + model shape; the backend only changes evaluation).
+    let stats = client::get(addr, "/stats").map_err(io_error)?;
+    let stats = stats.json().ok_or("stats were not JSON")?;
+    let pool = stats.get("pool").ok_or("stats carry a pool section")?;
+    println!(
+        "pool: {} session(s) built, {} hit(s), {} miss(es)",
+        render(pool.get("sessions_built")),
+        render(pool.get("hits")),
+        render(pool.get("misses")),
+    );
+
+    // 4. Clean shutdown: in-flight work finishes, threads join.
+    server.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}
+
+fn render(value: Option<&Json>) -> String {
+    value
+        .and_then(Json::as_u64)
+        .map_or_else(|| "?".to_string(), |v| v.to_string())
+}
+
+fn io_error(message: String) -> Box<dyn Error> {
+    message.into()
+}
