@@ -1,27 +1,33 @@
 //! Load generator for the serving API.
 //!
 //! Starts an in-process [`SessionServer`], warms its session pool, then
-//! measures three ways of answering the same mixed-backend request stream:
+//! measures four ways of answering the same mixed-backend request stream:
 //!
 //! 1. **cold replay** — no server: every request builds a fresh
 //!    [`SimSession`](gnnerator::SimSession) and evaluates it, the way the
 //!    harness answered one-shot questions before the serving layer (the
 //!    same convention `BENCH_sweep.json`'s `serial_seconds` uses: datasets
 //!    are pre-materialised and shared, compilation is paid per request);
-//! 2. **serial HTTP** — one client replaying the stream against the warm
-//!    server, one request in flight at a time;
-//! 3. **concurrent HTTP** — the same stream split over N client threads.
+//! 2. **serial HTTP, connection per request** — one client replaying the
+//!    stream with a fresh `Connection: close` socket each time (the PR-5
+//!    serving path);
+//! 3. **serial HTTP, keep-alive** — the same stream on one persistent
+//!    connection, isolating what connection reuse buys;
+//! 4. **concurrent HTTP** — the stream split over N keep-alive clients.
 //!
-//! The headline number is concurrent-server throughput versus the cold
-//! serial replay: that is what the warm [`SessionPool`] buys. The
-//! concurrent-versus-serial-HTTP ratio additionally shows client-side
-//! pipelining (≈1.0 on a single-core host, where both streams saturate the
-//! CPU; >1 on multi-core runners). When a `BENCH_sweep.json` from
-//! `all_experiments` is present, a `"serving"` section is appended
-//! (idempotently, replacing any previous one).
+//! Per-request latencies are recorded client-side and reported as exact
+//! sorted percentiles (p50/p95/p99) at full float precision. With `--soak`,
+//! a fifth phase drives hundreds of concurrent keep-alive connections with
+//! overlapping session keys through the admission queue, asserting zero
+//! 5xx, `Retry-After` on every shed `429` and a bounded queue, and records
+//! sustained rps, latency percentiles, the batch-size distribution and the
+//! shed rate. When a `BENCH_sweep.json` from `all_experiments` is present,
+//! a `"serving"` section is appended (idempotently, replacing any previous
+//! one).
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin serve_bench -- \
-//!     [--clients 4] [--requests 6] [--scale 0.25] [--require-speedup]`
+//!     [--clients 4] [--requests 6] [--scale 0.25] [--require-speedup] \
+//!     [--soak] [--connections 200] [--soak-requests 30] [--queue-depth 256]`
 //!
 //! [`SessionPool`]: gnnerator_serve::SessionPool
 //! [`SessionServer`]: gnnerator_serve::SessionServer
@@ -29,15 +35,18 @@
 use gnnerator::{build_session, evaluate_scenario, materialize_dataset, ScenarioSpec};
 use gnnerator_bench::suite::scale_from_args;
 use gnnerator_graph::datasets::Dataset;
-use gnnerator_serve::{client, scenario_from_json, Json, ServeConfig, SessionServer};
-use std::collections::HashMap;
+use gnnerator_serve::{
+    client, client::ClientConnection, scenario_from_json, Json, ServeConfig, SessionServer,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The benchmark's request mix: both paper datasets' GCN workloads on every
 /// backend, so one run exercises accelerator simulation and both analytical
-/// baselines through the same front door.
+/// baselines through the same front door. Backends share session keys per
+/// dataset, so concurrently queued requests coalesce under load.
 fn request_bodies(scale: f64) -> Vec<String> {
     let mut bodies = Vec::new();
     for dataset in ["cora", "citeseer"] {
@@ -51,24 +60,84 @@ fn request_bodies(scale: f64) -> Vec<String> {
     bodies
 }
 
-fn send(addr: SocketAddr, body: &str) -> f64 {
-    let response = client::post(addr, "/simulate", body).expect("request failed");
-    assert!(
-        response.is_ok(),
-        "server answered {}: {}",
-        response.status,
-        response.body
-    );
-    let point = response.json().expect("response is JSON");
+fn check_point(body: &str) -> Json {
+    let point = Json::parse(body).expect("response is JSON");
     let seconds = point
         .get("seconds")
         .and_then(Json::as_f64)
         .expect("response carries seconds");
     assert!(seconds.is_finite() && seconds > 0.0, "degenerate point");
     point
-        .get("latency_seconds")
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0)
+}
+
+/// One request on a fresh `Connection: close` socket (the PR-5 path);
+/// returns the client-observed wall latency.
+fn send_close(addr: SocketAddr, body: &str) -> f64 {
+    let started = Instant::now();
+    let response = client::post(addr, "/simulate", body).expect("request failed");
+    let latency = started.elapsed().as_secs_f64();
+    assert!(
+        response.is_ok(),
+        "server answered {}: {}",
+        response.status,
+        response.body
+    );
+    check_point(&response.body);
+    latency
+}
+
+/// One request on a pooled keep-alive connection; returns the
+/// client-observed wall latency and the server-reported batch size.
+fn send_keepalive(connection: &mut ClientConnection, body: &str) -> (f64, u64) {
+    let started = Instant::now();
+    let response = connection.post("/simulate", body).expect("request failed");
+    let latency = started.elapsed().as_secs_f64();
+    assert!(
+        response.is_ok(),
+        "server answered {}: {}",
+        response.status,
+        response.body
+    );
+    let point = check_point(&response.body);
+    let batch_size = point.get("batch_size").and_then(Json::as_u64).unwrap_or(1);
+    (latency, batch_size)
+}
+
+/// Exact percentile over a sorted sample set (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Full-precision float rendering (shortest round-trip form, `null` for
+/// non-finite) — no fixed-point truncation that would flatten microsecond
+/// latencies to zero.
+fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `{"mean": ..., "p50": ..., "p95": ..., "p99": ...}` over raw samples.
+fn latency_json(samples: &mut [f64]) -> String {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    format!(
+        "{{\"mean_seconds\": {}, \"p50_seconds\": {}, \"p95_seconds\": {}, \"p99_seconds\": {}}}",
+        num(mean),
+        num(percentile(samples, 0.50)),
+        num(percentile(samples, 0.95)),
+        num(percentile(samples, 0.99)),
+    )
 }
 
 fn flag(args: &[String], name: &str, default: usize) -> usize {
@@ -78,12 +147,21 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+struct SoakOutcome {
+    section: String,
+    sustained_rps: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let clients = flag(&args, "--clients", 4).max(1);
     let requests_per_client = flag(&args, "--requests", 6).max(1);
     let scale = scale_from_args(args.iter().cloned());
     let require_speedup = args.iter().any(|a| a == "--require-speedup");
+    let soak = args.iter().any(|a| a == "--soak");
+    let soak_connections = flag(&args, "--connections", 200).max(1);
+    let soak_requests = flag(&args, "--soak-requests", 30).max(1);
+    let queue_depth = flag(&args, "--queue-depth", 256).max(1);
 
     let bodies = request_bodies(scale);
     let scenarios: Vec<ScenarioSpec> = bodies
@@ -124,6 +202,7 @@ fn main() {
         "127.0.0.1:0",
         ServeConfig {
             workers: clients,
+            queue_depth,
             ..ServeConfig::default()
         },
     )
@@ -136,7 +215,7 @@ fn main() {
     // Warm the pool: after this, the steady state pays evaluation only.
     let warm_start = Instant::now();
     for body in &bodies {
-        send(addr, body);
+        send_close(addr, body);
     }
     let warm_seconds = warm_start.elapsed().as_secs_f64();
     println!(
@@ -144,39 +223,70 @@ fn main() {
         bodies.len()
     );
 
-    // Serial HTTP replay: one client, one request in flight at a time.
+    // Serial HTTP replay, fresh connection per request (the PR-5 path).
     let start = Instant::now();
-    let mut serial_latency = 0.0;
+    let mut close_latencies: Vec<f64> = Vec::with_capacity(total_requests);
     for i in 0..total_requests {
-        serial_latency += send(addr, &bodies[i % bodies.len()]);
+        close_latencies.push(send_close(addr, &bodies[i % bodies.len()]));
+    }
+    let serial_close_seconds = start.elapsed().as_secs_f64();
+
+    // Serial HTTP replay, one keep-alive connection.
+    let mut connection = ClientConnection::new(addr);
+    let start = Instant::now();
+    let mut serial_latencies: Vec<f64> = Vec::with_capacity(total_requests);
+    for i in 0..total_requests {
+        let (latency, _) = send_keepalive(&mut connection, &bodies[i % bodies.len()]);
+        serial_latencies.push(latency);
     }
     let serial_seconds = start.elapsed().as_secs_f64();
+    connection.close();
 
-    // Concurrent HTTP replay: the same request stream split over N clients.
+    // Concurrent HTTP replay: the same stream over N keep-alive clients.
     let start = Instant::now();
-    let concurrent_latency: f64 = std::thread::scope(|scope| {
+    let mut concurrent_latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let bodies = &bodies;
                 scope.spawn(move || {
-                    let mut latency = 0.0;
+                    let mut connection = ClientConnection::new(addr);
+                    let mut latencies = Vec::with_capacity(requests_per_client);
                     for i in 0..requests_per_client {
-                        latency +=
-                            send(addr, &bodies[(c * requests_per_client + i) % bodies.len()]);
+                        let body = &bodies[(c * requests_per_client + i) % bodies.len()];
+                        let (latency, _) = send_keepalive(&mut connection, body);
+                        latencies.push(latency);
                     }
-                    latency
+                    latencies
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     let concurrent_seconds = start.elapsed().as_secs_f64();
 
     let cold_rps = total_requests as f64 / cold_seconds.max(1e-12);
+    let serial_close_rps = total_requests as f64 / serial_close_seconds.max(1e-12);
     let serial_rps = total_requests as f64 / serial_seconds.max(1e-12);
     let concurrent_rps = total_requests as f64 / concurrent_seconds.max(1e-12);
     let speedup_vs_cold = concurrent_rps / cold_rps.max(1e-12);
+    let keepalive_vs_close = serial_rps / serial_close_rps.max(1e-12);
     let client_pipelining = concurrent_rps / serial_rps.max(1e-12);
+
+    // The soak phase runs against the same warm server before shutdown.
+    let soak_outcome = if soak {
+        Some(run_soak(
+            addr,
+            &bodies,
+            soak_connections,
+            soak_requests,
+            serial_close_rps,
+        ))
+    } else {
+        None
+    };
 
     let stats = client::get(addr, "/stats")
         .expect("stats request failed")
@@ -192,15 +302,19 @@ fn main() {
     server.shutdown();
 
     println!(
-        "cold replay (fresh session per request): {total_requests} requests in {cold_seconds:.3}s ({cold_rps:.1} req/s)"
+        "cold replay (fresh session per request):   {total_requests} requests in {cold_seconds:.3}s ({cold_rps:.1} req/s)"
     );
     println!(
-        "serial HTTP (warm pool):                 {total_requests} requests in {serial_seconds:.3}s ({serial_rps:.1} req/s)"
+        "serial HTTP, connection per request:       {total_requests} requests in {serial_close_seconds:.3}s ({serial_close_rps:.1} req/s)"
     );
     println!(
-        "concurrent HTTP ({clients} clients):     {total_requests} requests in {concurrent_seconds:.3}s ({concurrent_rps:.1} req/s)"
+        "serial HTTP, keep-alive:                   {total_requests} requests in {serial_seconds:.3}s ({serial_rps:.1} req/s)"
+    );
+    println!(
+        "concurrent HTTP ({clients} keep-alive clients): {total_requests} requests in {concurrent_seconds:.3}s ({concurrent_rps:.1} req/s)"
     );
     println!("concurrent server vs cold serial replay: {speedup_vs_cold:.2}x");
+    println!("keep-alive vs connection-per-request:    {keepalive_vs_close:.2}x");
     println!("client pipelining (concurrent vs serial HTTP): {client_pipelining:.2}x");
     println!("pool: {hits} hits / {misses} misses, {built} sessions built");
     assert_eq!(
@@ -209,18 +323,36 @@ fn main() {
         "steady state must reuse warm sessions (one per dataset-model pair)"
     );
 
+    let soak_section = soak_outcome
+        .as_ref()
+        .map(|s| s.section.clone())
+        .unwrap_or_else(|| "null".to_string());
     let section = format!(
         "{{\"clients\": {clients}, \"requests_per_client\": {requests_per_client}, \
          \"total_requests\": {total_requests}, \"scale\": {scale}, \
-         \"warmup_seconds\": {warm_seconds:.6}, \"cold_replay_seconds\": {cold_seconds:.6}, \
-         \"serial_seconds\": {serial_seconds:.6}, \"concurrent_seconds\": {concurrent_seconds:.6}, \
-         \"cold_replay_rps\": {cold_rps:.3}, \"serial_rps\": {serial_rps:.3}, \
-         \"concurrent_rps\": {concurrent_rps:.3}, \"speedup_vs_cold_replay\": {speedup_vs_cold:.3}, \
-         \"client_pipelining\": {client_pipelining:.3}, \
-         \"mean_serial_latency_seconds\": {:.6}, \"mean_concurrent_latency_seconds\": {:.6}, \
-         \"pool_hits\": {hits}, \"pool_misses\": {misses}, \"sessions_built\": {built}}}",
-        serial_latency / total_requests as f64,
-        concurrent_latency / total_requests as f64,
+         \"warmup_seconds\": {}, \"cold_replay_seconds\": {}, \
+         \"serial_close_seconds\": {}, \"serial_seconds\": {}, \"concurrent_seconds\": {}, \
+         \"cold_replay_rps\": {}, \"serial_close_rps\": {}, \"serial_rps\": {}, \
+         \"concurrent_rps\": {}, \"speedup_vs_cold_replay\": {}, \
+         \"keepalive_vs_close\": {}, \"client_pipelining\": {}, \
+         \"serial_close_latency\": {}, \"serial_latency\": {}, \"concurrent_latency\": {}, \
+         \"pool_hits\": {hits}, \"pool_misses\": {misses}, \"sessions_built\": {built}, \
+         \"soak\": {soak_section}}}",
+        num(warm_seconds),
+        num(cold_seconds),
+        num(serial_close_seconds),
+        num(serial_seconds),
+        num(concurrent_seconds),
+        num(cold_rps),
+        num(serial_close_rps),
+        num(serial_rps),
+        num(concurrent_rps),
+        num(speedup_vs_cold),
+        num(keepalive_vs_close),
+        num(client_pipelining),
+        latency_json(&mut close_latencies),
+        latency_json(&mut serial_latencies),
+        latency_json(&mut concurrent_latencies),
     );
     match append_serving_section("BENCH_sweep.json", &section) {
         Ok(true) => println!("appended serving section to BENCH_sweep.json"),
@@ -228,12 +360,165 @@ fn main() {
         Err(e) => println!("could not update BENCH_sweep.json: {e}"),
     }
 
-    if require_speedup && speedup_vs_cold <= 1.0 {
-        eprintln!(
-            "FAIL: concurrent server throughput ({concurrent_rps:.1} req/s) did not exceed the \
-             cold serial replay ({cold_rps:.1} req/s)"
+    if require_speedup {
+        if speedup_vs_cold <= 1.0 {
+            eprintln!(
+                "FAIL: concurrent server throughput ({concurrent_rps:.1} req/s) did not exceed \
+                 the cold serial replay ({cold_rps:.1} req/s)"
+            );
+            std::process::exit(1);
+        }
+        if let Some(soak) = &soak_outcome {
+            if soak.sustained_rps <= serial_close_rps {
+                eprintln!(
+                    "FAIL: soak sustained throughput ({:.1} req/s) did not exceed the \
+                     connection-per-request path ({serial_close_rps:.1} req/s)",
+                    soak.sustained_rps
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Drives `connections` concurrent keep-alive clients, each replaying
+/// `requests` mixed-session-key requests, through the admission queue.
+/// Panics on any 5xx, on a shed response without `Retry-After`, and on an
+/// unbounded queue. Returns the JSON soak summary.
+fn run_soak(
+    addr: SocketAddr,
+    bodies: &[String],
+    connections: usize,
+    requests: usize,
+    close_baseline_rps: f64,
+) -> SoakOutcome {
+    println!("soak: {connections} keep-alive connections x {requests} requests");
+    let start = Instant::now();
+    let per_connection: Vec<(Vec<f64>, Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut connection = ClientConnection::new(addr);
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut batch_sizes = Vec::with_capacity(requests);
+                    let mut shed = 0u64;
+                    for i in 0..requests {
+                        let body = &bodies[(c + i) % bodies.len()];
+                        let started = Instant::now();
+                        let response = connection
+                            .post("/simulate", body)
+                            .expect("soak request failed");
+                        match response.status {
+                            200 => {
+                                let point = check_point(&response.body);
+                                latencies.push(started.elapsed().as_secs_f64());
+                                batch_sizes.push(
+                                    point.get("batch_size").and_then(Json::as_u64).unwrap_or(1),
+                                );
+                            }
+                            429 => {
+                                assert_eq!(
+                                    response.header("retry-after"),
+                                    Some("1"),
+                                    "shed responses must carry Retry-After"
+                                );
+                                shed += 1;
+                            }
+                            status => {
+                                assert!(
+                                    status < 500,
+                                    "soak hit a 5xx ({status}): {}",
+                                    response.body
+                                );
+                                panic!("unexpected soak status {status}: {}", response.body);
+                            }
+                        }
+                    }
+                    (latencies, batch_sizes, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let duration = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut batch_counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut shed = 0u64;
+    for (connection_latencies, batch_sizes, connection_shed) in per_connection {
+        latencies.extend(connection_latencies);
+        for size in batch_sizes {
+            *batch_counts.entry(size).or_insert(0) += 1;
+        }
+        shed += connection_shed;
+    }
+    let total = (connections * requests) as u64;
+    let ok = total - shed;
+    let sustained_rps = ok as f64 / duration.max(1e-12);
+    let shed_rate = shed as f64 / total as f64;
+    let observed_max_batch = batch_counts.keys().max().copied().unwrap_or(0);
+
+    // The queue must have stayed bounded, and the server's shed counter
+    // must agree with the 429s clients saw.
+    let stats = client::get(addr, "/stats")
+        .expect("stats request failed")
+        .json()
+        .expect("stats are JSON");
+    let admission = stats.get("admission").expect("admission section");
+    let count = |key: &str| admission.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let queue_capacity = count("queue_capacity");
+    let peak_queue_depth = count("peak_queue_depth");
+    assert!(
+        peak_queue_depth <= queue_capacity,
+        "queue depth exceeded its bound: {peak_queue_depth} > {queue_capacity}"
+    );
+    assert!(
+        count("shed") >= shed,
+        "server shed counter below client-observed 429s"
+    );
+    let batch = stats.get("batch").expect("batch section");
+    let mean_batch_size = batch
+        .get("mean_batch_size")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if connections >= 8 {
+        assert!(
+            observed_max_batch >= 2,
+            "overlapping-key soak never coalesced a batch"
         );
-        std::process::exit(1);
+    }
+
+    println!(
+        "soak: {ok}/{total} ok in {duration:.3}s ({sustained_rps:.1} req/s sustained), \
+         {shed} shed ({:.2}% shed rate), mean batch {mean_batch_size:.2}, max batch \
+         {observed_max_batch}, peak queue depth {peak_queue_depth}/{queue_capacity}",
+        shed_rate * 100.0
+    );
+
+    let batch_distribution = batch_counts
+        .iter()
+        .map(|(size, count)| format!("\"{size}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let section = format!(
+        "{{\"connections\": {connections}, \"requests_per_connection\": {requests}, \
+         \"total_requests\": {total}, \"duration_seconds\": {}, \"sustained_rps\": {}, \
+         \"close_baseline_rps\": {}, \"keepalive_vs_close\": {}, \"ok\": {ok}, \
+         \"shed\": {shed}, \"shed_rate\": {}, \"latency\": {}, \
+         \"mean_batch_size\": {}, \"max_batch_size\": {observed_max_batch}, \
+         \"batch_size_counts\": {{{batch_distribution}}}, \
+         \"peak_queue_depth\": {peak_queue_depth}, \"queue_capacity\": {queue_capacity}}}",
+        num(duration),
+        num(sustained_rps),
+        num(close_baseline_rps),
+        num(sustained_rps / close_baseline_rps.max(1e-12)),
+        num(shed_rate),
+        latency_json(&mut latencies),
+        num(mean_batch_size),
+    );
+    SoakOutcome {
+        section,
+        sustained_rps,
     }
 }
 

@@ -1,0 +1,348 @@
+//! The bounded admission queue and session-keyed request coalescing.
+//!
+//! Connection threads parse requests and submit [`Job`]s here; evaluation
+//! workers pull them back out. Two properties live in this module:
+//!
+//! * **Admission control** — the queue holds at most `capacity` jobs.
+//!   A submit against a full queue fails immediately ([`SubmitError::Full`])
+//!   and the connection answers `429` + `Retry-After` instead of letting
+//!   latency (and memory) grow without bound. Peak depth and shed counts
+//!   are tracked for `/stats`.
+//! * **Coalescing** — [`JobQueue::next_batch`] pops the oldest job and, when
+//!   it is a `/simulate` job, drains every other queued `/simulate` job
+//!   sharing its [`SessionKey`] (up to `max_batch`). The worker evaluates
+//!   the whole batch as one `/sweep`-style pass over a single warm session
+//!   ([`evaluate_scenario_batch`](gnnerator::evaluate_scenario_batch)) and
+//!   fans the results back out through each job's reply channel.
+//!
+//! Fairness note: coalescing pulls same-key jobs *forward* in the queue.
+//! That is deliberate — those requests ride along at almost zero marginal
+//! cost — while jobs of other keys keep their relative order. The
+//! per-connection in-flight cap (enforced by the connection loop, not
+//! here) stops any single client from monopolising the queue.
+
+use gnnerator::{ScenarioSpec, SessionKey};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// What a worker does with a dequeued job.
+#[derive(Debug)]
+pub enum JobKind {
+    /// Evaluate one scenario (batchable by session key).
+    Simulate(Box<ScenarioSpec>),
+    /// Compile one accelerator scenario without executing it.
+    Compile(Box<ScenarioSpec>),
+    /// Evaluate an ordered batch of scenarios (a `/sweep` body).
+    Sweep(Vec<ScenarioSpec>),
+}
+
+impl JobKind {
+    /// The session key this job coalesces on (`/simulate` only — `/sweep`
+    /// bodies group internally and `/compile` runs solo).
+    fn coalescing_key(&self) -> Option<SessionKey> {
+        match self {
+            JobKind::Simulate(scenario) => Some(scenario.session_key()),
+            _ => None,
+        }
+    }
+}
+
+/// A finished response, produced by a worker and written by the
+/// connection thread that owns the socket.
+#[derive(Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: String,
+}
+
+/// One queued unit of work plus everything needed to answer it.
+#[derive(Debug)]
+pub struct Job {
+    /// What to execute.
+    pub kind: JobKind,
+    /// Where the response goes (the submitting connection thread blocks on
+    /// the paired receiver; a dropped receiver makes the send a no-op).
+    pub reply: Sender<Reply>,
+    /// When the job entered the queue — queue-wait telemetry.
+    pub enqueued: Instant,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity: shed this request (`429` + `Retry-After`).
+    Full,
+    /// The server is shutting down (`503`).
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded, coalescing job queue shared by every connection thread and
+/// evaluation worker.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+    shed: AtomicUsize,
+    peak_depth: AtomicUsize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` (minimum 1) waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            shed: AtomicUsize::new(0),
+            peak_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Admits `job`, or refuses it without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity (the shed
+    /// counter increments), [`SubmitError::Closed`] once the server is
+    /// draining.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Full);
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next unit of work: the oldest queued job plus — for
+    /// `/simulate` jobs — every other queued `/simulate` job sharing its
+    /// session key, oldest first, up to `max_batch` total. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn next_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(first) = inner.jobs.pop_front() {
+                let mut batch = Vec::with_capacity(4);
+                if let Some(key) = first.kind.coalescing_key() {
+                    batch.push(first);
+                    let mut index = 0;
+                    while batch.len() < max_batch && index < inner.jobs.len() {
+                        if inner.jobs[index].kind.coalescing_key() == Some(key) {
+                            // O(queue) removal; queues are small (bounded)
+                            // and this runs once per evaluation pass.
+                            batch.push(inner.jobs.remove(index).expect("indexed job exists"));
+                        } else {
+                            index += 1;
+                        }
+                    }
+                } else {
+                    batch.push(first);
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("job queue poisoned");
+        }
+    }
+
+    /// Marks the queue closed and wakes every waiting worker. Already
+    /// queued jobs are still drained by `next_batch`; new submits fail with
+    /// [`SubmitError::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("job queue poisoned").jobs.len()
+    }
+
+    /// Maximum number of waiting jobs ever admitted.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused because the queue was full.
+    pub fn shed_count(&self) -> usize {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnerator::{DataflowConfig, GnneratorConfig};
+    use gnnerator_gnn::NetworkKind;
+    use gnnerator_graph::datasets::DatasetKind;
+    use std::sync::mpsc::channel;
+
+    fn scenario(kind: DatasetKind, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            NetworkKind::Gcn,
+            kind.spec().scaled(0.03),
+            seed,
+            8,
+            4,
+            GnneratorConfig::paper_default(),
+            DataflowConfig::paper_default(),
+        )
+    }
+
+    fn simulate_job(kind: DatasetKind, seed: u64) -> Job {
+        let (reply, _rx) = channel();
+        // The receiver is dropped: sends become no-ops, which is exactly
+        // the disconnect-tolerant behavior workers rely on.
+        Job {
+            kind: JobKind::Simulate(Box::new(scenario(kind, seed))),
+            reply,
+            enqueued: Instant::now(),
+        }
+    }
+
+    fn sweep_job(kind: DatasetKind) -> Job {
+        let (reply, _rx) = channel();
+        Job {
+            kind: JobKind::Sweep(vec![scenario(kind, 1)]),
+            reply,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn a_full_queue_sheds_deterministically() {
+        let queue = JobQueue::new(2);
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue.submit(simulate_job(DatasetKind::Cora, 2)).unwrap();
+        assert_eq!(
+            queue
+                .submit(simulate_job(DatasetKind::Cora, 3))
+                .unwrap_err(),
+            SubmitError::Full
+        );
+        assert_eq!(
+            queue
+                .submit(simulate_job(DatasetKind::Cora, 4))
+                .unwrap_err(),
+            SubmitError::Full
+        );
+        assert_eq!(queue.shed_count(), 2);
+        assert_eq!(queue.depth(), 2, "depth never exceeds capacity");
+        assert_eq!(queue.peak_depth(), 2);
+        // Draining one slot re-admits.
+        let batch = queue.next_batch(1).unwrap();
+        assert_eq!(batch.len(), 1);
+        queue.submit(simulate_job(DatasetKind::Cora, 5)).unwrap();
+    }
+
+    #[test]
+    fn same_key_simulate_jobs_coalesce_oldest_first() {
+        let queue = JobQueue::new(16);
+        // cora/1 twice, citeseer/1 between them, cora/1 again: the batch
+        // must take all three cora jobs and leave citeseer at the front.
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue
+            .submit(simulate_job(DatasetKind::Citeseer, 1))
+            .unwrap();
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        let batch = queue.next_batch(16).unwrap();
+        assert_eq!(batch.len(), 3);
+        for job in &batch {
+            match &job.kind {
+                JobKind::Simulate(s) => assert_eq!(s.dataset.name, "cora"),
+                other => panic!("unexpected job {other:?}"),
+            }
+        }
+        let rest = queue.next_batch(16).unwrap();
+        assert_eq!(rest.len(), 1);
+        match &rest[0].kind {
+            JobKind::Simulate(s) => assert_eq!(s.dataset.name, "citeseer"),
+            other => panic!("unexpected job {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_seeds_have_different_keys_and_do_not_coalesce() {
+        let queue = JobQueue::new(16);
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue.submit(simulate_job(DatasetKind::Cora, 2)).unwrap();
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1);
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn max_batch_caps_a_coalescing_pass() {
+        let queue = JobQueue::new(16);
+        for _ in 0..5 {
+            queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        }
+        assert_eq!(queue.next_batch(3).unwrap().len(), 3);
+        assert_eq!(queue.next_batch(3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sweep_and_compile_jobs_never_coalesce() {
+        let queue = JobQueue::new(16);
+        queue.submit(sweep_job(DatasetKind::Cora)).unwrap();
+        queue.submit(sweep_job(DatasetKind::Cora)).unwrap();
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1);
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn closing_drains_then_stops() {
+        let queue = JobQueue::new(16);
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue.close();
+        assert_eq!(
+            queue
+                .submit(simulate_job(DatasetKind::Cora, 1))
+                .unwrap_err(),
+            SubmitError::Closed
+        );
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1, "drained first");
+        assert!(queue.next_batch(16).is_none(), "then workers exit");
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_submit() {
+        let queue = std::sync::Arc::new(JobQueue::new(4));
+        let waiter = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch(4).map(|batch| batch.len()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(1));
+    }
+}

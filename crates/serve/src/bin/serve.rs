@@ -1,8 +1,12 @@
 //! The GNNerator session server binary.
 //!
 //! Usage: `cargo run -p gnnerator-serve --release --bin serve -- \
-//!     [--addr 127.0.0.1:8642] [--workers N] [--pool-capacity N]`
+//!     [--addr 127.0.0.1:8642] [--workers N] [--pool-capacity N] \
+//!     [--queue-depth N] [--max-batch N] [--connection-inflight N] \
+//!     [--idle-timeout-ms N] [--max-connections N]`
 //!
+//! Defaults come from [`ServeConfig::from_env`], so every knob is also
+//! settable through `GNNERATOR_SERVE_*` environment variables (flags win).
 //! The persistent artifact cache is configured through `GNNERATOR_CACHE`
 //! (unset → `target/gnnerator-cache`; `off`, `0` or empty → disabled).
 //! The server runs until a client posts `/shutdown`.
@@ -10,22 +14,49 @@
 use gnnerator_graph::ArtifactCache;
 use gnnerator_serve::{ServeConfig, SessionServer};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut addr = "127.0.0.1:8642".to_string();
-    let mut config = ServeConfig::default();
+    let mut config = ServeConfig::from_env();
     for window in args.windows(2) {
+        let value = window[1].as_str();
         match window[0].as_str() {
-            "--addr" => addr = window[1].clone(),
+            "--addr" => addr = value.to_string(),
             "--workers" => {
-                if let Ok(workers) = window[1].parse() {
+                if let Ok(workers) = value.parse() {
                     config.workers = workers;
                 }
             }
             "--pool-capacity" => {
-                if let Ok(capacity) = window[1].parse() {
+                if let Ok(capacity) = value.parse() {
                     config.pool_capacity = capacity;
+                }
+            }
+            "--queue-depth" => {
+                if let Ok(depth) = value.parse() {
+                    config.queue_depth = depth;
+                }
+            }
+            "--max-batch" => {
+                if let Ok(batch) = value.parse() {
+                    config.max_batch = batch;
+                }
+            }
+            "--connection-inflight" => {
+                if let Ok(inflight) = value.parse() {
+                    config.connection_inflight = inflight;
+                }
+            }
+            "--idle-timeout-ms" => {
+                if let Ok(ms) = value.parse::<u64>() {
+                    config.idle_timeout = Duration::from_millis(ms.max(1));
+                }
+            }
+            "--max-connections" => {
+                if let Ok(connections) = value.parse() {
+                    config.max_connections = connections;
                 }
             }
             _ => {}
@@ -39,8 +70,17 @@ fn main() {
     }
     config.artifact_cache = Some(cache);
 
-    let workers = config.workers;
-    let pool_capacity = config.pool_capacity;
+    let summary = format!(
+        "{} workers, pool capacity {}, queue depth {}, max batch {}, \
+         {} in-flight/conn, idle timeout {} ms, max {} connections",
+        config.workers,
+        config.pool_capacity,
+        config.queue_depth,
+        config.max_batch,
+        config.connection_inflight,
+        config.idle_timeout.as_millis(),
+        config.max_connections,
+    );
     let server = match SessionServer::start(addr.as_str(), config) {
         Ok(server) => server,
         Err(e) => {
@@ -49,10 +89,8 @@ fn main() {
         }
     };
     println!(
-        "gnnerator-serve listening on http://{} ({} workers, pool capacity {})",
+        "gnnerator-serve listening on http://{} ({summary})",
         server.local_addr(),
-        workers,
-        pool_capacity
     );
     println!("endpoints: POST /simulate, POST /compile, POST /sweep, GET /stats, POST /shutdown");
     server.wait();

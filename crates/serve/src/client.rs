@@ -2,8 +2,16 @@
 //!
 //! Used by the load generator, the integration tests and the examples; kept
 //! in the library so every consumer speaks the exact same (minimal) dialect
-//! the server implements. One request per connection (`Connection: close`),
-//! mirroring the server.
+//! the server implements. Two shapes:
+//!
+//! * the one-shot helpers ([`request`], [`post`], [`get`]) open a fresh
+//!   connection per request (`Connection: close`) — handy for smoke tests
+//!   and the cold-path baseline in `serve_bench`;
+//! * [`ClientConnection`] holds one keep-alive socket, frames responses by
+//!   `Content-Length` (the connection stays open, so EOF no longer
+//!   delimits), transparently reconnects once when a pooled socket turns
+//!   out to have been idle-reaped, and can [`ClientConnection::pipeline`]
+//!   several requests before reading any response.
 
 use crate::json::Json;
 use std::io::{Read, Write};
@@ -15,6 +23,8 @@ use std::time::Duration;
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
     /// Raw response body.
     pub body: String,
 }
@@ -29,9 +39,40 @@ impl ClientResponse {
     pub fn is_ok(&self) -> bool {
         (200..300).contains(&self.status)
     }
+
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server advertised `Connection: keep-alive` on this
+    /// response.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
-/// Sends one request and reads the full response.
+fn parse_head(head: &str) -> Result<(u16, Vec<(String, String)>), String> {
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok((status, headers))
+}
+
+/// Sends one request on a fresh `Connection: close` socket and reads the
+/// full response.
 ///
 /// # Errors
 ///
@@ -63,13 +104,10 @@ pub fn request(
     let (head, response_body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| format!("malformed response: {raw:?}"))?;
-    let status = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|code| code.parse::<u16>().ok())
-        .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+    let (status, headers) = parse_head(head)?;
     Ok(ClientResponse {
         status,
+        headers,
         body: response_body.to_string(),
     })
 }
@@ -90,4 +128,227 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, 
 /// See [`request`].
 pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, String> {
     request(addr, "GET", path, "")
+}
+
+/// A transport failure, split by whether retrying on a fresh socket is
+/// safe: a pooled keep-alive socket the server idle-reaped yields EOF
+/// *before any response byte* — nothing was processed, so resending is
+/// safe. Anything mid-response is not retried.
+enum TransportError {
+    /// EOF before the first response byte (stale pooled connection).
+    Stale,
+    Other(String),
+}
+
+/// One persistent keep-alive connection to the serving API.
+pub struct ClientConnection {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl ClientConnection {
+    /// A client for `addr`. The socket is dialed lazily on first use.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, stream: None }
+    }
+
+    /// Drops the pooled socket (the next request redials).
+    pub fn close(&mut self) {
+        self.stream = None;
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
+                .map_err(|e| format!("connecting to {}: {e}", self.addr))?;
+            stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+            stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+            stream.set_nodelay(true).ok();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    fn render_request(&self, method: &str, path: &str, body: &str) -> String {
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        )
+    }
+
+    /// Sends one request on the pooled connection and reads its response.
+    /// A socket that turns out to be dead *before any response byte*
+    /// (idle-reaped by the server between requests) is replaced and the
+    /// request resent once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on connection, transport or
+    /// response-parsing failures.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientResponse, String> {
+        let rendered = self.render_request(method, path, body);
+        let had_pooled_socket = self.stream.is_some();
+        match self.send_and_read(&rendered) {
+            Ok(response) => Ok(response),
+            Err(TransportError::Stale) if had_pooled_socket => {
+                // The pooled socket died between requests; one fresh retry.
+                self.close();
+                self.send_and_read(&rendered).map_err(|e| match e {
+                    TransportError::Stale => "connection closed before response".to_string(),
+                    TransportError::Other(message) => message,
+                })
+            }
+            Err(TransportError::Stale) => Err("connection closed before response".to_string()),
+            Err(TransportError::Other(message)) => Err(message),
+        }
+    }
+
+    /// `POST`s a JSON body to `path` on the pooled connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientConnection::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, String> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET`s `path` on the pooled connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientConnection::request`].
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, "")
+    }
+
+    /// Writes every request back-to-back before reading any response
+    /// (HTTP/1.1 pipelining), then reads the responses in order. Exercises
+    /// the server's read-ahead path and lets concurrently queued same-key
+    /// requests coalesce.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically: any transport error drops the connection and
+    /// reports which stage failed.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, &str)],
+    ) -> Result<Vec<ClientResponse>, String> {
+        let rendered: Vec<String> = requests
+            .iter()
+            .map(|(method, path, body)| self.render_request(method, path, body))
+            .collect();
+        self.connect()?;
+        let written: std::io::Result<()> = {
+            let stream = self.stream.as_mut().expect("just connected");
+            rendered
+                .iter()
+                .try_for_each(|request| stream.write_all(request.as_bytes()))
+                .and_then(|()| stream.flush())
+        };
+        if let Err(e) = written {
+            self.close();
+            return Err(format!("sending pipelined requests: {e}"));
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for index in 0..requests.len() {
+            let Some(stream) = self.stream.as_mut() else {
+                return Err(format!(
+                    "connection closed after {index} of {} pipelined responses",
+                    requests.len()
+                ));
+            };
+            match read_response(stream) {
+                Ok(response) => {
+                    if !response.keep_alive() {
+                        self.close();
+                    }
+                    responses.push(response);
+                }
+                Err(TransportError::Stale) => {
+                    self.close();
+                    return Err(format!(
+                        "connection closed before pipelined response {index}"
+                    ));
+                }
+                Err(TransportError::Other(message)) => {
+                    self.close();
+                    return Err(message);
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    fn send_and_read(&mut self, rendered: &str) -> Result<ClientResponse, TransportError> {
+        self.connect().map_err(TransportError::Other)?;
+        let stream = self.stream.as_mut().expect("just connected");
+        if stream.write_all(rendered.as_bytes()).is_err() {
+            // A broken pooled socket surfaces as a write error (EPIPE /
+            // reset); nothing of this request was processed.
+            self.close();
+            return Err(TransportError::Stale);
+        }
+        let outcome = read_response(stream);
+        match &outcome {
+            Ok(response) if response.keep_alive() => {}
+            _ => self.close(),
+        }
+        outcome
+    }
+}
+
+/// Reads one `Content-Length`-framed response from a (possibly persistent)
+/// stream.
+fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, TransportError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > 64 * 1024 {
+            return Err(TransportError::Other("response head too large".to_string()));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Err(TransportError::Stale),
+            Ok(0) => {
+                return Err(TransportError::Other(
+                    "connection closed mid-response".to_string(),
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if head.is_empty() => {
+                return Err(match e.kind() {
+                    std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe => TransportError::Stale,
+                    _ => TransportError::Other(format!("reading response head: {e}")),
+                })
+            }
+            Err(e) => return Err(TransportError::Other(format!("reading response head: {e}"))),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| TransportError::Other("response head is not UTF-8".to_string()))?;
+    let (status, headers) = parse_head(head.trim_end()).map_err(TransportError::Other)?;
+    let content_length = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .and_then(|(_, value)| value.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| TransportError::Other(format!("reading response body: {e}")))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| TransportError::Other("response body is not UTF-8".to_string()))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }

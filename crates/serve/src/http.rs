@@ -1,10 +1,22 @@
-//! A hand-rolled, minimal HTTP/1.1 layer.
+//! A hand-rolled, minimal HTTP/1.1 layer with persistent connections.
 //!
 //! The workspace builds hermetically (no hyper/axum), and the serving API
-//! needs exactly one shape: small JSON-over-`POST`/`GET` exchanges on a
-//! `Connection: close` socket. This module implements that subset — request
-//! line, headers, `Content-Length` body — with hard caps on header and body
-//! sizes so a misbehaving client cannot balloon server memory.
+//! needs exactly one shape: small JSON-over-`POST`/`GET` exchanges. This
+//! module implements that subset — request line, headers, `Content-Length`
+//! body — with hard caps on header and body sizes so a misbehaving client
+//! cannot balloon server memory, plus HTTP/1.1 keep-alive semantics:
+//!
+//! * [`read_request`] distinguishes *one more request* from *the peer is
+//!   done* (clean EOF, or silence past the idle timeout, before the first
+//!   byte of a request → `Ok(None)`), so the server can loop reads on one
+//!   socket and pipelined back-to-back requests parse one after another;
+//! * every [`Request`] carries [`Request::keep_alive`] — the client's
+//!   connection preference (HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+//!   close, `Connection: keep-alive|close` overrides either);
+//! * [`write_response`] takes [`ResponseOptions`] naming whether the
+//!   connection persists after this response (error responses that abort
+//!   the connection always advertise `Connection: close`) and an optional
+//!   `Retry-After` for load-shedding `429`s.
 
 use std::io::{Read, Write};
 use std::time::{Duration, Instant};
@@ -12,10 +24,12 @@ use std::time::{Duration, Instant};
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// Wall-clock budget for reading one complete request. Socket read
-/// timeouts bound each *read call*, so a client trickling one byte per
-/// timeout window could otherwise hold a worker almost indefinitely; this
-/// deadline bounds the whole request regardless of how the bytes arrive.
+/// Wall-clock budget for reading one complete request *once its first byte
+/// has arrived*. Socket read timeouts bound each *read call*, so a client
+/// trickling one byte per timeout window could otherwise hold a connection
+/// thread almost indefinitely; this deadline bounds the whole request
+/// regardless of how the bytes arrive. (Silence *before* the first byte is
+/// governed by the socket's idle timeout instead — see [`read_request`].)
 const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Upper bound on a request body. `/sweep` batches are the largest
@@ -32,10 +46,15 @@ pub struct Request {
     pub path: String,
     /// Decoded request body (empty when no `Content-Length` was sent).
     pub body: String,
+    /// Whether the client allows the connection to persist after this
+    /// request: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// A problem reading or parsing a request, mapped to the HTTP status the
-/// server should answer with.
+/// server should answer with (always on a closing connection — a parse
+/// failure leaves the stream position undefined, so persisting is unsafe).
 #[derive(Debug)]
 pub struct HttpError {
     /// Status code to respond with (400 unless the failure is transport-level).
@@ -61,6 +80,14 @@ impl std::fmt::Display for HttpError {
 
 /// Reads and parses one request from `stream`.
 ///
+/// Returns `Ok(None)` when the peer is cleanly done with the connection:
+/// EOF, a reset, or read-timeout silence *before the first byte* of a
+/// request. The caller arms the socket's read timeout as the keep-alive
+/// idle timeout, so "no byte within the timeout" is an idle connection to
+/// reap, not a client error. Once the first byte has arrived the request
+/// must complete: timeouts and EOF mid-request are [`HttpError`]s (`408` /
+/// `400`) answered on a closing connection.
+///
 /// The stream is also writable because `Expect: 100-continue` clients
 /// (curl sends it for any body over ~1 KiB, e.g. a `/sweep` batch) hold
 /// the body back until the server answers with an interim `100 Continue` —
@@ -70,12 +97,18 @@ impl std::fmt::Display for HttpError {
 /// # Errors
 ///
 /// Returns an [`HttpError`] for malformed or oversized requests and for
-/// transport failures (including a client that connected and sent nothing —
-/// the server's shutdown wake-up does exactly that).
-pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpError> {
-    let deadline = Instant::now() + REQUEST_READ_DEADLINE;
-    let check_deadline = || {
-        if Instant::now() > deadline {
+/// transport failures after the request started arriving.
+pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>, HttpError> {
+    // Read byte-wise until the blank line; request heads are tiny and the
+    // per-connection cost is dwarfed by scenario evaluation.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    // The overall deadline starts at the first byte, not at idle-wait
+    // entry: a connection may legitimately sit idle (bounded by the
+    // socket's own read timeout) between keep-alive requests.
+    let mut deadline: Option<Instant> = None;
+    let check_deadline = |deadline: Option<Instant>| {
+        if deadline.is_some_and(|d| Instant::now() > d) {
             return Err(HttpError {
                 status: 408,
                 message: "request not received within the read deadline".to_string(),
@@ -83,10 +116,6 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
         }
         Ok(())
     };
-    // Read byte-wise until the blank line; request heads are tiny and the
-    // per-connection cost is dwarfed by scenario evaluation.
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() >= MAX_HEAD_BYTES {
             return Err(HttpError {
@@ -94,10 +123,28 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
                 message: "request head too large".to_string(),
             });
         }
-        check_deadline()?;
+        check_deadline(deadline)?;
         match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Ok(None), // clean keep-alive close
             Ok(0) => return Err(HttpError::bad_request("connection closed mid-head")),
-            Ok(_) => head.push(byte[0]),
+            Ok(_) => {
+                if head.is_empty() {
+                    deadline = Some(Instant::now() + REQUEST_READ_DEADLINE);
+                }
+                head.push(byte[0]);
+            }
+            Err(e) if head.is_empty() => {
+                return match e.kind() {
+                    // Idle-timeout silence between requests: reap quietly.
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(None),
+                    // A reset with nothing sent is a vanished client, not a
+                    // request worth answering.
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted => {
+                        Ok(None)
+                    }
+                    _ => Err(read_error("request", &e)),
+                };
+            }
             Err(e) => return Err(read_error("request", &e)),
         }
     }
@@ -120,6 +167,8 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
             message: format!("unsupported protocol {version}"),
         });
     }
+    // HTTP/1.1 persists by default; HTTP/1.0 closes by default.
+    let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
     let mut expects_continue = false;
@@ -131,6 +180,17 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::bad_request("invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // The header is a comma-separated token list ("close",
+                // "keep-alive", sometimes "keep-alive, Upgrade").
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
             } else if name.eq_ignore_ascii_case("expect")
                 && value.trim().eq_ignore_ascii_case("100-continue")
             {
@@ -168,7 +228,7 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
     let mut body = vec![0u8; content_length];
     let mut filled = 0usize;
     while filled < content_length {
-        check_deadline()?;
+        check_deadline(deadline)?;
         let end = (filled + 8 * 1024).min(content_length);
         match stream.read(&mut body[filled..end]) {
             Ok(0) => return Err(HttpError::bad_request("connection closed mid-body")),
@@ -177,7 +237,12 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Request, HttpErr
         }
     }
     let body = String::from_utf8(body).map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
 }
 
 /// Classifies a transport read failure: a socket-timeout expiry (the server
@@ -205,25 +270,74 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
-        501 => "Not Implemented",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
 }
 
-/// Writes a complete `Connection: close` JSON response.
+/// How a response frames the connection's future (and any extra headers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseOptions {
+    /// `true` → `Connection: keep-alive` (the socket stays open for the
+    /// next request); `false` → `Connection: close` (the caller closes
+    /// after writing). Error responses that abort the connection must use
+    /// `false` so clients do not wait on a dead socket.
+    pub keep_alive: bool,
+    /// Advisory `Retry-After: <seconds>` header — set on load-shedding
+    /// `429` responses so well-behaved clients back off.
+    pub retry_after_seconds: Option<u32>,
+}
+
+impl ResponseOptions {
+    /// A closing response (the PR-5 default; also every aborting error).
+    pub fn close() -> Self {
+        Self {
+            keep_alive: false,
+            retry_after_seconds: None,
+        }
+    }
+
+    /// A persistent-connection response.
+    pub fn keep_alive() -> Self {
+        Self {
+            keep_alive: true,
+            retry_after_seconds: None,
+        }
+    }
+
+    /// Adds a `Retry-After` header (load-shedding `429`s).
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after_seconds = Some(seconds);
+        self
+    }
+}
+
+/// Writes a complete JSON response with the given connection framing.
 ///
 /// # Errors
 ///
 /// Propagates transport errors (callers log and drop the connection).
-pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    options: ResponseOptions,
+) -> std::io::Result<()> {
+    let retry_after = options
+        .retry_after_seconds
+        .map(|seconds| format!("Retry-After: {seconds}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n",
         reason_phrase(status),
-        body.len()
+        body.len(),
+        if options.keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
@@ -267,32 +381,70 @@ mod tests {
         }
     }
 
-    fn parse(raw: &str) -> Result<Request, HttpError> {
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
         read_request(&mut FakeStream::new(raw))
+    }
+
+    fn parse_one(raw: &str) -> Request {
+        parse(raw).unwrap().expect("a complete request")
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req = parse(
+        let req = parse_one(
             "POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 18\r\n\r\n{\"dataset\":\"cora\"}",
-        )
-        .unwrap();
+        );
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/simulate");
         assert_eq!(req.body, "{\"dataset\":\"cora\"}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn parses_get_without_body_and_normalises_method_case() {
-        let req = parse("get /stats HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let req = parse_one("get /stats HTTP/1.0\r\nHost: x\r\n\r\n");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/stats");
         assert_eq!(req.body, "");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let req = parse_one("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let req = parse_one("GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+        // Token lists and arbitrary case both resolve.
+        let req = parse_one("GET /stats HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n");
+        assert!(req.keep_alive);
+        let req = parse_one("GET /stats HTTP/1.1\r\nCoNnEcTiOn: CLOSE\r\n\r\n");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_a_quiet_close_not_an_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back_from_one_stream() {
+        let mut stream = FakeStream::new(
+            "POST /simulate HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+             GET /stats HTTP/1.1\r\n\r\n",
+        );
+        let first = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(first.path, "/simulate");
+        assert_eq!(first.body, "hi");
+        let second = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(second.path, "/stats");
+        // ...and the third read observes the clean close.
+        assert!(read_request(&mut stream).unwrap().is_none());
     }
 
     #[test]
     fn header_lookup_is_case_insensitive() {
-        let req = parse("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi").unwrap();
+        let req = parse_one("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi");
         assert_eq!(req.body, "hi");
     }
 
@@ -304,7 +456,7 @@ mod tests {
         let mut stream = FakeStream::new(
             "POST /sweep HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 4\r\n\r\nbody",
         );
-        let req = read_request(&mut stream).unwrap();
+        let req = read_request(&mut stream).unwrap().unwrap();
         assert_eq!(req.body, "body");
         assert_eq!(stream.written, b"HTTP/1.1 100 Continue\r\n\r\n");
         // Bodyless requests never get (or need) the interim response.
@@ -313,53 +465,52 @@ mod tests {
         assert!(stream.written.is_empty());
     }
 
+    fn parse_err(raw: &str) -> HttpError {
+        parse(raw).unwrap_err()
+    }
+
     #[test]
     fn rejects_garbage_truncation_and_bad_lengths() {
-        assert_eq!(parse("").unwrap_err().status, 400);
-        assert_eq!(parse("POST\r\n\r\n").unwrap_err().status, 400);
-        assert_eq!(parse("POST /x SPDY/3\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(parse_err("POST").status, 400, "EOF mid-head");
+        assert_eq!(parse_err("POST\r\n\r\n").status, 400);
+        assert_eq!(parse_err("POST /x SPDY/3\r\n\r\n").status, 505);
         assert_eq!(
-            parse("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
-                .unwrap_err()
-                .status,
+            parse_err("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").status,
             400
         );
         // Declared body longer than what arrives.
         assert_eq!(
-            parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
-                .unwrap_err()
-                .status,
+            parse_err("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").status,
             400
         );
-        // Oversized declared body is refused before allocation.
+        // Oversized declared body is refused before allocation, with the
+        // dedicated 413 status.
         assert_eq!(
-            parse("POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
-                .unwrap_err()
-                .status,
+            parse_err("POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").status,
             413
         );
     }
 
     #[test]
     fn chunked_transfer_encoding_is_refused_explicitly() {
-        let err = parse("POST /sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        let err = parse_err("POST /sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
         assert_eq!(err.status, 501);
         assert!(err.message.contains("Content-Length"), "{}", err.message);
     }
 
     #[test]
-    fn oversized_head_is_refused() {
+    fn oversized_head_is_refused_with_431() {
         let raw = format!(
             "POST /x HTTP/1.1\r\nPadding: {}\r\n\r\n",
             "y".repeat(32 * 1024)
         );
-        assert_eq!(parse(&raw).unwrap_err().status, 431);
+        assert_eq!(parse_err(&raw).status, 431);
     }
 
     #[test]
     fn responses_are_well_formed() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\": true}").unwrap();
+        write_response(&mut out, 200, "{\"ok\": true}", ResponseOptions::close()).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Type: application/json\r\n"));
@@ -367,6 +518,33 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
         assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(429), "Too Many Requests");
+        assert_eq!(reason_phrase(503), "Service Unavailable");
         assert_eq!(reason_phrase(599), "Unknown");
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_persistence() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", ResponseOptions::keep_alive()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Retry-After"));
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "{\"error\": \"shed\"}",
+            ResponseOptions::keep_alive().with_retry_after(1),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

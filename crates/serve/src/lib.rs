@@ -53,9 +53,11 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod client;
 pub mod http;
 pub mod json;
+mod metrics;
 mod pool;
 mod request;
 mod server;

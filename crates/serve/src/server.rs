@@ -1,54 +1,93 @@
 //! The long-lived session server.
 //!
-//! A [`SessionServer`] owns a `TcpListener`, one acceptor thread and a fixed
-//! pool of worker threads. Connections are handed from the acceptor to the
-//! workers over a channel; each worker reads one request, dispatches it and
-//! answers with a `Connection: close` JSON response. All scenario execution
-//! routes through the shared [`SessionPool`] and the core crate's
-//! [`evaluate_scenario`] — the very code path `SweepRunner::run_one` uses —
-//! so served results are bit-identical to sweep results.
+//! A [`SessionServer`] owns a `TcpListener` and three kinds of threads:
+//!
+//! * an **acceptor** that spawns one lightweight thread per connection
+//!   (bounded by [`ServeConfig::max_connections`]; excess connections are
+//!   refused with `503` + `Retry-After`),
+//! * **connection threads** that loop HTTP/1.1 keep-alive reads on one
+//!   socket — pipelined requests are read ahead (up to
+//!   [`ServeConfig::connection_inflight`]) and answered strictly in order —
+//!   parse and validate inline, and push evaluation work into a bounded
+//!   admission queue (a full queue sheds the request with `429` +
+//!   `Retry-After` instead of queueing unbounded latency),
+//! * **evaluation workers** that pull from the queue; concurrently queued
+//!   `/simulate` requests sharing a
+//!   [`session_key`](gnnerator::ScenarioSpec::session_key) are coalesced
+//!   into one batch evaluated over a single warm session and fanned back
+//!   out, exactly like a `/sweep` body.
+//!
+//! All scenario execution routes through the shared [`SessionPool`] and the
+//! core crate's [`evaluate_scenario_batch`] — a straight per-scenario map
+//! of the `evaluate_scenario` path `SweepRunner::run_one` uses — so served
+//! results are bit-identical to sweep results, batched or not.
 //!
 //! # Endpoints
 //!
 //! | endpoint         | body                        | answers with |
 //! |------------------|-----------------------------|--------------|
-//! | `POST /simulate` | one scenario object         | the evaluated point (seconds, cycles, speedups, `session_reused`, `latency_seconds`) |
+//! | `POST /simulate` | one scenario object         | the evaluated point (seconds, cycles, speedups, `session_reused`, `latency_seconds`, `batch_size`) |
 //! | `POST /compile`  | one accelerator scenario    | the compiled-workload summary (no execution) |
-//! | `POST /sweep`    | `{"scenarios": [...]}`      | every point, evaluated in order on this worker |
-//! | `GET /stats`     | —                           | pool hit/miss/eviction counters, per-endpoint request counts and latency |
-//! | `POST /shutdown` | —                           | `{"ok": true}`, then stops accepting and drains |
+//! | `POST /sweep`    | `{"scenarios": [...]}`      | every point, in order, evaluated batch-per-session-key |
+//! | `GET /stats`     | —                           | pool counters, admission/batching counters, queue-wait / evaluate / serialize latency histograms (p50/p90/p99) |
+//! | `POST /shutdown` | —                           | `{"ok": true}`, then stops accepting, wakes idle keep-alive connections and drains |
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::batch::{Job, JobKind, JobQueue, Reply, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request, ResponseOptions};
 use crate::json::{json_f64, json_opt_f64, json_opt_u64, json_string, Json};
+use crate::metrics::{Histogram, Metrics};
 use crate::pool::SessionPool;
 use crate::request::scenario_from_json;
-use gnnerator::{evaluate_scenario, ScenarioResult};
+use gnnerator::{evaluate_scenario_batch, ScenarioResult, ScenarioSpec, SessionKey, SimSession};
 use gnnerator_graph::ArtifactCache;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a worker waits for a slow client before dropping the connection.
+/// How long a connection thread waits for a slow client *write* before
+/// dropping the connection. (Read silence is governed by
+/// [`ServeConfig::idle_timeout`].)
 const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a connection thread waits for an evaluation worker's reply
+/// before answering `500`. Generous: a cold large-scale session build is
+/// minutes, not seconds.
+const WORKER_REPLY_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Configuration for a [`SessionServer`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads answering requests (each runs one request at a time).
+    /// Evaluation worker threads (each evaluates one batch at a time).
     pub workers: usize,
     /// Warm sessions the pool holds before LRU eviction.
     pub pool_capacity: usize,
     /// Persistent artifact cache backing cold session builds, if any.
     pub artifact_cache: Option<Arc<ArtifactCache>>,
+    /// Evaluation jobs admitted to the queue before load shedding (`429`).
+    pub queue_depth: usize,
+    /// Most `/simulate` requests one coalesced evaluation pass absorbs.
+    pub max_batch: usize,
+    /// Pipelined requests one connection may have unanswered before the
+    /// server stops reading ahead on that socket.
+    pub connection_inflight: usize,
+    /// How long an idle keep-alive connection may sit silent before the
+    /// server closes it.
+    pub idle_timeout: Duration,
+    /// Concurrent connections accepted before refusing with `503`.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
     /// Workers scale with the machine (capped at 8); 32 warm sessions; no
     /// artifact cache (callers opt in, typically via
-    /// [`ArtifactCache::from_env`]).
+    /// [`ArtifactCache::from_env`]); a 256-deep admission queue, 16-wide
+    /// batches, 8 pipelined requests per connection, 30 s idle timeout and
+    /// 1024 concurrent connections.
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism()
@@ -57,7 +96,48 @@ impl Default for ServeConfig {
                 .min(8),
             pool_capacity: 32,
             artifact_cache: None,
+            queue_depth: 256,
+            max_batch: 16,
+            connection_inflight: 8,
+            idle_timeout: Duration::from_secs(30),
+            max_connections: 1024,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults with `GNNERATOR_SERVE_*` environment overrides applied:
+    /// `WORKERS`, `POOL_CAPACITY`, `QUEUE_DEPTH`, `MAX_BATCH`,
+    /// `CONNECTION_INFLIGHT`, `IDLE_TIMEOUT_MS` and `MAX_CONNECTIONS`
+    /// suffixes, each a positive integer. Unset or unparseable variables
+    /// keep the default.
+    pub fn from_env() -> Self {
+        fn read(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut config = Self::default();
+        if let Some(v) = read("GNNERATOR_SERVE_WORKERS") {
+            config.workers = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_POOL_CAPACITY") {
+            config.pool_capacity = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_QUEUE_DEPTH") {
+            config.queue_depth = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_MAX_BATCH") {
+            config.max_batch = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_CONNECTION_INFLIGHT") {
+            config.connection_inflight = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_IDLE_TIMEOUT_MS") {
+            config.idle_timeout = Duration::from_millis(v.max(1) as u64);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_MAX_CONNECTIONS") {
+            config.max_connections = v.max(1);
+        }
+        config
     }
 }
 
@@ -76,9 +156,63 @@ struct EndpointStats {
     stats: EndpointStat,
 }
 
-/// State shared by every worker.
+/// Live connections, with enough of a handle (`try_clone`) to wake each
+/// one's blocking read at shutdown.
+#[derive(Default)]
+struct ConnectionRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    peak: AtomicUsize,
+    total: AtomicUsize,
+    refused: AtomicUsize,
+}
+
+impl ConnectionRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut streams = self.streams.lock().expect("connection registry poisoned");
+        streams.insert(id, clone);
+        self.peak.fetch_max(streams.len(), Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .expect("connection registry poisoned")
+            .remove(&id);
+    }
+
+    fn active(&self) -> usize {
+        self.streams
+            .lock()
+            .expect("connection registry poisoned")
+            .len()
+    }
+
+    /// Half-closes every registered socket's read side: idle keep-alive
+    /// readers wake with EOF and drain, while responses still in flight
+    /// write out normally.
+    fn shutdown_all(&self) {
+        for stream in self
+            .streams
+            .lock()
+            .expect("connection registry poisoned")
+            .values()
+        {
+            stream.shutdown(Shutdown::Read).ok();
+        }
+    }
+}
+
+/// State shared by the acceptor, every connection thread and every worker.
 struct ServerState {
     pool: SessionPool,
+    queue: JobQueue,
+    metrics: Mutex<Metrics>,
+    connections: ConnectionRegistry,
     shutdown: AtomicBool,
     /// The bound listener address — the shutdown path dials it to wake the
     /// blocking acceptor.
@@ -87,6 +221,11 @@ struct ServerState {
     requests: AtomicUsize,
     errors: AtomicUsize,
     endpoints: Mutex<EndpointStats>,
+    // Admission knobs, kept here so `/stats` can report them.
+    max_batch: usize,
+    connection_inflight: usize,
+    max_connections: usize,
+    idle_timeout: Duration,
 }
 
 /// A running session server. Dropping the handle does *not* stop the
@@ -101,7 +240,7 @@ pub struct SessionServer {
 
 impl SessionServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor and worker threads.
+    /// acceptor and evaluation worker threads.
     ///
     /// # Errors
     ///
@@ -111,26 +250,30 @@ impl SessionServer {
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             pool: SessionPool::new(config.pool_capacity, config.artifact_cache),
+            queue: JobQueue::new(config.queue_depth),
+            metrics: Mutex::new(Metrics::default()),
+            connections: ConnectionRegistry::default(),
             shutdown: AtomicBool::new(false),
             addr,
             started: Instant::now(),
             requests: AtomicUsize::new(0),
             errors: AtomicUsize::new(0),
             endpoints: Mutex::new(EndpointStats::default()),
+            max_batch: config.max_batch.max(1),
+            connection_inflight: config.connection_inflight.max(1),
+            max_connections: config.max_connections.max(1),
+            idle_timeout: config.idle_timeout,
         });
 
-        let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-        let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..config.workers.max(1))
             .map(|_| {
-                let receiver = Arc::clone(&receiver);
                 let state = Arc::clone(&state);
-                std::thread::spawn(move || worker_loop(&receiver, &state))
+                std::thread::spawn(move || eval_worker_loop(&state))
             })
             .collect();
         let acceptor = {
             let state = Arc::clone(&state);
-            std::thread::spawn(move || acceptor_loop(&listener, &sender, &state))
+            std::thread::spawn(move || acceptor_loop(&listener, &state))
         };
         Ok(Self {
             addr,
@@ -158,9 +301,10 @@ impl SessionServer {
     }
 
     /// Requests a stop and joins every thread: in-flight and queued
-    /// requests finish, new connections are refused.
+    /// requests finish, idle keep-alive connections are woken and closed,
+    /// new connections are refused.
     pub fn shutdown(mut self) {
-        trigger_shutdown(&self.state, self.addr);
+        trigger_shutdown(&self.state);
         self.join();
     }
 
@@ -171,21 +315,26 @@ impl SessionServer {
     }
 
     fn join(&mut self) {
+        // Order matters: the acceptor joins every connection thread (which
+        // may still be waiting on worker replies), so workers must outlive
+        // it — the queue closes only after the acceptor returns.
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor thread panicked");
         }
+        self.state.queue.close();
         for worker in self.workers.drain(..) {
-            // Workers catch per-request panics, but shutdown must still
-            // succeed even if one died some other way.
             let _ = worker.join();
         }
     }
 }
 
-/// Flags the server for shutdown and nudges the (blocking) acceptor with a
-/// throwaway connection so it observes the flag.
-fn trigger_shutdown(state: &ServerState, mut addr: SocketAddr) {
+/// Flags the server for shutdown, wakes idle keep-alive readers and nudges
+/// the (blocking) acceptor with a throwaway connection so it observes the
+/// flag.
+fn trigger_shutdown(state: &ServerState) {
     state.shutdown.store(true, Ordering::SeqCst);
+    state.connections.shutdown_all();
+    let mut addr = state.addr;
     if addr.ip().is_unspecified() {
         // A wildcard bind (0.0.0.0 / ::) is not a dialable destination on
         // every platform; the listener is always reachable via loopback.
@@ -197,16 +346,30 @@ fn trigger_shutdown(state: &ServerState, mut addr: SocketAddr) {
     let _ = TcpStream::connect(addr); // wake the acceptor; dropped unread
 }
 
-fn acceptor_loop(listener: &TcpListener, sender: &Sender<TcpStream>, state: &ServerState) {
+fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if state.shutdown.load(Ordering::SeqCst) {
                     break; // the wake-up (or a late client); refuse and stop
                 }
-                if sender.send(stream).is_err() {
-                    break;
+                handles.retain(|handle| !handle.is_finished());
+                if state.connections.active() >= state.max_connections {
+                    refuse_connection(stream, state);
+                    continue;
                 }
+                let state = Arc::clone(state);
+                handles.push(std::thread::spawn(move || {
+                    // A panicking connection must cost one socket, not the
+                    // server: the thread dies anyway, but count it.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &state);
+                    }));
+                    if caught.is_err() {
+                        state.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
             }
             Err(_) => {
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -214,58 +377,225 @@ fn acceptor_loop(listener: &TcpListener, sender: &Sender<TcpStream>, state: &Ser
                 }
                 // Transient accept errors (aborted handshakes, fd
                 // exhaustion) are not fatal; back off briefly so a
-                // persistent failure cannot busy-spin this thread and
-                // starve the workers that would free descriptors.
+                // persistent failure cannot busy-spin this thread.
                 std::thread::sleep(Duration::from_millis(20));
             }
         }
     }
-    // Dropping the sender lets workers drain the queue and exit.
+    for handle in handles {
+        let _ = handle.join();
+    }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<ServerState>) {
+/// Answers a connection the server has no capacity for, without spawning a
+/// thread for it.
+fn refuse_connection(mut stream: TcpStream, state: &ServerState) {
+    state.connections.refused.fetch_add(1, Ordering::Relaxed);
+    stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+    write_response(
+        &mut stream,
+        503,
+        &error_body("connection limit reached; retry shortly"),
+        ResponseOptions::close().with_retry_after(1),
+    )
+    .ok();
+}
+
+/// A `TcpStream` wrapper that (a) serves previously probed bytes before
+/// touching the socket and (b) can *probe* for already-arrived pipelined
+/// bytes without blocking — the connection loop only reads ahead when the
+/// client has actually sent more.
+struct BufferedStream {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+    pos: usize,
+    peer_closed: bool,
+}
+
+impl BufferedStream {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buffer: Vec::new(),
+            pos: 0,
+            peer_closed: false,
+        }
+    }
+
+    /// `true` when the next `read_request` will make progress without
+    /// waiting: buffered bytes, immediately readable bytes, or a pending
+    /// EOF the caller should observe.
+    fn has_pending_input(&mut self) -> bool {
+        if self.pos < self.buffer.len() || self.peer_closed {
+            return true;
+        }
+        self.stream.set_nonblocking(true).ok();
+        let mut probe = [0u8; 4096];
+        let outcome = self.stream.read(&mut probe);
+        self.stream.set_nonblocking(false).ok();
+        match outcome {
+            Ok(0) => {
+                self.peer_closed = true;
+                true
+            }
+            Ok(n) => {
+                self.buffer.clear();
+                self.pos = 0;
+                self.buffer.extend_from_slice(&probe[..n]);
+                true
+            }
+            Err(_) => false, // WouldBlock (nothing yet) or a dying socket
+        }
+    }
+}
+
+impl Read for BufferedStream {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.buffer.len() {
+            let n = (self.buffer.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buffer[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        if self.peer_closed {
+            return Ok(0);
+        }
+        self.stream.read(out)
+    }
+}
+
+impl Write for BufferedStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// One admitted-but-unanswered request on a connection. Responses are
+/// written strictly in request order.
+enum Pending {
+    /// Answered inline (stats, shutdown, errors, shed requests).
+    Ready {
+        status: u16,
+        body: String,
+        keep_alive: bool,
+        retry_after: Option<u32>,
+    },
+    /// Waiting on an evaluation worker.
+    Waiting {
+        receiver: Receiver<Reply>,
+        keep_alive: bool,
+    },
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let Some(id) = state.connections.register(&stream) else {
+        return; // try_clone failed: the socket is already dying
+    };
+    // Unregister on every exit path, including panics (caught upstream).
+    struct Unregister<'a> {
+        state: &'a ServerState,
+        id: u64,
+    }
+    impl Drop for Unregister<'_> {
+        fn drop(&mut self) {
+            self.state.connections.unregister(self.id);
+        }
+    }
+    let _guard = Unregister { state, id };
+    // The flag check must come *after* registration: trigger_shutdown sets
+    // the flag before wielding the registry, so a connection that races it
+    // either gets its read shut down or observes the flag here.
+    if state.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    serve_connection(stream, state);
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    stream.set_read_timeout(Some(state.idle_timeout)).ok();
+    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT)).ok();
+    stream.set_nodelay(true).ok();
+    let mut stream = BufferedStream::new(stream);
+    let mut inflight: VecDeque<Pending> = VecDeque::new();
+    let mut reads_done = false;
     loop {
-        let stream = {
-            let receiver = receiver.lock().expect("connection queue poisoned");
-            receiver.recv()
-        };
-        match stream {
-            Ok(stream) => {
-                // A panicking request must cost one connection, not one
-                // worker: with a fixed pool, every leaked worker shrinks
-                // the server until nothing answers.
-                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, state);
-                }));
-                if caught.is_err() {
-                    state.errors.fetch_add(1, Ordering::Relaxed);
+        // Admit requests: block for the first one, then read ahead only as
+        // long as pipelined bytes have actually arrived and the in-flight
+        // cap allows. Responses are never reordered, so reading ahead just
+        // lets queued work coalesce while earlier answers are in flight.
+        while !reads_done && inflight.len() < state.connection_inflight {
+            if !inflight.is_empty() && !stream.has_pending_input() {
+                break;
+            }
+            match read_request(&mut stream) {
+                Ok(Some(request)) => {
+                    state.requests.fetch_add(1, Ordering::Relaxed);
+                    inflight.push_back(admit(request, state));
+                }
+                Ok(None) => {
+                    reads_done = true; // clean EOF or idle timeout
+                }
+                Err(HttpError { status, message }) => {
+                    // A parse failure leaves the stream position undefined:
+                    // answer (after any earlier responses) and close.
+                    inflight.push_back(Pending::Ready {
+                        status,
+                        body: error_body(&message),
+                        keep_alive: false,
+                        retry_after: None,
+                    });
+                    reads_done = true;
                 }
             }
-            Err(_) => break, // acceptor gone and queue drained
+        }
+        let Some(pending) = inflight.pop_front() else {
+            return; // idle close, clean EOF, or shutdown wake-up
+        };
+        let (status, body, mut keep_alive, retry_after) = resolve(pending);
+        if status >= 400 {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if reads_done && inflight.is_empty() {
+            keep_alive = false; // nothing further can arrive on this socket
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            keep_alive = false;
+        }
+        let mut options = if keep_alive {
+            ResponseOptions::keep_alive()
+        } else {
+            ResponseOptions::close()
+        };
+        if let Some(seconds) = retry_after {
+            options = options.with_retry_after(seconds);
+        }
+        if write_response(&mut stream, status, &body, options).is_err() || !keep_alive {
+            return; // any replies still pending are dropped (send is a no-op)
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT)).ok();
-    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT)).ok();
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err(HttpError { status, message }) => {
-            // Includes the shutdown wake-up connection (closed mid-head);
-            // answering is best-effort because the peer may be gone.
-            write_response(&mut stream, status, &error_body(&message)).ok();
-            return;
-        }
-    };
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    let started = Instant::now();
-    let (status, body) = dispatch(&request, state);
-    if status >= 400 {
-        state.errors.fetch_add(1, Ordering::Relaxed);
+/// Blocks until `pending` has a response: `(status, body, keep_alive,
+/// retry_after)`.
+fn resolve(pending: Pending) -> (u16, String, bool, Option<u32>) {
+    match pending {
+        Pending::Ready {
+            status,
+            body,
+            keep_alive,
+            retry_after,
+        } => (status, body, keep_alive, retry_after),
+        Pending::Waiting {
+            receiver,
+            keep_alive,
+        } => match receiver.recv_timeout(WORKER_REPLY_TIMEOUT) {
+            Ok(reply) => (reply.status, reply.body, keep_alive, None),
+            Err(_) => (500, error_body("evaluation did not complete"), false, None),
+        },
     }
-    record_latency(state, &request, started.elapsed().as_secs_f64());
-    write_response(&mut stream, status, &body).ok();
 }
 
 /// The dispatchable path: everything before any query string (no endpoint
@@ -275,9 +605,9 @@ fn route(request: &Request) -> &str {
     request.path.split('?').next().unwrap_or("")
 }
 
-fn record_latency(state: &ServerState, request: &Request, seconds: f64) {
+fn record_endpoint_latency(state: &ServerState, path: &str, seconds: f64) {
     let mut endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
-    let stat = match route(request) {
+    let stat = match path {
         "/simulate" => &mut endpoints.simulate,
         "/compile" => &mut endpoints.compile,
         "/sweep" => &mut endpoints.sweep,
@@ -292,24 +622,91 @@ fn error_body(message: &str) -> String {
     format!("{{\"error\": {}}}", json_string(message))
 }
 
-fn dispatch(request: &Request, state: &Arc<ServerState>) -> (u16, String) {
-    match (request.method.as_str(), route(request)) {
-        ("POST", "/simulate") => handle_simulate(&request.body, state),
-        ("POST", "/compile") => handle_compile(&request.body, state),
-        ("POST", "/sweep") => handle_sweep(&request.body, state),
-        ("GET", "/stats") => (200, stats_body(state)),
+/// Parses, validates and routes one request on the connection thread.
+/// Cheap requests answer inline; evaluation work is submitted to the
+/// bounded queue (shedding with `429` when full).
+fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
+    let keep_alive = request.keep_alive;
+    let ready = |status: u16, body: String| Pending::Ready {
+        status,
+        body,
+        keep_alive,
+        retry_after: None,
+    };
+    match (request.method.as_str(), route(&request)) {
+        ("POST", "/simulate") => {
+            match parse_body(&request.body).and_then(|json| scenario_from_json(&json)) {
+                Ok(scenario) => submit(JobKind::Simulate(Box::new(scenario)), keep_alive, state),
+                Err(message) => ready(400, error_body(&message)),
+            }
+        }
+        ("POST", "/compile") => {
+            match parse_body(&request.body).and_then(|json| scenario_from_json(&json)) {
+                Ok(scenario) if !scenario.backend.is_accelerator() => ready(
+                    400,
+                    error_body("only accelerator scenarios compile; baselines are analytical"),
+                ),
+                Ok(scenario) => submit(JobKind::Compile(Box::new(scenario)), keep_alive, state),
+                Err(message) => ready(400, error_body(&message)),
+            }
+        }
+        ("POST", "/sweep") => match parse_sweep(&request.body) {
+            Ok(scenarios) => submit(JobKind::Sweep(scenarios), keep_alive, state),
+            Err(message) => ready(400, error_body(&message)),
+        },
+        ("GET", "/stats") => {
+            let started = Instant::now();
+            let body = stats_body(state);
+            record_endpoint_latency(state, "/stats", started.elapsed().as_secs_f64());
+            ready(200, body)
+        }
         ("POST", "/shutdown") => {
-            trigger_shutdown(state, state.addr);
-            (200, "{\"ok\": true}".to_string())
+            trigger_shutdown(state);
+            Pending::Ready {
+                status: 200,
+                body: "{\"ok\": true}".to_string(),
+                keep_alive: false,
+                retry_after: None,
+            }
         }
         (_, "/simulate" | "/compile" | "/sweep" | "/shutdown") => {
-            (405, error_body("use POST for this endpoint"))
+            ready(405, error_body("use POST for this endpoint"))
         }
-        (_, "/stats") => (405, error_body("use GET /stats")),
-        _ => (
+        (_, "/stats") => ready(405, error_body("use GET /stats")),
+        _ => ready(
             404,
             error_body(&format!("no such endpoint {}", request.path)),
         ),
+    }
+}
+
+/// Submits evaluation work to the admission queue; a full queue sheds the
+/// request (`429` + `Retry-After`, connection stays usable), a closed queue
+/// answers `503` on a closing connection.
+fn submit(kind: JobKind, keep_alive: bool, state: &Arc<ServerState>) -> Pending {
+    let (reply, receiver) = channel();
+    let job = Job {
+        kind,
+        reply,
+        enqueued: Instant::now(),
+    };
+    match state.queue.submit(job) {
+        Ok(()) => Pending::Waiting {
+            receiver,
+            keep_alive,
+        },
+        Err(SubmitError::Full) => Pending::Ready {
+            status: 429,
+            body: error_body("server is at capacity; retry shortly"),
+            keep_alive,
+            retry_after: Some(1),
+        },
+        Err(SubmitError::Closed) => Pending::Ready {
+            status: 503,
+            body: error_body("server is shutting down"),
+            keep_alive: false,
+            retry_after: None,
+        },
     }
 }
 
@@ -320,41 +717,150 @@ fn parse_body(body: &str) -> Result<Json, String> {
     Json::parse(body).ok_or_else(|| "malformed JSON body".to_string())
 }
 
-fn handle_simulate(body: &str, state: &Arc<ServerState>) -> (u16, String) {
-    let started = Instant::now();
-    let scenario = match parse_body(body).and_then(|json| scenario_from_json(&json)) {
-        Ok(scenario) => scenario,
-        Err(message) => return (400, error_body(&message)),
+fn parse_sweep(body: &str) -> Result<Vec<ScenarioSpec>, String> {
+    let json = parse_body(body)?;
+    let Some(entries) = json.get("scenarios").and_then(Json::as_array) else {
+        return Err(
+            "body must be {\"scenarios\": [...]} with an array of scenario objects".to_string(),
+        );
     };
-    let lookup = match state.pool.get(&scenario) {
-        Ok(lookup) => lookup,
-        Err(e) => return (500, error_body(&e.to_string())),
-    };
-    match evaluate_scenario(&scenario, &lookup.session) {
-        Ok(result) => (
-            200,
-            point_json(
-                &result,
-                Some((lookup.reused, started.elapsed().as_secs_f64())),
-            ),
-        ),
-        Err(e) => (500, error_body(&e.to_string())),
+    entries
+        .iter()
+        .enumerate()
+        .map(|(index, entry)| {
+            scenario_from_json(entry).map_err(|message| format!("scenario {index}: {message}"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation workers
+// ---------------------------------------------------------------------------
+
+fn eval_worker_loop(state: &Arc<ServerState>) {
+    while let Some(batch) = state.queue.next_batch(state.max_batch) {
+        // A panic mid-batch drops the reply senders; the waiting
+        // connections answer 500 (and count the error) themselves.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(batch, state);
+        }));
     }
 }
 
-fn handle_compile(body: &str, state: &Arc<ServerState>) -> (u16, String) {
-    let started = Instant::now();
-    let scenario = match parse_body(body).and_then(|json| scenario_from_json(&json)) {
-        Ok(scenario) => scenario,
-        Err(message) => return (400, error_body(&message)),
-    };
-    if !scenario.backend.is_accelerator() {
-        return (
-            400,
-            error_body("only accelerator scenarios compile; baselines are analytical"),
-        );
+fn process_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
+    let picked_up = Instant::now();
+    {
+        let mut metrics = state.metrics.lock().expect("metrics poisoned");
+        for job in &batch {
+            metrics
+                .queue_wait
+                .record(picked_up.duration_since(job.enqueued).as_secs_f64());
+        }
     }
-    let lookup = match state.pool.get(&scenario) {
+    // A batch is either 1+ same-session-key Simulate jobs, or exactly one
+    // Compile/Sweep job (those never coalesce).
+    match batch[0].kind {
+        JobKind::Simulate(_) => process_simulate_batch(batch, state),
+        JobKind::Compile(_) => {
+            for job in batch {
+                process_compile(job, state);
+            }
+        }
+        JobKind::Sweep(_) => {
+            for job in batch {
+                process_sweep(job, state);
+            }
+        }
+    }
+}
+
+fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
+    let size = batch.len();
+    let mut jobs = Vec::with_capacity(size);
+    for job in batch {
+        let Job {
+            kind,
+            reply,
+            enqueued,
+        } = job;
+        let JobKind::Simulate(scenario) = kind else {
+            continue; // unreachable: coalescing only groups Simulate jobs
+        };
+        jobs.push((*scenario, reply, enqueued));
+    }
+    // One pool lookup *per request* keeps hit/miss accounting identical to
+    // the one-at-a-time path: the first cold request builds (a miss), the
+    // coalesced rest are warm hits on the same key.
+    let lookups: Vec<_> = jobs
+        .iter()
+        .map(|(scenario, _, _)| state.pool.get(scenario))
+        .collect();
+    let session: Option<Arc<SimSession>> = lookups
+        .iter()
+        .find_map(|lookup| lookup.as_ref().ok().map(|l| Arc::clone(&l.session)));
+    let scenarios: Vec<ScenarioSpec> = jobs.iter().map(|(s, _, _)| s.clone()).collect();
+    let results = match &session {
+        Some(session) => evaluate_scenario_batch(&scenarios, session),
+        None => Vec::new(), // every lookup failed; answered per-job below
+    };
+    {
+        let mut metrics = state.metrics.lock().expect("metrics poisoned");
+        metrics.batch.record(size);
+        for result in results.iter().flatten() {
+            metrics.evaluate.record(result.simulate_seconds);
+        }
+    }
+    for (index, ((_, reply, enqueued), lookup)) in jobs.into_iter().zip(lookups).enumerate() {
+        let (status, body) = match lookup {
+            Err(e) => (500, error_body(&e.to_string())),
+            Ok(lookup) => match results.get(index) {
+                Some(Ok(result)) => {
+                    let serialize_started = Instant::now();
+                    let body = point_json(
+                        result,
+                        Some(ServingInfo {
+                            reused: lookup.reused,
+                            latency_seconds: enqueued.elapsed().as_secs_f64(),
+                            batch_size: size,
+                        }),
+                    );
+                    state
+                        .metrics
+                        .lock()
+                        .expect("metrics poisoned")
+                        .serialize
+                        .record(serialize_started.elapsed().as_secs_f64());
+                    (200, body)
+                }
+                Some(Err(e)) => (500, error_body(&e.to_string())),
+                None => (500, error_body("session build failed for this batch")),
+            },
+        };
+        record_endpoint_latency(state, "/simulate", enqueued.elapsed().as_secs_f64());
+        let _ = reply.send(Reply { status, body });
+    }
+}
+
+fn process_compile(job: Job, state: &Arc<ServerState>) {
+    let Job {
+        kind,
+        reply,
+        enqueued,
+    } = job;
+    let JobKind::Compile(scenario) = kind else {
+        return;
+    };
+    let (status, body) = compile_response(&scenario, state, enqueued);
+    record_endpoint_latency(state, "/compile", enqueued.elapsed().as_secs_f64());
+    let _ = reply.send(Reply { status, body });
+}
+
+fn compile_response(
+    scenario: &ScenarioSpec,
+    state: &ServerState,
+    enqueued: Instant,
+) -> (u16, String) {
+    let lookup = match state.pool.get(scenario) {
         Ok(lookup) => lookup,
         Err(e) => return (500, error_body(&e.to_string())),
     };
@@ -375,52 +881,107 @@ fn handle_compile(body: &str, state: &Arc<ServerState>) -> (u16, String) {
         lookup.session.num_edges(),
         lookup.session.cached_shard_plans(),
         lookup.reused,
-        json_f64(started.elapsed().as_secs_f64()),
+        json_f64(enqueued.elapsed().as_secs_f64()),
     );
     (200, body)
 }
 
-fn handle_sweep(body: &str, state: &Arc<ServerState>) -> (u16, String) {
-    let started = Instant::now();
-    let json = match parse_body(body) {
-        Ok(json) => json,
-        Err(message) => return (400, error_body(&message)),
+fn process_sweep(job: Job, state: &Arc<ServerState>) {
+    let Job {
+        kind,
+        reply,
+        enqueued,
+    } = job;
+    let JobKind::Sweep(scenarios) = kind else {
+        return;
     };
-    let Some(scenarios) = json.get("scenarios").and_then(Json::as_array) else {
-        return (
-            400,
-            error_body("body must be {\"scenarios\": [...]} with an array of scenario objects"),
-        );
-    };
+    let (status, body) = sweep_response(&scenarios, state, enqueued);
+    record_endpoint_latency(state, "/sweep", enqueued.elapsed().as_secs_f64());
+    let _ = reply.send(Reply { status, body });
+}
+
+fn sweep_response(
+    scenarios: &[ScenarioSpec],
+    state: &ServerState,
+    enqueued: Instant,
+) -> (u16, String) {
+    // Group by session key (first-seen order) so each compiled session is
+    // looked up once per scenario but evaluated as one batch; per-group
+    // order matches input order, so results are bit-identical to the
+    // one-at-a-time path.
+    let mut groups: Vec<(SessionKey, Vec<usize>)> = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        let key = scenario.session_key();
+        if let Some((_, members)) = groups.iter_mut().find(|(k, _)| *k == key) {
+            members.push(index);
+        } else {
+            groups.push((key, vec![index]));
+        }
+    }
+    let mut results: Vec<Option<Result<ScenarioResult, gnnerator::GnneratorError>>> =
+        scenarios.iter().map(|_| None).collect();
+    for (_, members) in &groups {
+        let mut session: Option<Arc<SimSession>> = None;
+        let mut group_scenarios = Vec::with_capacity(members.len());
+        let mut group_indices = Vec::with_capacity(members.len());
+        for &index in members {
+            match state.pool.get(&scenarios[index]) {
+                Ok(lookup) => {
+                    session.get_or_insert(lookup.session);
+                    group_scenarios.push(scenarios[index].clone());
+                    group_indices.push(index);
+                }
+                Err(e) => results[index] = Some(Err(e)),
+            }
+        }
+        if let Some(session) = session {
+            let evaluated = evaluate_scenario_batch(&group_scenarios, &session);
+            let mut metrics = state.metrics.lock().expect("metrics poisoned");
+            for result in evaluated.iter().flatten() {
+                metrics.evaluate.record(result.simulate_seconds);
+            }
+            drop(metrics);
+            for (result, &index) in evaluated.into_iter().zip(&group_indices) {
+                results[index] = Some(result);
+            }
+        }
+    }
+    // The lowest failing scenario index wins, matching the serial path.
     let mut points = Vec::with_capacity(scenarios.len());
-    for (index, entry) in scenarios.iter().enumerate() {
-        let scenario = match scenario_from_json(entry) {
-            Ok(scenario) => scenario,
-            Err(message) => return (400, error_body(&format!("scenario {index}: {message}"))),
-        };
-        let result = state
-            .pool
-            .get(&scenario)
-            .and_then(|lookup| evaluate_scenario(&scenario, &lookup.session));
+    for (index, result) in results.into_iter().enumerate() {
         match result {
-            Ok(result) => points.push(point_json(&result, None)),
-            Err(e) => return (500, error_body(&format!("scenario {index}: {e}"))),
+            Some(Ok(result)) => points.push(point_json(&result, None)),
+            Some(Err(e)) => return (500, error_body(&format!("scenario {index}: {e}"))),
+            None => {
+                return (
+                    500,
+                    error_body(&format!("scenario {index}: session build failed")),
+                )
+            }
         }
     }
     let body = format!(
         "{{\"count\": {}, \"latency_seconds\": {}, \"points\": [{}]}}",
         points.len(),
-        json_f64(started.elapsed().as_secs_f64()),
+        json_f64(enqueued.elapsed().as_secs_f64()),
         points.join(", "),
     );
     (200, body)
 }
 
+/// Serving-side extras appended to a `/simulate` point.
+struct ServingInfo {
+    reused: bool,
+    latency_seconds: f64,
+    /// Requests evaluated in the same coalesced pass (1 = solo).
+    batch_size: usize,
+}
+
 /// Renders one evaluated point. The numeric columns mirror
 /// `BENCH_sweep.json`'s rows (same names, same null-for-non-finite policy);
-/// `session_reused`/`latency_seconds` are appended for `/simulate`
-/// responses.
-fn point_json(result: &ScenarioResult, serving: Option<(bool, f64)>) -> String {
+/// `session_reused`/`latency_seconds`/`batch_size` are appended for
+/// `/simulate` responses.
+fn point_json(result: &ScenarioResult, serving: Option<ServingInfo>) -> String {
     let report = result.report.as_ref();
     let mut body = format!(
         "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \
@@ -451,17 +1012,33 @@ fn point_json(result: &ScenarioResult, serving: Option<(bool, f64)>) -> String {
             report.occupied_shards(),
         ));
     }
-    if let Some((reused, latency)) = serving {
+    if let Some(serving) = serving {
         body.push_str(&format!(
-            ", \"session_reused\": {reused}, \"latency_seconds\": {}",
-            json_f64(latency)
+            ", \"session_reused\": {}, \"latency_seconds\": {}, \"batch_size\": {}",
+            serving.reused,
+            json_f64(serving.latency_seconds),
+            serving.batch_size,
         ));
     }
     body.push('}');
     body
 }
 
-fn stats_body(state: &Arc<ServerState>) -> String {
+fn histogram_json(histogram: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_seconds\": {}, \"min_seconds\": {}, \"max_seconds\": {}, \
+         \"p50_seconds\": {}, \"p90_seconds\": {}, \"p99_seconds\": {}}}",
+        histogram.count(),
+        json_f64(histogram.mean()),
+        json_f64(histogram.min()),
+        json_f64(histogram.max()),
+        json_f64(histogram.quantile(0.50)),
+        json_f64(histogram.quantile(0.90)),
+        json_f64(histogram.quantile(0.99)),
+    )
+}
+
+fn stats_body(state: &ServerState) -> String {
     let pool = state.pool.stats();
     let endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
     let endpoint = |name: &str, stat: &EndpointStat| {
@@ -478,11 +1055,56 @@ fn stats_body(state: &Arc<ServerState>) -> String {
             json_f64(mean),
         )
     };
+    let endpoints_json = format!(
+        "{}, {}, {}, {}",
+        endpoint("simulate", &endpoints.simulate),
+        endpoint("compile", &endpoints.compile),
+        endpoint("sweep", &endpoints.sweep),
+        endpoint("stats", &endpoints.stats),
+    );
+    drop(endpoints);
+    let admission = format!(
+        "{{\"queue_capacity\": {}, \"queue_depth\": {}, \"peak_queue_depth\": {}, \
+         \"shed\": {}, \"active_connections\": {}, \"peak_connections\": {}, \
+         \"total_connections\": {}, \"refused_connections\": {}, \
+         \"connection_inflight_cap\": {}, \"max_connections\": {}, \
+         \"max_batch\": {}, \"idle_timeout_seconds\": {}}}",
+        state.queue.capacity(),
+        state.queue.depth(),
+        state.queue.peak_depth(),
+        state.queue.shed_count(),
+        state.connections.active(),
+        state.connections.peak.load(Ordering::Relaxed),
+        state.connections.total.load(Ordering::Relaxed),
+        state.connections.refused.load(Ordering::Relaxed),
+        state.connection_inflight,
+        state.max_connections,
+        state.max_batch,
+        json_f64(state.idle_timeout.as_secs_f64()),
+    );
+    let metrics = state.metrics.lock().expect("metrics poisoned");
+    let batch = format!(
+        "{{\"batches\": {}, \"batched_requests\": {}, \"solo_requests\": {}, \
+         \"max_batch_size\": {}, \"mean_batch_size\": {}}}",
+        metrics.batch.batches,
+        metrics.batch.batched_requests,
+        metrics.batch.solo_requests,
+        metrics.batch.max_batch_size,
+        json_f64(metrics.batch.mean_batch_size()),
+    );
+    let latency = format!(
+        "{{\"queue_wait\": {}, \"evaluate\": {}, \"serialize\": {}}}",
+        histogram_json(&metrics.queue_wait),
+        histogram_json(&metrics.evaluate),
+        histogram_json(&metrics.serialize),
+    );
+    drop(metrics);
     format!(
         "{{\"uptime_seconds\": {}, \"requests\": {}, \"errors\": {}, \
          \"pool\": {{\"size\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \
          \"sessions_built\": {}, \"evictions\": {}, \"datasets_synthesized\": {}, \
-         \"datasets_loaded\": {}}}, \"endpoints\": {{{}, {}, {}, {}}}}}",
+         \"datasets_loaded\": {}}}, \"admission\": {}, \"batch\": {}, \
+         \"latency\": {}, \"endpoints\": {{{}}}}}",
         json_f64(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
         state.errors.load(Ordering::Relaxed),
@@ -494,9 +1116,9 @@ fn stats_body(state: &Arc<ServerState>) -> String {
         pool.evictions,
         pool.datasets_synthesized,
         pool.datasets_loaded,
-        endpoint("simulate", &endpoints.simulate),
-        endpoint("compile", &endpoints.compile),
-        endpoint("sweep", &endpoints.sweep),
-        endpoint("stats", &endpoints.stats),
+        admission,
+        batch,
+        latency,
+        endpoints_json,
     )
 }

@@ -21,7 +21,7 @@ fn start_server() -> (SessionServer, SocketAddr) {
         ServeConfig {
             workers: 4,
             pool_capacity: 8,
-            artifact_cache: None,
+            ..ServeConfig::default()
         },
     )
     .expect("server starts on an ephemeral port");

@@ -1,0 +1,227 @@
+//! Connection-lifecycle tests for the serving layer: keep-alive reuse,
+//! pipelining, idle-timeout reaping, malformed requests mid-stream, header
+//! and body caps, and clean shutdown with persistent connections open.
+
+use gnnerator_serve::{client, client::ClientConnection, Json, ServeConfig, SessionServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn simulate_body() -> String {
+    "{\"dataset\": \"cora\", \"network\": \"gcn\", \"scale\": 0.03, \"seed\": 9, \
+     \"hidden_dim\": 8, \"out_dim\": 4}"
+        .to_string()
+}
+
+fn start_server(config: ServeConfig) -> (SessionServer, SocketAddr) {
+    let server =
+        SessionServer::start("127.0.0.1:0", config).expect("server starts on an ephemeral port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        pool_capacity: 4,
+        idle_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    }
+}
+
+/// Reads everything until EOF (the server closes non-keep-alive sockets).
+fn read_to_end(stream: &mut TcpStream) -> String {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap_or_default();
+    raw
+}
+
+#[test]
+fn one_keep_alive_connection_serves_many_requests() {
+    let (server, addr) = start_server(quick_config());
+    let mut connection = ClientConnection::new(addr);
+    for round in 0..4 {
+        let response = connection
+            .post("/simulate", &simulate_body())
+            .expect("keep-alive request succeeds");
+        assert!(response.is_ok(), "round {round}: {}", response.body);
+        assert!(
+            response.keep_alive(),
+            "round {round}: the connection must persist"
+        );
+    }
+    let stats = connection.get("/stats").expect("stats over keep-alive");
+    let json = stats.json().expect("stats JSON");
+    let admission = json.get("admission").expect("admission section");
+    assert_eq!(
+        admission.get("total_connections").and_then(Json::as_u64),
+        Some(1),
+        "five requests rode one connection"
+    );
+    assert_eq!(
+        admission.get("active_connections").and_then(Json::as_u64),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_socket() {
+    let (server, addr) = start_server(quick_config());
+    let body = simulate_body();
+    let mut connection = ClientConnection::new(addr);
+    let responses = connection
+        .pipeline(&[
+            ("POST", "/simulate", body.as_str()),
+            ("GET", "/stats", ""),
+            ("POST", "/simulate", body.as_str()),
+            ("GET", "/stats", ""),
+        ])
+        .expect("pipelined requests succeed");
+    assert_eq!(responses.len(), 4);
+    for (index, response) in responses.iter().enumerate() {
+        assert!(response.is_ok(), "response {index}: {}", response.body);
+        assert!(response.keep_alive(), "response {index} keeps the socket");
+    }
+    // In-order: responses 0 and 2 are points, 1 and 3 are stats bodies.
+    for index in [0usize, 2] {
+        let point = responses[index].json().expect("point JSON");
+        assert!(point.get("seconds").and_then(Json::as_f64).is_some());
+    }
+    for index in [1usize, 3] {
+        let stats = responses[index].json().expect("stats JSON");
+        assert!(stats.get("uptime_seconds").and_then(Json::as_f64).is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped_quietly() {
+    let (server, addr) = start_server(quick_config());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    // Say nothing. The server must close the socket after its idle timeout
+    // without writing any response (no request means nothing to answer).
+    let raw = read_to_end(&mut stream);
+    assert_eq!(raw, "", "an idle connection closes silently");
+    server.shutdown();
+}
+
+#[test]
+fn a_stalled_partial_request_gets_408_and_a_close() {
+    let (server, addr) = start_server(quick_config());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    // First bytes arrive, then the client stalls forever: the server must
+    // answer 408 on a closing connection once the read deadline expires.
+    stream
+        .write_all(b"POST /simulate HT")
+        .expect("partial head");
+    let raw = read_to_end(&mut stream);
+    assert!(raw.starts_with("HTTP/1.1 408 "), "got: {raw:?}");
+    assert!(raw.contains("Connection: close\r\n"), "got: {raw:?}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_line_mid_keep_alive_closes_after_a_400() {
+    let (server, addr) = start_server(quick_config());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    // A well-formed request first...
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\n\r\n")
+        .expect("first request");
+    let mut head = [0u8; 12];
+    stream.read_exact(&mut head).expect("first status line");
+    assert_eq!(&head, b"HTTP/1.1 200");
+    // ...drain the first response body so the parser is at a boundary.
+    let mut drained = Vec::new();
+    let mut byte = [0u8; 1];
+    while !drained.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        drained.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&drained);
+    let content_length: usize = text
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("response body");
+    assert!(text.contains("Connection: keep-alive"), "got: {text:?}");
+    // ...then garbage on the same socket: a 400 on a closing connection.
+    stream.write_all(b"GARBAGE\r\n\r\n").expect("garbage write");
+    let raw = read_to_end(&mut stream);
+    assert!(raw.starts_with("HTTP/1.1 400 "), "got: {raw:?}");
+    assert!(raw.contains("Connection: close\r\n"), "got: {raw:?}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_heads_and_bodies_get_431_and_413() {
+    let (server, addr) = start_server(quick_config());
+    // A declared body over the 8 MiB cap is refused before allocation.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream
+        .write_all(b"POST /simulate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .expect("oversized body declaration");
+    let raw = read_to_end(&mut stream);
+    assert!(raw.starts_with("HTTP/1.1 413 "), "got: {raw:?}");
+    assert!(raw.contains("Connection: close\r\n"), "got: {raw:?}");
+    // A request head over the 16 KiB cap is refused with 431.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let huge = format!(
+        "GET /stats HTTP/1.1\r\nPadding: {}\r\n\r\n",
+        "x".repeat(32 * 1024)
+    );
+    stream.write_all(huge.as_bytes()).expect("oversized head");
+    let raw = read_to_end(&mut stream);
+    assert!(raw.starts_with("HTTP/1.1 431 "), "got: {raw:?}");
+    assert!(raw.contains("Connection: close\r\n"), "got: {raw:?}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_wakes_open_persistent_connections_and_drains_promptly() {
+    let (server, addr) = start_server(ServeConfig {
+        workers: 2,
+        pool_capacity: 4,
+        // A long idle timeout: shutdown must NOT wait it out.
+        idle_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+    // Two persistent connections sit idle mid-keep-alive...
+    let mut idle_connections: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+            stream
+                .write_all(b"GET /stats HTTP/1.1\r\n\r\n")
+                .expect("request");
+            let mut probe = [0u8; 12];
+            stream.read_exact(&mut probe).expect("response starts");
+            assert_eq!(&probe, b"HTTP/1.1 200");
+            stream
+        })
+        .collect();
+    // ...while a third client posts /shutdown.
+    let response = client::post(addr, "/shutdown", "").expect("shutdown request");
+    assert!(response.is_ok());
+    let started = std::time::Instant::now();
+    server.wait();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "shutdown must wake idle keep-alive readers, not wait out their timeout"
+    );
+    // The idle connections were closed by the server.
+    for stream in &mut idle_connections {
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap_or_default();
+    }
+    // And the port no longer answers.
+    assert!(client::get(addr, "/stats").is_err());
+}
