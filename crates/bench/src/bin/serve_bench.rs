@@ -21,13 +21,21 @@
 //! overlapping session keys through the admission queue, asserting zero
 //! 5xx, `Retry-After` on every shed `429` and a bounded queue, and records
 //! sustained rps, latency percentiles, the batch-size distribution and the
-//! shed rate. When a `BENCH_sweep.json` from `all_experiments` is present,
-//! a `"serving"` section is appended (idempotently, replacing any previous
-//! one).
+//! shed rate. With `--chaos`, a sixth phase arms deterministic faults
+//! (`gnnerator-faults`) against the live server — eval-worker panics plus a
+//! cold-build failure that trips the session circuit breaker — and asserts
+//! graceful degradation: every request answered with a typed status (zero
+//! hangs), bounded p99, panicked workers respawned, breaker trips visible
+//! in `/stats`; then clears the faults and asserts full recovery (error
+//! rate back to zero, `/readyz` green, served results bit-identical to the
+//! sweep path). When a `BENCH_sweep.json` from `all_experiments` is
+//! present, a `"serving"` section is appended (idempotently, replacing any
+//! previous one).
 //!
 //! Usage: `cargo run -p gnnerator-bench --release --bin serve_bench -- \
 //!     [--clients 4] [--requests 6] [--scale 0.25] [--require-speedup] \
-//!     [--soak] [--connections 200] [--soak-requests 30] [--queue-depth 256]`
+//!     [--soak] [--chaos] [--connections 200] [--soak-requests 30] \
+//!     [--queue-depth 256]`
 //!
 //! [`SessionPool`]: gnnerator_serve::SessionPool
 //! [`SessionServer`]: gnnerator_serve::SessionServer
@@ -159,6 +167,7 @@ fn main() {
     let scale = scale_from_args(args.iter().cloned());
     let require_speedup = args.iter().any(|a| a == "--require-speedup");
     let soak = args.iter().any(|a| a == "--soak");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let soak_connections = flag(&args, "--connections", 200).max(1);
     let soak_requests = flag(&args, "--soak-requests", 30).max(1);
     let queue_depth = flag(&args, "--queue-depth", 256).max(1);
@@ -288,6 +297,22 @@ fn main() {
         None
     };
 
+    // The chaos phase deliberately runs after the soak so fault-era metrics
+    // never contaminate the healthy-path numbers above.
+    let chaos_section = if chaos {
+        Some(run_chaos(
+            addr,
+            &bodies,
+            &scenarios,
+            &datasets,
+            soak_connections,
+            soak_requests,
+            scale,
+        ))
+    } else {
+        None
+    };
+
     let stats = client::get(addr, "/stats")
         .expect("stats request failed")
         .json()
@@ -327,6 +352,7 @@ fn main() {
         .as_ref()
         .map(|s| s.section.clone())
         .unwrap_or_else(|| "null".to_string());
+    let chaos_json = chaos_section.unwrap_or_else(|| "null".to_string());
     let section = format!(
         "{{\"clients\": {clients}, \"requests_per_client\": {requests_per_client}, \
          \"total_requests\": {total_requests}, \"scale\": {scale}, \
@@ -337,7 +363,7 @@ fn main() {
          \"keepalive_vs_close\": {}, \"client_pipelining\": {}, \
          \"serial_close_latency\": {}, \"serial_latency\": {}, \"concurrent_latency\": {}, \
          \"pool_hits\": {hits}, \"pool_misses\": {misses}, \"sessions_built\": {built}, \
-         \"soak\": {soak_section}}}",
+         \"soak\": {soak_section}, \"chaos\": {chaos_json}}}",
         num(warm_seconds),
         num(cold_seconds),
         num(serial_close_seconds),
@@ -520,6 +546,236 @@ fn run_soak(
         section,
         sustained_rps,
     }
+}
+
+/// Chaos soak against the live server: arms deterministic faults (eval
+/// panics every 5th evaluation, every cold session build failing), drives
+/// the same keep-alive admission path, and asserts graceful degradation —
+/// every request answered with a typed status (zero hangs), `Retry-After`
+/// on every backpressure response, bounded p99, panicked workers respawned
+/// and breaker trips visible in `/stats`. Then clears the faults and
+/// asserts full recovery: every retried request succeeds (error rate back
+/// to zero), `/healthz` and `/readyz` are green, and served points are
+/// bit-identical to the `SweepRunner::run_one` path. Returns the JSON
+/// chaos summary.
+fn run_chaos(
+    addr: SocketAddr,
+    bodies: &[String],
+    scenarios: &[ScenarioSpec],
+    datasets: &HashMap<(String, u64), Arc<Dataset>>,
+    connections: usize,
+    requests: usize,
+    scale: f64,
+) -> String {
+    // A session key no warm slot covers: while `session_build:error` is
+    // armed every cold build of it fails, so repeated attempts trip the
+    // per-key circuit breaker. Tiny scale keeps the (repeated, doomed)
+    // dataset synthesis cheap.
+    let doomed = format!(
+        "{{\"dataset\": \"cora\", \"network\": \"gcn\", \"backend\": \"gnnerator\", \
+         \"scale\": {}, \"seed\": 1043}}",
+        num(scale.min(0.1)),
+    );
+    println!("chaos: arming faults, {connections} keep-alive connections x {requests} requests");
+    // Injected worker panics are expected by the dozen — mute their
+    // backtraces, but let any *real* panic (a failed assertion in a client
+    // thread) print as usual.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.contains("injected panic at failpoint") {
+            default_hook(info);
+        }
+    }));
+    gnnerator_faults::configure("eval:panic@5,session_build:error", 7)
+        .expect("chaos fault spec parses");
+
+    let start = Instant::now();
+    let per_connection: Vec<(Vec<f64>, [u64; 4])> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let (bodies, doomed) = (&bodies, &doomed);
+                scope.spawn(move || {
+                    let mut connection = ClientConnection::new(addr);
+                    let mut latencies = Vec::with_capacity(requests);
+                    // [ok, shed, injected 5xx, breaker rejections]
+                    let mut tally = [0u64; 4];
+                    for i in 0..requests {
+                        let body = if i % 4 == 3 {
+                            doomed.as_str()
+                        } else {
+                            bodies[(c + i) % bodies.len()].as_str()
+                        };
+                        let started = Instant::now();
+                        let response = connection
+                            .post("/simulate", body)
+                            .expect("chaos request failed (hung or dropped connection)");
+                        latencies.push(started.elapsed().as_secs_f64());
+                        match response.status {
+                            200 => {
+                                check_point(&response.body);
+                                tally[0] += 1;
+                            }
+                            429 => {
+                                assert_eq!(
+                                    response.header("retry-after"),
+                                    Some("1"),
+                                    "shed responses must carry Retry-After"
+                                );
+                                tally[1] += 1;
+                            }
+                            500 => {
+                                assert!(
+                                    response.body.contains("error"),
+                                    "untyped 500 body: {}",
+                                    response.body
+                                );
+                                tally[2] += 1;
+                            }
+                            503 => {
+                                assert_eq!(
+                                    response.header("retry-after"),
+                                    Some("1"),
+                                    "breaker rejections must carry Retry-After"
+                                );
+                                tally[3] += 1;
+                            }
+                            status => {
+                                panic!("unaccounted chaos status {status}: {}", response.body)
+                            }
+                        }
+                    }
+                    (latencies, tally)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let duration = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut totals = [0u64; 4];
+    for (connection_latencies, tally) in per_connection {
+        latencies.extend(connection_latencies);
+        for (total, count) in totals.iter_mut().zip(tally) {
+            *total += count;
+        }
+    }
+    let [ok, shed, injected, rejected] = totals;
+    let total = (connections * requests) as u64;
+    // Every request returned with a status the arms above account for —
+    // reaching this line at all is the zero-hangs proof.
+    assert_eq!(ok + shed + injected + rejected, total);
+    assert!(ok > 0, "chaos starved every request");
+    assert!(injected > 0, "injected faults never surfaced a typed 5xx");
+    assert!(
+        rejected > 0,
+        "repeated doomed builds never tripped the circuit breaker"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 = percentile(&latencies, 0.99);
+    assert!(
+        p99 < 30.0,
+        "chaos p99 unbounded: {p99:.3}s (injected faults must fail fast)"
+    );
+
+    // The server must have survived: every panicked worker respawned, the
+    // breaker trips visible, nothing left wedged.
+    let stats = client::get(addr, "/stats")
+        .expect("stats request failed")
+        .json()
+        .expect("stats are JSON");
+    let workers = stats.get("workers").expect("workers section");
+    let worker_count = |key: &str| workers.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let (configured, alive) = (worker_count("configured"), worker_count("alive"));
+    let (panics, respawns) = (worker_count("panics"), worker_count("respawns"));
+    assert!(panics > 0, "eval:panic@5 never panicked a worker");
+    assert!(respawns >= panics, "panicked workers were not respawned");
+    assert_eq!(
+        alive, configured,
+        "worker pool did not recover to full size"
+    );
+    let pool = stats.get("pool").expect("pool section");
+    let breaker_trips = pool
+        .get("breaker_trips")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(breaker_trips > 0, "stats never recorded a breaker trip");
+
+    println!(
+        "chaos: {ok} ok / {shed} shed / {injected} injected 5xx / {rejected} breaker-rejected \
+         of {total} in {duration:.3}s (p99 {p99:.3}s); {panics} worker panics, \
+         {respawns} respawns, {breaker_trips} breaker trips"
+    );
+
+    // Recovery: clear the faults and replay the warm mix with the client's
+    // deterministic retry policy — the error rate must return to zero and
+    // served points must match the sweep path bit for bit.
+    gnnerator_faults::clear();
+    let _ = std::panic::take_hook(); // back to the default hook
+    let policy = client::RetryPolicy::default();
+    let recovery_requests = bodies.len() * 3;
+    for i in 0..recovery_requests {
+        let body = &bodies[i % bodies.len()];
+        let response = client::request_with_retry(addr, "POST", "/simulate", body, policy)
+            .expect("recovery request failed");
+        assert_eq!(
+            response.status, 200,
+            "error rate did not return to zero after faults cleared: {} {}",
+            response.status, response.body
+        );
+        let point = check_point(&response.body);
+        if i < bodies.len() {
+            let served = point
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .expect("served point carries seconds");
+            let scenario = &scenarios[i % scenarios.len()];
+            let dataset = &datasets[&(scenario.dataset.name.to_string(), scenario.seed)];
+            let session = Arc::new(
+                build_session(scenario, dataset, None).expect("recovery session build failed"),
+            );
+            let expected = evaluate_scenario(scenario, &session)
+                .expect("recovery evaluation failed")
+                .seconds();
+            assert_eq!(
+                served.to_bits(),
+                expected.to_bits(),
+                "served point diverged from SweepRunner::run_one after recovery \
+                 ({served} != {expected})"
+            );
+        }
+    }
+    for probe in ["/healthz", "/readyz"] {
+        let response = client::get(addr, probe).expect("probe request failed");
+        assert_eq!(
+            response.status, 200,
+            "{probe} not green after recovery: {}",
+            response.body
+        );
+    }
+    println!(
+        "chaos: recovered — {recovery_requests}/{recovery_requests} ok after clearing faults, \
+         {} points bit-identical to the sweep path, probes green",
+        bodies.len()
+    );
+
+    format!(
+        "{{\"connections\": {connections}, \"requests_per_connection\": {requests}, \
+         \"total_requests\": {total}, \"duration_seconds\": {}, \"ok\": {ok}, \
+         \"shed\": {shed}, \"injected_5xx\": {injected}, \"breaker_rejections\": {rejected}, \
+         \"latency\": {}, \"worker_panics\": {panics}, \"worker_respawns\": {respawns}, \
+         \"breaker_trips\": {breaker_trips}, \"recovered_requests\": {recovery_requests}, \
+         \"bit_identical_points\": {}}}",
+        num(duration),
+        latency_json(&mut latencies),
+        bodies.len(),
+    )
 }
 
 /// Splices (or replaces) the `"serving"` section into an existing

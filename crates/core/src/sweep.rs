@@ -26,6 +26,7 @@ use crate::{
     GnneratorError, GpuRooflineBackend, HygcnBackend, Report, SimSession,
 };
 use gnnerator_baselines::guarded_speedup;
+use gnnerator_faults::lock_recover;
 use gnnerator_gnn::NetworkKind;
 use gnnerator_graph::datasets::{Dataset, DatasetSpec};
 use gnnerator_graph::ArtifactCache;
@@ -173,6 +174,9 @@ pub fn materialize_dataset(
 /// the model is constructed from the scenario's shape fields, and shard
 /// grids are persisted in `cache` when one is supplied.
 ///
+/// Carries the `session_build` fault-injection point: an injected error or
+/// delay here models a slow or failing cold compile.
+///
 /// # Errors
 ///
 /// Propagates model-construction and session-validation errors.
@@ -181,6 +185,7 @@ pub fn build_session(
     dataset: &Dataset,
     cache: Option<&Arc<ArtifactCache>>,
 ) -> Result<SimSession, GnneratorError> {
+    gnnerator_faults::check("session_build").map_err(|e| GnneratorError::backend(e.to_string()))?;
     let model = scenario
         .network
         .build(
@@ -201,6 +206,10 @@ pub fn build_session(
 /// of [`SweepRunner::run_one`], shared with the serving layer so served
 /// responses are bit-identical to sweep results.
 ///
+/// Carries the `eval` fault-injection point. In the serving layer this body
+/// runs on the eval worker threads, so an injected `eval:panic` exercises
+/// worker supervision end to end.
+///
 /// # Errors
 ///
 /// Propagates compilation, simulation and backend-evaluation errors.
@@ -208,6 +217,7 @@ pub fn evaluate_scenario(
     scenario: &ScenarioSpec,
     session: &Arc<SimSession>,
 ) -> Result<ScenarioResult, GnneratorError> {
+    gnnerator_faults::check("eval").map_err(|e| GnneratorError::backend(e.to_string()))?;
     let start = Instant::now();
     let (evaluation, report, baseline_seconds) = if scenario.backend.is_accelerator() {
         let backend = GnneratorBackend::new(
@@ -468,12 +478,7 @@ impl SweepRunner {
         spec: DatasetSpec,
         seed: u64,
     ) -> Result<Arc<Dataset>, GnneratorError> {
-        if let Some(hit) = self
-            .datasets
-            .lock()
-            .expect("dataset cache poisoned")
-            .get(&(spec, seed))
-        {
+        if let Some(hit) = lock_recover(&self.datasets).get(&(spec, seed)) {
             return Ok(Arc::clone(hit));
         }
         // Materialise outside the lock so distinct keys proceed in parallel.
@@ -481,7 +486,7 @@ impl SweepRunner {
         // the first insert wins, and only the winner is counted, so the
         // telemetry counters stay deterministic under any thread schedule.
         let dataset = Arc::new(self.materialize_dataset(spec, seed)?);
-        let mut cache = self.datasets.lock().expect("dataset cache poisoned");
+        let mut cache = lock_recover(&self.datasets);
         match cache.entry((spec, seed)) {
             std::collections::hash_map::Entry::Occupied(entry) => Ok(Arc::clone(entry.get())),
             std::collections::hash_map::Entry::Vacant(entry) => {
@@ -490,10 +495,7 @@ impl SweepRunner {
                 } else {
                     self.datasets_synthesized.fetch_add(1, Ordering::Relaxed);
                 }
-                *self
-                    .graph_build_seconds
-                    .lock()
-                    .expect("graph build timer poisoned") += dataset.build_seconds;
+                *lock_recover(&self.graph_build_seconds) += dataset.build_seconds;
                 Ok(Arc::clone(entry.insert(dataset)))
             }
         }
@@ -513,9 +515,7 @@ impl SweepRunner {
     /// Used to hand graphs between runners — e.g. benchmarking a cold runner
     /// without re-paying (or timing) dataset synthesis.
     pub fn insert_dataset(&self, spec: DatasetSpec, seed: u64, dataset: Arc<Dataset>) {
-        self.datasets
-            .lock()
-            .expect("dataset cache poisoned")
+        lock_recover(&self.datasets)
             .entry((spec, seed))
             .or_insert(dataset);
     }
@@ -531,12 +531,7 @@ impl SweepRunner {
     /// Propagates dataset-synthesis and model-construction errors.
     pub fn session(&self, scenario: &ScenarioSpec) -> Result<Arc<SimSession>, GnneratorError> {
         let key = scenario.session_key();
-        if let Some(hit) = self
-            .sessions
-            .lock()
-            .expect("session cache poisoned")
-            .get(&key)
-        {
+        if let Some(hit) = lock_recover(&self.sessions).get(&key) {
             return Ok(Arc::clone(hit));
         }
         let dataset = self.dataset(scenario)?;
@@ -545,7 +540,7 @@ impl SweepRunner {
             &dataset,
             self.artifact_cache.as_ref(),
         )?);
-        let mut cache = self.sessions.lock().expect("session cache poisoned");
+        let mut cache = lock_recover(&self.sessions);
         Ok(Arc::clone(cache.entry(key).or_insert(session)))
     }
 
@@ -640,20 +635,18 @@ impl SweepRunner {
 
     /// Number of datasets materialised so far.
     pub fn cached_datasets(&self) -> usize {
-        self.datasets.lock().expect("dataset cache poisoned").len()
+        lock_recover(&self.datasets).len()
     }
 
     /// Number of sessions compiled so far.
     pub fn cached_sessions(&self) -> usize {
-        self.sessions.lock().expect("session cache poisoned").len()
+        lock_recover(&self.sessions).len()
     }
 
     /// Cumulative wall-clock seconds every cached session has spent building
     /// shard grids.
     pub fn total_shard_build_seconds(&self) -> f64 {
-        self.sessions
-            .lock()
-            .expect("session cache poisoned")
+        lock_recover(&self.sessions)
             .values()
             .map(|session| session.shard_build_seconds())
             .sum()
@@ -662,10 +655,7 @@ impl SweepRunner {
     /// Cumulative wall-clock seconds spent materialising graphs (synthesis
     /// or artifact-cache loads), summed across worker threads.
     pub fn graph_build_seconds(&self) -> f64 {
-        *self
-            .graph_build_seconds
-            .lock()
-            .expect("graph build timer poisoned")
+        *lock_recover(&self.graph_build_seconds)
     }
 
     /// Number of datasets this runner synthesised from scratch.
@@ -680,9 +670,7 @@ impl SweepRunner {
 
     /// Total shard grids built from scratch across every cached session.
     pub fn total_shard_grids_built(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session cache poisoned")
+        lock_recover(&self.sessions)
             .values()
             .map(|session| session.shard_grids_built())
             .sum()
@@ -691,9 +679,7 @@ impl SweepRunner {
     /// Total shard grids loaded from the artifact cache across every cached
     /// session.
     pub fn total_shard_grids_loaded(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session cache poisoned")
+        lock_recover(&self.sessions)
             .values()
             .map(|session| session.shard_grids_loaded())
             .sum()

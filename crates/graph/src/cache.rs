@@ -34,12 +34,21 @@
 //! miss with a cause and rebuild; stores overwrite atomically
 //! (write-to-temp + rename), so racing writers and torn writes cannot
 //! corrupt a previously good entry.
+//!
+//! An unusable artifact is additionally **quarantined**: the file is renamed
+//! to `<name>.corrupt` (preserving the evidence for post-mortems) and
+//! counted in [`ArtifactCache::corrupt_artifacts`], so the same bad sector
+//! cannot re-fail — and silently trigger a rebuild — on every later run.
+//!
+//! The read and write paths carry the `cache_read` / `cache_write`
+//! failpoints (see `gnnerator_faults`): injected faults surface as
+//! [`GraphError::CacheArtifact`] without quarantining the (healthy) file.
 
 use crate::datasets::{Dataset, DatasetKind, DatasetSpec};
 use crate::{CsrGraph, Edge, EdgeList, GraphError, NodeFeatures, ShardCoord, ShardGrid, ShardMeta};
 use gnnerator_tensor::Matrix;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// On-disk format version; bump whenever the byte layout changes so stale
 /// artifacts are rejected (and rebuilt) instead of misread.
@@ -102,6 +111,9 @@ pub struct ArtifactCache {
     /// `None` means the cache is disabled: every load misses, every store is
     /// a no-op.
     root: Option<PathBuf>,
+    /// Artifacts found unusable and renamed to `<name>.corrupt` by this
+    /// cache instance.
+    corrupt_artifacts: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -114,12 +126,18 @@ impl ArtifactCache {
     pub fn new(root: impl Into<PathBuf>) -> Self {
         let root = root.into();
         sweep_stale_temp_files(&root, STALE_TEMP_WINDOW);
-        Self { root: Some(root) }
+        Self {
+            root: Some(root),
+            corrupt_artifacts: AtomicUsize::new(0),
+        }
     }
 
     /// Creates a disabled cache: loads always miss, stores are no-ops.
     pub fn disabled() -> Self {
-        Self { root: None }
+        Self {
+            root: None,
+            corrupt_artifacts: AtomicUsize::new(0),
+        }
     }
 
     /// Builds the cache from the `GNNERATOR_CACHE` environment variable (see
@@ -150,6 +168,27 @@ impl ArtifactCache {
     /// The cache root, if enabled.
     pub fn root(&self) -> Option<&Path> {
         self.root.as_deref()
+    }
+
+    /// How many unusable artifacts this cache instance has quarantined
+    /// (renamed to `<name>.corrupt`).
+    pub fn corrupt_artifacts(&self) -> usize {
+        self.corrupt_artifacts.load(Ordering::Relaxed)
+    }
+
+    /// Maps an unusable-artifact error to a quarantine: the bad file is
+    /// renamed to `<name>.corrupt` (best-effort) and counted, so the next
+    /// load of this key is a clean miss instead of the same failure again.
+    fn quarantining<T>(&self, path: &Path, result: Result<T, GraphError>) -> Result<T, GraphError> {
+        if matches!(result, Err(GraphError::CacheArtifact { .. })) {
+            if std::fs::rename(path, path.with_extension("corrupt")).is_err() {
+                // Racing quarantiners or a vanished file: make sure the bad
+                // artifact is gone either way.
+                std::fs::remove_file(path).ok();
+            }
+            self.corrupt_artifacts.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// The cache identity of a `(spec, seed)` dataset.
@@ -226,70 +265,74 @@ impl ArtifactCache {
         let Some(path) = self.file_for("ds", &key) else {
             return Ok(None);
         };
-        let start = std::time::Instant::now();
-        let Some(payload) = read_artifact(&path, KIND_DATASET, &key)? else {
-            return Ok(None);
-        };
-        let mut r = Reader::new(&payload, &path);
-        let kind = kind_from_tag(r.u8()?)
-            .ok_or_else(|| reject(&path, "unknown dataset kind tag".to_string()))?;
-        let vertices = r.u64()? as usize;
-        let edges = r.u64()? as usize;
-        let feature_dim = r.u64()? as usize;
-        let stored_seed = r.u64()?;
-        // The spec's `name` is identity only through the key string (already
-        // verified by read_artifact), so a spec carrying a custom name still
-        // hits; the numeric fields are double-checked here.
-        let stored_spec = DatasetSpec {
-            kind,
-            name: spec.name,
-            vertices,
-            edges,
-            feature_dim,
-        };
-        if stored_spec != *spec || stored_seed != seed {
-            return Err(reject(
+        check_fault("cache_read", &path)?;
+        let load = || {
+            let start = std::time::Instant::now();
+            let Some(payload) = read_artifact(&path, KIND_DATASET, &key)? else {
+                return Ok(None);
+            };
+            let mut r = Reader::new(&payload, &path);
+            let kind = kind_from_tag(r.u8()?)
+                .ok_or_else(|| reject(&path, "unknown dataset kind tag".to_string()))?;
+            let vertices = r.u64()? as usize;
+            let edges = r.u64()? as usize;
+            let feature_dim = r.u64()? as usize;
+            let stored_seed = r.u64()?;
+            // The spec's `name` is identity only through the key string (already
+            // verified by read_artifact), so a spec carrying a custom name still
+            // hits; the numeric fields are double-checked here.
+            let stored_spec = DatasetSpec {
+                kind,
+                name: spec.name,
+                vertices,
+                edges,
+                feature_dim,
+            };
+            if stored_spec != *spec || stored_seed != seed {
+                return Err(reject(
                 &path,
                 format!("stored identity {stored_spec} (seed {stored_seed}) does not match the requested key"),
             ));
-        }
-        let num_nodes = r.u64()? as usize;
-        let num_edges = r.u64()? as usize;
-        let pairs: Vec<Edge> = r
-            .byte_records(num_edges, 8)?
-            .chunks_exact(8)
-            .map(|rec| {
-                Edge::new(
-                    u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
-                    u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
-                )
-            })
-            .collect();
-        let edge_list = EdgeList::from_edges(num_nodes, pairs)
-            .map_err(|e| reject(&path, format!("invalid edge list: {e}")))?;
-        let rows = r.u64()? as usize;
-        let dim = r.u64()? as usize;
-        let count = rows
-            .checked_mul(dim)
-            .ok_or_else(|| reject(&path, "feature table dimensions overflow".to_string()))?;
-        let values: Vec<f32> = r
-            .byte_records(count, 4)?
-            .chunks_exact(4)
-            .map(|rec| f32::from_le_bytes(rec.try_into().expect("4 bytes")))
-            .collect();
-        r.finish()?;
-        let matrix = Matrix::from_vec(rows, dim, values)
-            .map_err(|e| reject(&path, format!("invalid feature table: {e}")))?;
-        let graph = CsrGraph::from_edge_list(&edge_list);
-        Ok(Some(Dataset {
-            spec: *spec,
-            seed,
-            edge_list,
-            graph,
-            features: NodeFeatures::from_matrix(matrix),
-            build_seconds: start.elapsed().as_secs_f64(),
-            loaded_from_cache: true,
-        }))
+            }
+            let num_nodes = r.u64()? as usize;
+            let num_edges = r.u64()? as usize;
+            let pairs: Vec<Edge> = r
+                .byte_records(num_edges, 8)?
+                .chunks_exact(8)
+                .map(|rec| {
+                    Edge::new(
+                        u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                        u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+                    )
+                })
+                .collect();
+            let edge_list = EdgeList::from_edges(num_nodes, pairs)
+                .map_err(|e| reject(&path, format!("invalid edge list: {e}")))?;
+            let rows = r.u64()? as usize;
+            let dim = r.u64()? as usize;
+            let count = rows
+                .checked_mul(dim)
+                .ok_or_else(|| reject(&path, "feature table dimensions overflow".to_string()))?;
+            let values: Vec<f32> = r
+                .byte_records(count, 4)?
+                .chunks_exact(4)
+                .map(|rec| f32::from_le_bytes(rec.try_into().expect("4 bytes")))
+                .collect();
+            r.finish()?;
+            let matrix = Matrix::from_vec(rows, dim, values)
+                .map_err(|e| reject(&path, format!("invalid feature table: {e}")))?;
+            let graph = CsrGraph::from_edge_list(&edge_list);
+            Ok(Some(Dataset {
+                spec: *spec,
+                seed,
+                edge_list,
+                graph,
+                features: NodeFeatures::from_matrix(matrix),
+                build_seconds: start.elapsed().as_secs_f64(),
+                loaded_from_cache: true,
+            }))
+        };
+        self.quarantining(&path, load())
     }
 
     /// Stores a shard grid under the given full grid key (see
@@ -336,77 +379,81 @@ impl ArtifactCache {
         let Some(path) = self.file_for("grid", key) else {
             return Ok(None);
         };
-        let Some(payload) = read_artifact(&path, KIND_GRID, key)? else {
-            return Ok(None);
-        };
-        let mut r = Reader::new(&payload, &path);
-        let num_nodes = r.u64()? as usize;
-        let nodes_per_shard = r.u64()? as usize;
-        if num_nodes == 0 || nodes_per_shard == 0 {
-            return Err(reject(&path, "degenerate grid dimensions".to_string()));
-        }
-        let grid_dim = num_nodes.div_ceil(nodes_per_shard);
-        let arena_len = r.u64()? as usize;
-        let arena: Vec<Edge> = r
-            .byte_records(arena_len, 8)?
-            .chunks_exact(8)
-            .map(|rec| {
-                Edge::new(
-                    u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
-                    u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
-                )
-            })
-            .collect();
-        if arena
-            .iter()
-            .any(|e| e.src as usize >= num_nodes || e.dst as usize >= num_nodes)
-        {
-            return Err(reject(
-                &path,
-                "arena edge endpoint out of range".to_string(),
-            ));
-        }
-        let meta_count = r.u64()? as usize;
-        let mut metas = Vec::with_capacity(meta_count);
-        let mut expected_start = 0u64;
-        for _ in 0..meta_count {
-            let src_block = r.u64()? as usize;
-            let dst_block = r.u64()? as usize;
-            let edge_start = r.u32()?;
-            let num_edges = r.u32()?;
-            let unique_sources = r.u32()?;
-            let unique_destinations = r.u32()?;
-            if src_block >= grid_dim || dst_block >= grid_dim {
-                return Err(reject(&path, "shard coordinate out of range".to_string()));
+        check_fault("cache_read", &path)?;
+        let load = || {
+            let Some(payload) = read_artifact(&path, KIND_GRID, key)? else {
+                return Ok(None);
+            };
+            let mut r = Reader::new(&payload, &path);
+            let num_nodes = r.u64()? as usize;
+            let nodes_per_shard = r.u64()? as usize;
+            if num_nodes == 0 || nodes_per_shard == 0 {
+                return Err(reject(&path, "degenerate grid dimensions".to_string()));
             }
-            if num_edges == 0 || u64::from(edge_start) != expected_start {
+            let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+            let arena_len = r.u64()? as usize;
+            let arena: Vec<Edge> = r
+                .byte_records(arena_len, 8)?
+                .chunks_exact(8)
+                .map(|rec| {
+                    Edge::new(
+                        u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                        u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+                    )
+                })
+                .collect();
+            if arena
+                .iter()
+                .any(|e| e.src as usize >= num_nodes || e.dst as usize >= num_nodes)
+            {
                 return Err(reject(
                     &path,
-                    "shard arena ranges are not contiguous".to_string(),
+                    "arena edge endpoint out of range".to_string(),
                 ));
             }
-            expected_start += u64::from(num_edges);
-            metas.push(ShardMeta::from_raw(
-                ShardCoord::new(src_block, dst_block),
-                edge_start,
-                num_edges,
-                unique_sources,
-                unique_destinations,
-            ));
-        }
-        r.finish()?;
-        if expected_start != arena_len as u64 {
-            return Err(reject(
-                &path,
-                "shard metadata does not cover the arena".to_string(),
-            ));
-        }
-        Ok(Some(ShardGrid::assemble(
-            num_nodes,
-            nodes_per_shard,
-            arena,
-            metas,
-        )))
+            let meta_count = r.u64()? as usize;
+            let mut metas = Vec::with_capacity(meta_count);
+            let mut expected_start = 0u64;
+            for _ in 0..meta_count {
+                let src_block = r.u64()? as usize;
+                let dst_block = r.u64()? as usize;
+                let edge_start = r.u32()?;
+                let num_edges = r.u32()?;
+                let unique_sources = r.u32()?;
+                let unique_destinations = r.u32()?;
+                if src_block >= grid_dim || dst_block >= grid_dim {
+                    return Err(reject(&path, "shard coordinate out of range".to_string()));
+                }
+                if num_edges == 0 || u64::from(edge_start) != expected_start {
+                    return Err(reject(
+                        &path,
+                        "shard arena ranges are not contiguous".to_string(),
+                    ));
+                }
+                expected_start += u64::from(num_edges);
+                metas.push(ShardMeta::from_raw(
+                    ShardCoord::new(src_block, dst_block),
+                    edge_start,
+                    num_edges,
+                    unique_sources,
+                    unique_destinations,
+                ));
+            }
+            r.finish()?;
+            if expected_start != arena_len as u64 {
+                return Err(reject(
+                    &path,
+                    "shard metadata does not cover the arena".to_string(),
+                ));
+            }
+            Ok(Some(ShardGrid::assemble(
+                num_nodes,
+                nodes_per_shard,
+                arena,
+                metas,
+            )))
+        };
+        self.quarantining(&path, load())
     }
 }
 
@@ -464,6 +511,13 @@ fn reject(path: &Path, message: String) -> GraphError {
     GraphError::cache(path.display().to_string(), message)
 }
 
+/// Evaluates the named fault-injection point, surfacing an injected fault as
+/// a typed cache error at `path`. Checked *outside* the quarantine wrapper,
+/// so injected I/O faults never rename a healthy artifact.
+fn check_fault(point: &str, path: &Path) -> Result<(), GraphError> {
+    gnnerator_faults::check(point).map_err(|e| reject(path, e.to_string()))
+}
+
 /// Deletes orphaned temp files under `root` that are older than `window`.
 ///
 /// Best-effort on every step: a missing root, unreadable metadata or a
@@ -518,6 +572,7 @@ fn is_temp_artifact_name(name: &str) -> bool {
 
 /// Writes a complete artifact file atomically (temp file + rename).
 fn write_artifact(path: &Path, kind: u8, key: &str, payload: &[u8]) -> Result<(), GraphError> {
+    check_fault("cache_write", path)?;
     let io_err = |what: &str, e: std::io::Error| reject(path, format!("{what}: {e}"));
     let dir = path.parent().expect("cache files always live under a root");
     std::fs::create_dir_all(dir).map_err(|e| io_err("creating cache directory", e))?;
@@ -731,6 +786,17 @@ mod tests {
             cache.load_grid(&key),
             Err(GraphError::CacheArtifact { .. })
         ));
+        // The failing load quarantined the file: the original name is gone,
+        // the `.corrupt` evidence file exists, the counter ticked, and the
+        // next load of the same key is a clean miss (no repeated failure).
+        assert!(!file.exists(), "corrupt artifact must be renamed away");
+        assert!(file.with_extension("corrupt").exists());
+        assert_eq!(cache.corrupt_artifacts(), 1);
+        assert!(cache.load_grid(&key).unwrap().is_none());
+        // The key is rebuildable: a fresh store publishes a good artifact.
+        cache.store_grid(&key, &grid).unwrap();
+        assert_eq!(cache.load_grid(&key).unwrap().expect("hit"), grid);
+        assert_eq!(cache.corrupt_artifacts(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -882,5 +948,81 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"gnnerator"), fnv1a64(b"gnnerator"));
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
+    fn corrupt_dataset_artifacts_are_quarantined_too() {
+        let (cache, dir) = temp_cache("ds-quarantine");
+        let spec = DatasetKind::Cora.spec().scaled(0.02);
+        let dataset = spec.synthesize(9).unwrap();
+        cache.store_dataset(&dataset).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&file, bytes).unwrap();
+
+        assert!(cache.load_dataset(&spec, 9).is_err());
+        assert!(!file.exists());
+        assert!(file.with_extension("corrupt").exists());
+        assert_eq!(cache.corrupt_artifacts(), 1);
+        assert!(cache.load_dataset(&spec, 9).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// Any truncation or single-bit flip of a stored artifact is (a)
+        /// detected as a typed cache error — never misread as data — and
+        /// (b) quarantined, so the follow-up load is a clean miss and a
+        /// fresh store round-trips again.
+        #[test]
+        fn truncation_and_bit_flips_are_detected_and_quarantined(
+            position in 0usize..1_000_000,
+            mode in 0usize..2,
+        ) {
+            let (cache, dir) = temp_cache("prop-corrupt");
+            let edges = generators::rmat(120, 500, 2).unwrap();
+            let grid = ShardGrid::build(&edges, 16).unwrap();
+            let key = ArtifactCache::grid_key("prop", 16, false);
+            cache.store_grid(&key, &grid).unwrap();
+            let file = std::fs::read_dir(&dir)
+                .unwrap()
+                .next()
+                .unwrap()
+                .unwrap()
+                .path();
+            let bytes = std::fs::read(&file).unwrap();
+            let mutated = if mode == 0 {
+                // Truncate to a strict prefix (possibly empty).
+                bytes[..position % bytes.len()].to_vec()
+            } else {
+                // Flip one bit somewhere in the file.
+                let mut mutated = bytes.clone();
+                let bit = position % (bytes.len() * 8);
+                mutated[bit / 8] ^= 1 << (bit % 8);
+                mutated
+            };
+            std::fs::write(&file, &mutated).unwrap();
+
+            let outcome = cache.load_grid(&key);
+            proptest::prop_assert!(
+                matches!(outcome, Err(GraphError::CacheArtifact { .. })),
+                "mutated artifact must be a typed error, got {outcome:?}"
+            );
+            proptest::prop_assert!(!file.exists(), "bad artifact must be renamed");
+            proptest::prop_assert!(file.with_extension("corrupt").exists());
+            proptest::prop_assert_eq!(cache.corrupt_artifacts(), 1);
+            // Quarantined means the key is a clean miss, and rebuildable.
+            proptest::prop_assert!(cache.load_grid(&key).unwrap().is_none());
+            cache.store_grid(&key, &grid).unwrap();
+            proptest::prop_assert_eq!(cache.load_grid(&key).unwrap().expect("hit"), grid);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! failures.
 
 use crate::{ArtifactCache, EdgeList, GraphError, ShardGrid};
+use gnnerator_faults::lock_recover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -137,7 +138,7 @@ impl ShardPlanCache {
             nodes_per_shard,
             include_self_loops,
         };
-        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        if let Some(hit) = lock_recover(&self.plans).get(&key) {
             return Ok(Arc::clone(hit));
         }
         // Build outside the lock so concurrent misses on *different* keys
@@ -149,7 +150,7 @@ impl ShardPlanCache {
             &self.edges
         };
         let grid = Arc::new(self.materialize(edges, nodes_per_shard, include_self_loops)?);
-        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let mut plans = lock_recover(&self.plans);
         Ok(Arc::clone(plans.entry(key).or_insert(grid)))
     }
 
@@ -196,21 +197,20 @@ impl ShardPlanCache {
     ) -> Result<ShardGrid, GraphError> {
         let build_start = Instant::now();
         let grid = ShardGrid::build(edges, nodes_per_shard)?;
-        *self.build_seconds.lock().expect("build timer poisoned") +=
-            build_start.elapsed().as_secs_f64();
+        *lock_recover(&self.build_seconds) += build_start.elapsed().as_secs_f64();
         self.grids_built.fetch_add(1, Ordering::Relaxed);
         Ok(grid)
     }
 
     /// Number of distinct shard grids currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        lock_recover(&self.plans).len()
     }
 
     /// Cumulative wall-clock seconds this cache has spent building shard
     /// grids (cache hits — in-memory or disk — are free).
     pub fn build_seconds(&self) -> f64 {
-        *self.build_seconds.lock().expect("build timer poisoned")
+        *lock_recover(&self.build_seconds)
     }
 
     /// Number of shard grids built from scratch by this cache.

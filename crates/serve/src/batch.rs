@@ -22,6 +22,7 @@
 //! here) stops any single client from monopolising the queue.
 
 use gnnerator::{ScenarioSpec, SessionKey};
+use gnnerator_faults::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
@@ -70,6 +71,17 @@ pub struct Job {
     pub reply: Sender<Reply>,
     /// When the job entered the queue — queue-wait telemetry.
     pub enqueued: Instant,
+    /// The client's deadline (from `X-Deadline-Ms`): a job still queued
+    /// past this instant is answered `503` instead of evaluated.
+    pub deadline: Option<Instant>,
+}
+
+impl Job {
+    /// Whether the job's deadline (if any) has already passed.
+    fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() > deadline)
+    }
 }
 
 /// Why a submit was refused.
@@ -94,6 +106,7 @@ pub struct JobQueue {
     capacity: usize,
     shed: AtomicUsize,
     peak_depth: AtomicUsize,
+    expired: AtomicUsize,
 }
 
 impl JobQueue {
@@ -108,6 +121,7 @@ impl JobQueue {
             capacity: capacity.max(1),
             shed: AtomicUsize::new(0),
             peak_depth: AtomicUsize::new(0),
+            expired: AtomicUsize::new(0),
         }
     }
 
@@ -119,7 +133,7 @@ impl JobQueue {
     /// counter increments), [`SubmitError::Closed`] once the server is
     /// draining.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        let mut inner = self.inner.lock().expect("job queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(SubmitError::Closed);
         }
@@ -139,17 +153,31 @@ impl JobQueue {
     /// `/simulate` jobs — every other queued `/simulate` job sharing its
     /// session key, oldest first, up to `max_batch` total. Returns `None`
     /// once the queue is closed *and* drained.
+    ///
+    /// Jobs whose [`Job::deadline`] passed while they waited are never
+    /// handed to a worker: they are answered `503` here (and counted in
+    /// [`JobQueue::expired_count`]) — evaluating them would burn worker
+    /// time on a response the client has already given up on.
     pub fn next_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.inner.lock().expect("job queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         loop {
-            if let Some(first) = inner.jobs.pop_front() {
+            while let Some(first) = inner.jobs.pop_front() {
+                if first.expired() {
+                    self.answer_expired(first);
+                    continue;
+                }
                 let mut batch = Vec::with_capacity(4);
                 if let Some(key) = first.kind.coalescing_key() {
                     batch.push(first);
                     let mut index = 0;
                     while batch.len() < max_batch && index < inner.jobs.len() {
-                        if inner.jobs[index].kind.coalescing_key() == Some(key) {
+                        if inner.jobs[index].expired() {
+                            // Expired riders found during the scan are
+                            // answered now rather than rotting in place.
+                            let expired = inner.jobs.remove(index).expect("indexed job exists");
+                            self.answer_expired(expired);
+                        } else if inner.jobs[index].kind.coalescing_key() == Some(key) {
                             // O(queue) removal; queues are small (bounded)
                             // and this runs once per evaluation pass.
                             batch.push(inner.jobs.remove(index).expect("indexed job exists"));
@@ -165,21 +193,32 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("job queue poisoned");
+            inner = wait_recover(&self.ready, inner);
         }
+    }
+
+    /// Answers a deadline-expired job with `503` (a dropped receiver makes
+    /// the send a no-op, matching worker reply semantics).
+    fn answer_expired(&self, job: Job) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        let waited_ms = job.enqueued.elapsed().as_millis();
+        let _ = job.reply.send(Reply {
+            status: 503,
+            body: format!("{{\"error\": \"deadline expired after {waited_ms}ms in the queue\"}}"),
+        });
     }
 
     /// Marks the queue closed and wakes every waiting worker. Already
     /// queued jobs are still drained by `next_batch`; new submits fail with
     /// [`SubmitError::Closed`].
     pub fn close(&self) {
-        self.inner.lock().expect("job queue poisoned").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
     /// Jobs currently waiting (not yet picked up by a worker).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("job queue poisoned").jobs.len()
+        lock_recover(&self.inner).jobs.len()
     }
 
     /// Maximum number of waiting jobs ever admitted.
@@ -195,6 +234,11 @@ impl JobQueue {
     /// Requests refused because the queue was full.
     pub fn shed_count(&self) -> usize {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs answered `503` because their deadline expired in the queue.
+    pub fn expired_count(&self) -> usize {
+        self.expired.load(Ordering::Relaxed)
     }
 }
 
@@ -226,6 +270,7 @@ mod tests {
             kind: JobKind::Simulate(Box::new(scenario(kind, seed))),
             reply,
             enqueued: Instant::now(),
+            deadline: None,
         }
     }
 
@@ -235,6 +280,7 @@ mod tests {
             kind: JobKind::Sweep(vec![scenario(kind, 1)]),
             reply,
             enqueued: Instant::now(),
+            deadline: None,
         }
     }
 
@@ -332,6 +378,67 @@ mod tests {
         );
         assert_eq!(queue.next_batch(16).unwrap().len(), 1, "drained first");
         assert!(queue.next_batch(16).is_none(), "then workers exit");
+    }
+
+    #[test]
+    fn queue_expired_jobs_are_answered_503_not_evaluated() {
+        let queue = JobQueue::new(16);
+        // An already-expired simulate job, then a live one of a different
+        // key: the expired job is answered 503 and the live one dequeues.
+        let (reply, expired_rx) = channel();
+        queue
+            .submit(Job {
+                kind: JobKind::Simulate(Box::new(scenario(DatasetKind::Cora, 1))),
+                reply,
+                enqueued: Instant::now(),
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(5)),
+            })
+            .unwrap();
+        queue
+            .submit(simulate_job(DatasetKind::Citeseer, 1))
+            .unwrap();
+        let batch = queue.next_batch(16).unwrap();
+        assert_eq!(batch.len(), 1);
+        match &batch[0].kind {
+            JobKind::Simulate(s) => assert_eq!(s.dataset.name, "citeseer"),
+            other => panic!("unexpected job {other:?}"),
+        }
+        let reply = expired_rx.try_recv().expect("expired job was answered");
+        assert_eq!(reply.status, 503);
+        assert!(reply.body.contains("deadline expired"), "{}", reply.body);
+        assert_eq!(queue.expired_count(), 1);
+
+        // An expired rider between two coalescable jobs is cleared by the
+        // coalescing scan.
+        let (reply, rider_rx) = channel();
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        queue
+            .submit(Job {
+                kind: JobKind::Simulate(Box::new(scenario(DatasetKind::Pubmed, 1))),
+                reply,
+                enqueued: Instant::now(),
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(5)),
+            })
+            .unwrap();
+        queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
+        let batch = queue.next_batch(16).unwrap();
+        assert_eq!(batch.len(), 2, "both cora jobs coalesced");
+        assert_eq!(rider_rx.try_recv().expect("rider answered").status, 503);
+        assert_eq!(queue.expired_count(), 2);
+        assert_eq!(queue.depth(), 0);
+
+        // Future deadlines do not expire.
+        let (reply, _rx) = channel();
+        queue
+            .submit(Job {
+                kind: JobKind::Simulate(Box::new(scenario(DatasetKind::Cora, 1))),
+                reply,
+                enqueued: Instant::now(),
+                deadline: Some(Instant::now() + std::time::Duration::from_secs(60)),
+            })
+            .unwrap();
+        assert_eq!(queue.next_batch(16).unwrap().len(), 1);
+        assert_eq!(queue.expired_count(), 2);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! settable through `GNNERATOR_SERVE_*` environment variables (flags win).
 //! The persistent artifact cache is configured through `GNNERATOR_CACHE`
 //! (unset → `target/gnnerator-cache`; `off`, `0` or empty → disabled).
+//! Deterministic fault injection arms from `GNNERATOR_FAULTS` /
+//! `GNNERATOR_FAULTS_SEED` (see the `gnnerator-faults` crate).
 //! The server runs until a client posts `/shutdown`.
 
 use gnnerator_graph::ArtifactCache;
@@ -63,6 +65,21 @@ fn main() {
         }
     }
 
+    match gnnerator_faults::init_from_env() {
+        Ok(true) => {
+            let armed: Vec<String> = gnnerator_faults::stats()
+                .into_iter()
+                .map(|point| point.name)
+                .collect();
+            println!("fault injection ARMED: {}", armed.join(", "));
+        }
+        Ok(false) => {}
+        Err(message) => {
+            eprintln!("bad {}: {message}", gnnerator_faults::FAULTS_ENV_VAR);
+            std::process::exit(1);
+        }
+    }
+
     let cache = Arc::new(ArtifactCache::from_env());
     match cache.root() {
         Some(root) => println!("artifact cache: {}", root.display()),
@@ -92,7 +109,10 @@ fn main() {
         "gnnerator-serve listening on http://{} ({summary})",
         server.local_addr(),
     );
-    println!("endpoints: POST /simulate, POST /compile, POST /sweep, GET /stats, POST /shutdown");
+    println!(
+        "endpoints: POST /simulate, POST /compile, POST /sweep, GET /stats, \
+         GET /healthz, GET /readyz, POST /shutdown"
+    );
     server.wait();
     println!("gnnerator-serve: shut down cleanly");
 }

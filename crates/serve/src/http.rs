@@ -50,6 +50,11 @@ pub struct Request {
     /// request: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
     /// `Connection: keep-alive`.
     pub keep_alive: bool,
+    /// The client's per-request deadline from the `X-Deadline-Ms` header:
+    /// how long (from arrival) the request is worth answering. The server
+    /// answers `503` instead of evaluating a request whose deadline expired
+    /// while it sat in the queue.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A problem reading or parsing a request, mapped to the HTTP status the
@@ -172,6 +177,7 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
 
     let mut content_length = 0usize;
     let mut expects_continue = false;
+    let mut deadline_ms = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -195,6 +201,10 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
                 && value.trim().eq_ignore_ascii_case("100-continue")
             {
                 expects_continue = true;
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                deadline_ms = Some(value.trim().parse::<u64>().map_err(|_| {
+                    HttpError::bad_request("invalid X-Deadline-Ms (want milliseconds as a u64)")
+                })?);
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 // Bodies are framed by Content-Length only; silently
                 // treating a chunked body as empty would misreport a
@@ -242,6 +252,7 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
         path,
         body,
         keep_alive,
+        deadline_ms,
     }))
 }
 
@@ -440,6 +451,22 @@ mod tests {
         assert_eq!(second.path, "/stats");
         // ...and the third read observes the clean close.
         assert!(read_request(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_optional() {
+        let req = parse_one(
+            "POST /simulate HTTP/1.1\r\nX-Deadline-Ms: 250\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        assert_eq!(req.deadline_ms, Some(250));
+        let req = parse_one("GET /stats HTTP/1.1\r\nx-deadline-ms: 9000\r\n\r\n");
+        assert_eq!(req.deadline_ms, Some(9000));
+        let req = parse_one("GET /stats HTTP/1.1\r\n\r\n");
+        assert_eq!(req.deadline_ms, None);
+        assert_eq!(
+            parse_err("GET /stats HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n").status,
+            400
+        );
     }
 
     #[test]

@@ -63,6 +63,6 @@ mod request;
 mod server;
 
 pub use json::Json;
-pub use pool::{PoolLookup, PoolStats, SessionPool};
+pub use pool::{BreakerConfig, PoolError, PoolLookup, PoolStats, SessionPool};
 pub use request::scenario_from_json;
 pub use server::{ServeConfig, SessionServer};

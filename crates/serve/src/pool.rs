@@ -12,14 +12,101 @@
 //! Concurrent requests for the *same* key serialise on a per-key build slot
 //! (no thundering herd: one requester builds, the rest wait and share the
 //! `Arc`), while requests for different keys build in parallel.
+//!
+//! A per-key **circuit breaker** quarantines scenario keys whose cold builds
+//! fail repeatedly: after [`BreakerConfig::threshold`] consecutive failures
+//! the key is rejected outright with [`PoolError::CircuitOpen`] (callers map
+//! it to `503` + `Retry-After`) for an exponentially growing backoff window,
+//! so a doomed key cannot burn build capacity or stall well-behaved traffic.
+//! After the window one half-open trial build is admitted; success closes
+//! the breaker, failure re-opens it with a doubled window.
 
 use gnnerator::{
     build_session, materialize_dataset, GnneratorError, ScenarioSpec, SessionKey, SimSession,
 };
+use gnnerator_faults::lock_recover;
 use gnnerator_graph::ArtifactCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a pool lookup failed.
+#[derive(Debug)]
+pub enum PoolError {
+    /// The session build itself failed (dataset materialisation, model
+    /// construction or validation error).
+    Build(GnneratorError),
+    /// The key's circuit breaker is open: recent consecutive build failures
+    /// quarantined it, and the backoff window has not yet elapsed.
+    CircuitOpen {
+        /// Time remaining until a half-open trial build is admitted.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Build(e) => write!(f, "{e}"),
+            PoolError::CircuitOpen { retry_after } => write!(
+                f,
+                "session circuit breaker open after repeated build failures; retry in {:.1}s",
+                retry_after.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Build(e) => Some(e),
+            PoolError::CircuitOpen { .. } => None,
+        }
+    }
+}
+
+impl From<GnneratorError> for PoolError {
+    fn from(e: GnneratorError) -> Self {
+        PoolError::Build(e)
+    }
+}
+
+/// Tuning for the per-key build circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive build failures on one key before its breaker opens.
+    pub threshold: u32,
+    /// Quarantine window after the first trip; doubles on every re-trip.
+    pub base_backoff: Duration,
+    /// Upper bound on the quarantine window.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 3,
+            base_backoff: Duration::from_millis(500),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-key breaker bookkeeping. Present only for keys with recent failures;
+/// removed entirely on a successful build.
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Build failures since the last success (pre-trip counting).
+    consecutive_failures: u32,
+    /// Number of times this key's breaker has opened (drives the
+    /// exponential backoff).
+    opens: u32,
+    /// While `Some`, cold builds for the key are rejected until the instant
+    /// passes; afterwards one half-open trial is admitted.
+    open_until: Option<Instant>,
+}
 
 /// One pool lookup's outcome: the shared session plus whether it was reused.
 #[derive(Debug, Clone)]
@@ -51,6 +138,16 @@ pub struct PoolStats {
     pub datasets_synthesized: usize,
     /// Datasets loaded from the persistent artifact cache.
     pub datasets_loaded: usize,
+    /// Times a key's circuit breaker opened (threshold reached or a
+    /// half-open trial failed).
+    pub breaker_trips: usize,
+    /// Lookups rejected because the key's breaker was open.
+    pub breaker_rejections: usize,
+    /// Keys currently quarantined behind an open breaker.
+    pub quarantined_keys: usize,
+    /// Corrupt on-disk artifacts quarantined by the backing artifact cache
+    /// (zero when the pool has no cache).
+    pub corrupt_artifacts: usize,
 }
 
 struct PoolEntry {
@@ -71,12 +168,16 @@ pub struct SessionPool {
     capacity: usize,
     artifact_cache: Option<Arc<ArtifactCache>>,
     inner: Mutex<PoolInner>,
+    breaker_config: BreakerConfig,
+    breakers: Mutex<HashMap<SessionKey, BreakerState>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     sessions_built: AtomicUsize,
     evictions: AtomicUsize,
     datasets_synthesized: AtomicUsize,
     datasets_loaded: AtomicUsize,
+    breaker_trips: AtomicUsize,
+    breaker_rejections: AtomicUsize,
 }
 
 impl SessionPool {
@@ -90,13 +191,28 @@ impl SessionPool {
                 entries: HashMap::new(),
                 tick: 0,
             }),
+            breaker_config: BreakerConfig::default(),
+            breakers: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             sessions_built: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
             datasets_synthesized: AtomicUsize::new(0),
             datasets_loaded: AtomicUsize::new(0),
+            breaker_trips: AtomicUsize::new(0),
+            breaker_rejections: AtomicUsize::new(0),
         }
+    }
+
+    /// Overrides the circuit-breaker tuning (threshold and backoff window).
+    #[must_use]
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = BreakerConfig {
+            threshold: config.threshold.max(1),
+            base_backoff: config.base_backoff,
+            max_backoff: config.max_backoff.max(config.base_backoff),
+        };
+        self
     }
 
     /// Returns the session for `scenario`, building (and pooling) it on
@@ -105,13 +221,15 @@ impl SessionPool {
     ///
     /// # Errors
     ///
-    /// Propagates dataset-materialisation, model-construction and
-    /// session-validation errors. A failed build leaves no entry behind, so
-    /// later requests retry cleanly.
-    pub fn get(&self, scenario: &ScenarioSpec) -> Result<PoolLookup, GnneratorError> {
+    /// [`PoolError::Build`] propagates dataset-materialisation,
+    /// model-construction and session-validation errors (a failed build
+    /// leaves no entry behind, so later requests retry cleanly);
+    /// [`PoolError::CircuitOpen`] rejects a key quarantined by repeated
+    /// build failures without attempting another build.
+    pub fn get(&self, scenario: &ScenarioSpec) -> Result<PoolLookup, PoolError> {
         let key = scenario.session_key();
         let slot = self.slot_for(key);
-        let mut guard = slot.lock().expect("session slot poisoned");
+        let mut guard = lock_recover(&slot);
         if let Some(session) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(PoolLookup {
@@ -119,10 +237,17 @@ impl SessionPool {
                 reused: true,
             });
         }
+        // Cold path: a quarantined key is rejected before any build work.
+        if let Some(retry_after) = self.breaker_rejects(key) {
+            self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+            self.detach_empty_slot(key, &slot);
+            return Err(PoolError::CircuitOpen { retry_after });
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         match self.build(scenario) {
             Ok(session) => {
                 self.sessions_built.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&self.breakers).remove(&key);
                 *guard = Some(Arc::clone(&session));
                 // A racing peer whose build *failed* may have detached this
                 // slot from the map while we were building into it; re-attach
@@ -137,15 +262,52 @@ impl SessionPool {
                 })
             }
             Err(e) => {
+                self.record_build_failure(key);
                 // Drop the (still-empty) entry so a doomed key cannot pin
                 // pool capacity; racing inserts of a fresh slot are kept.
-                let mut inner = self.inner.lock().expect("session pool poisoned");
-                if let Some(entry) = inner.entries.get(&key) {
-                    if Arc::ptr_eq(&entry.slot, &slot) {
-                        inner.entries.remove(&key);
-                    }
-                }
-                Err(e)
+                self.detach_empty_slot(key, &slot);
+                Err(PoolError::Build(e))
+            }
+        }
+    }
+
+    /// If `key`'s breaker is open, returns the time remaining in its
+    /// quarantine window. An elapsed window admits the caller as the
+    /// half-open trial (its success or failure decides what happens next).
+    fn breaker_rejects(&self, key: SessionKey) -> Option<Duration> {
+        let breakers = lock_recover(&self.breakers);
+        let open_until = breakers.get(&key)?.open_until?;
+        open_until.checked_duration_since(Instant::now())
+    }
+
+    /// Records a failed cold build: past the consecutive-failure threshold
+    /// (or on any failure after a first trip, i.e. a failed half-open
+    /// trial) the key's breaker opens with an exponentially growing window.
+    fn record_build_failure(&self, key: SessionKey) {
+        let config = self.breaker_config;
+        let mut breakers = lock_recover(&self.breakers);
+        let state = breakers.entry(key).or_default();
+        state.consecutive_failures += 1;
+        let tripped = state.opens > 0 || state.consecutive_failures >= config.threshold;
+        if tripped {
+            let backoff = config
+                .base_backoff
+                .saturating_mul(1u32 << state.opens.min(10))
+                .min(config.max_backoff);
+            state.open_until = Some(Instant::now() + backoff);
+            state.opens = state.opens.saturating_add(1);
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes `key`'s entry if it still maps to this (empty) `slot`, so a
+    /// failed or rejected key cannot pin pool capacity; racing inserts of a
+    /// fresh slot are kept.
+    fn detach_empty_slot(&self, key: SessionKey, slot: &Arc<Mutex<Option<Arc<SimSession>>>>) {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(entry) = inner.entries.get(&key) {
+            if Arc::ptr_eq(&entry.slot, slot) {
+                inner.entries.remove(&key);
             }
         }
     }
@@ -155,7 +317,7 @@ impl SessionPool {
     /// capacity until the build succeeds; see
     /// [`SessionPool::evict_over_capacity`]).
     fn slot_for(&self, key: SessionKey) -> Arc<Mutex<Option<Arc<SimSession>>>> {
-        let mut inner = self.inner.lock().expect("session pool poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.get_mut(&key) {
@@ -179,7 +341,7 @@ impl SessionPool {
     /// installed by a newer lineage is left alone — rare, and that lineage
     /// will publish its own session).
     fn publish(&self, key: SessionKey, slot: &Arc<Mutex<Option<Arc<SimSession>>>>) {
-        let mut inner = self.inner.lock().expect("session pool poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(&key) {
@@ -202,7 +364,7 @@ impl SessionPool {
     /// lock order deadlock-free) are never victims: evicting them would
     /// discard work another requester is waiting on.
     fn evict_over_capacity(&self, keep: SessionKey) {
-        let mut inner = self.inner.lock().expect("session pool poisoned");
+        let mut inner = lock_recover(&self.inner);
         while inner.entries.len() > self.capacity {
             let victim = inner
                 .entries
@@ -243,12 +405,12 @@ impl SessionPool {
 
     /// A consistent snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
-        let size = self
-            .inner
-            .lock()
-            .expect("session pool poisoned")
-            .entries
-            .len();
+        let size = lock_recover(&self.inner).entries.len();
+        let now = Instant::now();
+        let quarantined_keys = lock_recover(&self.breakers)
+            .values()
+            .filter(|state| state.open_until.is_some_and(|until| until > now))
+            .count();
         PoolStats {
             size,
             capacity: self.capacity,
@@ -258,6 +420,13 @@ impl SessionPool {
             evictions: self.evictions.load(Ordering::Relaxed),
             datasets_synthesized: self.datasets_synthesized.load(Ordering::Relaxed),
             datasets_loaded: self.datasets_loaded.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            quarantined_keys,
+            corrupt_artifacts: self
+                .artifact_cache
+                .as_ref()
+                .map_or(0, |cache| cache.corrupt_artifacts()),
         }
     }
 }
@@ -385,6 +554,47 @@ mod tests {
             pool.get(&scenario(DatasetKind::Cora, 1)).unwrap().reused,
             "the warm session survived the failing traffic"
         );
+    }
+
+    #[test]
+    fn repeated_failures_trip_the_breaker_and_backoff_reopens_it() {
+        let pool = SessionPool::new(4, None).with_breaker(BreakerConfig {
+            threshold: 2,
+            base_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_secs(1),
+        });
+        let mut degenerate = scenario(DatasetKind::Cora, 9);
+        degenerate.dataset.edges = 0;
+
+        // Failures below the threshold still attempt the build.
+        assert!(matches!(pool.get(&degenerate), Err(PoolError::Build(_))));
+        // The second failure reaches the threshold and opens the breaker.
+        assert!(matches!(pool.get(&degenerate), Err(PoolError::Build(_))));
+        // While open, lookups are rejected without building.
+        let rejected = pool.get(&degenerate);
+        assert!(matches!(rejected, Err(PoolError::CircuitOpen { .. })));
+        if let Err(PoolError::CircuitOpen { retry_after }) = rejected {
+            assert!(retry_after <= Duration::from_millis(40));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_rejections, 1);
+        assert_eq!(stats.quarantined_keys, 1);
+        assert_eq!(stats.misses, 2, "the rejected lookup never built");
+        assert_eq!(stats.size, 0, "quarantined keys do not pin capacity");
+
+        // After the window, a half-open trial is admitted; its failure
+        // re-opens the breaker immediately with a doubled window.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(matches!(pool.get(&degenerate), Err(PoolError::Build(_))));
+        assert!(matches!(
+            pool.get(&degenerate),
+            Err(PoolError::CircuitOpen { .. })
+        ));
+        assert_eq!(pool.stats().breaker_trips, 2);
+
+        // Other keys are unaffected throughout.
+        assert!(pool.get(&scenario(DatasetKind::Cora, 1)).is_ok());
     }
 
     #[test]

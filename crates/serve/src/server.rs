@@ -29,22 +29,25 @@
 //! | `POST /simulate` | one scenario object         | the evaluated point (seconds, cycles, speedups, `session_reused`, `latency_seconds`, `batch_size`) |
 //! | `POST /compile`  | one accelerator scenario    | the compiled-workload summary (no execution) |
 //! | `POST /sweep`    | `{"scenarios": [...]}`      | every point, in order, evaluated batch-per-session-key |
-//! | `GET /stats`     | —                           | pool counters, admission/batching counters, queue-wait / evaluate / serialize latency histograms (p50/p90/p99) |
+//! | `GET /stats`     | —                           | pool counters, admission/batching counters, worker supervision and breaker counters, queue-wait / evaluate / serialize latency histograms (p50/p90/p99) |
+//! | `GET /healthz`   | —                           | liveness: `200` unless a shutdown is in progress |
+//! | `GET /readyz`    | —                           | readiness: `200` only with queue headroom and live workers; `503` with per-component detail otherwise |
 //! | `POST /shutdown` | —                           | `{"ok": true}`, then stops accepting, wakes idle keep-alive connections and drains |
 
 use crate::batch::{Job, JobKind, JobQueue, Reply, SubmitError};
 use crate::http::{read_request, write_response, HttpError, Request, ResponseOptions};
 use crate::json::{json_f64, json_opt_f64, json_opt_u64, json_string, Json};
 use crate::metrics::{Histogram, Metrics};
-use crate::pool::SessionPool;
+use crate::pool::{BreakerConfig, PoolError, SessionPool};
 use crate::request::scenario_from_json;
 use gnnerator::{evaluate_scenario_batch, ScenarioResult, ScenarioSpec, SessionKey, SimSession};
+use gnnerator_faults::lock_recover;
 use gnnerator_graph::ArtifactCache;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -80,6 +83,9 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Concurrent connections accepted before refusing with `503`.
     pub max_connections: usize,
+    /// Per-session-key circuit breaker tuning: repeated cold-build failures
+    /// quarantine the key behind `503` + `Retry-After`.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +107,7 @@ impl Default for ServeConfig {
             connection_inflight: 8,
             idle_timeout: Duration::from_secs(30),
             max_connections: 1024,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -108,9 +115,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// The defaults with `GNNERATOR_SERVE_*` environment overrides applied:
     /// `WORKERS`, `POOL_CAPACITY`, `QUEUE_DEPTH`, `MAX_BATCH`,
-    /// `CONNECTION_INFLIGHT`, `IDLE_TIMEOUT_MS` and `MAX_CONNECTIONS`
-    /// suffixes, each a positive integer. Unset or unparseable variables
-    /// keep the default.
+    /// `CONNECTION_INFLIGHT`, `IDLE_TIMEOUT_MS`, `MAX_CONNECTIONS`,
+    /// `BREAKER_THRESHOLD` and `BREAKER_BACKOFF_MS` suffixes, each a
+    /// positive integer. Unset or unparseable variables keep the default.
     pub fn from_env() -> Self {
         fn read(name: &str) -> Option<usize> {
             std::env::var(name).ok()?.trim().parse().ok()
@@ -136,6 +143,12 @@ impl ServeConfig {
         }
         if let Some(v) = read("GNNERATOR_SERVE_MAX_CONNECTIONS") {
             config.max_connections = v.max(1);
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_BREAKER_THRESHOLD") {
+            config.breaker.threshold = v.clamp(1, u32::MAX as usize) as u32;
+        }
+        if let Some(v) = read("GNNERATOR_SERVE_BREAKER_BACKOFF_MS") {
+            config.breaker.base_backoff = Duration::from_millis(v.max(1) as u64);
         }
         config
     }
@@ -171,7 +184,7 @@ impl ConnectionRegistry {
     fn register(&self, stream: &TcpStream) -> Option<u64> {
         let clone = stream.try_clone().ok()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut streams = self.streams.lock().expect("connection registry poisoned");
+        let mut streams = lock_recover(&self.streams);
         streams.insert(id, clone);
         self.peak.fetch_max(streams.len(), Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
@@ -179,29 +192,18 @@ impl ConnectionRegistry {
     }
 
     fn unregister(&self, id: u64) {
-        self.streams
-            .lock()
-            .expect("connection registry poisoned")
-            .remove(&id);
+        lock_recover(&self.streams).remove(&id);
     }
 
     fn active(&self) -> usize {
-        self.streams
-            .lock()
-            .expect("connection registry poisoned")
-            .len()
+        lock_recover(&self.streams).len()
     }
 
     /// Half-closes every registered socket's read side: idle keep-alive
     /// readers wake with EOF and drain, while responses still in flight
     /// write out normally.
     fn shutdown_all(&self) {
-        for stream in self
-            .streams
-            .lock()
-            .expect("connection registry poisoned")
-            .values()
-        {
+        for stream in lock_recover(&self.streams).values() {
             stream.shutdown(Shutdown::Read).ok();
         }
     }
@@ -226,6 +228,11 @@ struct ServerState {
     connection_inflight: usize,
     max_connections: usize,
     idle_timeout: Duration,
+    // Worker supervision, reported by `/stats` and `/readyz`.
+    configured_workers: usize,
+    workers_alive: AtomicUsize,
+    worker_panics: AtomicUsize,
+    worker_respawns: AtomicUsize,
 }
 
 /// A running session server. Dropping the handle does *not* stop the
@@ -249,7 +256,8 @@ impl SessionServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
-            pool: SessionPool::new(config.pool_capacity, config.artifact_cache),
+            pool: SessionPool::new(config.pool_capacity, config.artifact_cache)
+                .with_breaker(config.breaker),
             queue: JobQueue::new(config.queue_depth),
             metrics: Mutex::new(Metrics::default()),
             connections: ConnectionRegistry::default(),
@@ -263,6 +271,10 @@ impl SessionServer {
             connection_inflight: config.connection_inflight.max(1),
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
+            configured_workers: config.workers.max(1),
+            workers_alive: AtomicUsize::new(0),
+            worker_panics: AtomicUsize::new(0),
+            worker_respawns: AtomicUsize::new(0),
         });
 
         let workers = (0..config.workers.max(1))
@@ -592,7 +604,13 @@ fn resolve(pending: Pending) -> (u16, String, bool, Option<u32>) {
             receiver,
             keep_alive,
         } => match receiver.recv_timeout(WORKER_REPLY_TIMEOUT) {
-            Ok(reply) => (reply.status, reply.body, keep_alive, None),
+            // Backpressure statuses produced past admission (expired
+            // deadlines, open circuit breakers) advertise a retry hint,
+            // matching the shed path.
+            Ok(reply) => {
+                let retry_after = matches!(reply.status, 429 | 503).then_some(1);
+                (reply.status, reply.body, keep_alive, retry_after)
+            }
             Err(_) => (500, error_body("evaluation did not complete"), false, None),
         },
     }
@@ -606,7 +624,7 @@ fn route(request: &Request) -> &str {
 }
 
 fn record_endpoint_latency(state: &ServerState, path: &str, seconds: f64) {
-    let mut endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
+    let mut endpoints = lock_recover(&state.endpoints);
     let stat = match path {
         "/simulate" => &mut endpoints.simulate,
         "/compile" => &mut endpoints.compile,
@@ -622,11 +640,24 @@ fn error_body(message: &str) -> String {
     format!("{{\"error\": {}}}", json_string(message))
 }
 
+/// Maps a pool lookup failure to its HTTP status: an open circuit breaker
+/// is backpressure (`503`, with `Retry-After` attached in [`resolve`]),
+/// while a failed build is a server error (`500`).
+fn pool_error_status(error: &PoolError) -> u16 {
+    match error {
+        PoolError::CircuitOpen { .. } => 503,
+        PoolError::Build(_) => 500,
+    }
+}
+
 /// Parses, validates and routes one request on the connection thread.
 /// Cheap requests answer inline; evaluation work is submitted to the
 /// bounded queue (shedding with `429` when full).
 fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
     let keep_alive = request.keep_alive;
+    let deadline = request
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let ready = |status: u16, body: String| Pending::Ready {
         status,
         body,
@@ -636,7 +667,12 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
     match (request.method.as_str(), route(&request)) {
         ("POST", "/simulate") => {
             match parse_body(&request.body).and_then(|json| scenario_from_json(&json)) {
-                Ok(scenario) => submit(JobKind::Simulate(Box::new(scenario)), keep_alive, state),
+                Ok(scenario) => submit(
+                    JobKind::Simulate(Box::new(scenario)),
+                    keep_alive,
+                    deadline,
+                    state,
+                ),
                 Err(message) => ready(400, error_body(&message)),
             }
         }
@@ -646,12 +682,17 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
                     400,
                     error_body("only accelerator scenarios compile; baselines are analytical"),
                 ),
-                Ok(scenario) => submit(JobKind::Compile(Box::new(scenario)), keep_alive, state),
+                Ok(scenario) => submit(
+                    JobKind::Compile(Box::new(scenario)),
+                    keep_alive,
+                    deadline,
+                    state,
+                ),
                 Err(message) => ready(400, error_body(&message)),
             }
         }
         ("POST", "/sweep") => match parse_sweep(&request.body) {
-            Ok(scenarios) => submit(JobKind::Sweep(scenarios), keep_alive, state),
+            Ok(scenarios) => submit(JobKind::Sweep(scenarios), keep_alive, deadline, state),
             Err(message) => ready(400, error_body(&message)),
         },
         ("GET", "/stats") => {
@@ -659,6 +700,22 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
             let body = stats_body(state);
             record_endpoint_latency(state, "/stats", started.elapsed().as_secs_f64());
             ready(200, body)
+        }
+        ("GET", "/healthz") => {
+            // Liveness: the process is up and able to answer. Only a
+            // shutdown in progress makes it unhealthy.
+            if state.shutdown.load(Ordering::SeqCst) {
+                ready(
+                    503,
+                    "{\"ok\": false, \"reason\": \"shutting down\"}".to_string(),
+                )
+            } else {
+                ready(200, "{\"ok\": true}".to_string())
+            }
+        }
+        ("GET", "/readyz") => {
+            let (status, body) = readyz_body(state);
+            ready(status, body)
         }
         ("POST", "/shutdown") => {
             trigger_shutdown(state);
@@ -672,7 +729,9 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
         (_, "/simulate" | "/compile" | "/sweep" | "/shutdown") => {
             ready(405, error_body("use POST for this endpoint"))
         }
-        (_, "/stats") => ready(405, error_body("use GET /stats")),
+        (_, "/stats" | "/healthz" | "/readyz") => {
+            ready(405, error_body("use GET for this endpoint"))
+        }
         _ => ready(
             404,
             error_body(&format!("no such endpoint {}", request.path)),
@@ -680,15 +739,59 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
     }
 }
 
+/// Readiness: whether this server should receive new traffic *right now*.
+/// Not ready (`503`) while shutting down, with the admission queue full, or
+/// with no live evaluation worker; the body itemises each component so an
+/// operator can see exactly which gate failed.
+fn readyz_body(state: &ServerState) -> (u16, String) {
+    let shutting_down = state.shutdown.load(Ordering::SeqCst);
+    let depth = state.queue.depth();
+    let capacity = state.queue.capacity();
+    let queue_ready = depth < capacity;
+    let alive = state.workers_alive.load(Ordering::SeqCst);
+    let workers_ready = alive > 0;
+    let pool = state.pool.stats();
+    let ready = !shutting_down && queue_ready && workers_ready;
+    let body = format!(
+        "{{\"ready\": {ready}, \"shutting_down\": {shutting_down}, \
+         \"queue\": {{\"ready\": {queue_ready}, \"depth\": {depth}, \"capacity\": {capacity}}}, \
+         \"workers\": {{\"ready\": {workers_ready}, \"alive\": {alive}, \"configured\": {}, \
+         \"panics\": {}, \"respawns\": {}}}, \
+         \"breaker\": {{\"quarantined_keys\": {}, \"trips\": {}}}}}",
+        state.configured_workers,
+        state.worker_panics.load(Ordering::Relaxed),
+        state.worker_respawns.load(Ordering::Relaxed),
+        pool.quarantined_keys,
+        pool.breaker_trips,
+    );
+    (if ready { 200 } else { 503 }, body)
+}
+
 /// Submits evaluation work to the admission queue; a full queue sheds the
 /// request (`429` + `Retry-After`, connection stays usable), a closed queue
-/// answers `503` on a closing connection.
-fn submit(kind: JobKind, keep_alive: bool, state: &Arc<ServerState>) -> Pending {
+/// answers `503` on a closing connection. A request whose deadline has
+/// already passed (`X-Deadline-Ms: 0` against any queue wait) is answered
+/// `503` + `Retry-After` without entering the queue.
+fn submit(
+    kind: JobKind,
+    keep_alive: bool,
+    deadline: Option<Instant>,
+    state: &Arc<ServerState>,
+) -> Pending {
+    if deadline.is_some_and(|deadline| Instant::now() > deadline) {
+        return Pending::Ready {
+            status: 503,
+            body: error_body("deadline expired before admission"),
+            keep_alive,
+            retry_after: Some(1),
+        };
+    }
     let (reply, receiver) = channel();
     let job = Job {
         kind,
         reply,
         enqueued: Instant::now(),
+        deadline,
     };
     match state.queue.submit(job) {
         Ok(()) => Pending::Waiting {
@@ -737,20 +840,69 @@ fn parse_sweep(body: &str) -> Result<Vec<ScenarioSpec>, String> {
 // Evaluation workers
 // ---------------------------------------------------------------------------
 
-fn eval_worker_loop(state: &Arc<ServerState>) {
-    while let Some(batch) = state.queue.next_batch(state.max_batch) {
-        // A panic mid-batch drops the reply senders; the waiting
-        // connections answer 500 (and count the error) themselves.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(batch, state);
-        }));
+/// Answers every job of an in-flight batch with `500` if the worker
+/// unwinds mid-batch. Armed before `process_batch`, disarmed after it
+/// returns; during an unwind the `Drop` impl runs and the waiting
+/// connections get a typed error immediately instead of waiting out the
+/// reply timeout on a dropped channel. Jobs already answered normally just
+/// have a second reply sitting unread in their channel.
+struct BatchGuard {
+    replies: Vec<Sender<Reply>>,
+}
+
+impl BatchGuard {
+    fn arm(batch: &[Job]) -> Self {
+        Self {
+            replies: batch.iter().map(|job| job.reply.clone()).collect(),
+        }
     }
+
+    fn disarm(mut self) {
+        self.replies.clear();
+    }
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        for reply in &self.replies {
+            let _ = reply.send(Reply {
+                status: 500,
+                body: error_body("evaluation worker panicked; the request was aborted"),
+            });
+        }
+    }
+}
+
+/// The supervised evaluation worker loop. A panic while processing a batch
+/// (injected via the `eval` failpoint or real) is caught here: the batch's
+/// jobs are answered `500` by the [`BatchGuard`], the panic and the
+/// respawn are counted for `/stats`, and the loop re-enters — the worker
+/// keeps serving. The loop only exits once the queue is closed and drained.
+fn eval_worker_loop(state: &Arc<ServerState>) {
+    state.workers_alive.fetch_add(1, Ordering::SeqCst);
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while let Some(batch) = state.queue.next_batch(state.max_batch) {
+                let guard = BatchGuard::arm(&batch);
+                process_batch(batch, state);
+                guard.disarm();
+            }
+        }));
+        match outcome {
+            Ok(()) => break, // queue closed and drained: clean exit
+            Err(_) => {
+                state.worker_panics.fetch_add(1, Ordering::Relaxed);
+                state.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    state.workers_alive.fetch_sub(1, Ordering::SeqCst);
 }
 
 fn process_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
     let picked_up = Instant::now();
     {
-        let mut metrics = state.metrics.lock().expect("metrics poisoned");
+        let mut metrics = lock_recover(&state.metrics);
         for job in &batch {
             metrics
                 .queue_wait
@@ -782,6 +934,7 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
             kind,
             reply,
             enqueued,
+            ..
         } = job;
         let JobKind::Simulate(scenario) = kind else {
             continue; // unreachable: coalescing only groups Simulate jobs
@@ -804,7 +957,7 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
         None => Vec::new(), // every lookup failed; answered per-job below
     };
     {
-        let mut metrics = state.metrics.lock().expect("metrics poisoned");
+        let mut metrics = lock_recover(&state.metrics);
         metrics.batch.record(size);
         for result in results.iter().flatten() {
             metrics.evaluate.record(result.simulate_seconds);
@@ -812,7 +965,7 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
     }
     for (index, ((_, reply, enqueued), lookup)) in jobs.into_iter().zip(lookups).enumerate() {
         let (status, body) = match lookup {
-            Err(e) => (500, error_body(&e.to_string())),
+            Err(e) => (pool_error_status(&e), error_body(&e.to_string())),
             Ok(lookup) => match results.get(index) {
                 Some(Ok(result)) => {
                     let serialize_started = Instant::now();
@@ -824,10 +977,7 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
                             batch_size: size,
                         }),
                     );
-                    state
-                        .metrics
-                        .lock()
-                        .expect("metrics poisoned")
+                    lock_recover(&state.metrics)
                         .serialize
                         .record(serialize_started.elapsed().as_secs_f64());
                     (200, body)
@@ -846,6 +996,7 @@ fn process_compile(job: Job, state: &Arc<ServerState>) {
         kind,
         reply,
         enqueued,
+        ..
     } = job;
     let JobKind::Compile(scenario) = kind else {
         return;
@@ -862,7 +1013,7 @@ fn compile_response(
 ) -> (u16, String) {
     let lookup = match state.pool.get(scenario) {
         Ok(lookup) => lookup,
-        Err(e) => return (500, error_body(&e.to_string())),
+        Err(e) => return (pool_error_status(&e), error_body(&e.to_string())),
     };
     let workload = match lookup.session.compile(&scenario.config, scenario.dataflow) {
         Ok(workload) => workload,
@@ -891,6 +1042,7 @@ fn process_sweep(job: Job, state: &Arc<ServerState>) {
         kind,
         reply,
         enqueued,
+        ..
     } = job;
     let JobKind::Sweep(scenarios) = kind else {
         return;
@@ -918,7 +1070,9 @@ fn sweep_response(
             groups.push((key, vec![index]));
         }
     }
-    let mut results: Vec<Option<Result<ScenarioResult, gnnerator::GnneratorError>>> =
+    // A failed entry carries the HTTP status it should surface with (a
+    // quarantined key is `503` backpressure, a failed build/eval is `500`).
+    let mut results: Vec<Option<Result<ScenarioResult, (u16, String)>>> =
         scenarios.iter().map(|_| None).collect();
     for (_, members) in &groups {
         let mut session: Option<Arc<SimSession>> = None;
@@ -931,18 +1085,18 @@ fn sweep_response(
                     group_scenarios.push(scenarios[index].clone());
                     group_indices.push(index);
                 }
-                Err(e) => results[index] = Some(Err(e)),
+                Err(e) => results[index] = Some(Err((pool_error_status(&e), e.to_string()))),
             }
         }
         if let Some(session) = session {
             let evaluated = evaluate_scenario_batch(&group_scenarios, &session);
-            let mut metrics = state.metrics.lock().expect("metrics poisoned");
+            let mut metrics = lock_recover(&state.metrics);
             for result in evaluated.iter().flatten() {
                 metrics.evaluate.record(result.simulate_seconds);
             }
             drop(metrics);
             for (result, &index) in evaluated.into_iter().zip(&group_indices) {
-                results[index] = Some(result);
+                results[index] = Some(result.map_err(|e| (500, e.to_string())));
             }
         }
     }
@@ -951,7 +1105,9 @@ fn sweep_response(
     for (index, result) in results.into_iter().enumerate() {
         match result {
             Some(Ok(result)) => points.push(point_json(&result, None)),
-            Some(Err(e)) => return (500, error_body(&format!("scenario {index}: {e}"))),
+            Some(Err((status, message))) => {
+                return (status, error_body(&format!("scenario {index}: {message}")))
+            }
             None => {
                 return (
                     500,
@@ -1040,7 +1196,7 @@ fn histogram_json(histogram: &Histogram) -> String {
 
 fn stats_body(state: &ServerState) -> String {
     let pool = state.pool.stats();
-    let endpoints = state.endpoints.lock().expect("endpoint stats poisoned");
+    let endpoints = lock_recover(&state.endpoints);
     let endpoint = |name: &str, stat: &EndpointStat| {
         let mean = if stat.requests == 0 {
             0.0
@@ -1065,7 +1221,7 @@ fn stats_body(state: &ServerState) -> String {
     drop(endpoints);
     let admission = format!(
         "{{\"queue_capacity\": {}, \"queue_depth\": {}, \"peak_queue_depth\": {}, \
-         \"shed\": {}, \"active_connections\": {}, \"peak_connections\": {}, \
+         \"shed\": {}, \"expired\": {}, \"active_connections\": {}, \"peak_connections\": {}, \
          \"total_connections\": {}, \"refused_connections\": {}, \
          \"connection_inflight_cap\": {}, \"max_connections\": {}, \
          \"max_batch\": {}, \"idle_timeout_seconds\": {}}}",
@@ -1073,6 +1229,7 @@ fn stats_body(state: &ServerState) -> String {
         state.queue.depth(),
         state.queue.peak_depth(),
         state.queue.shed_count(),
+        state.queue.expired_count(),
         state.connections.active(),
         state.connections.peak.load(Ordering::Relaxed),
         state.connections.total.load(Ordering::Relaxed),
@@ -1082,7 +1239,7 @@ fn stats_body(state: &ServerState) -> String {
         state.max_batch,
         json_f64(state.idle_timeout.as_secs_f64()),
     );
-    let metrics = state.metrics.lock().expect("metrics poisoned");
+    let metrics = lock_recover(&state.metrics);
     let batch = format!(
         "{{\"batches\": {}, \"batched_requests\": {}, \"solo_requests\": {}, \
          \"max_batch_size\": {}, \"mean_batch_size\": {}}}",
@@ -1099,11 +1256,32 @@ fn stats_body(state: &ServerState) -> String {
         histogram_json(&metrics.serialize),
     );
     drop(metrics);
+    let workers = format!(
+        "{{\"configured\": {}, \"alive\": {}, \"panics\": {}, \"respawns\": {}}}",
+        state.configured_workers,
+        state.workers_alive.load(Ordering::SeqCst),
+        state.worker_panics.load(Ordering::Relaxed),
+        state.worker_respawns.load(Ordering::Relaxed),
+    );
+    let faults = gnnerator_faults::stats()
+        .into_iter()
+        .map(|point| {
+            format!(
+                "{{\"name\": {}, \"hits\": {}, \"trips\": {}}}",
+                json_string(&point.name),
+                point.hits,
+                point.trips,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\"uptime_seconds\": {}, \"requests\": {}, \"errors\": {}, \
          \"pool\": {{\"size\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \
          \"sessions_built\": {}, \"evictions\": {}, \"datasets_synthesized\": {}, \
-         \"datasets_loaded\": {}}}, \"admission\": {}, \"batch\": {}, \
+         \"datasets_loaded\": {}, \"breaker_trips\": {}, \"breaker_rejections\": {}, \
+         \"quarantined_keys\": {}, \"corrupt_artifacts\": {}}}, \
+         \"workers\": {}, \"faults\": [{}], \"admission\": {}, \"batch\": {}, \
          \"latency\": {}, \"endpoints\": {{{}}}}}",
         json_f64(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
@@ -1116,6 +1294,12 @@ fn stats_body(state: &ServerState) -> String {
         pool.evictions,
         pool.datasets_synthesized,
         pool.datasets_loaded,
+        pool.breaker_trips,
+        pool.breaker_rejections,
+        pool.quarantined_keys,
+        pool.corrupt_artifacts,
+        workers,
+        faults,
         admission,
         batch,
         latency,

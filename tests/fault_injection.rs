@@ -1,0 +1,157 @@
+//! Failure-path determinism of the sweep engine under injected faults:
+//! [`SweepRunner::run`] reports the lowest-index failing scenario's error —
+//! identically to [`SweepRunner::run_serial`], run after run, regardless of
+//! thread schedule — and a sweep that suffered artifact-cache faults
+//! mid-run still produces (and its warm rerun reproduces) results
+//! bit-identical to a clean cold run: cache persistence is best-effort and
+//! can never change what is computed.
+//!
+//! Every test arms the process-global `gnnerator-faults` registry, so they
+//! serialise on one mutex and clear the registry on entry.
+
+use gnnerator::{
+    BackendKind, DataflowConfig, GnneratorConfig, ScenarioResult, ScenarioSpec, SweepRunner,
+};
+use gnnerator_gnn::NetworkKind;
+use gnnerator_graph::datasets::DatasetKind;
+use gnnerator_graph::ArtifactCache;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serialises tests that touch the process-global fault registry.
+fn fault_guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let guard = gnnerator_faults::lock_recover(&GUARD);
+    gnnerator_faults::clear();
+    guard
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static NONCE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gnnerator-fault-cache-{}-{label}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn scenario(kind: DatasetKind, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        NetworkKind::Gcn,
+        kind.spec().scaled(0.03),
+        seed,
+        16,
+        4,
+        GnneratorConfig::paper_default(),
+        DataflowConfig::blocked(64),
+    )
+}
+
+/// A 6-point mixed-backend grid over two session keys (one per dataset).
+fn grid() -> Vec<ScenarioSpec> {
+    let mut scenarios = Vec::new();
+    for kind in [DatasetKind::Cora, DatasetKind::Citeseer] {
+        for backend in [
+            BackendKind::Gnnerator,
+            BackendKind::GpuRoofline,
+            BackendKind::Hygcn,
+        ] {
+            scenarios.push(scenario(kind, 13).with_backend(backend));
+        }
+    }
+    scenarios
+}
+
+fn assert_bit_identical(reference: &[ScenarioResult], observed: &[ScenarioResult], context: &str) {
+    assert_eq!(reference.len(), observed.len(), "{context}: result count");
+    for (i, (want, got)) in reference.iter().zip(observed).enumerate() {
+        assert_eq!(
+            want.seconds().to_bits(),
+            got.seconds().to_bits(),
+            "{context}: point {i} seconds diverged ({} != {})",
+            want.seconds(),
+            got.seconds()
+        );
+        assert_eq!(want.evaluation, got.evaluation, "{context}: point {i}");
+        assert_eq!(want.num_nodes, got.num_nodes, "{context}: point {i}");
+        assert_eq!(want.num_edges, got.num_edges, "{context}: point {i}");
+    }
+}
+
+#[test]
+fn sweep_run_reports_the_lowest_index_error_under_injected_failure() {
+    let _guard = fault_guard();
+    // Splice a doomed scenario (fresh seed, so an unwarmed session key)
+    // into the middle of the healthy grid, plus a key-sharing twin at the
+    // tail — the reported error must be the lowest-index one's.
+    let mut scenarios = grid();
+    let doomed = scenario(DatasetKind::Cora, 99);
+    scenarios.insert(2, doomed.clone());
+    scenarios.push(doomed);
+
+    let runner = SweepRunner::new();
+    // Warm every healthy session key so only the doomed key cold-builds
+    // while the fault is armed — its two scenarios are the only failures.
+    for healthy in grid() {
+        runner.run_one(&healthy).expect("healthy grid runs clean");
+    }
+    gnnerator_faults::configure("session_build:error", 0).unwrap();
+
+    let parallel = runner.run(&scenarios).unwrap_err().to_string();
+    let lowest = runner.run_one(&scenarios[2]).unwrap_err().to_string();
+    assert_eq!(
+        parallel, lowest,
+        "run() must report the lowest-index failing scenario's error"
+    );
+    assert!(
+        parallel.contains("session_build"),
+        "the injected failure must stay typed end to end: {parallel}"
+    );
+    let serial = runner.run_serial(&scenarios).unwrap_err().to_string();
+    assert_eq!(parallel, serial, "parallel and serial must agree on errors");
+    let again = runner.run(&scenarios).unwrap_err().to_string();
+    assert_eq!(
+        parallel, again,
+        "the reported error must be run-to-run stable"
+    );
+
+    // Clearing the fault heals the sweep completely — nothing is cached
+    // from the failed attempts.
+    gnnerator_faults::clear();
+    let results = runner.run(&scenarios).expect("cleared faults run clean");
+    assert_eq!(results.len(), scenarios.len());
+}
+
+#[test]
+fn warm_rerun_after_mid_sweep_cache_faults_matches_a_clean_cold_run() {
+    let _guard = fault_guard();
+    let scenarios = grid();
+
+    let clean_dir = scratch_dir("clean");
+    let clean = SweepRunner::new().with_artifact_cache(Arc::new(ArtifactCache::new(&clean_dir)));
+    let reference = clean.run(&scenarios).expect("clean cold run");
+
+    // A cold sweep with every other artifact read and write failing:
+    // persistence is best-effort, so the run completes — bit-identically —
+    // leaving whatever subset of artifacts happened to survive on disk.
+    let faulted_dir = scratch_dir("faulted");
+    gnnerator_faults::configure("cache_write:io@2,cache_read:io@2", 0).unwrap();
+    let faulted =
+        SweepRunner::new().with_artifact_cache(Arc::new(ArtifactCache::new(&faulted_dir)));
+    let mid_sweep = faulted.run(&scenarios).expect("faulted sweep completes");
+    assert_bit_identical(&reference, &mid_sweep, "mid-sweep cache faults");
+
+    // The warm rerun over that partially-persisted cache, faults cleared:
+    // mixed artifact hits and fresh rebuilds must reproduce the clean cold
+    // run bit for bit.
+    gnnerator_faults::clear();
+    let warm = SweepRunner::new().with_artifact_cache(Arc::new(ArtifactCache::new(&faulted_dir)));
+    let rerun = warm.run(&scenarios).expect("warm rerun completes");
+    assert_bit_identical(&reference, &rerun, "warm rerun after faults");
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&faulted_dir).ok();
+}
