@@ -1,13 +1,15 @@
 //! Criterion benchmarks for the graph-build pipeline: R-MAT synthesis
 //! (through the chunked parallel builder) and `ShardGrid::build`, at dataset
 //! scales 0.25 and 1.0, so future PRs can track graph-build regressions the
-//! same way the sweep engine is tracked.
+//! same way the sweep engine is tracked. The `edge_build` group additionally
+//! pits the disk-spilling out-of-core path against the in-memory path on
+//! identical inputs, pricing the spill-and-merge overhead directly.
 //!
 //! Run with `cargo bench -p gnnerator-bench --bench graph_build`.
 
 use criterion::{black_box, Criterion};
 use gnnerator_graph::datasets::DatasetKind;
-use gnnerator_graph::{generators, ShardGrid};
+use gnnerator_graph::{generators, Edge, EdgeListBuilder, MemoryBudget, ShardGrid};
 
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
@@ -42,6 +44,38 @@ fn main() {
                 .expect("valid spec")
         })
     });
+
+    // Spilled versus in-memory edge-list construction on identical inputs:
+    // the same pushes, but a budget small enough that every sealed chunk
+    // spills to a run file and the finish is a k-way merge over disk. The
+    // delta between the two bars is the out-of-core pipeline's overhead.
+    for (label, spec) in [
+        ("pubmed@1", DatasetKind::Pubmed.spec()),
+        (
+            "ogbn-arxiv@0.25",
+            DatasetKind::OgbnArxiv.spec().scaled(0.25),
+        ),
+    ] {
+        let edges: Vec<Edge> = generators::rmat_exact(spec.vertices, spec.edges, 42)
+            .expect("valid spec")
+            .iter()
+            .copied()
+            .collect();
+        let build = |budget: MemoryBudget| {
+            let mut builder =
+                EdgeListBuilder::new(spec.vertices).with_memory_budget(black_box(budget));
+            for &edge in &edges {
+                builder.push(edge).expect("in-range edge");
+            }
+            builder.try_finish().expect("merge succeeds")
+        };
+        group.bench_function(format!("edge_build/in_memory/{label}"), |b| {
+            b.iter(|| build(MemoryBudget::unbounded()))
+        });
+        group.bench_function(format!("edge_build/spilled/{label}"), |b| {
+            b.iter(|| build(MemoryBudget::bytes(256 << 10)))
+        });
+    }
     group.finish();
     criterion.final_summary();
 }

@@ -73,10 +73,10 @@ fn main() {
     let (rows, gmeans) = experiments::figure5(&ctx).expect("figure 5 failed");
     println!("{}", experiments::figure5_table(&rows, &gmeans));
 
-    // Sweep-engine benchmark: the 57-point mixed-backend grid (nine paper
+    // Sweep-engine benchmark: the 60-point mixed-backend grid (nine paper
     // workloads plus the ogbn-arxiv-scale extension) through the parallel
     // compile-once path versus the serial per-run path, checked bit for bit.
-    println!("Benchmarking the sweep engine (57 scenario points across all backends)...");
+    println!("Benchmarking the sweep engine (60 scenario points across all backends)...");
     let bench = sweep_report::bench_sweep(&ctx).expect("sweep benchmark failed");
     println!(
         "  parallel sweep: {:.3} s   serial per-run: {:.3} s   speedup {:.2}x on {} threads   bit-identical: {}",

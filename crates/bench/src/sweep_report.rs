@@ -51,8 +51,8 @@ pub const SWEEP_BASELINES: [BackendKind; 2] = [BackendKind::GpuRoofline, Backend
 
 /// Enumerates the benchmark's scenario grid: the nine paper workloads under
 /// each of [`SWEEP_DATAFLOWS`], plus one point per baseline backend in
-/// [`SWEEP_BASELINES`] (9 × (4 + 2) = 54 points), plus the ogbn-arxiv-scale
-/// extension points from [`ogbn_scenarios`] (3 more: 57 total).
+/// [`SWEEP_BASELINES`] (9 × (4 + 2) = 54 points), plus the ogbn-scale
+/// extension points from [`ogbn_scenarios`] (6 more: 60 total).
 pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
     let config = ctx.options().config.clone();
     let mut scenarios: Vec<ScenarioSpec> = full_suite()
@@ -74,12 +74,25 @@ pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
     scenarios
 }
 
-/// The ogbn-arxiv-scale extension of the sweep: a ≥1M-edge synthetic GCN
+/// Extra scale applied to the ogbn-products point on top of the grid scale.
+///
+/// The full [`DatasetKind::OgbnProductsScale`] spec is a ~60M-edge
+/// out-of-core stressor — far beyond what a default bench run should
+/// synthesise — so the sweep carries it at 1/25 scale. At grid scale 1.0
+/// that is still ~2.4M edges: the largest graph in the sweep, and the one
+/// whose edge arena exceeds the memory budgets the out-of-core CI smoke
+/// runs under.
+pub const PRODUCTS_SWEEP_SCALE: f64 = 0.04;
+
+/// The ogbn-scale extension of the sweep: the ≥1M-edge ogbn-arxiv GCN
 /// workload (at full scale) that the streaming graph-build pipeline opened
-/// to the same path — one accelerator point (which carries both baseline
-/// speedup columns) plus both baseline backends.
+/// to this path, plus the ogbn-products point (down-scaled by
+/// [`PRODUCTS_SWEEP_SCALE`]) that the out-of-core pipeline added on top —
+/// each as one accelerator point (which carries both baseline speedup
+/// columns) plus both baseline backends.
 pub fn ogbn_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
     let workload = Workload::new(DatasetKind::OgbnArxiv, NetworkKind::Gcn);
+    let products = products_scenario(ctx);
     vec![
         ctx.scenario(
             &workload,
@@ -88,7 +101,30 @@ pub fn ogbn_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
         ),
         ctx.baseline_scenario(&workload, BackendKind::GpuRoofline),
         ctx.baseline_scenario(&workload, BackendKind::Hygcn),
+        products.clone(),
+        products.clone().with_backend(BackendKind::GpuRoofline),
+        products.with_backend(BackendKind::Hygcn),
     ]
+}
+
+/// The ogbn-products accelerator point: the grid scale times
+/// [`PRODUCTS_SWEEP_SCALE`], with the context's seed sequence, hidden
+/// dimension and blocked dataflow (mirroring [`SuiteContext::scenario`],
+/// which cannot express a per-workload scale).
+fn products_scenario(ctx: &SuiteContext) -> ScenarioSpec {
+    let kind = DatasetKind::OgbnProductsScale;
+    let options = ctx.options();
+    let mut scenario = ScenarioSpec::new(
+        NetworkKind::Gcn,
+        kind.spec().scaled(options.scale * PRODUCTS_SWEEP_SCALE),
+        options.seed + kind.seed_offset(),
+        options.hidden_dim,
+        kind.num_classes(),
+        options.config.clone(),
+        ctx.blocked_dataflow(),
+    );
+    scenario.hidden_layers = 1;
+    scenario
 }
 
 /// One machine-readable row of `BENCH_sweep.json`'s `points` array.
@@ -130,6 +166,13 @@ pub struct SweepPoint {
     pub speedup_vs_gpu: Option<f64>,
     /// Speedup over HyGCN (accelerator points only).
     pub speedup_vs_hygcn: Option<f64>,
+    /// Process-wide peak transient graph-build memory (bytes) observed by
+    /// the time this point was evaluated. Absent in rows written before the
+    /// out-of-core pipeline.
+    pub peak_resident_bytes: Option<u64>,
+    /// Process-wide count of sorted edge chunks spilled to disk by the time
+    /// this point was evaluated. Absent in pre-out-of-core rows.
+    pub spilled_chunks: Option<u64>,
 }
 
 impl SweepPoint {
@@ -153,6 +196,8 @@ impl SweepPoint {
             baseline_hygcn_seconds: result.baseline_seconds.map(|b| b.hygcn),
             speedup_vs_gpu: result.speedup_vs_gpu(),
             speedup_vs_hygcn: result.speedup_vs_hygcn(),
+            peak_resident_bytes: Some(result.peak_resident_bytes),
+            spilled_chunks: Some(result.spilled_chunks),
         }
     }
 
@@ -172,7 +217,7 @@ impl SweepPoint {
             value.map_or_else(|| "null".to_string(), |v| v.to_string())
         }
         format!(
-            "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"seconds\": {}, \"simulate_seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \"occupancy\": {}, \"occupied_shards\": {}, \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}}}",
+            "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"seconds\": {}, \"simulate_seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \"occupancy\": {}, \"occupied_shards\": {}, \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}, \"peak_resident_bytes\": {}, \"spilled_chunks\": {}}}",
             json_string(&self.label),
             json_string(&self.backend),
             json_string(&self.network),
@@ -189,6 +234,8 @@ impl SweepPoint {
             opt_f64(self.baseline_hygcn_seconds),
             opt_f64(self.speedup_vs_gpu),
             opt_f64(self.speedup_vs_hygcn),
+            opt_u64(self.peak_resident_bytes),
+            opt_u64(self.spilled_chunks),
         )
     }
 
@@ -222,6 +269,13 @@ impl SweepPoint {
             JsonValue::Null => Some(None),
             _ => None,
         };
+        // Telemetry columns added by the out-of-core pipeline: rows written
+        // by earlier harness versions simply lack them, so a missing key is
+        // `None`, not a parse failure.
+        let lenient_u64 = |key: &str| match get(key) {
+            Some(JsonValue::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+            _ => None,
+        };
         Some(Self {
             label: string("label")?,
             backend: string("backend")?,
@@ -239,6 +293,8 @@ impl SweepPoint {
             baseline_hygcn_seconds: opt_f64("baseline_hygcn_seconds")?,
             speedup_vs_gpu: opt_f64("speedup_vs_gpu")?,
             speedup_vs_hygcn: opt_f64("speedup_vs_hygcn")?,
+            peak_resident_bytes: lenient_u64("peak_resident_bytes"),
+            spilled_chunks: lenient_u64("spilled_chunks"),
         })
     }
 }
@@ -350,6 +406,17 @@ pub struct SweepBenchmark {
     pub shard_grids_built: usize,
     /// Shard grids loaded from the persistent artifact cache.
     pub shard_grids_loaded: usize,
+    /// The graph memory budget in effect (`GNNERATOR_MEM_BUDGET`), rendered
+    /// as the budget's `Display` string (`"unbounded"` when unset).
+    pub memory_budget: String,
+    /// Peak transient graph-build memory (bytes) observed process-wide.
+    pub peak_resident_bytes: u64,
+    /// Sorted edge chunks spilled to disk across every graph build.
+    pub spilled_chunks: u64,
+    /// Shard-grid artifacts loaded through the chunked (budgeted) reader.
+    pub grid_segment_loads: u64,
+    /// Shard-grid artifacts deserialised wholesale (unbudgeted reader).
+    pub grid_full_loads: u64,
 }
 
 impl SweepBenchmark {
@@ -422,6 +489,23 @@ impl SweepBenchmark {
             "  \"shard_grids_loaded\": {},\n",
             self.shard_grids_loaded
         ));
+        out.push_str(&format!(
+            "  \"memory_budget\": {},\n",
+            json_string(&self.memory_budget)
+        ));
+        out.push_str(&format!(
+            "  \"peak_resident_bytes\": {},\n",
+            self.peak_resident_bytes
+        ));
+        out.push_str(&format!("  \"spilled_chunks\": {},\n", self.spilled_chunks));
+        out.push_str(&format!(
+            "  \"grid_segment_loads\": {},\n",
+            self.grid_segment_loads
+        ));
+        out.push_str(&format!(
+            "  \"grid_full_loads\": {},\n",
+            self.grid_full_loads
+        ));
         out.push_str("  \"points\": [\n");
         for (i, result) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
@@ -470,8 +554,8 @@ fn serial_reference(
     }
 }
 
-/// Runs the sweep benchmark on `ctx`: the 57-point mixed-backend grid
-/// (the nine paper workloads plus the ogbn-arxiv extension) through the
+/// Runs the sweep benchmark on `ctx`: the 60-point mixed-backend grid
+/// (the nine paper workloads plus the ogbn extension) through the
 /// parallel sweep engine, then the same grid through the serial per-run
 /// path, comparing results bit for bit.
 ///
@@ -510,6 +594,7 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
         serial.push(serial_reference(ctx, scenario)?);
     }
     let serial_seconds = start.elapsed().as_secs_f64();
+    let memory = gnnerator_graph::memory::memory_telemetry();
 
     let bit_identical = results
         .iter()
@@ -534,6 +619,11 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
             + cold_runner.total_shard_grids_built(),
         shard_grids_loaded: ctx.runner().total_shard_grids_loaded()
             + cold_runner.total_shard_grids_loaded(),
+        memory_budget: gnnerator_graph::MemoryBudget::from_env().to_string(),
+        peak_resident_bytes: memory.peak_resident_bytes,
+        spilled_chunks: memory.spilled_chunk_count,
+        grid_segment_loads: memory.grid_segment_loads,
+        grid_full_loads: memory.grid_full_loads,
     })
 }
 
@@ -546,27 +636,34 @@ mod tests {
     fn sweep_grid_covers_every_backend() {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let scenarios = sweep_scenarios(&ctx);
-        // 9 workloads x (4 accelerator dataflows + 2 baselines) + 3
-        // ogbn-arxiv extension points, all distinct.
-        assert_eq!(scenarios.len(), 57);
+        // 9 workloads x (4 accelerator dataflows + 2 baselines) + 6
+        // ogbn extension points (arxiv and products trios), all distinct.
+        assert_eq!(scenarios.len(), 60);
         for pair in scenarios.windows(2) {
             assert_ne!(pair[0], pair[1]);
         }
         for backend in BackendKind::ALL {
             let count = scenarios.iter().filter(|s| s.backend == backend).count();
-            let expected = if backend.is_accelerator() { 37 } else { 10 };
+            let expected = if backend.is_accelerator() { 38 } else { 11 };
             assert_eq!(count, expected, "{backend}");
         }
-        // The ogbn extension rides along with an accelerator point (so the
+        // Each ogbn extension rides along with an accelerator point (so the
         // speedup columns exist) and both baselines.
-        let ogbn: Vec<_> = scenarios
-            .iter()
-            .filter(|s| s.dataset.name == "ogbn-arxiv")
-            .collect();
-        assert_eq!(ogbn.len(), 3);
-        assert!(ogbn.iter().any(|s| s.backend.is_accelerator()));
-        // At full scale the extension point is a >= 1M-edge graph.
+        for dataset in ["ogbn-arxiv", "ogbn-products"] {
+            let points: Vec<_> = scenarios
+                .iter()
+                .filter(|s| s.dataset.name == dataset)
+                .collect();
+            assert_eq!(points.len(), 3, "{dataset}");
+            assert!(points.iter().any(|s| s.backend.is_accelerator()));
+        }
+        // At full scale the arxiv extension point is a >= 1M-edge graph, and
+        // the down-scaled products point is bigger still — the largest graph
+        // in the grid, sized to overflow the CI smoke's memory budget.
         assert!(DatasetKind::OgbnArxiv.spec().edges >= 1_000_000);
+        let products_edges =
+            (DatasetKind::OgbnProductsScale.spec().edges as f64 * PRODUCTS_SWEEP_SCALE) as usize;
+        assert!(products_edges > DatasetKind::OgbnArxiv.spec().edges);
     }
 
     #[test]
@@ -574,10 +671,10 @@ mod tests {
         let ctx = SuiteContext::materialize(&SuiteOptions::quick()).unwrap();
         let bench = bench_sweep(&ctx).unwrap();
         assert!(bench.bit_identical);
-        assert_eq!(bench.results.len(), 57);
-        assert_eq!(bench.points_for(BackendKind::Gnnerator), 37);
-        assert_eq!(bench.points_for(BackendKind::GpuRoofline), 10);
-        assert_eq!(bench.points_for(BackendKind::Hygcn), 10);
+        assert_eq!(bench.results.len(), 60);
+        assert_eq!(bench.points_for(BackendKind::Gnnerator), 38);
+        assert_eq!(bench.points_for(BackendKind::GpuRoofline), 11);
+        assert_eq!(bench.points_for(BackendKind::Hygcn), 11);
         assert!(bench.parallel_seconds > 0.0);
         assert!(bench.serial_seconds > 0.0);
         // No artifact cache attached: everything was synthesised and built.
@@ -587,13 +684,15 @@ mod tests {
         assert_eq!(bench.shard_grids_loaded, 0);
         assert!(bench.graph_build_seconds > 0.0);
         // The ogbn accelerator point exists and carries finite speedups.
-        let ogbn = bench
-            .results
-            .iter()
-            .find(|r| r.scenario.dataset.name == "ogbn-arxiv" && r.backend().is_accelerator())
-            .expect("ogbn accelerator point");
-        assert!(ogbn.speedup_vs_gpu().unwrap().is_finite());
-        assert!(ogbn.speedup_vs_hygcn().unwrap().is_finite());
+        for dataset in ["ogbn-arxiv", "ogbn-products"] {
+            let ogbn = bench
+                .results
+                .iter()
+                .find(|r| r.scenario.dataset.name == dataset && r.backend().is_accelerator())
+                .expect("ogbn accelerator point");
+            assert!(ogbn.speedup_vs_gpu().unwrap().is_finite());
+            assert!(ogbn.speedup_vs_hygcn().unwrap().is_finite());
+        }
     }
 
     #[test]
@@ -605,7 +704,7 @@ mod tests {
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"bit_identical\": true"));
-        assert!(json.contains("\"num_points\": 57"));
+        assert!(json.contains("\"num_points\": 60"));
         assert!(json.contains("\"points_per_backend\""));
         assert!(json.contains("\"shard_build_seconds\""));
         assert!(json.contains("\"graph_build_seconds\""));
@@ -614,6 +713,12 @@ mod tests {
         assert!(json.contains("\"shard_grids_built\""));
         assert!(json.contains("\"shard_grids_loaded\""));
         assert!(json.contains("\"dataset\": \"ogbn-arxiv\""));
+        assert!(json.contains("\"dataset\": \"ogbn-products\""));
+        assert!(json.contains("\"memory_budget\""));
+        assert!(json.contains("\"peak_resident_bytes\""));
+        assert!(json.contains("\"spilled_chunks\""));
+        assert!(json.contains("\"grid_segment_loads\""));
+        assert!(json.contains("\"grid_full_loads\""));
         assert!(json.contains("\"occupancy\""));
         assert!(json.contains("\"occupied_shards\""));
         assert!(json.contains("\"simulate_seconds\""));
@@ -670,6 +775,10 @@ mod tests {
         assert_eq!(point.label, "a\"b\\c\nd");
         assert_eq!(point.seconds, 1e-3);
         assert_eq!(point.total_cycles, None);
+        // Rows written before the out-of-core pipeline lack the telemetry
+        // columns entirely; they parse as absent rather than failing.
+        assert_eq!(point.peak_resident_bytes, None);
+        assert_eq!(point.spilled_chunks, None);
         // Round-trip of the escaped label.
         assert_eq!(SweepPoint::from_json(&point.to_json()), Some(point));
         // Malformed inputs are rejected, not panicked on.
@@ -697,6 +806,8 @@ mod tests {
             baseline_hygcn_seconds: Some(1.0),
             speedup_vs_gpu: Some(f64::INFINITY),
             speedup_vs_hygcn: Some(f64::NEG_INFINITY),
+            peak_resident_bytes: Some(4096),
+            spilled_chunks: Some(2),
         };
         let json = point.to_json();
         assert!(!json.contains("inf"), "{json}");

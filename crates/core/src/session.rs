@@ -15,7 +15,7 @@ use crate::{
 };
 use gnnerator_gnn::GnnModel;
 use gnnerator_graph::datasets::Dataset;
-use gnnerator_graph::{ArtifactCache, EdgeList, ShardPlanCache};
+use gnnerator_graph::{ArtifactCache, EdgeList, MemoryBudget, ShardPlanCache};
 use std::fmt;
 use std::sync::Arc;
 
@@ -81,6 +81,20 @@ impl SimSession {
         cache: Arc<ArtifactCache>,
     ) -> Result<Self, GnneratorError> {
         Self::build(model, dataset, Some(cache))
+    }
+
+    /// Overrides the memory budget the session's shard-plan cache builds and
+    /// loads under (the default comes from `GNNERATOR_MEM_BUDGET`). Bounded
+    /// budgets chunk-load cached grids instead of deserialising wholesale.
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.plans = self.plans.with_memory_budget(budget);
+        self
+    }
+
+    /// The memory budget this session plans under.
+    pub fn memory_budget(&self) -> MemoryBudget {
+        self.plans.memory_budget()
     }
 
     fn build(

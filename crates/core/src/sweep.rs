@@ -236,6 +236,7 @@ pub fn evaluate_scenario(
         (evaluation, None, None)
     };
     let simulate_seconds = start.elapsed().as_secs_f64();
+    let memory = gnnerator_graph::memory::memory_telemetry();
     Ok(ScenarioResult {
         scenario: scenario.clone(),
         evaluation,
@@ -244,6 +245,8 @@ pub fn evaluate_scenario(
         num_nodes: session.num_nodes(),
         num_edges: session.num_edges(),
         simulate_seconds,
+        peak_resident_bytes: memory.peak_resident_bytes,
+        spilled_chunks: memory.spilled_chunk_count,
     })
 }
 
@@ -338,6 +341,13 @@ pub struct ScenarioResult {
     /// and evaluate. Excluded from equality: timing jitter must not break
     /// the bit-identity guarantees the sweep engine is tested against.
     pub simulate_seconds: f64,
+    /// Process-wide peak resident graph-pipeline bytes at the time this
+    /// point was evaluated (see [`gnnerator_graph::memory`]). Telemetry,
+    /// not identity: excluded from equality like `simulate_seconds`.
+    pub peak_resident_bytes: u64,
+    /// Process-wide count of edge chunks spilled to disk run-files at the
+    /// time this point was evaluated. Excluded from equality.
+    pub spilled_chunks: u64,
 }
 
 impl ScenarioResult {
@@ -434,6 +444,10 @@ pub struct SweepRunner {
     /// Wall-clock seconds spent materialising graphs (synthesis or cache
     /// load), summed across worker threads.
     graph_build_seconds: Mutex<f64>,
+    /// Explicit memory budget for every session this runner builds.
+    /// `None` (the default) leaves sessions on the process-wide
+    /// `GNNERATOR_MEM_BUDGET` default.
+    memory_budget: Option<gnnerator_graph::MemoryBudget>,
 }
 
 impl SweepRunner {
@@ -454,6 +468,22 @@ impl SweepRunner {
     /// The persistent artifact cache, if one is attached.
     pub fn artifact_cache(&self) -> Option<&Arc<ArtifactCache>> {
         self.artifact_cache.as_ref()
+    }
+
+    /// Returns this runner with an explicit [`MemoryBudget`] applied to
+    /// every session it builds (bounded budgets spill edge chunks during
+    /// synthesis and chunk-load cached shard grids). Without this, sessions
+    /// follow the process-wide `GNNERATOR_MEM_BUDGET` default.
+    ///
+    /// [`MemoryBudget`]: gnnerator_graph::MemoryBudget
+    pub fn with_memory_budget(mut self, budget: gnnerator_graph::MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
+    }
+
+    /// The explicit memory budget applied to this runner's sessions, if any.
+    pub fn memory_budget(&self) -> Option<gnnerator_graph::MemoryBudget> {
+        self.memory_budget
     }
 
     /// Returns the materialised dataset for a scenario, synthesising and
@@ -535,11 +565,11 @@ impl SweepRunner {
             return Ok(Arc::clone(hit));
         }
         let dataset = self.dataset(scenario)?;
-        let session = Arc::new(build_session(
-            scenario,
-            &dataset,
-            self.artifact_cache.as_ref(),
-        )?);
+        let mut session = build_session(scenario, &dataset, self.artifact_cache.as_ref())?;
+        if let Some(budget) = self.memory_budget {
+            session = session.with_memory_budget(budget);
+        }
+        let session = Arc::new(session);
         let mut cache = lock_recover(&self.sessions);
         Ok(Arc::clone(cache.entry(key).or_insert(session)))
     }

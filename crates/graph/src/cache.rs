@@ -28,6 +28,16 @@
 //! payload  [u8]
 //! ```
 //!
+//! Since format version 2 the shard-grid payload is *segmented*: the grid
+//! header and the per-shard metadata table (the arena extent — offset and
+//! edge count — of every occupied shard) come **before** the edge arena
+//! bytes, so a loader can parse everything it needs to plan the read
+//! without touching the arena, then stream the arena through a bounded
+//! buffer. Under a bounded [`MemoryBudget`] [`ArtifactCache::load_grid`]
+//! takes exactly that chunked path instead of deserialising the file
+//! wholesale; [`ArtifactCache::store_grid`] symmetrically streams the
+//! arena through a buffered writer inside the same temp+rename discipline.
+//!
 //! Loads distinguish a *miss* (no file: `Ok(None)`) from an *unusable
 //! artifact* (bad magic, stale version, checksum or key mismatch, truncated
 //! payload: [`GraphError::CacheArtifact`]). Callers treat the latter as a
@@ -45,14 +55,18 @@
 //! [`GraphError::CacheArtifact`] without quarantining the (healthy) file.
 
 use crate::datasets::{Dataset, DatasetKind, DatasetSpec};
+use crate::memory::{self, MemoryBudget};
 use crate::{CsrGraph, Edge, EdgeList, GraphError, NodeFeatures, ShardCoord, ShardGrid, ShardMeta};
 use gnnerator_tensor::Matrix;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// On-disk format version; bump whenever the byte layout changes so stale
-/// artifacts are rejected (and rebuilt) instead of misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// artifacts are rejected (and rebuilt) instead of misread. Version 2
+/// reordered the shard-grid payload into the segmented header-first layout.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Environment variable controlling the cache. Accepted values (matched
 /// after trimming surrounding whitespace):
@@ -114,6 +128,9 @@ pub struct ArtifactCache {
     /// Artifacts found unusable and renamed to `<name>.corrupt` by this
     /// cache instance.
     corrupt_artifacts: AtomicUsize,
+    /// Memory budget governing grid loads: bounded budgets take the
+    /// segmented chunk-read path, unbounded budgets the wholesale one.
+    budget: MemoryBudget,
 }
 
 impl ArtifactCache {
@@ -129,6 +146,7 @@ impl ArtifactCache {
         Self {
             root: Some(root),
             corrupt_artifacts: AtomicUsize::new(0),
+            budget: MemoryBudget::from_env(),
         }
     }
 
@@ -137,7 +155,20 @@ impl ArtifactCache {
         Self {
             root: None,
             corrupt_artifacts: AtomicUsize::new(0),
+            budget: MemoryBudget::from_env(),
         }
+    }
+
+    /// Overrides the memory budget governing grid loads (the default comes
+    /// from `GNNERATOR_MEM_BUDGET`; see [`MemoryBudget::from_env`]).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The memory budget governing this cache's grid loads.
+    pub fn memory_budget(&self) -> MemoryBudget {
+        self.budget
     }
 
     /// Builds the cache from the `GNNERATOR_CACHE` environment variable (see
@@ -151,12 +182,9 @@ impl ArtifactCache {
     /// default root; `off` (case-insensitive), `0` and the empty string
     /// disable the cache; anything else is the root directory.
     pub fn from_env_value(value: Option<&str>) -> Self {
-        match value.map(str::trim) {
-            Some(v) if v.eq_ignore_ascii_case("off") || v == "0" || v.is_empty() => {
-                Self::disabled()
-            }
-            Some(v) => Self::new(v),
-            None => Self::new("target/gnnerator-cache"),
+        match env_root(value) {
+            Some(root) => Self::new(root),
+            None => Self::disabled(),
         }
     }
 
@@ -336,7 +364,9 @@ impl ArtifactCache {
     }
 
     /// Stores a shard grid under the given full grid key (see
-    /// [`ArtifactCache::grid_key`]).
+    /// [`ArtifactCache::grid_key`]) in the segmented v2 layout: grid header
+    /// and per-shard arena extents first, then the arena bytes, streamed
+    /// through a bounded buffer rather than materialised as one payload.
     ///
     /// # Errors
     ///
@@ -345,24 +375,38 @@ impl ArtifactCache {
         let Some(path) = self.file_for("grid", key) else {
             return Ok(());
         };
-        let mut payload = Vec::new();
-        write_u64(&mut payload, grid.num_nodes() as u64);
-        write_u64(&mut payload, grid.nodes_per_shard() as u64);
-        write_u64(&mut payload, grid.total_edges() as u64);
-        for e in grid.edges() {
-            write_u32(&mut payload, e.src);
-            write_u32(&mut payload, e.dst);
-        }
-        write_u64(&mut payload, grid.metas().len() as u64);
+        let mut header = Vec::with_capacity(32 + grid.metas().len() * 32);
+        write_u64(&mut header, grid.num_nodes() as u64);
+        write_u64(&mut header, grid.nodes_per_shard() as u64);
+        write_u64(&mut header, grid.total_edges() as u64);
+        write_u64(&mut header, grid.metas().len() as u64);
         for meta in grid.metas() {
-            write_u64(&mut payload, meta.coord().src_block as u64);
-            write_u64(&mut payload, meta.coord().dst_block as u64);
-            write_u32(&mut payload, meta.edge_start());
-            write_u32(&mut payload, meta.num_edges() as u32);
-            write_u32(&mut payload, meta.unique_source_count() as u32);
-            write_u32(&mut payload, meta.unique_destination_count() as u32);
+            write_u64(&mut header, meta.coord().src_block as u64);
+            write_u64(&mut header, meta.coord().dst_block as u64);
+            write_u32(&mut header, meta.edge_start());
+            write_u32(&mut header, meta.num_edges() as u32);
+            write_u32(&mut header, meta.unique_source_count() as u32);
+            write_u32(&mut header, meta.unique_destination_count() as u32);
         }
-        write_artifact(&path, KIND_GRID, key, &payload)
+        let payload_len = header.len() as u64 + grid.total_edges() as u64 * 8;
+        let chunk_edges = (self.budget.io_buffer_bytes(1) / 8).max(1);
+        let mut chunk = Vec::with_capacity(chunk_edges * 8);
+        // Pass 1: checksum the payload without ever materialising it.
+        let mut hasher = Fnv1a::new();
+        hasher.update(&header);
+        for edges in grid.edges().chunks(chunk_edges) {
+            pack_edges(&mut chunk, edges);
+            hasher.update(&chunk);
+        }
+        // Pass 2: stream envelope + payload through the temp+rename flow.
+        write_artifact_streamed(&path, KIND_GRID, key, payload_len, hasher.finish(), |w| {
+            w.write_all(&header)?;
+            for edges in grid.edges().chunks(chunk_edges) {
+                pack_edges(&mut chunk, edges);
+                w.write_all(&chunk)?;
+            }
+            Ok(())
+        })
     }
 
     /// Loads the shard grid stored under `key`, skipping the arena sort and
@@ -376,85 +420,268 @@ impl ArtifactCache {
     /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
     /// mismatched files.
     pub fn load_grid(&self, key: &str) -> Result<Option<ShardGrid>, GraphError> {
+        self.load_grid_budgeted(key, self.budget)
+    }
+
+    /// [`ArtifactCache::load_grid`] under an explicit [`MemoryBudget`]:
+    /// bounded budgets chunk-load the segmented artifact (header + metadata
+    /// table parsed first, arena streamed through a bounded buffer),
+    /// unbounded budgets deserialise wholesale. Both paths produce
+    /// bit-identical grids and tick the corresponding process-wide
+    /// telemetry counter ([`memory::grid_segment_loads`] /
+    /// [`memory::grid_full_loads`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
+    /// mismatched files.
+    pub fn load_grid_budgeted(
+        &self,
+        key: &str,
+        budget: MemoryBudget,
+    ) -> Result<Option<ShardGrid>, GraphError> {
         let Some(path) = self.file_for("grid", key) else {
             return Ok(None);
         };
         check_fault("cache_read", &path)?;
         let load = || {
-            let Some(payload) = read_artifact(&path, KIND_GRID, key)? else {
-                return Ok(None);
-            };
-            let mut r = Reader::new(&payload, &path);
-            let num_nodes = r.u64()? as usize;
-            let nodes_per_shard = r.u64()? as usize;
-            if num_nodes == 0 || nodes_per_shard == 0 {
-                return Err(reject(&path, "degenerate grid dimensions".to_string()));
+            if budget.is_bounded() {
+                load_grid_segmented(&path, key, budget)
+            } else {
+                load_grid_whole(&path, key)
             }
-            let grid_dim = num_nodes.div_ceil(nodes_per_shard);
-            let arena_len = r.u64()? as usize;
-            let arena: Vec<Edge> = r
-                .byte_records(arena_len, 8)?
-                .chunks_exact(8)
-                .map(|rec| {
-                    Edge::new(
-                        u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
-                        u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
-                    )
-                })
-                .collect();
-            if arena
-                .iter()
-                .any(|e| e.src as usize >= num_nodes || e.dst as usize >= num_nodes)
-            {
-                return Err(reject(
-                    &path,
-                    "arena edge endpoint out of range".to_string(),
-                ));
-            }
-            let meta_count = r.u64()? as usize;
-            let mut metas = Vec::with_capacity(meta_count);
-            let mut expected_start = 0u64;
-            for _ in 0..meta_count {
-                let src_block = r.u64()? as usize;
-                let dst_block = r.u64()? as usize;
-                let edge_start = r.u32()?;
-                let num_edges = r.u32()?;
-                let unique_sources = r.u32()?;
-                let unique_destinations = r.u32()?;
-                if src_block >= grid_dim || dst_block >= grid_dim {
-                    return Err(reject(&path, "shard coordinate out of range".to_string()));
-                }
-                if num_edges == 0 || u64::from(edge_start) != expected_start {
-                    return Err(reject(
-                        &path,
-                        "shard arena ranges are not contiguous".to_string(),
-                    ));
-                }
-                expected_start += u64::from(num_edges);
-                metas.push(ShardMeta::from_raw(
-                    ShardCoord::new(src_block, dst_block),
-                    edge_start,
-                    num_edges,
-                    unique_sources,
-                    unique_destinations,
-                ));
-            }
-            r.finish()?;
-            if expected_start != arena_len as u64 {
-                return Err(reject(
-                    &path,
-                    "shard metadata does not cover the arena".to_string(),
-                ));
-            }
-            Ok(Some(ShardGrid::assemble(
-                num_nodes,
-                nodes_per_shard,
-                arena,
-                metas,
-            )))
         };
-        self.quarantining(&path, load())
+        let result = self.quarantining(&path, load());
+        if matches!(result, Ok(Some(_))) {
+            if budget.is_bounded() {
+                memory::note_grid_segment_load();
+            } else {
+                memory::note_grid_full_load();
+            }
+        }
+        result
     }
+}
+
+/// Wholesale v2 grid load: one `read`, then in-memory parsing.
+fn load_grid_whole(path: &Path, key: &str) -> Result<Option<ShardGrid>, GraphError> {
+    let Some(payload) = read_artifact(path, KIND_GRID, key)? else {
+        return Ok(None);
+    };
+    let mut r = Reader::new(&payload, path);
+    let num_nodes = r.u64()? as usize;
+    let nodes_per_shard = r.u64()? as usize;
+    if num_nodes == 0 || nodes_per_shard == 0 {
+        return Err(reject(path, "degenerate grid dimensions".to_string()));
+    }
+    let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+    let arena_len = r.u64()? as usize;
+    let meta_count = r.u64()? as usize;
+    let metas = parse_grid_metas(&mut r, path, grid_dim, meta_count, arena_len)?;
+    let arena: Vec<Edge> = r
+        .byte_records(arena_len, 8)?
+        .chunks_exact(8)
+        .map(|rec| {
+            Edge::new(
+                u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+            )
+        })
+        .collect();
+    r.finish()?;
+    if arena
+        .iter()
+        .any(|e| e.src as usize >= num_nodes || e.dst as usize >= num_nodes)
+    {
+        return Err(reject(path, "arena edge endpoint out of range".to_string()));
+    }
+    Ok(Some(ShardGrid::assemble(
+        num_nodes,
+        nodes_per_shard,
+        arena,
+        metas,
+    )))
+}
+
+/// Segmented v2 grid load: envelope and payload header are read through a
+/// bounded buffer, the metadata table is parsed before any arena byte, and
+/// the arena streams in budget-sized chunks — no whole-file materialisation.
+fn load_grid_segmented(
+    path: &Path,
+    key: &str,
+    budget: MemoryBudget,
+) -> Result<Option<ShardGrid>, GraphError> {
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(reject(path, format!("reading cache artifact: {e}"))),
+    };
+    let file_len = file
+        .metadata()
+        .map_err(|e| reject(path, format!("reading cache artifact: {e}")))?
+        .len();
+    let buffer_bytes = budget.io_buffer_bytes(1);
+    let mut r = StreamReader {
+        reader: BufReader::with_capacity(buffer_bytes, file),
+        path,
+    };
+
+    // Envelope (not covered by the payload checksum).
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(reject(
+            path,
+            "bad magic (not a gnnerator artifact)".to_string(),
+        ));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(reject(
+            path,
+            format!("stale format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    let stored_kind = r.u8()?;
+    if stored_kind != KIND_GRID {
+        return Err(reject(path, format!("wrong artifact kind {stored_kind}")));
+    }
+    let key_len = r.u32()? as usize;
+    if key_len != key.len() {
+        return Err(reject(
+            path,
+            format!("key mismatch: stored key length {key_len}, requested {key:?}"),
+        ));
+    }
+    let mut stored_key = vec![0u8; key_len];
+    r.read_exact(&mut stored_key)?;
+    if stored_key != key.as_bytes() {
+        return Err(reject(
+            path,
+            format!(
+                "key mismatch: stored {:?}, requested {key:?}",
+                String::from_utf8_lossy(&stored_key)
+            ),
+        ));
+    }
+    let payload_len = r.u64()?;
+    let checksum = r.u64()?;
+    let envelope_len = (4 + 4 + 1 + 4 + key.len() + 8 + 8) as u64;
+    if envelope_len.saturating_add(payload_len) != file_len {
+        return Err(reject(path, "truncated artifact".to_string()));
+    }
+
+    // Payload header: grid dimensions + the per-shard extent table.
+    let mut hasher = Fnv1a::new();
+    let header = r.take_hashed(32.min(payload_len as usize), &mut hasher)?;
+    if header.len() < 32 {
+        return Err(reject(path, "truncated artifact".to_string()));
+    }
+    let mut hr = Reader::new(&header, path);
+    let num_nodes = hr.u64()? as usize;
+    let nodes_per_shard = hr.u64()? as usize;
+    if num_nodes == 0 || nodes_per_shard == 0 {
+        return Err(reject(path, "degenerate grid dimensions".to_string()));
+    }
+    let grid_dim = num_nodes.div_ceil(nodes_per_shard);
+    let arena_len = hr.u64()? as usize;
+    let meta_count = hr.u64()? as usize;
+    let meta_bytes = meta_count
+        .checked_mul(32)
+        .filter(|&b| (b as u64).saturating_add(32) <= payload_len)
+        .ok_or_else(|| reject(path, "shard metadata exceeds the payload".to_string()))?;
+    let arena_bytes = arena_len
+        .checked_mul(8)
+        .filter(|&b| 32 + meta_bytes as u64 + b as u64 == payload_len)
+        .ok_or_else(|| {
+            reject(
+                path,
+                "payload length does not match the segments".to_string(),
+            )
+        })?;
+    let meta_buf = r.take_hashed(meta_bytes, &mut hasher)?;
+    let mut mr = Reader::new(&meta_buf, path);
+    let metas = parse_grid_metas(&mut mr, path, grid_dim, meta_count, arena_len)?;
+    mr.finish()?;
+
+    // Arena: stream in budget-sized chunks, never more than one buffer
+    // resident beyond the arena itself.
+    let mut arena: Vec<Edge> = Vec::with_capacity(arena_len);
+    let chunk_edges = (buffer_bytes / 8).max(1);
+    let mut buf = vec![0u8; chunk_edges.min(arena_len.max(1)) * 8];
+    let mut remaining_bytes = arena_bytes;
+    while remaining_bytes > 0 {
+        let take = remaining_bytes.min(buf.len());
+        let bytes = &mut buf[..take];
+        r.read_exact(bytes)?;
+        hasher.update(bytes);
+        for rec in bytes.chunks_exact(8) {
+            let edge = Edge::new(
+                u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+            );
+            if edge.src as usize >= num_nodes || edge.dst as usize >= num_nodes {
+                return Err(reject(path, "arena edge endpoint out of range".to_string()));
+            }
+            arena.push(edge);
+        }
+        remaining_bytes -= take;
+    }
+    r.expect_eof()?;
+    if hasher.finish() != checksum {
+        return Err(reject(path, "payload checksum mismatch".to_string()));
+    }
+    Ok(Some(ShardGrid::assemble(
+        num_nodes,
+        nodes_per_shard,
+        arena,
+        metas,
+    )))
+}
+
+/// Parses `meta_count` shard-metadata records, validating coordinates and
+/// that the extents tile `[0, arena_len)` contiguously.
+fn parse_grid_metas(
+    r: &mut Reader<'_>,
+    path: &Path,
+    grid_dim: usize,
+    meta_count: usize,
+    arena_len: usize,
+) -> Result<Vec<ShardMeta>, GraphError> {
+    let mut metas = Vec::with_capacity(meta_count);
+    let mut expected_start = 0u64;
+    for _ in 0..meta_count {
+        let src_block = r.u64()? as usize;
+        let dst_block = r.u64()? as usize;
+        let edge_start = r.u32()?;
+        let num_edges = r.u32()?;
+        let unique_sources = r.u32()?;
+        let unique_destinations = r.u32()?;
+        if src_block >= grid_dim || dst_block >= grid_dim {
+            return Err(reject(path, "shard coordinate out of range".to_string()));
+        }
+        if num_edges == 0 || u64::from(edge_start) != expected_start {
+            return Err(reject(
+                path,
+                "shard arena ranges are not contiguous".to_string(),
+            ));
+        }
+        expected_start += u64::from(num_edges);
+        metas.push(ShardMeta::from_raw(
+            ShardCoord::new(src_block, dst_block),
+            edge_start,
+            num_edges,
+            unique_sources,
+            unique_destinations,
+        ));
+    }
+    if expected_start != arena_len as u64 {
+        return Err(reject(
+            path,
+            "shard metadata does not cover the arena".to_string(),
+        ));
+    }
+    Ok(metas)
 }
 
 impl Default for ArtifactCache {
@@ -470,6 +697,7 @@ fn kind_tag(kind: DatasetKind) -> u8 {
         DatasetKind::Citeseer => 1,
         DatasetKind::Pubmed => 2,
         DatasetKind::OgbnArxiv => 3,
+        DatasetKind::OgbnProductsScale => 4,
     }
 }
 
@@ -479,20 +707,104 @@ fn kind_from_tag(tag: u8) -> Option<DatasetKind> {
         1 => Some(DatasetKind::Citeseer),
         2 => Some(DatasetKind::Pubmed),
         3 => Some(DatasetKind::OgbnArxiv),
+        4 => Some(DatasetKind::OgbnProductsScale),
         _ => None,
     }
 }
 
-/// FNV-1a 64-bit: a small, stable, dependency-free checksum. Not
+/// Incremental FNV-1a 64-bit: a small, stable, dependency-free checksum. Not
 /// cryptographic — it guards against torn writes and bit rot, not attackers
 /// (the cache directory is as trusted as the build directory it lives in).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// The incremental form lets the streaming store/load paths checksum a
+/// payload they never hold in one buffer.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    hash
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 over a contiguous buffer.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hasher = Fnv1a::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// Re-fills `buf` with the little-endian wire form of `edges`.
+fn pack_edges(buf: &mut Vec<u8>, edges: &[Edge]) {
+    buf.clear();
+    for e in edges {
+        buf.extend_from_slice(&e.src.to_le_bytes());
+        buf.extend_from_slice(&e.dst.to_le_bytes());
+    }
+}
+
+/// The pure `GNNERATOR_CACHE` policy: `None` (unset) selects the default
+/// root, `off`/`0`/empty disables (returns `None`), anything else is the
+/// root directory.
+fn env_root(value: Option<&str>) -> Option<PathBuf> {
+    match value {
+        Some(value) => {
+            let trimmed = value.trim();
+            if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("off") || trimmed == "0" {
+                None
+            } else {
+                Some(PathBuf::from(trimmed))
+            }
+        }
+        None => Some(PathBuf::from("target/gnnerator-cache")),
+    }
+}
+
+/// Where [`crate::EdgeListBuilder`] spill run-files land when no explicit
+/// spill directory is configured: the `GNNERATOR_CACHE` root when one is
+/// enabled (spills are cache-adjacent scratch, and the cache sweep reaps
+/// orphans), otherwise the system temp directory.
+pub(crate) fn default_spill_dir() -> PathBuf {
+    env_root(std::env::var(CACHE_ENV_VAR).ok().as_deref()).unwrap_or_else(std::env::temp_dir)
+}
+
+/// A fresh, process-unique spill run-file path under `dir`
+/// (`spill-<pid>-<nonce>.run`), named so [`sweep_stale_temp_files`] can
+/// recognise and reap abandoned runs.
+pub(crate) fn new_spill_run_path(dir: &Path) -> PathBuf {
+    let nonce = TEMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("spill-{}-{nonce}.run", std::process::id()))
+}
+
+/// Whether a file name matches the `spill-<pid>-<nonce>.run` pattern
+/// [`new_spill_run_path`] produces. Exact for the same reason as
+/// [`is_temp_artifact_name`]: the sweep must only ever delete files this
+/// crate itself could have written.
+fn is_spill_run_name(name: &str) -> bool {
+    let Some(stem) = name
+        .strip_prefix("spill-")
+        .and_then(|rest| rest.strip_suffix(".run"))
+    else {
+        return false;
+    };
+    match stem.split_once('-') {
+        Some((pid, nonce)) => {
+            !pid.is_empty()
+                && !nonce.is_empty()
+                && pid.parse::<u64>().is_ok()
+                && nonce.parse::<u64>().is_ok()
+        }
+        None => false,
+    }
 }
 
 fn write_u8(out: &mut Vec<u8>, v: u8) {
@@ -518,12 +830,14 @@ fn check_fault(point: &str, path: &Path) -> Result<(), GraphError> {
     gnnerator_faults::check(point).map_err(|e| reject(path, e.to_string()))
 }
 
-/// Deletes orphaned temp files under `root` that are older than `window`.
+/// Deletes orphaned temp files and abandoned spill run-files under `root`
+/// that are older than `window`.
 ///
 /// Best-effort on every step: a missing root, unreadable metadata or a
 /// losing race against another sweeper are all fine — the only hard
-/// requirement is never deleting a published artifact or a temp file young
-/// enough to belong to a live writer.
+/// requirement is never deleting a published artifact, a temp file young
+/// enough to belong to a live writer, or a spill run-file a live
+/// [`crate::EdgeListBuilder`] is still merging from.
 fn sweep_stale_temp_files(root: &Path, window: std::time::Duration) {
     let Ok(entries) = std::fs::read_dir(root) else {
         return; // nothing cached yet (or the root is unreadable)
@@ -532,7 +846,7 @@ fn sweep_stale_temp_files(root: &Path, window: std::time::Duration) {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if !is_temp_artifact_name(name) {
+        if !is_temp_artifact_name(name) && !is_spill_run_name(name) {
             continue;
         }
         let stale = entry
@@ -572,24 +886,51 @@ fn is_temp_artifact_name(name: &str) -> bool {
 
 /// Writes a complete artifact file atomically (temp file + rename).
 fn write_artifact(path: &Path, kind: u8, key: &str, payload: &[u8]) -> Result<(), GraphError> {
+    write_artifact_streamed(
+        path,
+        kind,
+        key,
+        payload.len() as u64,
+        fnv1a64(payload),
+        |w| w.write_all(payload),
+    )
+}
+
+/// Streams an artifact file atomically (temp file + rename): the envelope is
+/// written from the pre-computed payload length and checksum, then `emit`
+/// produces the payload bytes through the buffered writer — the payload is
+/// never required to exist as one contiguous buffer.
+fn write_artifact_streamed(
+    path: &Path,
+    kind: u8,
+    key: &str,
+    payload_len: u64,
+    checksum: u64,
+    emit: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
+) -> Result<(), GraphError> {
     check_fault("cache_write", path)?;
     let io_err = |what: &str, e: std::io::Error| reject(path, format!("{what}: {e}"));
     let dir = path.parent().expect("cache files always live under a root");
     std::fs::create_dir_all(dir).map_err(|e| io_err("creating cache directory", e))?;
 
-    let mut bytes = Vec::with_capacity(4 + 4 + 1 + 4 + key.len() + 8 + 8 + payload.len());
-    bytes.extend_from_slice(MAGIC);
-    write_u32(&mut bytes, FORMAT_VERSION);
-    write_u8(&mut bytes, kind);
-    write_u32(&mut bytes, key.len() as u32);
-    bytes.extend_from_slice(key.as_bytes());
-    write_u64(&mut bytes, payload.len() as u64);
-    write_u64(&mut bytes, fnv1a64(payload));
-    bytes.extend_from_slice(payload);
-
     let nonce = TEMP_NONCE.fetch_add(1, Ordering::Relaxed);
     let temp = path.with_extension(format!("tmp.{}.{nonce}", std::process::id()));
-    std::fs::write(&temp, &bytes).map_err(|e| io_err("writing cache artifact", e))?;
+    let write = |temp: &Path| -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(temp)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&[kind])?;
+        w.write_all(&(key.len() as u32).to_le_bytes())?;
+        w.write_all(key.as_bytes())?;
+        w.write_all(&payload_len.to_le_bytes())?;
+        w.write_all(&checksum.to_le_bytes())?;
+        emit(&mut w)?;
+        w.flush()
+    };
+    if let Err(e) = write(&temp) {
+        std::fs::remove_file(&temp).ok();
+        return Err(io_err("writing cache artifact", e));
+    }
     std::fs::rename(&temp, path).map_err(|e| {
         std::fs::remove_file(&temp).ok();
         io_err("publishing cache artifact", e)
@@ -709,6 +1050,65 @@ impl<'a> Reader<'a> {
             ));
         }
         Ok(())
+    }
+}
+
+/// Bounded-buffer file reader with typed cache errors — the segmented
+/// grid-load path's counterpart to [`Reader`].
+struct StreamReader<'a> {
+    reader: BufReader<File>,
+    path: &'a Path,
+}
+
+impl StreamReader<'_> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), GraphError> {
+        self.reader.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                reject(self.path, "truncated artifact".to_string())
+            } else {
+                reject(self.path, format!("reading cache artifact: {e}"))
+            }
+        })
+    }
+
+    fn u8(&mut self) -> Result<u8, GraphError> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, GraphError> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, GraphError> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads `n` bytes, feeding them to the payload checksum.
+    fn take_hashed(&mut self, n: usize, hasher: &mut Fnv1a) -> Result<Vec<u8>, GraphError> {
+        let mut buf = vec![0u8; n];
+        self.read_exact(&mut buf)?;
+        hasher.update(&buf);
+        Ok(buf)
+    }
+
+    /// Asserts the file holds no bytes past the payload (the streaming
+    /// counterpart of [`Reader::finish`]).
+    fn expect_eof(&mut self) -> Result<(), GraphError> {
+        let mut b = [0u8; 1];
+        match self.reader.read(&mut b) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(reject(
+                self.path,
+                "trailing bytes after payload".to_string(),
+            )),
+            Err(e) => Err(reject(self.path, format!("reading cache artifact: {e}"))),
+        }
     }
 }
 
@@ -929,6 +1329,143 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
         assert!(!dir.exists(), "sweeping must not create the root");
+    }
+
+    #[test]
+    fn spill_run_names_are_recognised_exactly() {
+        assert!(is_spill_run_name("spill-4242-7.run"));
+        assert!(is_spill_run_name("spill-1-0.run"));
+        // Anything this crate could not have written must never match.
+        assert!(!is_spill_run_name("spill-4242-7.bin"));
+        assert!(!is_spill_run_name("spill-x-7.run"));
+        assert!(!is_spill_run_name("spill-4242-y.run"));
+        assert!(!is_spill_run_name("spill-4242.run"));
+        assert!(!is_spill_run_name("spill--.run"));
+        assert!(!is_spill_run_name("respill-1-2.run"));
+        assert!(!is_spill_run_name("grid-0123456789abcdef.bin"));
+        // The path constructor and the recogniser agree.
+        let path = new_spill_run_path(Path::new("/tmp"));
+        let name = path.file_name().unwrap().to_str().unwrap();
+        assert!(is_spill_run_name(name), "{name}");
+    }
+
+    #[test]
+    fn abandoned_spill_run_files_are_swept_like_orphaned_temps() {
+        let (cache, dir) = temp_cache("spill-sweep");
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("g", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+
+        // Simulate a builder killed mid-spill.
+        let abandoned = dir.join("spill-99999-17.run");
+        std::fs::write(&abandoned, b"raw edge pairs").unwrap();
+
+        // A freshly opened cache (1-hour window) keeps the young run-file —
+        // it may belong to a live builder.
+        let _reopened = ArtifactCache::new(&dir);
+        assert!(abandoned.exists(), "young run-files must not be swept");
+
+        sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
+        assert!(!abandoned.exists(), "stale run-files accumulate forever");
+        assert!(ArtifactCache::new(&dir).load_grid(&key).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_load_is_bit_identical_to_wholesale() {
+        let (cache, dir) = temp_cache("segmented");
+        let edges = generators::rmat(300, 1400, 5).unwrap();
+        let grid = ShardGrid::build(&edges, 32).unwrap();
+        let key = ArtifactCache::grid_key("dataset/seg/seed5", 32, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let whole = cache
+            .load_grid_budgeted(&key, MemoryBudget::unbounded())
+            .unwrap()
+            .expect("hit");
+        // Budgets straddling the buffer clamp: zero (minimum 4 KiB buffer),
+        // one smaller than the arena, one larger than the whole file.
+        for budget in [0u64, 8 << 10, 1 << 30] {
+            let segmented = cache
+                .load_grid_budgeted(&key, MemoryBudget::bytes(budget))
+                .unwrap()
+                .expect("hit");
+            assert_eq!(segmented, whole, "budget {budget}");
+            assert_eq!(segmented, grid, "budget {budget}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_load_ticks_telemetry() {
+        let (cache, dir) = temp_cache("seg-telemetry");
+        let edges = generators::rmat(100, 400, 2).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("t", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let before = memory::memory_telemetry();
+        cache
+            .load_grid_budgeted(&key, MemoryBudget::bytes(4 << 10))
+            .unwrap()
+            .expect("hit");
+        cache
+            .load_grid_budgeted(&key, MemoryBudget::unbounded())
+            .unwrap()
+            .expect("hit");
+        let after = memory::memory_telemetry();
+        assert!(after.grid_segment_loads > before.grid_segment_loads);
+        assert!(after.grid_full_loads > before.grid_full_loads);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segmented_artifacts_are_typed_errors_and_quarantined() {
+        let budget = MemoryBudget::bytes(4 << 10);
+        // Truncation, a flipped arena byte, and a flipped header byte each
+        // surface as typed errors through the chunked path and quarantine
+        // the file as `<name>.corrupt`.
+        for case in 0..3 {
+            let (cache, dir) = temp_cache("seg-corrupt");
+            let edges = generators::rmat(200, 900, 3).unwrap();
+            let grid = ShardGrid::build(&edges, 32).unwrap();
+            let key = ArtifactCache::grid_key("sc", 32, false);
+            cache.store_grid(&key, &grid).unwrap();
+            let file = std::fs::read_dir(&dir)
+                .unwrap()
+                .next()
+                .unwrap()
+                .unwrap()
+                .path();
+            let mut bytes = std::fs::read(&file).unwrap();
+            match case {
+                0 => bytes.truncate(bytes.len() - 16),
+                1 => *bytes.last_mut().unwrap() ^= 0xff,
+                _ => bytes[40] ^= 0x01,
+            }
+            std::fs::write(&file, &bytes).unwrap();
+
+            assert!(
+                matches!(
+                    cache.load_grid_budgeted(&key, budget),
+                    Err(GraphError::CacheArtifact { .. })
+                ),
+                "case {case}"
+            );
+            assert!(!file.exists(), "case {case}: must be renamed away");
+            assert!(file.with_extension("corrupt").exists(), "case {case}");
+            assert_eq!(cache.corrupt_artifacts(), 1, "case {case}");
+            assert!(cache.load_grid_budgeted(&key, budget).unwrap().is_none());
+            // Rebuildable after quarantine.
+            cache.store_grid(&key, &grid).unwrap();
+            assert_eq!(
+                cache
+                    .load_grid_budgeted(&key, budget)
+                    .unwrap()
+                    .expect("hit"),
+                grid
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

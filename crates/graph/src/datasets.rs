@@ -29,6 +29,14 @@ pub enum DatasetKind {
     /// Synthesised, like the others; swap in the real download when
     /// networked builds land.
     OgbnArxiv,
+    /// ogbn-products scale class: 2.4M vertices, 60M directed edges,
+    /// 100-dimensional features — the out-of-core stress workload. Its edge
+    /// arena alone is ~480 MB, so building it under a smaller
+    /// `GNNERATOR_MEM_BUDGET` exercises the disk-spill + streaming-shard
+    /// path end to end. Synthesised (the real ogbn-products has 2 449 029
+    /// vertices and ~61.9M directed edges; the round counts keep synthesis
+    /// and cache keys tidy at the same scale class).
+    OgbnProductsScale,
 }
 
 impl DatasetKind {
@@ -42,12 +50,13 @@ impl DatasetKind {
     ];
 
     /// Every dataset the harness knows, Table II plus the ogbn-scale
-    /// extension.
-    pub const EXTENDED: [DatasetKind; 4] = [
+    /// extensions.
+    pub const EXTENDED: [DatasetKind; 5] = [
         DatasetKind::Cora,
         DatasetKind::Citeseer,
         DatasetKind::Pubmed,
         DatasetKind::OgbnArxiv,
+        DatasetKind::OgbnProductsScale,
     ];
 
     /// Stable per-kind offset added to a base synthesis seed so each dataset
@@ -58,6 +67,7 @@ impl DatasetKind {
             DatasetKind::Citeseer => 1,
             DatasetKind::Pubmed => 2,
             DatasetKind::OgbnArxiv => 3,
+            DatasetKind::OgbnProductsScale => 4,
         }
     }
 
@@ -92,6 +102,13 @@ impl DatasetKind {
                 edges: 1_166_243,
                 feature_dim: 128,
             },
+            DatasetKind::OgbnProductsScale => DatasetSpec {
+                kind: self,
+                name: "ogbn-products",
+                vertices: 2_400_000,
+                edges: 60_000_000,
+                feature_dim: 100,
+            },
         }
     }
 
@@ -104,17 +121,20 @@ impl DatasetKind {
             DatasetKind::Citeseer => 6,
             DatasetKind::Pubmed => 3,
             DatasetKind::OgbnArxiv => 40,
+            DatasetKind::OgbnProductsScale => 47,
         }
     }
 
     /// Short lowercase name as used in the paper's figure labels
-    /// (`cora`, `citeseer`, `pub`; `arxiv` for the ogbn extension).
+    /// (`cora`, `citeseer`, `pub`; `arxiv` / `products` for the ogbn
+    /// extensions).
     pub fn short_name(self) -> &'static str {
         match self {
             DatasetKind::Cora => "cora",
             DatasetKind::Citeseer => "citeseer",
             DatasetKind::Pubmed => "pub",
             DatasetKind::OgbnArxiv => "arxiv",
+            DatasetKind::OgbnProductsScale => "products",
         }
     }
 }
@@ -514,7 +534,13 @@ mod tests {
     fn average_degree_is_sensible() {
         for kind in DatasetKind::EXTENDED {
             let d = kind.spec().average_degree();
-            assert!(d > 2.0 && d < 10.0, "{kind}: average degree {d}");
+            // Citation graphs are sparse (degree 3–7); ogbn-products is a
+            // co-purchase graph and much denser (real degree ~25).
+            let band = match kind {
+                DatasetKind::OgbnProductsScale => 15.0..50.0,
+                _ => 2.0..10.0,
+            };
+            assert!(band.contains(&d), "{kind}: average degree {d}");
         }
     }
 
@@ -541,10 +567,32 @@ mod tests {
             .iter()
             .map(|k| k.seed_offset())
             .collect();
-        assert_eq!(offsets, vec![0, 1, 2, 3]);
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4]);
         // ALL stays the paper's trio: figure reproductions must not grow.
         assert_eq!(DatasetKind::ALL.len(), 3);
         assert!(!DatasetKind::ALL.contains(&DatasetKind::OgbnArxiv));
+        assert!(!DatasetKind::ALL.contains(&DatasetKind::OgbnProductsScale));
+    }
+
+    #[test]
+    fn ogbn_products_scale_spec_is_the_out_of_core_stressor() {
+        let spec = DatasetKind::OgbnProductsScale.spec();
+        assert_eq!(
+            (spec.vertices, spec.edges, spec.feature_dim),
+            (2_400_000, 60_000_000, 100)
+        );
+        assert!(spec.edges >= 50_000_000, "out-of-core means >= 50M edges");
+        // The edge arena alone (8 bytes/edge) dwarfs any smoke-test budget.
+        assert!(spec.edges * 8 >= 400 << 20);
+        assert_eq!(spec.name, "ogbn-products");
+        assert_eq!(DatasetKind::OgbnProductsScale.short_name(), "products");
+        assert_eq!(DatasetKind::OgbnProductsScale.num_classes(), 47);
+        assert!(spec.validate().is_ok());
+        // Scaled-down variants stay viable for smoke runs and CI.
+        let small = spec.scaled(0.001);
+        assert!(small.validate().is_ok());
+        let tiny = small.synthesize(11).unwrap();
+        assert_eq!(tiny.num_edges(), small.edges);
     }
 
     #[test]

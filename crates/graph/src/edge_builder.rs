@@ -1,35 +1,63 @@
-//! Streaming, chunked edge-list construction.
+//! Streaming, chunked edge-list construction with optional disk spilling.
 //!
 //! The synthetic generators used to build one giant `Vec<Edge>` and sort it
 //! at the end — an `O(E log E)` single-threaded wall that made ogbn-scale
 //! graphs (millions of edges) the cold-start bottleneck of every sweep. The
 //! [`EdgeListBuilder`] replaces that flow with the classic external-sort
-//! shape, kept in memory:
+//! shape:
 //!
 //! 1. generators *stream* edges into the builder, which seals them into
 //!    fixed-capacity chunks;
-//! 2. [`EdgeListBuilder::finish`] sorts the sealed chunks **in parallel**
-//!    (rayon) — each chunk is small enough to sort fast and the sorts are
-//!    independent;
-//! 3. a k-way heap merge emits one globally sorted, duplicate-free
-//!    [`EdgeList`] in a single pass.
+//! 2. sealed chunks stay in memory while they fit the builder's
+//!    [`MemoryBudget`]; beyond the cap a chunk is sorted immediately and
+//!    spilled to a `spill-<pid>-<nonce>.run` file (raw little-endian
+//!    `(src, dst)` pairs) in the cache directory;
+//! 3. [`EdgeListBuilder::finish`] sorts the remaining in-memory chunks
+//!    **in parallel** (rayon) and k-way merges every cursor — in-memory
+//!    slices and buffered spill-file readers alike — into one globally
+//!    sorted, duplicate-free [`EdgeList`] in a single pass.
 //!
 //! The output is bit-identical to `collect → sort_unstable → dedup` on the
-//! same edge multiset (the property tests pin this), so the generators'
-//! seeded determinism is preserved.
+//! same edge multiset regardless of how many chunks spilled (the property
+//! tests pin this), so the generators' seeded determinism is preserved.
+//! Spill run-files are deleted as soon as the merge consumes them; files
+//! orphaned by a crash are reaped by the
+//! [`ArtifactCache`](crate::ArtifactCache) startup sweep.
 
+use crate::cache;
+use crate::memory::{self, MemoryBudget};
 use crate::{Edge, EdgeList, GraphError};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
 
 /// Default number of edges per sealed chunk (~512 KiB of edge records): big
 /// enough that per-chunk sort overhead amortises, small enough that a dozen
 /// worker threads all get work on million-edge graphs.
 pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
 
-/// A streaming builder that accumulates edges in sorted chunks and merges
-/// them into a canonical (sorted, deduplicated) [`EdgeList`].
+/// Bytes per edge record in a spill run-file: two little-endian `u32`s.
+const SPILL_RECORD_BYTES: usize = 8;
+
+/// A sorted run of edges spilled to disk; the file is removed on drop.
+#[derive(Debug)]
+struct SpillFile {
+    path: PathBuf,
+    edges: usize,
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A streaming builder that accumulates edges in sorted chunks — in memory
+/// or spilled to disk under a [`MemoryBudget`] — and merges them into a
+/// canonical (sorted, deduplicated) [`EdgeList`].
 ///
 /// # Examples
 ///
@@ -51,15 +79,26 @@ pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
 pub struct EdgeListBuilder {
     num_nodes: usize,
     chunk_capacity: usize,
-    /// Sealed, still-unsorted chunks of exactly `chunk_capacity` edges.
-    sealed: Vec<Vec<Edge>>,
+    budget: MemoryBudget,
+    /// Directory spill run-files land in; resolved lazily on first spill.
+    spill_dir: Option<PathBuf>,
+    /// Sealed, still-unsorted chunks held in memory.
+    mem_chunks: Vec<Vec<Edge>>,
+    /// Sealed, sorted chunks spilled to disk run-files.
+    spilled: Vec<SpillFile>,
     /// The chunk currently being filled.
     current: Vec<Edge>,
+    /// Edges held across `mem_chunks` (excludes `current` and spills).
+    resident_edges: usize,
+    /// Edges sealed so far, in memory or on disk.
+    sealed_edges: usize,
+    /// Builder-local resident-bytes high-water mark.
+    peak_resident_bytes: u64,
 }
 
 impl EdgeListBuilder {
     /// Creates a builder for a graph over `num_nodes` nodes with the default
-    /// chunk capacity.
+    /// chunk capacity and the process-wide [`MemoryBudget::from_env`] budget.
     pub fn new(num_nodes: usize) -> Self {
         Self::with_chunk_capacity(num_nodes, DEFAULT_CHUNK_CAPACITY)
     }
@@ -72,9 +111,32 @@ impl EdgeListBuilder {
         Self {
             num_nodes,
             chunk_capacity,
-            sealed: Vec::new(),
+            budget: MemoryBudget::from_env(),
+            spill_dir: None,
+            mem_chunks: Vec::new(),
+            spilled: Vec::new(),
             current: Vec::with_capacity(chunk_capacity.min(1 << 20)),
+            resident_edges: 0,
+            sealed_edges: 0,
+            peak_resident_bytes: 0,
         }
+    }
+
+    /// Overrides the builder's memory budget. Sealed chunks that would push
+    /// resident sealed bytes past the cap are sorted and spilled to disk;
+    /// the one chunk currently being filled is the fixed working set and is
+    /// not counted against the cap.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the directory spill run-files are written to. The default
+    /// is the artifact-cache directory (or the system temp directory when
+    /// the cache is disabled).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
     }
 
     /// Number of nodes the builder validates endpoints against.
@@ -82,14 +144,30 @@ impl EdgeListBuilder {
         self.num_nodes
     }
 
+    /// The memory budget governing this builder's spill decisions.
+    pub fn memory_budget(&self) -> MemoryBudget {
+        self.budget
+    }
+
+    /// Number of sealed chunks spilled to disk so far.
+    pub fn spilled_chunks(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// This builder's resident-bytes high-water mark (sealed in-memory
+    /// chunks plus the chunk being sealed, at each seal point).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes
+    }
+
     /// Total number of raw (pre-dedup) edges streamed in so far.
     pub fn len(&self) -> usize {
-        self.sealed.len() * self.chunk_capacity + self.current.len()
+        self.sealed_edges + self.current.len()
     }
 
     /// Returns `true` if no edges have been streamed in.
     pub fn is_empty(&self) -> bool {
-        self.sealed.is_empty() && self.current.is_empty()
+        self.sealed_edges == 0 && self.current.is_empty()
     }
 
     /// Streams one edge into the builder.
@@ -113,7 +191,7 @@ impl EdgeListBuilder {
                 &mut self.current,
                 Vec::with_capacity(self.chunk_capacity.min(1 << 20)),
             );
-            self.sealed.push(full);
+            self.seal(full);
         }
         Ok(())
     }
@@ -130,30 +208,117 @@ impl EdgeListBuilder {
         self.push(edge.reversed())
     }
 
-    /// Sorts all chunks in parallel, k-way merges them and returns the
-    /// canonical edge list: sorted by `(src, dst)`, duplicates removed.
+    /// Seals one chunk: kept in memory while the budget allows, otherwise
+    /// sorted and spilled to a run-file. A failed spill write degrades
+    /// gracefully by keeping the chunk in memory.
+    fn seal(&mut self, mut chunk: Vec<Edge>) {
+        let chunk_bytes = (chunk.len() * SPILL_RECORD_BYTES) as u64;
+        let resident_bytes = (self.resident_edges * SPILL_RECORD_BYTES) as u64;
+        // The freshly sealed chunk is momentarily resident either way.
+        self.note_resident(resident_bytes + chunk_bytes);
+        self.sealed_edges += chunk.len();
+        if self.budget.would_exceed(resident_bytes, chunk_bytes) && !chunk.is_empty() {
+            chunk.sort_unstable();
+            match self.spill(&chunk) {
+                Ok(file) => {
+                    self.spilled.push(file);
+                    memory::note_spilled_chunks(1);
+                    return;
+                }
+                Err(_) => {
+                    // Disk trouble must not lose edges: fall back to memory.
+                    // (The chunk arrives sorted at finish, which is fine —
+                    // the merge only assumes per-chunk sortedness.)
+                }
+            }
+        }
+        self.resident_edges += chunk.len();
+        self.mem_chunks.push(chunk);
+    }
+
+    /// Writes one sorted chunk to a fresh spill run-file.
+    fn spill(&mut self, chunk: &[Edge]) -> std::io::Result<SpillFile> {
+        let dir = match &self.spill_dir {
+            Some(dir) => dir.clone(),
+            None => {
+                let dir = cache::default_spill_dir();
+                self.spill_dir = Some(dir.clone());
+                dir
+            }
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = cache::new_spill_run_path(&dir);
+        let file = SpillFile {
+            path: path.clone(),
+            edges: chunk.len(),
+        };
+        let mut writer =
+            BufWriter::with_capacity(self.budget.io_buffer_bytes(1), File::create(&path)?);
+        for edge in chunk {
+            writer.write_all(&edge.src.to_le_bytes())?;
+            writer.write_all(&edge.dst.to_le_bytes())?;
+        }
+        writer.flush()?;
+        Ok(file)
+    }
+
+    fn note_resident(&mut self, bytes: u64) {
+        if bytes > self.peak_resident_bytes {
+            self.peak_resident_bytes = bytes;
+        }
+        memory::note_resident_bytes(bytes);
+    }
+
+    /// Sorts all in-memory chunks in parallel, k-way merges every chunk —
+    /// in-memory and spilled — and returns the canonical edge list: sorted
+    /// by `(src, dst)`, duplicates removed.
     ///
     /// Self-loops are *kept* (the builder is policy-free); generators that
     /// need simple graphs simply never stream self-loops in.
-    pub fn finish(mut self) -> EdgeList {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] if a spill run-file written
+    /// earlier cannot be read back. Builders that never spilled cannot fail.
+    pub fn try_finish(mut self) -> Result<EdgeList, GraphError> {
         if !self.current.is_empty() {
             let rest = std::mem::take(&mut self.current);
-            self.sealed.push(rest);
+            self.seal(rest);
         }
-        self.sealed
+        self.mem_chunks
             .par_iter_mut()
             .for_each(|chunk| chunk.sort_unstable());
 
-        let merged = match self.sealed.len() {
-            0 => Vec::new(),
-            1 => {
-                let mut only = self.sealed.pop().expect("one chunk");
-                only.dedup();
-                only
+        let merged = if self.spilled.is_empty() {
+            match self.mem_chunks.len() {
+                0 => Vec::new(),
+                1 => {
+                    let mut only = self.mem_chunks.pop().expect("one chunk");
+                    only.dedup();
+                    only
+                }
+                _ => merge_chunks(&self.mem_chunks),
             }
-            _ => merge_chunks(&self.sealed),
+        } else {
+            merge_spilled(&self.mem_chunks, &self.spilled, self.budget)?
         };
-        EdgeList::from_sorted_edges_unchecked(self.num_nodes, merged)
+        self.note_resident(((merged.len() + self.resident_edges) * SPILL_RECORD_BYTES) as u64);
+        Ok(EdgeList::from_sorted_edges_unchecked(
+            self.num_nodes,
+            merged,
+        ))
+    }
+
+    /// [`EdgeListBuilder::try_finish`], for builders that cannot have
+    /// spilled (or callers content to treat spill-file loss as fatal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spill run-file cannot be read back; prefer `try_finish`
+    /// on paths where the builder may run under a bounded budget.
+    pub fn finish(self) -> EdgeList {
+        self.try_finish()
+            .expect("spill run-file readable until finish")
     }
 }
 
@@ -181,6 +346,100 @@ fn merge_chunks(chunks: &[Vec<Edge>]) -> Vec<Edge> {
     out
 }
 
+/// One input to the heterogeneous k-way merge: an in-memory sorted slice or
+/// a buffered reader over a sorted spill run-file.
+enum MergeCursor<'a> {
+    Mem {
+        chunk: &'a [Edge],
+        pos: usize,
+    },
+    Run {
+        reader: BufReader<File>,
+        remaining: usize,
+        path: &'a PathBuf,
+    },
+}
+
+impl MergeCursor<'_> {
+    fn next(&mut self) -> Result<Option<Edge>, GraphError> {
+        match self {
+            MergeCursor::Mem { chunk, pos } => {
+                let edge = chunk.get(*pos).copied();
+                *pos += 1;
+                Ok(edge)
+            }
+            MergeCursor::Run {
+                reader,
+                remaining,
+                path,
+            } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let mut record = [0u8; SPILL_RECORD_BYTES];
+                reader.read_exact(&mut record).map_err(|e| {
+                    GraphError::cache(
+                        path.display().to_string(),
+                        format!("spill run-file read failed: {e}"),
+                    )
+                })?;
+                *remaining -= 1;
+                Ok(Some(Edge::new(
+                    u32::from_le_bytes(record[0..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(record[4..8].try_into().expect("4 bytes")),
+                )))
+            }
+        }
+    }
+}
+
+/// K-way merge across in-memory chunks and spilled run-files. Identical
+/// ordering and dedup semantics to [`merge_chunks`]; read buffers divide the
+/// budget across the open run-files.
+fn merge_spilled(
+    mem_chunks: &[Vec<Edge>],
+    spilled: &[SpillFile],
+    budget: MemoryBudget,
+) -> Result<Vec<Edge>, GraphError> {
+    let total: usize = mem_chunks.iter().map(Vec::len).sum::<usize>()
+        + spilled.iter().map(|s| s.edges).sum::<usize>();
+    let buffer_bytes = budget.io_buffer_bytes(spilled.len());
+    let mut cursors: Vec<MergeCursor<'_>> = Vec::with_capacity(mem_chunks.len() + spilled.len());
+    for chunk in mem_chunks {
+        cursors.push(MergeCursor::Mem { chunk, pos: 0 });
+    }
+    for run in spilled {
+        let file = File::open(&run.path).map_err(|e| {
+            GraphError::cache(
+                run.path.display().to_string(),
+                format!("spill run-file vanished: {e}"),
+            )
+        })?;
+        cursors.push(MergeCursor::Run {
+            reader: BufReader::with_capacity(buffer_bytes, file),
+            remaining: run.edges,
+            path: &run.path,
+        });
+    }
+
+    let mut out: Vec<Edge> = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Reverse<(Edge, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (i, cursor) in cursors.iter_mut().enumerate() {
+        if let Some(edge) = cursor.next()? {
+            heap.push(Reverse((edge, i)));
+        }
+    }
+    while let Some(Reverse((edge, i))) = heap.pop() {
+        if out.last() != Some(&edge) {
+            out.push(edge);
+        }
+        if let Some(next) = cursors[i].next()? {
+            heap.push(Reverse((next, i)));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,20 +451,38 @@ mod tests {
         EdgeList::from_edges(num_nodes, all).unwrap()
     }
 
-    #[test]
-    fn builder_matches_collect_sort_dedup() {
-        // A deterministic pseudo-random edge stream spanning many chunks.
-        let n = 50usize;
+    fn pseudo_random_edges(n: usize, count: usize) -> Vec<Edge> {
         let mut state = 0x1234_5678_u64;
         let mut edges = Vec::new();
-        for _ in 0..5000 {
+        for _ in 0..count {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let src = ((state >> 33) % n as u64) as u32;
             let dst = ((state >> 17) % n as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
+        edges
+    }
+
+    fn spill_dir(label: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gnnerator-spill-test-{label}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn builder_matches_collect_sort_dedup() {
+        // A deterministic pseudo-random edge stream spanning many chunks.
+        let n = 50usize;
+        let edges = pseudo_random_edges(n, 5000);
         for capacity in [1, 7, 64, 4096, usize::MAX] {
-            let mut builder = EdgeListBuilder::with_chunk_capacity(n, capacity);
+            let mut builder = EdgeListBuilder::with_chunk_capacity(n, capacity)
+                .with_memory_budget(MemoryBudget::unbounded());
             for &e in &edges {
                 builder.push(e).unwrap();
             }
@@ -213,6 +490,67 @@ mod tests {
             assert_eq!(built, reference(n, &edges), "capacity {capacity}");
             assert!(built.is_sorted());
         }
+    }
+
+    #[test]
+    fn spilled_builder_is_bit_identical_to_in_memory() {
+        let n = 64usize;
+        let edges = pseudo_random_edges(n, 4000);
+        let expected = reference(n, &edges);
+        let dir = spill_dir("bit-identical");
+        // Budgets straddling the chunk size: spill-everything, exactly one
+        // resident chunk, and a mid-stream cap.
+        let chunk_bytes = (128 * SPILL_RECORD_BYTES) as u64;
+        for budget in [0, chunk_bytes, 3 * chunk_bytes + 1] {
+            let mut builder = EdgeListBuilder::with_chunk_capacity(n, 128)
+                .with_memory_budget(MemoryBudget::bytes(budget))
+                .with_spill_dir(&dir);
+            for &e in &edges {
+                builder.push(e).unwrap();
+            }
+            assert!(
+                builder.spilled_chunks() > 0,
+                "budget {budget} never spilled"
+            );
+            let built = builder.try_finish().unwrap();
+            assert_eq!(built, expected, "budget {budget}");
+        }
+        // Run-files are deleted once the merge consumed them.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_spills_every_sealed_chunk() {
+        let dir = spill_dir("zero-budget");
+        let mut builder = EdgeListBuilder::with_chunk_capacity(16, 4)
+            .with_memory_budget(MemoryBudget::bytes(0))
+            .with_spill_dir(&dir);
+        for e in pseudo_random_edges(16, 41) {
+            builder.push(e).unwrap();
+        }
+        // 10 full chunks sealed during push; the remainder seals in finish.
+        assert_eq!(builder.spilled_chunks(), 10);
+        assert_eq!(builder.len(), 41);
+        assert!(builder.peak_resident_bytes() <= (4 * SPILL_RECORD_BYTES) as u64);
+        let built = builder.try_finish().unwrap();
+        assert!(built.is_sorted());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exact_fit_budget_never_spills() {
+        let dir = spill_dir("exact-fit");
+        let edges = pseudo_random_edges(32, 256);
+        let mut builder = EdgeListBuilder::with_chunk_capacity(32, 64)
+            .with_memory_budget(MemoryBudget::bytes((256 * SPILL_RECORD_BYTES) as u64))
+            .with_spill_dir(&dir);
+        for &e in &edges {
+            builder.push(e).unwrap();
+        }
+        assert_eq!(builder.spilled_chunks(), 0);
+        assert_eq!(builder.try_finish().unwrap(), reference(32, &edges));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

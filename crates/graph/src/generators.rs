@@ -140,7 +140,7 @@ pub fn rmat(num_nodes: usize, target_edges: usize, seed: u64) -> Result<EdgeList
                 .expect("endpoints in range by construction");
         }
     }
-    let mut edges = builder.finish();
+    let mut edges = builder.try_finish()?;
     trim_to(&mut edges, target_edges, &mut rng);
     Ok(edges)
 }
@@ -173,17 +173,21 @@ pub fn rmat_exact(
     let mut edges = rmat(num_nodes, target_edges, seed)?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     if edges.num_edges() < target_edges {
-        // Top up with uniform random edges until the exact count is reached,
-        // keeping the list sorted so membership checks stay logarithmic.
-        let mut all: Vec<Edge> = edges.iter().copied().collect();
+        // Top up with uniform random edges until the exact count is reached.
+        // Membership is a binary search over the (immutable, sorted) R-MAT
+        // base plus a BTreeSet of top-up edges, merged once at the end —
+        // inserting into the sorted vector directly would memmove O(n) bytes
+        // per accepted edge, which is catastrophic at ogbn-products scale.
+        let base: Vec<Edge> = edges.iter().copied().collect();
+        let mut added = std::collections::BTreeSet::new();
         let mut guard = 0usize;
-        while all.len() < target_edges {
+        while base.len() + added.len() < target_edges {
             let src = rng.gen_range(0..num_nodes as NodeId);
             let dst = rng.gen_range(0..num_nodes as NodeId);
             if src != dst {
                 let candidate = Edge::new(src, dst);
-                if let Err(slot) = all.binary_search(&candidate) {
-                    all.insert(slot, candidate);
+                if base.binary_search(&candidate).is_err() {
+                    added.insert(candidate);
                 }
             }
             guard += 1;
@@ -191,6 +195,16 @@ pub fn rmat_exact(
                 break;
             }
         }
+        // Linear merge of two sorted, disjoint sequences.
+        let mut all: Vec<Edge> = Vec::with_capacity(base.len() + added.len());
+        let mut added = added.into_iter().peekable();
+        for edge in base {
+            while let Some(a) = added.next_if(|a| *a < edge) {
+                all.push(a);
+            }
+            all.push(edge);
+        }
+        all.extend(added);
         edges = EdgeList::from_sorted_edges_unchecked(num_nodes, all);
     }
     trim_to(&mut edges, target_edges, &mut rng);
@@ -357,6 +371,43 @@ mod tests {
             assert!(e.src < 10 && e.dst < 10);
             assert_ne!(e.src, e.dst);
         }
+    }
+
+    #[test]
+    fn rmat_exact_matches_the_historical_insert_top_up() {
+        // The BTreeSet + merge top-up must reproduce the original
+        // insert-into-sorted-vec flow bit for bit: same RNG consumption,
+        // same accept/reject decisions, same final ordering.
+        let (n, target, seed) = (150usize, 1100usize, 21u64);
+        let fast = rmat_exact(n, target, seed).unwrap();
+
+        let mut edges = rmat(n, target, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        if edges.num_edges() < target {
+            let mut all: Vec<Edge> = edges.iter().copied().collect();
+            let mut guard = 0usize;
+            while all.len() < target {
+                let src = rng.gen_range(0..n as NodeId);
+                let dst = rng.gen_range(0..n as NodeId);
+                if src != dst {
+                    let candidate = Edge::new(src, dst);
+                    if let Err(slot) = all.binary_search(&candidate) {
+                        all.insert(slot, candidate);
+                    }
+                }
+                guard += 1;
+                if guard > target * 100 {
+                    break;
+                }
+            }
+            edges = EdgeList::from_sorted_edges_unchecked(n, all);
+        }
+        trim_to(&mut edges, target, &mut rng);
+        assert!(
+            fast.num_edges() == target,
+            "the sample must actually fall short so the top-up runs"
+        );
+        assert_eq!(fast, edges);
     }
 
     #[test]

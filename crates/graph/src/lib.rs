@@ -10,7 +10,10 @@
 //!   graph representations,
 //! * [`EdgeListBuilder`] — streaming chunked construction: generators emit
 //!   edge chunks that are sorted in parallel and k-way merged, instead of
-//!   sorting one giant vector at the end,
+//!   sorting one giant vector at the end; under a bounded [`MemoryBudget`]
+//!   sealed chunks spill to disk run-files and the merge streams them back,
+//! * [`MemoryBudget`] (and the [`memory`] module) — the out-of-core memory
+//!   cap (`GNNERATOR_MEM_BUDGET`) plus process-wide spill/peak telemetry,
 //! * [`NodeFeatures`] — the dense per-node feature table,
 //! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi with
 //!   geometric skip sampling and an R-MAT/power-law generator) used to stand
@@ -49,6 +52,7 @@ mod edge_list;
 mod error;
 mod features;
 pub mod generators;
+pub mod memory;
 mod plan_cache;
 pub mod reorder;
 mod shard;
@@ -60,6 +64,7 @@ pub use edge_builder::{EdgeListBuilder, DEFAULT_CHUNK_CAPACITY};
 pub use edge_list::{Edge, EdgeList};
 pub use error::GraphError;
 pub use features::NodeFeatures;
+pub use memory::{MemoryBudget, MemoryTelemetry, MEM_BUDGET_ENV_VAR};
 pub use plan_cache::{PlanKey, ShardPlanCache};
 pub use shard::{
     OccupiedTraversal, SerpentineCoords, ShardCoord, ShardGrid, ShardMeta, ShardView,

@@ -15,7 +15,7 @@
 //! as misses (the grid is rebuilt and the artifact overwritten), never as
 //! failures.
 
-use crate::{ArtifactCache, EdgeList, GraphError, ShardGrid};
+use crate::{ArtifactCache, EdgeList, GraphError, MemoryBudget, ShardGrid};
 use gnnerator_faults::lock_recover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,6 +70,9 @@ pub struct ShardPlanCache {
     grids_built: AtomicUsize,
     /// Number of grids loaded from the persistent cache.
     grids_loaded: AtomicUsize,
+    /// Memory budget for disk loads (segmented vs. wholesale) and for
+    /// choosing the streaming shard build over the sort-in-place one.
+    budget: MemoryBudget,
 }
 
 impl ShardPlanCache {
@@ -83,7 +86,20 @@ impl ShardPlanCache {
             disk: None,
             grids_built: AtomicUsize::new(0),
             grids_loaded: AtomicUsize::new(0),
+            budget: MemoryBudget::from_env(),
         }
+    }
+
+    /// Overrides the memory budget governing disk grid loads and build
+    /// strategy (the default comes from `GNNERATOR_MEM_BUDGET`).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The memory budget this cache plans under.
+    pub fn memory_budget(&self) -> MemoryBudget {
+        self.budget
     }
 
     /// Creates a cache over `edges` backed by a persistent [`ArtifactCache`].
@@ -169,7 +185,7 @@ impl ShardPlanCache {
         }
         if let Some((cache, graph_key)) = &self.disk {
             let key = ArtifactCache::grid_key(graph_key, nodes_per_shard, include_self_loops);
-            match cache.load_grid(&key) {
+            match cache.load_grid_budgeted(&key, self.budget) {
                 Ok(Some(grid))
                     if grid.num_nodes() == edges.num_nodes()
                         && grid.total_edges() == edges.num_edges()
@@ -196,7 +212,15 @@ impl ShardPlanCache {
         nodes_per_shard: usize,
     ) -> Result<ShardGrid, GraphError> {
         let build_start = Instant::now();
-        let grid = ShardGrid::build(edges, nodes_per_shard)?;
+        // A sorted edge list (the generators' normal output) can feed the
+        // streaming build, which writes the arena in shard order without the
+        // full-arena sort — same grid bit for bit, without the second copy
+        // `ShardGrid::build`'s sort materialises.
+        let grid = if edges.is_sorted() && nodes_per_shard > 0 && edges.num_nodes() > 0 {
+            ShardGrid::build_streamed(edges.num_nodes(), nodes_per_shard, edges.iter().copied())?
+        } else {
+            ShardGrid::build(edges, nodes_per_shard)?
+        };
         *lock_recover(&self.build_seconds) += build_start.elapsed().as_secs_f64();
         self.grids_built.fetch_add(1, Ordering::Relaxed);
         Ok(grid)

@@ -1,4 +1,5 @@
 use crate::{Edge, EdgeList, GraphError, NodeId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
@@ -337,6 +338,142 @@ impl ShardGrid {
             });
             start = end;
         }
+
+        Ok(Self::assemble(num_nodes, nodes_per_shard, arena, metas))
+    }
+
+    /// Builds a shard grid from a `(src, dst)`-sorted edge *stream* without
+    /// ever materialising a full [`EdgeList`] — the out-of-core companion to
+    /// [`ShardGrid::build`], bit-identical to it on the same edges.
+    ///
+    /// A `(src, dst)`-sorted stream delivers edges grouped by contiguous
+    /// source block, so the builder buffers one source-block *row group* at
+    /// a time, sorts it by `(dst_block, src, dst)` (completing the arena's
+    /// `(src_block, dst_block, src, dst)` order) and appends it to the
+    /// arena with placeholder shard metadata. The per-shard
+    /// distinct-endpoint counts are then filled in by a rayon-parallel pass
+    /// over the finished arena slices. Peak transient memory is one row
+    /// group, not the whole edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `nodes_per_shard` is
+    /// zero, `num_nodes` is zero, the stream is not sorted by `(src, dst)`,
+    /// or the edge count exceeds the 32-bit arena index space, and
+    /// [`GraphError::NodeOutOfRange`] for an endpoint `>= num_nodes`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gnnerator_graph::{EdgeList, ShardGrid};
+    ///
+    /// # fn main() -> Result<(), gnnerator_graph::GraphError> {
+    /// let edges = EdgeList::from_pairs(6, &[(0, 5), (2, 4), (3, 1), (5, 0)])?;
+    /// let streamed = ShardGrid::build_streamed(6, 3, edges.iter().copied())?;
+    /// assert_eq!(streamed, ShardGrid::build(&edges, 3)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build_streamed<I>(
+        num_nodes: usize,
+        nodes_per_shard: usize,
+        edges: I,
+    ) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        if nodes_per_shard == 0 {
+            return Err(GraphError::invalid("nodes_per_shard", "must be positive"));
+        }
+        if num_nodes == 0 {
+            return Err(GraphError::invalid("edges", "graph has no nodes"));
+        }
+
+        /// Sorts one source-block row group into shard order and appends it
+        /// to the arena, emitting metadata (uniques deferred) per shard run.
+        fn flush_row_group(
+            row: &mut Vec<Edge>,
+            nodes_per_shard: usize,
+            arena: &mut Vec<Edge>,
+            metas: &mut Vec<ShardMeta>,
+        ) {
+            if row.is_empty() {
+                return;
+            }
+            row.sort_unstable_by_key(|e| (e.dst as usize / nodes_per_shard, e.src, e.dst));
+            let mut start = 0usize;
+            while start < row.len() {
+                let coord = ShardCoord::new(
+                    row[start].src as usize / nodes_per_shard,
+                    row[start].dst as usize / nodes_per_shard,
+                );
+                let mut end = start + 1;
+                while end < row.len() && row[end].dst as usize / nodes_per_shard == coord.dst_block
+                {
+                    end += 1;
+                }
+                metas.push(ShardMeta {
+                    coord,
+                    edge_start: (arena.len() + start) as u32,
+                    num_edges: (end - start) as u32,
+                    unique_sources: 0,
+                    unique_destinations: 0,
+                });
+                start = end;
+            }
+            arena.extend_from_slice(row);
+            row.clear();
+        }
+
+        let mut arena: Vec<Edge> = Vec::new();
+        let mut metas: Vec<ShardMeta> = Vec::new();
+        let mut row: Vec<Edge> = Vec::new();
+        let mut row_block = 0usize;
+        let mut prev: Option<Edge> = None;
+        for edge in edges {
+            for node in [edge.src, edge.dst] {
+                if node as usize >= num_nodes {
+                    return Err(GraphError::NodeOutOfRange { node, num_nodes });
+                }
+            }
+            if prev.is_some_and(|p| edge < p) {
+                return Err(GraphError::invalid(
+                    "edges",
+                    "stream must be sorted by (src, dst)",
+                ));
+            }
+            prev = Some(edge);
+            if arena.len() + row.len() >= u32::MAX as usize {
+                return Err(GraphError::invalid(
+                    "edges",
+                    "edge count exceeds the 32-bit arena index space",
+                ));
+            }
+            let block = edge.src as usize / nodes_per_shard;
+            if row.is_empty() {
+                row_block = block;
+            } else if block != row_block {
+                flush_row_group(&mut row, nodes_per_shard, &mut arena, &mut metas);
+                row_block = block;
+            }
+            row.push(edge);
+        }
+        flush_row_group(&mut row, nodes_per_shard, &mut arena, &mut metas);
+
+        // Distinct-endpoint counts, shard-parallel over finished arena
+        // slices: within a run edges are sorted by (src, dst), so distinct
+        // sources fall out of adjacent comparisons; distinct destinations
+        // need one small per-shard sort.
+        let arena_ref = &arena;
+        metas.par_iter_mut().for_each(|meta| {
+            let run = &arena_ref[meta.edge_range()];
+            let unique_sources = 1 + run.windows(2).filter(|w| w[0].src != w[1].src).count();
+            let mut dsts: Vec<NodeId> = run.iter().map(|e| e.dst).collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            meta.unique_sources = unique_sources as u32;
+            meta.unique_destinations = dsts.len() as u32;
+        });
 
         Ok(Self::assemble(num_nodes, nodes_per_shard, arena, metas))
     }
@@ -708,6 +845,40 @@ mod tests {
         assert!(ShardGrid::build(&edges, 0).is_err());
         let empty = EdgeList::new(0);
         assert!(ShardGrid::build(&empty, 4).is_err());
+    }
+
+    #[test]
+    fn streamed_build_is_bit_identical_to_in_memory() {
+        let mut sorted: Vec<Edge> = sample_edges().iter().copied().collect();
+        sorted.sort_unstable();
+        let edges = EdgeList::from_edges(8, sorted).unwrap();
+        for nps in [1, 2, 3, 4, 8, 16] {
+            let built = ShardGrid::build(&edges, nps).unwrap();
+            let streamed =
+                ShardGrid::build_streamed(edges.num_nodes(), nps, edges.iter().copied()).unwrap();
+            assert_eq!(streamed, built, "nps={nps}");
+        }
+        // An empty sorted stream matches the edgeless build.
+        let empty = EdgeList::new(5);
+        assert_eq!(
+            ShardGrid::build_streamed(5, 2, std::iter::empty()).unwrap(),
+            ShardGrid::build(&empty, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn streamed_build_rejects_bad_input() {
+        assert!(ShardGrid::build_streamed(8, 0, std::iter::empty()).is_err());
+        assert!(ShardGrid::build_streamed(0, 4, std::iter::empty()).is_err());
+        // Out-of-range endpoint.
+        assert!(matches!(
+            ShardGrid::build_streamed(4, 2, [Edge::new(0, 4)].into_iter()),
+            Err(GraphError::NodeOutOfRange { node: 4, .. })
+        ));
+        // Unsorted stream.
+        let err = ShardGrid::build_streamed(4, 2, [Edge::new(2, 0), Edge::new(1, 3)])
+            .unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! synthetic generators respect their advertised statistics.
 
 use gnnerator_graph::{
-    generators, ArtifactCache, CsrGraph, Edge, EdgeList, EdgeListBuilder, ShardCoord, ShardGrid,
-    TraversalOrder,
+    generators, ArtifactCache, CsrGraph, Edge, EdgeList, EdgeListBuilder, MemoryBudget, ShardCoord,
+    ShardGrid, TraversalOrder,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -300,6 +300,68 @@ proptest! {
     }
 
     #[test]
+    fn spilled_builder_is_bit_identical_at_budget_boundaries(
+        edges in edge_list(),
+        capacity in 1usize..32,
+    ) {
+        // The out-of-core merge must reproduce the in-memory path exactly at
+        // every budget regime: spill-everything, budgets straddling the
+        // chunk-size edge (one chunk resident / one byte short of it), an
+        // exact fit for the whole input, and unbounded.
+        let edge_bytes = std::mem::size_of::<Edge>() as u64;
+        let chunk_bytes = capacity as u64 * edge_bytes;
+        let total_bytes = edges.iter().count() as u64 * edge_bytes;
+        let budgets = [
+            MemoryBudget::bytes(0),
+            MemoryBudget::bytes(chunk_bytes.saturating_sub(1)),
+            MemoryBudget::bytes(chunk_bytes),
+            MemoryBudget::bytes(total_bytes),
+            MemoryBudget::unbounded(),
+        ];
+        let mut reference: Vec<Edge> = edges.iter().copied().collect();
+        reference.sort_unstable();
+        reference.dedup();
+        let dir = unique_cache_dir();
+        for budget in budgets {
+            let mut builder = EdgeListBuilder::with_chunk_capacity(edges.num_nodes(), capacity)
+                .with_memory_budget(budget)
+                .with_spill_dir(&dir);
+            for e in edges.iter() {
+                builder.push(*e).unwrap();
+            }
+            let built = builder.try_finish().unwrap();
+            prop_assert_eq!(built.as_slice(), reference.as_slice());
+            prop_assert!(built.is_sorted());
+        }
+        // Every spill run file is reclaimed once its merge completes.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                prop_assert!(
+                    !name.to_string_lossy().ends_with(".run"),
+                    "leaked spill run file: {:?}",
+                    name
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_shard_build_matches_the_in_memory_build(
+        edges in edge_list(),
+        nps in 1usize..10,
+    ) {
+        prop_assume!(edges.num_nodes() > 0);
+        let grid = ShardGrid::build(&edges, nps).unwrap();
+        let mut sorted: Vec<Edge> = edges.iter().copied().collect();
+        sorted.sort_unstable();
+        let streamed =
+            ShardGrid::build_streamed(edges.num_nodes(), nps, sorted.into_iter()).unwrap();
+        prop_assert_eq!(streamed, grid);
+    }
+
+    #[test]
     fn merge_based_canonical_ops_match_the_resort_reference(edges in edge_list()) {
         // dedup → symmetrize → add_self_loops down the sorted fast paths
         // must equal the historical always-resort pipeline.
@@ -335,9 +397,14 @@ proptest! {
         let key = ArtifactCache::grid_key("prop-graph", nps, false);
         cache.store_grid(&key, &grid).unwrap();
         let loaded = cache.load_grid(&key).unwrap().expect("stored artifact");
+        // A budget small enough to force many arena chunks through the
+        // segmented reader must reconstruct the identical grid.
+        let budgeted = ArtifactCache::new(&dir).with_memory_budget(MemoryBudget::bytes(64));
+        let segmented = budgeted.load_grid(&key).unwrap().expect("stored artifact");
         std::fs::remove_dir_all(&dir).ok();
         // Same arena, same metas, same indexes — full structural equality.
-        prop_assert_eq!(loaded, grid);
+        prop_assert_eq!(&loaded, &grid);
+        prop_assert_eq!(&segmented, &grid);
     }
 }
 

@@ -167,6 +167,7 @@ struct PoolInner {
 pub struct SessionPool {
     capacity: usize,
     artifact_cache: Option<Arc<ArtifactCache>>,
+    memory_budget: Option<gnnerator_graph::MemoryBudget>,
     inner: Mutex<PoolInner>,
     breaker_config: BreakerConfig,
     breakers: Mutex<HashMap<SessionKey, BreakerState>>,
@@ -187,6 +188,7 @@ impl SessionPool {
         Self {
             capacity: capacity.max(1),
             artifact_cache: artifact_cache.filter(|c| c.is_enabled()),
+            memory_budget: None,
             inner: Mutex::new(PoolInner {
                 entries: HashMap::new(),
                 tick: 0,
@@ -202,6 +204,14 @@ impl SessionPool {
             breaker_trips: AtomicUsize::new(0),
             breaker_rejections: AtomicUsize::new(0),
         }
+    }
+
+    /// Overrides the graph memory budget applied to every session this pool
+    /// builds. Without this, builds follow `GNNERATOR_MEM_BUDGET`.
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: gnnerator_graph::MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
     }
 
     /// Overrides the circuit-breaker tuning (threshold and backoff window).
@@ -396,11 +406,11 @@ impl SessionPool {
         } else {
             self.datasets_synthesized.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(Arc::new(build_session(
-            scenario,
-            &dataset,
-            self.artifact_cache.as_ref(),
-        )?))
+        let mut session = build_session(scenario, &dataset, self.artifact_cache.as_ref())?;
+        if let Some(budget) = self.memory_budget {
+            session = session.with_memory_budget(budget);
+        }
+        Ok(Arc::new(session))
     }
 
     /// A consistent snapshot of the pool's counters.

@@ -42,7 +42,7 @@ use crate::pool::{BreakerConfig, PoolError, SessionPool};
 use crate::request::scenario_from_json;
 use gnnerator::{evaluate_scenario_batch, ScenarioResult, ScenarioSpec, SessionKey, SimSession};
 use gnnerator_faults::lock_recover;
-use gnnerator_graph::ArtifactCache;
+use gnnerator_graph::{ArtifactCache, MemoryBudget};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -86,6 +86,10 @@ pub struct ServeConfig {
     /// Per-session-key circuit breaker tuning: repeated cold-build failures
     /// quarantine the key behind `503` + `Retry-After`.
     pub breaker: BreakerConfig,
+    /// Memory budget applied to the graph pipeline of every pooled session
+    /// build. `None` (the default) follows the process-wide
+    /// `GNNERATOR_MEM_BUDGET` environment variable; `Some` overrides it.
+    pub memory_budget: Option<MemoryBudget>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +112,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             max_connections: 1024,
             breaker: BreakerConfig::default(),
+            memory_budget: None,
         }
     }
 }
@@ -150,6 +155,9 @@ impl ServeConfig {
         if let Some(v) = read("GNNERATOR_SERVE_BREAKER_BACKOFF_MS") {
             config.breaker.base_backoff = Duration::from_millis(v.max(1) as u64);
         }
+        // The graph memory budget is deliberately left as the `None`
+        // (follow `GNNERATOR_MEM_BUDGET`) default: the budget is a
+        // process-wide graph-pipeline knob, not a `GNNERATOR_SERVE_*` one.
         config
     }
 }
@@ -228,6 +236,8 @@ struct ServerState {
     connection_inflight: usize,
     max_connections: usize,
     idle_timeout: Duration,
+    // Resolved graph memory budget (override or environment), for `/stats`.
+    memory_budget: MemoryBudget,
     // Worker supervision, reported by `/stats` and `/readyz`.
     configured_workers: usize,
     workers_alive: AtomicUsize,
@@ -255,9 +265,13 @@ impl SessionServer {
     pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let mut pool = SessionPool::new(config.pool_capacity, config.artifact_cache)
+            .with_breaker(config.breaker);
+        if let Some(budget) = config.memory_budget {
+            pool = pool.with_memory_budget(budget);
+        }
         let state = Arc::new(ServerState {
-            pool: SessionPool::new(config.pool_capacity, config.artifact_cache)
-                .with_breaker(config.breaker),
+            pool,
             queue: JobQueue::new(config.queue_depth),
             metrics: Mutex::new(Metrics::default()),
             connections: ConnectionRegistry::default(),
@@ -271,6 +285,7 @@ impl SessionServer {
             connection_inflight: config.connection_inflight.max(1),
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
+            memory_budget: config.memory_budget.unwrap_or_else(MemoryBudget::from_env),
             configured_workers: config.workers.max(1),
             workers_alive: AtomicUsize::new(0),
             worker_panics: AtomicUsize::new(0),
@@ -1263,6 +1278,16 @@ fn stats_body(state: &ServerState) -> String {
         state.worker_panics.load(Ordering::Relaxed),
         state.worker_respawns.load(Ordering::Relaxed),
     );
+    let telemetry = gnnerator_graph::memory::memory_telemetry();
+    let memory = format!(
+        "{{\"budget\": {}, \"peak_resident_bytes\": {}, \"spilled_chunks\": {}, \
+         \"grid_segment_loads\": {}, \"grid_full_loads\": {}}}",
+        json_string(&state.memory_budget.to_string()),
+        telemetry.peak_resident_bytes,
+        telemetry.spilled_chunk_count,
+        telemetry.grid_segment_loads,
+        telemetry.grid_full_loads,
+    );
     let faults = gnnerator_faults::stats()
         .into_iter()
         .map(|point| {
@@ -1281,8 +1306,8 @@ fn stats_body(state: &ServerState) -> String {
          \"sessions_built\": {}, \"evictions\": {}, \"datasets_synthesized\": {}, \
          \"datasets_loaded\": {}, \"breaker_trips\": {}, \"breaker_rejections\": {}, \
          \"quarantined_keys\": {}, \"corrupt_artifacts\": {}}}, \
-         \"workers\": {}, \"faults\": [{}], \"admission\": {}, \"batch\": {}, \
-         \"latency\": {}, \"endpoints\": {{{}}}}}",
+         \"workers\": {}, \"memory\": {}, \"faults\": [{}], \"admission\": {}, \
+         \"batch\": {}, \"latency\": {}, \"endpoints\": {{{}}}}}",
         json_f64(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
         state.errors.load(Ordering::Relaxed),
@@ -1299,6 +1324,7 @@ fn stats_body(state: &ServerState) -> String {
         pool.quarantined_keys,
         pool.corrupt_artifacts,
         workers,
+        memory,
         faults,
         admission,
         batch,
