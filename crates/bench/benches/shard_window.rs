@@ -1,0 +1,87 @@
+//! Criterion benchmarks for bounded shard-window residency: the full
+//! serpentine edge walk over a resident `ShardGrid` versus the same walk
+//! faulting extents through the LRU shard window, on pubmed@1 and
+//! ogbn-arxiv@0.25. The delta between the resident and windowed bars is
+//! the price of simulating from disk; the `tight` variant squeezes the
+//! window below the largest serpentine row so every pass pays eviction
+//! churn, bounding the worst case.
+//!
+//! Run with `cargo bench -p gnnerator-bench --bench shard_window`.
+
+use criterion::{black_box, Criterion};
+use gnnerator_graph::datasets::DatasetKind;
+use gnnerator_graph::{generators, ArtifactCache, ShardGrid, TraversalOrder, BYTES_PER_EDGE};
+use std::sync::Arc;
+
+/// Drains the destination-stationary serpentine walk, consuming every
+/// shard's edges the way the functional path does.
+fn drain_walk(grid: &ShardGrid) -> u64 {
+    let mut acc = 0u64;
+    for shard in grid.occupied_traversal(TraversalOrder::DestinationStationary) {
+        for edge in shard.edges() {
+            acc = acc.wrapping_add(edge.src as u64 ^ edge.dst as u64);
+        }
+    }
+    acc
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("shard_window");
+    group.sample_size(5);
+
+    let dir = std::env::temp_dir().join(format!("gnnerator-bench-window-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = Arc::new(ArtifactCache::new(&dir));
+
+    for (label, spec) in [
+        ("pubmed@1", DatasetKind::Pubmed.spec()),
+        (
+            "ogbn-arxiv@0.25",
+            DatasetKind::OgbnArxiv.spec().scaled(0.25),
+        ),
+    ] {
+        let edges = generators::rmat_exact(spec.vertices, spec.edges, 42).expect("valid spec");
+        let resident = ShardGrid::build(&edges, 512).expect("valid parameters");
+        let key = ArtifactCache::grid_key(label, 512, false);
+        cache.store_grid(&key, &resident).expect("store grid");
+
+        group.bench_function(format!("resident_walk/{label}"), |b| {
+            b.iter(|| black_box(drain_walk(black_box(&resident))))
+        });
+
+        // A roomy window: the first pass faults every extent, later passes
+        // are pure cache hits — the steady-state windowed cost.
+        let roomy = cache
+            .load_grid_windowed(&key, 1 << 30)
+            .expect("load")
+            .expect("present");
+        group.bench_function(format!("windowed_walk/{label}"), |b| {
+            b.iter(|| black_box(drain_walk(black_box(&roomy))))
+        });
+
+        // A window smaller than the largest serpentine row: every pass
+        // re-faults and evicts, the worst case the CI smoke exercises.
+        let largest_row = (0..resident.grid_dim())
+            .map(|src| {
+                resident
+                    .row_metas(src)
+                    .iter()
+                    .map(|m| m.num_edges() as u64 * BYTES_PER_EDGE)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let tight = cache
+            .load_grid_windowed(&key, largest_row / 2)
+            .expect("load")
+            .expect("present");
+        group.bench_function(format!("windowed_walk_tight/{label}"), |b| {
+            b.iter(|| black_box(drain_walk(black_box(&tight))))
+        });
+    }
+
+    group.finish();
+    criterion.final_summary();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -77,12 +77,12 @@ pub fn sweep_scenarios(ctx: &SuiteContext) -> Vec<ScenarioSpec> {
 /// Extra scale applied to the ogbn-products point on top of the grid scale.
 ///
 /// The full [`DatasetKind::OgbnProductsScale`] spec is a ~60M-edge
-/// out-of-core stressor — far beyond what a default bench run should
-/// synthesise — so the sweep carries it at 1/25 scale. At grid scale 1.0
-/// that is still ~2.4M edges: the largest graph in the sweep, and the one
-/// whose edge arena exceeds the memory budgets the out-of-core CI smoke
-/// runs under.
-pub const PRODUCTS_SWEEP_SCALE: f64 = 0.04;
+/// out-of-core stressor. Earlier harness versions carried it at 1/25 scale;
+/// bounded shard-window residency lets the sweep take it at full spec — at
+/// grid scale 1.0 that is ~2.4M vertices / ~60M edges, a ~480MB edge arena
+/// that no longer needs to fit in memory: under a bounded budget the grid is
+/// simulated straight from the artifact cache through the shard window.
+pub const PRODUCTS_SWEEP_SCALE: f64 = 1.0;
 
 /// The ogbn-scale extension of the sweep: the ≥1M-edge ogbn-arxiv GCN
 /// workload (at full scale) that the streaming graph-build pipeline opened
@@ -173,6 +173,18 @@ pub struct SweepPoint {
     /// Process-wide count of sorted edge chunks spilled to disk by the time
     /// this point was evaluated. Absent in pre-out-of-core rows.
     pub spilled_chunks: Option<u64>,
+    /// Process-wide shard-window hits by the time this point was evaluated.
+    /// Absent in rows written before windowed residency.
+    pub window_hits: Option<u64>,
+    /// Process-wide shard-window misses (extents faulted from disk) by the
+    /// time this point was evaluated. Absent in pre-window rows.
+    pub window_misses: Option<u64>,
+    /// Process-wide shard-window evictions by the time this point was
+    /// evaluated. Absent in pre-window rows.
+    pub window_evictions: Option<u64>,
+    /// Process-wide bytes faulted into shard windows by the time this point
+    /// was evaluated. Absent in pre-window rows.
+    pub window_faulted_bytes: Option<u64>,
 }
 
 impl SweepPoint {
@@ -198,6 +210,10 @@ impl SweepPoint {
             speedup_vs_hygcn: result.speedup_vs_hygcn(),
             peak_resident_bytes: Some(result.peak_resident_bytes),
             spilled_chunks: Some(result.spilled_chunks),
+            window_hits: Some(result.window_hits),
+            window_misses: Some(result.window_misses),
+            window_evictions: Some(result.window_evictions),
+            window_faulted_bytes: Some(result.window_faulted_bytes),
         }
     }
 
@@ -217,7 +233,7 @@ impl SweepPoint {
             value.map_or_else(|| "null".to_string(), |v| v.to_string())
         }
         format!(
-            "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"seconds\": {}, \"simulate_seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \"occupancy\": {}, \"occupied_shards\": {}, \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}, \"peak_resident_bytes\": {}, \"spilled_chunks\": {}}}",
+            "{{\"label\": {}, \"backend\": {}, \"network\": {}, \"dataset\": {}, \"dataflow\": {}, \"config\": {}, \"seconds\": {}, \"simulate_seconds\": {}, \"total_cycles\": {}, \"dram_bytes\": {}, \"occupancy\": {}, \"occupied_shards\": {}, \"baseline_gpu_seconds\": {}, \"baseline_hygcn_seconds\": {}, \"speedup_vs_gpu\": {}, \"speedup_vs_hygcn\": {}, \"peak_resident_bytes\": {}, \"spilled_chunks\": {}, \"window_hits\": {}, \"window_misses\": {}, \"window_evictions\": {}, \"window_faulted_bytes\": {}}}",
             json_string(&self.label),
             json_string(&self.backend),
             json_string(&self.network),
@@ -236,6 +252,10 @@ impl SweepPoint {
             opt_f64(self.speedup_vs_hygcn),
             opt_u64(self.peak_resident_bytes),
             opt_u64(self.spilled_chunks),
+            opt_u64(self.window_hits),
+            opt_u64(self.window_misses),
+            opt_u64(self.window_evictions),
+            opt_u64(self.window_faulted_bytes),
         )
     }
 
@@ -295,6 +315,10 @@ impl SweepPoint {
             speedup_vs_hygcn: opt_f64("speedup_vs_hygcn")?,
             peak_resident_bytes: lenient_u64("peak_resident_bytes"),
             spilled_chunks: lenient_u64("spilled_chunks"),
+            window_hits: lenient_u64("window_hits"),
+            window_misses: lenient_u64("window_misses"),
+            window_evictions: lenient_u64("window_evictions"),
+            window_faulted_bytes: lenient_u64("window_faulted_bytes"),
         })
     }
 }
@@ -417,6 +441,14 @@ pub struct SweepBenchmark {
     pub grid_segment_loads: u64,
     /// Shard-grid artifacts deserialised wholesale (unbudgeted reader).
     pub grid_full_loads: u64,
+    /// Shard-window hits across every windowed grid walk.
+    pub window_hits: u64,
+    /// Shard-window misses (extents faulted in from disk).
+    pub window_misses: u64,
+    /// Shard-window evictions (cold rows dropped as the walk moved on).
+    pub window_evictions: u64,
+    /// Bytes faulted into shard windows from disk.
+    pub window_faulted_bytes: u64,
 }
 
 impl SweepBenchmark {
@@ -505,6 +537,16 @@ impl SweepBenchmark {
         out.push_str(&format!(
             "  \"grid_full_loads\": {},\n",
             self.grid_full_loads
+        ));
+        out.push_str(&format!("  \"window_hits\": {},\n", self.window_hits));
+        out.push_str(&format!("  \"window_misses\": {},\n", self.window_misses));
+        out.push_str(&format!(
+            "  \"window_evictions\": {},\n",
+            self.window_evictions
+        ));
+        out.push_str(&format!(
+            "  \"window_faulted_bytes\": {},\n",
+            self.window_faulted_bytes
         ));
         out.push_str("  \"points\": [\n");
         for (i, result) in self.results.iter().enumerate() {
@@ -624,6 +666,10 @@ pub fn bench_sweep(ctx: &SuiteContext) -> Result<SweepBenchmark, GnneratorError>
         spilled_chunks: memory.spilled_chunk_count,
         grid_segment_loads: memory.grid_segment_loads,
         grid_full_loads: memory.grid_full_loads,
+        window_hits: memory.window_hits,
+        window_misses: memory.window_misses,
+        window_evictions: memory.window_evictions,
+        window_faulted_bytes: memory.window_faulted_bytes,
     })
 }
 
@@ -719,6 +765,10 @@ mod tests {
         assert!(json.contains("\"spilled_chunks\""));
         assert!(json.contains("\"grid_segment_loads\""));
         assert!(json.contains("\"grid_full_loads\""));
+        assert!(json.contains("\"window_hits\""));
+        assert!(json.contains("\"window_misses\""));
+        assert!(json.contains("\"window_evictions\""));
+        assert!(json.contains("\"window_faulted_bytes\""));
         assert!(json.contains("\"occupancy\""));
         assert!(json.contains("\"occupied_shards\""));
         assert!(json.contains("\"simulate_seconds\""));
@@ -779,6 +829,8 @@ mod tests {
         // columns entirely; they parse as absent rather than failing.
         assert_eq!(point.peak_resident_bytes, None);
         assert_eq!(point.spilled_chunks, None);
+        assert_eq!(point.window_hits, None);
+        assert_eq!(point.window_faulted_bytes, None);
         // Round-trip of the escaped label.
         assert_eq!(SweepPoint::from_json(&point.to_json()), Some(point));
         // Malformed inputs are rejected, not panicked on.
@@ -808,6 +860,10 @@ mod tests {
             speedup_vs_hygcn: Some(f64::NEG_INFINITY),
             peak_resident_bytes: Some(4096),
             spilled_chunks: Some(2),
+            window_hits: Some(7),
+            window_misses: Some(5),
+            window_evictions: Some(3),
+            window_faulted_bytes: Some(40),
         };
         let json = point.to_json();
         assert!(!json.contains("inf"), "{json}");

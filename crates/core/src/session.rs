@@ -15,7 +15,7 @@ use crate::{
 };
 use gnnerator_gnn::GnnModel;
 use gnnerator_graph::datasets::Dataset;
-use gnnerator_graph::{ArtifactCache, EdgeList, MemoryBudget, ShardPlanCache};
+use gnnerator_graph::{ArtifactCache, EdgeList, GridResidency, MemoryBudget, ShardPlanCache};
 use std::fmt;
 use std::sync::Arc;
 
@@ -95,6 +95,21 @@ impl SimSession {
     /// The memory budget this session plans under.
     pub fn memory_budget(&self) -> MemoryBudget {
         self.plans.memory_budget()
+    }
+
+    /// Overrides how the session's shard grids stay resident: fully in
+    /// memory, faulted through a bounded shard window over the artifact
+    /// cache, or decided by the memory budget (the default comes from
+    /// `GNNERATOR_GRID_RESIDENCY`).
+    #[must_use]
+    pub fn with_residency(mut self, residency: GridResidency) -> Self {
+        self.plans = self.plans.with_residency(residency);
+        self
+    }
+
+    /// The grid residency policy this session plans under.
+    pub fn residency(&self) -> GridResidency {
+        self.plans.residency()
     }
 
     fn build(

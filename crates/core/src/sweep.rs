@@ -247,6 +247,10 @@ pub fn evaluate_scenario(
         simulate_seconds,
         peak_resident_bytes: memory.peak_resident_bytes,
         spilled_chunks: memory.spilled_chunk_count,
+        window_hits: memory.window_hits,
+        window_misses: memory.window_misses,
+        window_evictions: memory.window_evictions,
+        window_faulted_bytes: memory.window_faulted_bytes,
     })
 }
 
@@ -348,6 +352,19 @@ pub struct ScenarioResult {
     /// Process-wide count of edge chunks spilled to disk run-files at the
     /// time this point was evaluated. Excluded from equality.
     pub spilled_chunks: u64,
+    /// Process-wide shard-window cache hits at the time this point was
+    /// evaluated (windowed residency only; zero when every grid stayed
+    /// resident). Excluded from equality.
+    pub window_hits: u64,
+    /// Process-wide shard-window misses (extents faulted in from disk) at
+    /// the time this point was evaluated. Excluded from equality.
+    pub window_misses: u64,
+    /// Process-wide shard-window evictions at the time this point was
+    /// evaluated. Excluded from equality.
+    pub window_evictions: u64,
+    /// Process-wide bytes faulted into shard windows from disk at the time
+    /// this point was evaluated. Excluded from equality.
+    pub window_faulted_bytes: u64,
 }
 
 impl ScenarioResult {
@@ -448,6 +465,10 @@ pub struct SweepRunner {
     /// `None` (the default) leaves sessions on the process-wide
     /// `GNNERATOR_MEM_BUDGET` default.
     memory_budget: Option<gnnerator_graph::MemoryBudget>,
+    /// Explicit grid residency policy for every session this runner builds.
+    /// `None` (the default) leaves sessions on the process-wide
+    /// `GNNERATOR_GRID_RESIDENCY` default.
+    residency: Option<gnnerator_graph::GridResidency>,
 }
 
 impl SweepRunner {
@@ -484,6 +505,23 @@ impl SweepRunner {
     /// The explicit memory budget applied to this runner's sessions, if any.
     pub fn memory_budget(&self) -> Option<gnnerator_graph::MemoryBudget> {
         self.memory_budget
+    }
+
+    /// Returns this runner with an explicit [`GridResidency`] applied to
+    /// every session it builds: `Windowed` keeps shard-grid edge arenas on
+    /// disk and faults shard extents through a bounded LRU window, `Resident`
+    /// pins them in memory, and `Auto` (the process default) windows only
+    /// when the memory budget cannot hold the arena.
+    ///
+    /// [`GridResidency`]: gnnerator_graph::GridResidency
+    pub fn with_residency(mut self, residency: gnnerator_graph::GridResidency) -> Self {
+        self.residency = Some(residency);
+        self
+    }
+
+    /// The explicit grid residency applied to this runner's sessions, if any.
+    pub fn residency(&self) -> Option<gnnerator_graph::GridResidency> {
+        self.residency
     }
 
     /// Returns the materialised dataset for a scenario, synthesising and
@@ -568,6 +606,9 @@ impl SweepRunner {
         let mut session = build_session(scenario, &dataset, self.artifact_cache.as_ref())?;
         if let Some(budget) = self.memory_budget {
             session = session.with_memory_budget(budget);
+        }
+        if let Some(residency) = self.residency {
+            session = session.with_residency(residency);
         }
         let session = Arc::new(session);
         let mut cache = lock_recover(&self.sessions);

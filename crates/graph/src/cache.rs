@@ -62,6 +62,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// On-disk format version; bump whenever the byte layout changes so stale
 /// artifacts are rejected (and rebuilt) instead of misread. Version 2
@@ -137,9 +138,11 @@ impl ArtifactCache {
     /// Creates a cache rooted at `root` (created lazily on first store).
     ///
     /// Opening a root also sweeps orphaned `*.tmp.<pid>.<nonce>` files left
-    /// by writers killed between their temp write and the publishing rename
-    /// — but only files older than a safety window, so a concurrent store's
-    /// in-flight temp file is never touched.
+    /// by writers killed between their temp write and the publishing rename,
+    /// abandoned spill run-files, and stale `*.corrupt` quarantine files —
+    /// but only files older than a safety window, so a concurrent store's
+    /// in-flight temp file is never touched and fresh quarantines keep
+    /// their post-mortem value.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         let root = root.into();
         sweep_stale_temp_files(&root, STALE_TEMP_WINDOW);
@@ -375,6 +378,14 @@ impl ArtifactCache {
         let Some(path) = self.file_for("grid", key) else {
             return Ok(());
         };
+        // A windowed grid was loaded *from* this cache; re-serialising it
+        // would mean faulting the whole arena back through the window.
+        let Some(arena) = grid.resident_edges() else {
+            return Err(GraphError::invalid(
+                "grid",
+                "cannot store a windowed grid (it already lives in the cache)",
+            ));
+        };
         let mut header = Vec::with_capacity(32 + grid.metas().len() * 32);
         write_u64(&mut header, grid.num_nodes() as u64);
         write_u64(&mut header, grid.nodes_per_shard() as u64);
@@ -394,14 +405,14 @@ impl ArtifactCache {
         // Pass 1: checksum the payload without ever materialising it.
         let mut hasher = Fnv1a::new();
         hasher.update(&header);
-        for edges in grid.edges().chunks(chunk_edges) {
+        for edges in arena.chunks(chunk_edges) {
             pack_edges(&mut chunk, edges);
             hasher.update(&chunk);
         }
         // Pass 2: stream envelope + payload through the temp+rename flow.
         write_artifact_streamed(&path, KIND_GRID, key, payload_len, hasher.finish(), |w| {
             w.write_all(&header)?;
-            for edges in grid.edges().chunks(chunk_edges) {
+            for edges in arena.chunks(chunk_edges) {
                 pack_edges(&mut chunk, edges);
                 w.write_all(&chunk)?;
             }
@@ -461,6 +472,56 @@ impl ArtifactCache {
         }
         result
     }
+
+    /// Opens the grid stored under `key` *windowed*: the artifact is fully
+    /// validated (envelope, metadata table, arena endpoint ranges, payload
+    /// checksum) in one streaming pass that never materialises the arena,
+    /// and the returned [`ShardGrid`] faults shard extents in through a
+    /// [`ShardWindow`](crate::ShardWindow) of at most `window_bytes` over
+    /// the same validated file handle. Counts as a segmented load in the
+    /// process-wide telemetry (no wholesale deserialisation happens).
+    ///
+    /// Returns `Ok(None)` on a clean miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
+    /// mismatched files (quarantined like every other load path).
+    pub fn load_grid_windowed(
+        &self,
+        key: &str,
+        window_bytes: u64,
+    ) -> Result<Option<ShardGrid>, GraphError> {
+        self.load_grid_windowed_in(key, crate::WindowPool::new(window_bytes))
+    }
+
+    /// Like [`ArtifactCache::load_grid_windowed`], but the returned grid's
+    /// window draws residency from `pool` — shared across every windowed
+    /// grid opened with the same pool, so several shardings of one session
+    /// split one budget instead of stacking it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CacheArtifact`] for corrupt, stale-version or
+    /// mismatched files (quarantined like every other load path).
+    pub fn load_grid_windowed_in(
+        &self,
+        key: &str,
+        pool: Arc<crate::WindowPool>,
+    ) -> Result<Option<ShardGrid>, GraphError> {
+        let Some(path) = self.file_for("grid", key) else {
+            return Ok(None);
+        };
+        check_fault("cache_read", &path)?;
+        let result = self.quarantining(
+            &path,
+            open_grid_windowed(&path, key, pool, self.budget.io_buffer_bytes(1)),
+        );
+        if matches!(result, Ok(Some(_))) {
+            memory::note_grid_segment_load();
+        }
+        result
+    }
 }
 
 /// Wholesale v2 grid load: one `read`, then in-memory parsing.
@@ -503,14 +564,36 @@ fn load_grid_whole(path: &Path, key: &str) -> Result<Option<ShardGrid>, GraphErr
     )))
 }
 
-/// Segmented v2 grid load: envelope and payload header are read through a
-/// bounded buffer, the metadata table is parsed before any arena byte, and
-/// the arena streams in budget-sized chunks — no whole-file materialisation.
-fn load_grid_segmented(
-    path: &Path,
+/// Everything a segmented v2 grid loader needs before touching arena bytes:
+/// the stream positioned at the first arena record, the running payload
+/// hasher, and the parsed header + metadata table. Produced by
+/// [`read_segmented_prefix`], consumed by both the chunk-materialising
+/// loader and the windowed opener.
+struct SegmentedPrefix<'p> {
+    r: StreamReader<'p>,
+    hasher: Fnv1a,
+    checksum: u64,
+    num_nodes: usize,
+    nodes_per_shard: usize,
+    arena_len: usize,
+    arena_bytes: usize,
+    /// Byte offset of the first arena record in the file.
+    arena_offset: u64,
+    metas: Vec<ShardMeta>,
+    /// A second handle on the same (still-being-validated) file, for
+    /// callers that keep reading it after this pass — the handle stays
+    /// valid even if the path is later replaced or removed.
+    file: File,
+}
+
+/// Validates a segmented v2 grid artifact's envelope, payload header and
+/// metadata table through a bounded buffer, stopping at the first arena
+/// byte. Returns `Ok(None)` on a clean miss (no file).
+fn read_segmented_prefix<'p>(
+    path: &'p Path,
     key: &str,
-    budget: MemoryBudget,
-) -> Result<Option<ShardGrid>, GraphError> {
+    buffer_bytes: usize,
+) -> Result<Option<SegmentedPrefix<'p>>, GraphError> {
     let file = match File::open(path) {
         Ok(file) => file,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -520,7 +603,9 @@ fn load_grid_segmented(
         .metadata()
         .map_err(|e| reject(path, format!("reading cache artifact: {e}")))?
         .len();
-    let buffer_bytes = budget.io_buffer_bytes(1);
+    let handle = file
+        .try_clone()
+        .map_err(|e| reject(path, format!("reading cache artifact: {e}")))?;
     let mut r = StreamReader {
         reader: BufReader::with_capacity(buffer_bytes, file),
         path,
@@ -604,38 +689,117 @@ fn load_grid_segmented(
     let metas = parse_grid_metas(&mut mr, path, grid_dim, meta_count, arena_len)?;
     mr.finish()?;
 
+    Ok(Some(SegmentedPrefix {
+        r,
+        hasher,
+        checksum,
+        num_nodes,
+        nodes_per_shard,
+        arena_len,
+        arena_bytes,
+        arena_offset: envelope_len + 32 + meta_bytes as u64,
+        metas,
+        file: handle,
+    }))
+}
+
+/// Segmented v2 grid load: envelope and payload header are read through a
+/// bounded buffer, the metadata table is parsed before any arena byte, and
+/// the arena streams in budget-sized chunks — no whole-file materialisation.
+fn load_grid_segmented(
+    path: &Path,
+    key: &str,
+    budget: MemoryBudget,
+) -> Result<Option<ShardGrid>, GraphError> {
+    let buffer_bytes = budget.io_buffer_bytes(1);
+    let Some(mut p) = read_segmented_prefix(path, key, buffer_bytes)? else {
+        return Ok(None);
+    };
+
     // Arena: stream in budget-sized chunks, never more than one buffer
     // resident beyond the arena itself.
-    let mut arena: Vec<Edge> = Vec::with_capacity(arena_len);
+    let mut arena: Vec<Edge> = Vec::with_capacity(p.arena_len);
     let chunk_edges = (buffer_bytes / 8).max(1);
-    let mut buf = vec![0u8; chunk_edges.min(arena_len.max(1)) * 8];
-    let mut remaining_bytes = arena_bytes;
+    let mut buf = vec![0u8; chunk_edges.min(p.arena_len.max(1)) * 8];
+    let mut remaining_bytes = p.arena_bytes;
     while remaining_bytes > 0 {
         let take = remaining_bytes.min(buf.len());
         let bytes = &mut buf[..take];
-        r.read_exact(bytes)?;
-        hasher.update(bytes);
+        p.r.read_exact(bytes)?;
+        p.hasher.update(bytes);
         for rec in bytes.chunks_exact(8) {
             let edge = Edge::new(
                 u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
                 u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
             );
-            if edge.src as usize >= num_nodes || edge.dst as usize >= num_nodes {
+            if edge.src as usize >= p.num_nodes || edge.dst as usize >= p.num_nodes {
                 return Err(reject(path, "arena edge endpoint out of range".to_string()));
             }
             arena.push(edge);
         }
         remaining_bytes -= take;
     }
-    r.expect_eof()?;
-    if hasher.finish() != checksum {
+    p.r.expect_eof()?;
+    if p.hasher.finish() != p.checksum {
         return Err(reject(path, "payload checksum mismatch".to_string()));
     }
     Ok(Some(ShardGrid::assemble(
-        num_nodes,
-        nodes_per_shard,
+        p.num_nodes,
+        p.nodes_per_shard,
         arena,
-        metas,
+        p.metas,
+    )))
+}
+
+/// Windowed v2 grid open: the same streaming validation pass as
+/// [`load_grid_segmented`] (every arena byte is endpoint-checked and
+/// checksummed through a bounded buffer) but the decoded edges are
+/// *discarded* — the grid keeps only the metadata plus a bounded
+/// [`crate::ShardWindow`] over the validated file handle, and shard extents
+/// are `pread` back in on demand during traversal.
+fn open_grid_windowed(
+    path: &Path,
+    key: &str,
+    pool: Arc<crate::WindowPool>,
+    buffer_bytes: usize,
+) -> Result<Option<ShardGrid>, GraphError> {
+    let Some(mut p) = read_segmented_prefix(path, key, buffer_bytes)? else {
+        return Ok(None);
+    };
+
+    let chunk_edges = (buffer_bytes / 8).max(1);
+    let mut buf = vec![0u8; chunk_edges.min(p.arena_len.max(1)) * 8];
+    let mut remaining_bytes = p.arena_bytes;
+    while remaining_bytes > 0 {
+        let take = remaining_bytes.min(buf.len());
+        let bytes = &mut buf[..take];
+        p.r.read_exact(bytes)?;
+        p.hasher.update(bytes);
+        for rec in bytes.chunks_exact(8) {
+            let src = u32::from_le_bytes(rec[..4].try_into().expect("4 bytes"));
+            let dst = u32::from_le_bytes(rec[4..].try_into().expect("4 bytes"));
+            if src as usize >= p.num_nodes || dst as usize >= p.num_nodes {
+                return Err(reject(path, "arena edge endpoint out of range".to_string()));
+            }
+        }
+        remaining_bytes -= take;
+    }
+    p.r.expect_eof()?;
+    if p.hasher.finish() != p.checksum {
+        return Err(reject(path, "payload checksum mismatch".to_string()));
+    }
+    let window = crate::ShardWindow::with_pool(
+        p.file,
+        path.to_path_buf(),
+        p.arena_offset,
+        p.arena_len,
+        pool,
+    );
+    Ok(Some(ShardGrid::assemble_windowed(
+        p.num_nodes,
+        p.nodes_per_shard,
+        window,
+        p.metas,
     )))
 }
 
@@ -830,14 +994,16 @@ fn check_fault(point: &str, path: &Path) -> Result<(), GraphError> {
     gnnerator_faults::check(point).map_err(|e| reject(path, e.to_string()))
 }
 
-/// Deletes orphaned temp files and abandoned spill run-files under `root`
-/// that are older than `window`.
+/// Deletes orphaned temp files, abandoned spill run-files and stale
+/// quarantined artifacts under `root` that are older than `window`.
 ///
 /// Best-effort on every step: a missing root, unreadable metadata or a
 /// losing race against another sweeper are all fine — the only hard
 /// requirement is never deleting a published artifact, a temp file young
 /// enough to belong to a live writer, or a spill run-file a live
-/// [`crate::EdgeListBuilder`] is still merging from.
+/// [`crate::EdgeListBuilder`] is still merging from. Quarantined
+/// `*.corrupt` files keep their post-mortem value for the window, then
+/// stop accumulating.
 fn sweep_stale_temp_files(root: &Path, window: std::time::Duration) {
     let Ok(entries) = std::fs::read_dir(root) else {
         return; // nothing cached yet (or the root is unreadable)
@@ -846,7 +1012,10 @@ fn sweep_stale_temp_files(root: &Path, window: std::time::Duration) {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if !is_temp_artifact_name(name) && !is_spill_run_name(name) {
+        if !is_temp_artifact_name(name)
+            && !is_spill_run_name(name)
+            && !is_corrupt_artifact_name(name)
+        {
             continue;
         }
         let stale = entry
@@ -882,6 +1051,21 @@ fn is_temp_artifact_name(name: &str) -> bool {
             Some((pid, nonce)) => pid.parse::<u64>().is_ok() && nonce.parse::<u64>().is_ok(),
             None => false,
         }
+}
+
+/// Whether a file name matches the `<prefix>-<hex16>.corrupt` pattern
+/// [`ArtifactCache::quarantining`] produces (prefix `ds` or `grid`).
+/// Exact for the same reason as [`is_temp_artifact_name`]: the sweep must
+/// only ever delete files this cache itself could have written.
+fn is_corrupt_artifact_name(name: &str) -> bool {
+    let Some(artifact) = name.strip_suffix(".corrupt") else {
+        return false;
+    };
+    ["ds-", "grid-"].iter().any(|prefix| {
+        artifact
+            .strip_prefix(prefix)
+            .is_some_and(|hex| hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()))
+    })
 }
 
 /// Writes a complete artifact file atomically (temp file + rename).
@@ -1369,6 +1553,150 @@ mod tests {
         sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
         assert!(!abandoned.exists(), "stale run-files accumulate forever");
         assert!(ArtifactCache::new(&dir).load_grid(&key).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_names_are_recognised_exactly() {
+        assert!(is_corrupt_artifact_name("ds-0123456789abcdef.corrupt"));
+        assert!(is_corrupt_artifact_name("grid-00ff00ff00ff00ff.corrupt"));
+        // Published artifacts and unrelated files never match.
+        assert!(!is_corrupt_artifact_name("ds-0123456789abcdef.bin"));
+        assert!(!is_corrupt_artifact_name("notes.corrupt"));
+        assert!(!is_corrupt_artifact_name("ds-ab.corrupt"), "hex too short");
+        assert!(!is_corrupt_artifact_name("ds-0123456789abcdeg.corrupt"));
+        assert!(!is_corrupt_artifact_name(
+            "grid-0123456789abcdef.corrupt.bak"
+        ));
+        assert!(!is_corrupt_artifact_name(".corrupt"));
+        // The quarantine rename and the recogniser agree.
+        let quarantined = Path::new("grid-0123456789abcdef.bin").with_extension("corrupt");
+        assert!(is_corrupt_artifact_name(
+            quarantined.file_name().unwrap().to_str().unwrap()
+        ));
+    }
+
+    #[test]
+    fn stale_quarantine_files_are_swept_but_young_ones_survive() {
+        let (cache, dir) = temp_cache("corrupt-sweep");
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("g", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+
+        // Quarantine the artifact for real by corrupting it.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&file, bytes).unwrap();
+        assert!(cache.load_grid(&key).is_err());
+        let quarantined = file.with_extension("corrupt");
+        assert!(quarantined.exists());
+
+        // A freshly opened cache (1-hour window) keeps the young quarantine
+        // file — it still has post-mortem value.
+        let _reopened = ArtifactCache::new(&dir);
+        assert!(quarantined.exists(), "young quarantines must not be swept");
+
+        // Past the safety window it is reaped instead of accumulating
+        // forever; a republished artifact is untouched.
+        cache.store_grid(&key, &grid).unwrap();
+        sweep_stale_temp_files(&dir, std::time::Duration::ZERO);
+        assert!(
+            !quarantined.exists(),
+            "stale quarantines accumulate forever"
+        );
+        assert!(ArtifactCache::new(&dir).load_grid(&key).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_load_is_bit_identical_to_resident_loads() {
+        let (cache, dir) = temp_cache("windowed");
+        let edges = generators::rmat(300, 1400, 5).unwrap();
+        let grid = ShardGrid::build(&edges, 32).unwrap();
+        let key = ArtifactCache::grid_key("dataset/win/seed5", 32, false);
+        assert!(cache.load_grid_windowed(&key, 1 << 20).unwrap().is_none());
+        cache.store_grid(&key, &grid).unwrap();
+        let whole = cache
+            .load_grid_budgeted(&key, MemoryBudget::unbounded())
+            .unwrap()
+            .expect("hit");
+        let largest = grid.max_shard_edges() as u64 * 8;
+        let arena = grid.total_edges() as u64 * 8;
+        // Window sizes: always-stream, one max shard, exact fit, oversized.
+        for window_bytes in [0, largest, arena, 1 << 30] {
+            let before = memory::memory_telemetry();
+            let windowed = cache
+                .load_grid_windowed(&key, window_bytes)
+                .unwrap()
+                .expect("hit");
+            assert!(windowed.is_windowed());
+            let after = memory::memory_telemetry();
+            assert!(
+                after.grid_segment_loads > before.grid_segment_loads,
+                "windowed opens count as segmented loads"
+            );
+            assert_eq!(after.grid_full_loads, before.grid_full_loads);
+            assert_eq!(windowed, whole, "window {window_bytes}");
+            assert_eq!(windowed, grid, "window {window_bytes}");
+            assert_eq!(windowed.window().unwrap().window_bytes(), window_bytes);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_load_rejects_and_quarantines_corruption_up_front() {
+        let (cache, dir) = temp_cache("windowed-corrupt");
+        let edges = generators::rmat(200, 900, 3).unwrap();
+        let grid = ShardGrid::build(&edges, 32).unwrap();
+        let key = ArtifactCache::grid_key("wc", 32, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        // Flip one arena byte: the open-time validation pass must catch it
+        // even though the windowed grid would never materialise the arena.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&file, bytes).unwrap();
+
+        assert!(matches!(
+            cache.load_grid_windowed(&key, 1 << 20),
+            Err(GraphError::CacheArtifact { .. })
+        ));
+        assert!(!file.exists(), "must be renamed away");
+        assert!(file.with_extension("corrupt").exists());
+        assert_eq!(cache.corrupt_artifacts(), 1);
+        assert!(cache.load_grid_windowed(&key, 1 << 20).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storing_a_windowed_grid_is_rejected() {
+        let (cache, dir) = temp_cache("windowed-store");
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let grid = ShardGrid::build(&edges, 16).unwrap();
+        let key = ArtifactCache::grid_key("ws", 16, false);
+        cache.store_grid(&key, &grid).unwrap();
+        let windowed = cache
+            .load_grid_windowed(&key, 1 << 20)
+            .unwrap()
+            .expect("hit");
+        let err = cache.store_grid(&key, &windowed).unwrap_err();
+        assert!(err.to_string().contains("windowed"), "{err}");
+        // The published artifact is untouched.
+        assert_eq!(cache.load_grid(&key).unwrap().expect("hit"), grid);
         std::fs::remove_dir_all(&dir).ok();
     }
 

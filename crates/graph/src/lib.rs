@@ -22,7 +22,9 @@
 //!   extension) and synthesisers,
 //! * [`ShardGrid`] — the 2-D shard grid, stored sparsely as one sorted edge
 //!   arena plus per-occupied-shard [`ShardMeta`], with source-/destination-
-//!   stationary traversal orders that skip empty cells,
+//!   stationary traversal orders that skip empty cells; under a bounded
+//!   budget (or an explicit [`GridResidency`]) the arena stays on disk and
+//!   shard extents are faulted through a bounded LRU [`ShardWindow`],
 //! * [`ArtifactCache`] — a persistent, checksummed on-disk store of
 //!   synthesised datasets and shard grids, keyed by `(spec, seed)` and shard
 //!   parameters, so repeated harness runs skip synthesis and re-sharding,
@@ -64,11 +66,15 @@ pub use edge_builder::{EdgeListBuilder, DEFAULT_CHUNK_CAPACITY};
 pub use edge_list::{Edge, EdgeList};
 pub use error::GraphError;
 pub use features::NodeFeatures;
-pub use memory::{MemoryBudget, MemoryTelemetry, MEM_BUDGET_ENV_VAR};
+pub use memory::{
+    memory_telemetry, GridResidency, MemoryBudget, MemoryTelemetry, GRID_RESIDENCY_ENV_VAR,
+    MEM_BUDGET_ENV_VAR,
+};
 pub use plan_cache::{PlanKey, ShardPlanCache};
 pub use shard::{
-    OccupiedTraversal, SerpentineCoords, ShardCoord, ShardGrid, ShardMeta, ShardView,
-    TraversalOrder, BYTES_PER_EDGE, BYTES_PER_FEATURE_ELEMENT,
+    EdgeSegment, OccupiedTraversal, SerpentineCoords, ShardCoord, ShardGrid, ShardMeta, ShardView,
+    ShardWindow, TraversalOrder, WindowPool, WindowStats, BYTES_PER_EDGE,
+    BYTES_PER_FEATURE_ELEMENT,
 };
 pub use stats::GraphStats;
 

@@ -29,6 +29,93 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// aborting the process.
 pub const MEM_BUDGET_ENV_VAR: &str = "GNNERATOR_MEM_BUDGET";
 
+/// Environment variable selecting the process-wide default grid residency
+/// policy (see [`GridResidency`]).
+///
+/// Accepted values: `auto` (default — window a grid only when its arena
+/// would exceed the memory budget), `resident` (always materialise the
+/// arena), `windowed` (always simulate through a bounded shard window).
+/// Unparseable values fall back to `auto`.
+pub const GRID_RESIDENCY_ENV_VAR: &str = "GNNERATOR_GRID_RESIDENCY";
+
+/// Window capacity used when a windowed grid is requested under an
+/// *unbounded* memory budget (there is no cap to derive the window from).
+const DEFAULT_WINDOW_BYTES: u64 = 64 << 20;
+
+/// How a finished [`ShardGrid`](crate::ShardGrid) keeps its edge arena
+/// resident.
+///
+/// * [`GridResidency::Resident`] — the whole sorted arena lives in memory
+///   (the historical behaviour).
+/// * [`GridResidency::Windowed`] — the grid is backed by the segmented
+///   artifact file and shard extents are `pread` into a budget-sized LRU
+///   window on demand; cold segments are evicted as the serpentine walk
+///   moves past them.
+/// * [`GridResidency::Auto`] — windowed exactly when the arena's bytes
+///   would exceed the [`MemoryBudget`]; resident otherwise. This is the
+///   default, so setting `GNNERATOR_MEM_BUDGET` below a graph's arena size
+///   is all it takes to simulate that graph from disk.
+///
+/// Every residency mode produces bit-identical simulation results; the
+/// modes trade memory for (re-)read bandwidth only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GridResidency {
+    /// Window only when the arena would exceed the memory budget.
+    #[default]
+    Auto,
+    /// Always keep the whole edge arena in memory.
+    Resident,
+    /// Always walk the arena through a bounded shard window.
+    Windowed,
+}
+
+impl GridResidency {
+    /// Reads the process-wide default from [`GRID_RESIDENCY_ENV_VAR`].
+    pub fn from_env() -> Self {
+        match std::env::var(GRID_RESIDENCY_ENV_VAR) {
+            Ok(value) => Self::parse(&value),
+            Err(_) => Self::Auto,
+        }
+    }
+
+    /// Parses a residency string as documented on
+    /// [`GRID_RESIDENCY_ENV_VAR`]. Unparseable input yields `Auto`.
+    pub fn parse(value: &str) -> Self {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "resident" | "full" => Self::Resident,
+            "windowed" | "window" => Self::Windowed,
+            _ => Self::Auto,
+        }
+    }
+
+    /// Whether a grid whose arena occupies `arena_bytes` should be windowed
+    /// under `budget`.
+    pub fn wants_window(self, budget: MemoryBudget, arena_bytes: u64) -> bool {
+        match self {
+            Self::Resident => false,
+            Self::Windowed => true,
+            Self::Auto => budget.would_exceed(0, arena_bytes),
+        }
+    }
+
+    /// The shard-window capacity to use under `budget`: the budget's cap
+    /// when bounded, a fixed default otherwise (a forced-`Windowed` grid
+    /// under an unbounded budget still needs *some* capacity).
+    pub fn window_bytes(budget: MemoryBudget) -> u64 {
+        budget.limit_bytes().unwrap_or(DEFAULT_WINDOW_BYTES)
+    }
+}
+
+impl fmt::Display for GridResidency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Auto => f.write_str("auto"),
+            Self::Resident => f.write_str("resident"),
+            Self::Windowed => f.write_str("windowed"),
+        }
+    }
+}
+
 /// A cap on the transient bytes the graph pipeline may keep resident.
 ///
 /// # Examples
@@ -142,6 +229,14 @@ static PEAK_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
 static SPILLED_CHUNKS: AtomicU64 = AtomicU64::new(0);
 static GRID_SEGMENT_LOADS: AtomicU64 = AtomicU64::new(0);
 static GRID_FULL_LOADS: AtomicU64 = AtomicU64::new(0);
+static WINDOW_HITS: AtomicU64 = AtomicU64::new(0);
+static WINDOW_MISSES: AtomicU64 = AtomicU64::new(0);
+static WINDOW_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static WINDOW_FAULTED_BYTES: AtomicU64 = AtomicU64::new(0);
+// Live gauge, not monotonic: bytes currently cached across all shard
+// windows. Every insert adds, every eviction and window drop subtracts, so
+// a nonzero value with no live windowed grid is a leak.
+static WINDOW_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Records an observed resident-bytes high-water mark for the graph
 /// pipeline. The process-wide peak is the max over all observations.
@@ -164,6 +259,40 @@ pub fn note_grid_full_load() {
     GRID_FULL_LOADS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one shard extent served from an already-resident window segment.
+pub fn note_window_hit() {
+    WINDOW_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one shard extent that had to be faulted in from disk.
+pub fn note_window_miss() {
+    WINDOW_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one segment evicted from a shard window to stay under capacity.
+pub fn note_window_eviction() {
+    WINDOW_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `bytes` read from disk to satisfy a window miss.
+pub fn note_window_faulted_bytes(bytes: u64) {
+    WINDOW_FAULTED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Adds `bytes` to the live gauge of window-cached bytes and returns the new
+/// total, which also feeds the resident-bytes peak.
+pub fn window_resident_add(bytes: u64) -> u64 {
+    let now = WINDOW_RESIDENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    note_resident_bytes(now);
+    now
+}
+
+/// Subtracts `bytes` from the live gauge of window-cached bytes (eviction or
+/// window drop).
+pub fn window_resident_sub(bytes: u64) {
+    WINDOW_RESIDENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
 /// Peak resident pipeline bytes observed so far in this process.
 pub fn peak_resident_bytes() -> u64 {
     PEAK_RESIDENT_BYTES.load(Ordering::Relaxed)
@@ -184,6 +313,32 @@ pub fn grid_full_loads() -> u64 {
     GRID_FULL_LOADS.load(Ordering::Relaxed)
 }
 
+/// Total shard extents served from resident window segments so far.
+pub fn window_hits() -> u64 {
+    WINDOW_HITS.load(Ordering::Relaxed)
+}
+
+/// Total shard extents faulted in from disk so far.
+pub fn window_misses() -> u64 {
+    WINDOW_MISSES.load(Ordering::Relaxed)
+}
+
+/// Total window segments evicted so far.
+pub fn window_evictions() -> u64 {
+    WINDOW_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes faulted in to satisfy window misses so far.
+pub fn window_faulted_bytes() -> u64 {
+    WINDOW_FAULTED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Bytes currently cached across all live shard windows. Returns to its
+/// prior value once every windowed grid has been dropped.
+pub fn window_resident_bytes() -> u64 {
+    WINDOW_RESIDENT_BYTES.load(Ordering::Relaxed)
+}
+
 /// A point-in-time snapshot of the out-of-core telemetry counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoryTelemetry {
@@ -195,6 +350,14 @@ pub struct MemoryTelemetry {
     pub grid_segment_loads: u64,
     /// Shard grids deserialised wholesale.
     pub grid_full_loads: u64,
+    /// Shard extents served from resident window segments.
+    pub window_hits: u64,
+    /// Shard extents faulted in from disk.
+    pub window_misses: u64,
+    /// Window segments evicted to stay under capacity.
+    pub window_evictions: u64,
+    /// Bytes read from disk to satisfy window misses.
+    pub window_faulted_bytes: u64,
 }
 
 /// Snapshots the process-wide out-of-core telemetry counters.
@@ -204,6 +367,10 @@ pub fn memory_telemetry() -> MemoryTelemetry {
         spilled_chunk_count: spilled_chunk_count(),
         grid_segment_loads: grid_segment_loads(),
         grid_full_loads: grid_full_loads(),
+        window_hits: window_hits(),
+        window_misses: window_misses(),
+        window_evictions: window_evictions(),
+        window_faulted_bytes: window_faulted_bytes(),
     }
 }
 
@@ -264,6 +431,48 @@ mod tests {
         assert!(peak_resident_bytes() >= peak);
         note_resident_bytes(peak + 5);
         assert!(peak_resident_bytes() >= peak + 5);
+    }
+
+    #[test]
+    fn residency_parse_accepts_the_documented_spellings() {
+        assert_eq!(GridResidency::parse("resident"), GridResidency::Resident);
+        assert_eq!(GridResidency::parse(" FULL "), GridResidency::Resident);
+        assert_eq!(GridResidency::parse("windowed"), GridResidency::Windowed);
+        assert_eq!(GridResidency::parse("Window"), GridResidency::Windowed);
+        for s in ["", "auto", "garbage", "12"] {
+            assert_eq!(GridResidency::parse(s), GridResidency::Auto, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn auto_residency_windows_only_past_the_budget() {
+        let tight = MemoryBudget::bytes(100);
+        assert!(!GridResidency::Auto.wants_window(tight, 100));
+        assert!(GridResidency::Auto.wants_window(tight, 101));
+        assert!(!GridResidency::Auto.wants_window(MemoryBudget::unbounded(), u64::MAX));
+        assert!(GridResidency::Windowed.wants_window(MemoryBudget::unbounded(), 1));
+        assert!(!GridResidency::Resident.wants_window(tight, u64::MAX));
+    }
+
+    #[test]
+    fn window_bytes_follows_the_budget_cap() {
+        assert_eq!(GridResidency::window_bytes(MemoryBudget::bytes(4096)), 4096);
+        assert_eq!(
+            GridResidency::window_bytes(MemoryBudget::unbounded()),
+            DEFAULT_WINDOW_BYTES
+        );
+    }
+
+    #[test]
+    fn window_gauge_add_and_sub_round_trip() {
+        let before = window_resident_bytes();
+        let now = window_resident_add(128);
+        assert!(now >= 128);
+        assert!(peak_resident_bytes() >= now);
+        window_resident_sub(128);
+        // Other tests may touch the gauge concurrently; it must at least not
+        // retain our 128 bytes.
+        assert!(window_resident_bytes() <= before + 128);
     }
 
     #[test]

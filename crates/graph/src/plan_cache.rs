@@ -15,7 +15,10 @@
 //! as misses (the grid is rebuilt and the artifact overwritten), never as
 //! failures.
 
-use crate::{ArtifactCache, EdgeList, GraphError, MemoryBudget, ShardGrid};
+use crate::{
+    ArtifactCache, EdgeList, GraphError, GridResidency, MemoryBudget, ShardGrid, WindowPool,
+    BYTES_PER_EDGE,
+};
 use gnnerator_faults::lock_recover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,6 +76,15 @@ pub struct ShardPlanCache {
     /// Memory budget for disk loads (segmented vs. wholesale) and for
     /// choosing the streaming shard build over the sort-in-place one.
     budget: MemoryBudget,
+    /// How grid edge arenas are kept resident: fully in memory, faulted
+    /// through a bounded [`ShardWindow`](crate::ShardWindow), or decided by
+    /// the memory budget.
+    residency: GridResidency,
+    /// One residency pool shared by every windowed grid this cache
+    /// materialises, so several shardings of the same graph (one per
+    /// derived nodes-per-shard) split a single window budget instead of
+    /// each claiming the full budget. Created on the first windowed load.
+    window_pool: OnceLock<Arc<WindowPool>>,
 }
 
 impl ShardPlanCache {
@@ -87,6 +99,8 @@ impl ShardPlanCache {
             grids_built: AtomicUsize::new(0),
             grids_loaded: AtomicUsize::new(0),
             budget: MemoryBudget::from_env(),
+            residency: GridResidency::from_env(),
+            window_pool: OnceLock::new(),
         }
     }
 
@@ -100,6 +114,18 @@ impl ShardPlanCache {
     /// The memory budget this cache plans under.
     pub fn memory_budget(&self) -> MemoryBudget {
         self.budget
+    }
+
+    /// Overrides the grid residency policy (the default comes from
+    /// `GNNERATOR_GRID_RESIDENCY`, falling back to budget-driven `auto`).
+    pub fn with_residency(mut self, residency: GridResidency) -> Self {
+        self.residency = residency;
+        self
+    }
+
+    /// The grid residency policy this cache materialises grids under.
+    pub fn residency(&self) -> GridResidency {
+        self.residency
     }
 
     /// Creates a cache over `edges` backed by a persistent [`ArtifactCache`].
@@ -185,7 +211,17 @@ impl ShardPlanCache {
         }
         if let Some((cache, graph_key)) = &self.disk {
             let key = ArtifactCache::grid_key(graph_key, nodes_per_shard, include_self_loops);
-            match cache.load_grid_budgeted(&key, self.budget) {
+            // The windowed (out-of-core) path only exists when the finished
+            // arena would overflow the budget — or the residency policy
+            // demands it — and needs a disk artifact to fault from.
+            let arena_bytes = edges.num_edges() as u64 * BYTES_PER_EDGE;
+            let windowed = self.residency.wants_window(self.budget, arena_bytes);
+            let load = if windowed {
+                cache.load_grid_windowed_in(&key, self.shared_window_pool())
+            } else {
+                cache.load_grid_budgeted(&key, self.budget)
+            };
+            match load {
                 Ok(Some(grid))
                     if grid.num_nodes() == edges.num_nodes()
                         && grid.total_edges() == edges.num_edges()
@@ -200,10 +236,34 @@ impl ShardPlanCache {
                 Err(other) => return Err(other),
             }
             let grid = self.build_timed(edges, nodes_per_shard)?;
-            cache.store_grid(&key, &grid).ok(); // best-effort persistence
+            if cache.store_grid(&key, &grid).is_ok() && windowed {
+                // The freshly written artifact lets the resident build be
+                // dropped and re-opened through the bounded window. Any
+                // hiccup falls back to serving the resident grid — the
+                // result is bit-identical either way.
+                if let Ok(Some(rewound)) =
+                    cache.load_grid_windowed_in(&key, self.shared_window_pool())
+                {
+                    if rewound.num_nodes() == grid.num_nodes()
+                        && rewound.total_edges() == grid.total_edges()
+                        && rewound.nodes_per_shard() == grid.nodes_per_shard()
+                    {
+                        return Ok(rewound);
+                    }
+                }
+            }
             return Ok(grid);
         }
         self.build_timed(edges, nodes_per_shard)
+    }
+
+    /// The pool every windowed grid of this cache draws residency from,
+    /// created on first use with the budget-derived window size.
+    fn shared_window_pool(&self) -> Arc<WindowPool> {
+        Arc::clone(
+            self.window_pool
+                .get_or_init(|| WindowPool::new(GridResidency::window_bytes(self.budget))),
+        )
     }
 
     fn build_timed(
@@ -397,6 +457,78 @@ mod tests {
         assert_eq!(second.grids_loaded(), 0, "shape mismatch rejected");
         assert_eq!(grid.num_nodes(), big.num_nodes());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forced_windowed_residency_is_bit_identical_to_resident() {
+        let dir = temp_dir("windowed");
+        let artifact = Arc::new(ArtifactCache::new(&dir));
+        let edges = generators::rmat(100, 400, 1).unwrap();
+
+        let resident = ShardPlanCache::with_disk_cache(edges.clone(), Arc::clone(&artifact), "g1");
+        let built = resident.plan(16, false).unwrap();
+        assert!(!built.is_windowed());
+
+        let windowed = ShardPlanCache::with_disk_cache(edges.clone(), Arc::clone(&artifact), "g1")
+            .with_residency(GridResidency::Windowed)
+            .with_memory_budget(MemoryBudget::bytes(1 << 10));
+        let faulted = windowed.plan(16, false).unwrap();
+        assert!(faulted.is_windowed());
+        assert_eq!(windowed.grids_loaded(), 1);
+        assert_eq!(windowed.grids_built(), 0);
+        assert_eq!(*faulted, *built, "windowed grid must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_cold_miss_builds_stores_and_reopens_through_the_window() {
+        let dir = temp_dir("windowed-cold");
+        let artifact = Arc::new(ArtifactCache::new(&dir));
+        let edges = generators::rmat(100, 400, 1).unwrap();
+        let cache = ShardPlanCache::with_disk_cache(edges.clone(), Arc::clone(&artifact), "g1")
+            .with_residency(GridResidency::Windowed);
+        let grid = cache.plan(16, false).unwrap();
+        assert_eq!(cache.grids_built(), 1, "cold cache pays one build");
+        assert_eq!(cache.grids_loaded(), 0, "the reopen is not a load hit");
+        assert!(
+            grid.is_windowed(),
+            "the fresh build is immediately re-opened through the window"
+        );
+        assert_eq!(*grid, ShardGrid::build(&edges, 16).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_residency_windows_only_when_the_budget_demands_it() {
+        let dir = temp_dir("auto");
+        let artifact = Arc::new(ArtifactCache::new(&dir));
+        let edges = generators::rmat(100, 400, 1).unwrap();
+
+        // A roomy budget keeps the arena resident.
+        let roomy = ShardPlanCache::with_disk_cache(edges.clone(), Arc::clone(&artifact), "g1")
+            .with_residency(GridResidency::Auto)
+            .with_memory_budget(MemoryBudget::bytes(1 << 30));
+        assert!(!roomy.plan(16, false).unwrap().is_windowed());
+
+        // A budget smaller than the arena forces the window.
+        let tight = ShardPlanCache::with_disk_cache(edges.clone(), Arc::clone(&artifact), "g1")
+            .with_residency(GridResidency::Auto)
+            .with_memory_budget(MemoryBudget::bytes(256));
+        let grid = tight.plan(16, false).unwrap();
+        assert!(grid.is_windowed());
+        assert_eq!(grid.window().unwrap().window_bytes(), 256);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_residency_without_disk_backing_stays_resident() {
+        // There is no artifact to fault from, so the policy degrades to a
+        // resident build rather than failing.
+        let cache = ShardPlanCache::new(generators::rmat(100, 400, 1).unwrap())
+            .with_residency(GridResidency::Windowed);
+        let grid = cache.plan(16, false).unwrap();
+        assert!(!grid.is_windowed());
+        assert_eq!(cache.grids_built(), 1);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Windowed-vs-resident bit-identity for the bounded shard window.
+//!
+//! A grid re-opened through [`ArtifactCache::load_grid_windowed`] must be
+//! indistinguishable from the fully-resident build at every window size the
+//! LRU can be squeezed to: zero (every fetch uncached), one shard, one
+//! serpentine row, the exact arena size, and effectively unbounded. The
+//! properties walk the full shard surface — per-cell lookups and both
+//! serpentine traversal orders — against the resident reference.
+
+use gnnerator_graph::{
+    ArtifactCache, EdgeList, ShardCoord, ShardGrid, TraversalOrder, BYTES_PER_EDGE,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static NONCE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gnnerator-shard-window-{}-{label}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Stores `grid` and re-opens it through a `window_bytes`-bounded window.
+fn reopened(grid: &ShardGrid, dir: &PathBuf, window_bytes: u64) -> ShardGrid {
+    let cache = ArtifactCache::new(dir);
+    let key = ArtifactCache::grid_key("window-prop", grid.nodes_per_shard(), false);
+    cache.store_grid(&key, grid).unwrap();
+    let windowed = cache
+        .load_grid_windowed(&key, window_bytes)
+        .unwrap()
+        .unwrap();
+    assert!(windowed.is_windowed());
+    windowed
+}
+
+/// The window sizes the bit-identity property is squeezed through: zero
+/// (nothing cacheable), the largest single shard, the largest serpentine
+/// row, the exact arena, and effectively unbounded.
+fn window_sizes(grid: &ShardGrid) -> Vec<u64> {
+    let shard = grid
+        .metas()
+        .iter()
+        .map(|m| m.num_edges() as u64 * BYTES_PER_EDGE)
+        .max()
+        .unwrap_or(0);
+    let row = (0..grid.grid_dim())
+        .map(|src| {
+            grid.row_metas(src)
+                .iter()
+                .map(|m| m.num_edges() as u64 * BYTES_PER_EDGE)
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let arena = grid.total_edges() as u64 * BYTES_PER_EDGE;
+    vec![0, shard, row, arena, 1 << 40]
+}
+
+/// Strategy for a small random edge list (mirrors `properties.rs`).
+fn edge_list() -> impl Strategy<Value = EdgeList> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |pairs| EdgeList::from_pairs(n, &pairs).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn windowed_grids_are_bit_identical_at_every_window_size(
+        edges in edge_list(),
+        nps in 1usize..10,
+    ) {
+        prop_assume!(edges.num_nodes() > 0);
+        let resident = ShardGrid::build(&edges, nps).unwrap();
+        let dir = scratch_dir("identity");
+        for window_bytes in window_sizes(&resident) {
+            let windowed = reopened(&resident, &dir, window_bytes);
+            // Structural equality (walks every occupied shard's edges).
+            prop_assert_eq!(&windowed, &resident, "window {}", window_bytes);
+            // Every cell — occupied or not — serves identical edges.
+            for src in 0..resident.grid_dim() {
+                for dst in 0..resident.grid_dim() {
+                    let coord = ShardCoord::new(src, dst);
+                    prop_assert_eq!(
+                        windowed.shard(coord).edges(),
+                        resident.shard(coord).edges(),
+                        "window {} cell {}", window_bytes, coord
+                    );
+                }
+            }
+            // Both serpentine walks (the traversal directions the simulator
+            // consumes) stream identical extents in identical order.
+            for order in [
+                TraversalOrder::SourceStationary,
+                TraversalOrder::DestinationStationary,
+            ] {
+                let walked: Vec<_> = windowed
+                    .occupied_traversal(order)
+                    .map(|s| (s.coord(), s.edges().to_vec()))
+                    .collect();
+                let expected: Vec<_> = resident
+                    .occupied_traversal(order)
+                    .map(|s| (s.coord(), s.edges().to_vec()))
+                    .collect();
+                prop_assert_eq!(walked, expected, "window {} {}", window_bytes, order);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_stats_account_for_every_fetch(edges in edge_list(), nps in 1usize..10) {
+        prop_assume!(edges.num_nodes() > 0);
+        let resident = ShardGrid::build(&edges, nps).unwrap();
+        prop_assume!(resident.occupied_shards() > 0);
+        let dir = scratch_dir("stats");
+
+        // An unbounded window faults each occupied shard exactly once per
+        // serpentine pass and serves the second pass entirely from cache.
+        let windowed = reopened(&resident, &dir, 1 << 40);
+        for _ in windowed.occupied_traversal(TraversalOrder::DestinationStationary) {}
+        for _ in windowed.occupied_traversal(TraversalOrder::DestinationStationary) {}
+        let stats = windowed.window().unwrap().stats();
+        prop_assert_eq!(stats.misses, resident.occupied_shards() as u64);
+        prop_assert_eq!(stats.hits, resident.occupied_shards() as u64);
+        prop_assert_eq!(stats.evictions, 0);
+
+        // A zero-byte window caches nothing: every fetch is a miss, nothing
+        // is ever resident, and the results are still identical.
+        let uncached = reopened(&resident, &dir, 0);
+        prop_assert_eq!(&uncached, &resident);
+        let stats = uncached.window().unwrap().stats();
+        prop_assert!(stats.misses >= resident.occupied_shards() as u64);
+        prop_assert_eq!(stats.hits, 0);
+        prop_assert_eq!(uncached.window().unwrap().resident_bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Shard-window residency accounting: dropping a windowed grid returns
+//! every byte it held to the process-wide gauge.
+//!
+//! This lives in its own integration binary (one `#[test]`, one process) so
+//! the exact-equality assertions on the global gauge cannot race other
+//! windowed tests.
+
+use gnnerator_graph::{generators, memory, ArtifactCache, ShardGrid, TraversalOrder};
+
+#[test]
+fn dropping_windowed_grids_returns_the_gauge_to_baseline() {
+    assert_eq!(
+        memory::window_resident_bytes(),
+        0,
+        "fresh process starts with an empty gauge"
+    );
+
+    let dir = std::env::temp_dir().join(format!("gnnerator-window-leak-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = ArtifactCache::new(&dir);
+    let edges = generators::rmat(400, 3_000, 11).unwrap();
+    let resident = ShardGrid::build(&edges, 32).unwrap();
+    let key = ArtifactCache::grid_key("leak", 32, false);
+    cache.store_grid(&key, &resident).unwrap();
+
+    // Two independent windows resident at once, both fully drained.
+    let a = cache.load_grid_windowed(&key, 1 << 30).unwrap().unwrap();
+    let b = cache.load_grid_windowed(&key, 1 << 30).unwrap().unwrap();
+    for grid in [&a, &b] {
+        for _ in grid.occupied_traversal(TraversalOrder::DestinationStationary) {}
+    }
+    let a_bytes = a.window().unwrap().resident_bytes();
+    let b_bytes = b.window().unwrap().resident_bytes();
+    assert!(a_bytes > 0 && b_bytes > 0, "drained windows hold extents");
+    assert_eq!(memory::window_resident_bytes(), a_bytes + b_bytes);
+
+    // Clones share the window: dropping a clone releases nothing.
+    let a_clone = a.clone();
+    drop(a_clone);
+    assert_eq!(memory::window_resident_bytes(), a_bytes + b_bytes);
+
+    // Dropping the last owner of each grid returns its bytes exactly.
+    drop(a);
+    assert_eq!(memory::window_resident_bytes(), b_bytes);
+    drop(b);
+    assert_eq!(
+        memory::window_resident_bytes(),
+        0,
+        "no leaked window state after the last grid drops"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

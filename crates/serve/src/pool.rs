@@ -168,6 +168,7 @@ pub struct SessionPool {
     capacity: usize,
     artifact_cache: Option<Arc<ArtifactCache>>,
     memory_budget: Option<gnnerator_graph::MemoryBudget>,
+    residency: Option<gnnerator_graph::GridResidency>,
     inner: Mutex<PoolInner>,
     breaker_config: BreakerConfig,
     breakers: Mutex<HashMap<SessionKey, BreakerState>>,
@@ -189,6 +190,7 @@ impl SessionPool {
             capacity: capacity.max(1),
             artifact_cache: artifact_cache.filter(|c| c.is_enabled()),
             memory_budget: None,
+            residency: None,
             inner: Mutex::new(PoolInner {
                 entries: HashMap::new(),
                 tick: 0,
@@ -211,6 +213,15 @@ impl SessionPool {
     #[must_use]
     pub fn with_memory_budget(mut self, budget: gnnerator_graph::MemoryBudget) -> Self {
         self.memory_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the grid residency policy applied to every session this
+    /// pool builds (resident arenas vs. bounded shard windows). Without
+    /// this, builds follow `GNNERATOR_GRID_RESIDENCY`.
+    #[must_use]
+    pub fn with_residency(mut self, residency: gnnerator_graph::GridResidency) -> Self {
+        self.residency = Some(residency);
         self
     }
 
@@ -409,6 +420,9 @@ impl SessionPool {
         let mut session = build_session(scenario, &dataset, self.artifact_cache.as_ref())?;
         if let Some(budget) = self.memory_budget {
             session = session.with_memory_budget(budget);
+        }
+        if let Some(residency) = self.residency {
+            session = session.with_residency(residency);
         }
         Ok(Arc::new(session))
     }

@@ -42,7 +42,7 @@ use crate::pool::{BreakerConfig, PoolError, SessionPool};
 use crate::request::scenario_from_json;
 use gnnerator::{evaluate_scenario_batch, ScenarioResult, ScenarioSpec, SessionKey, SimSession};
 use gnnerator_faults::lock_recover;
-use gnnerator_graph::{ArtifactCache, MemoryBudget};
+use gnnerator_graph::{ArtifactCache, GridResidency, MemoryBudget};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -90,6 +90,11 @@ pub struct ServeConfig {
     /// build. `None` (the default) follows the process-wide
     /// `GNNERATOR_MEM_BUDGET` environment variable; `Some` overrides it.
     pub memory_budget: Option<MemoryBudget>,
+    /// Grid residency policy applied to every pooled session build (resident
+    /// edge arenas vs. bounded shard windows over the artifact cache).
+    /// `None` (the default) follows the process-wide
+    /// `GNNERATOR_GRID_RESIDENCY` environment variable; `Some` overrides it.
+    pub residency: Option<GridResidency>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +118,7 @@ impl Default for ServeConfig {
             max_connections: 1024,
             breaker: BreakerConfig::default(),
             memory_budget: None,
+            residency: None,
         }
     }
 }
@@ -238,6 +244,8 @@ struct ServerState {
     idle_timeout: Duration,
     // Resolved graph memory budget (override or environment), for `/stats`.
     memory_budget: MemoryBudget,
+    // Resolved grid residency policy (override or environment), for `/stats`.
+    residency: GridResidency,
     // Worker supervision, reported by `/stats` and `/readyz`.
     configured_workers: usize,
     workers_alive: AtomicUsize,
@@ -270,6 +278,9 @@ impl SessionServer {
         if let Some(budget) = config.memory_budget {
             pool = pool.with_memory_budget(budget);
         }
+        if let Some(residency) = config.residency {
+            pool = pool.with_residency(residency);
+        }
         let state = Arc::new(ServerState {
             pool,
             queue: JobQueue::new(config.queue_depth),
@@ -286,6 +297,7 @@ impl SessionServer {
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
             memory_budget: config.memory_budget.unwrap_or_else(MemoryBudget::from_env),
+            residency: config.residency.unwrap_or_else(GridResidency::from_env),
             configured_workers: config.workers.max(1),
             workers_alive: AtomicUsize::new(0),
             worker_panics: AtomicUsize::new(0),
@@ -1280,13 +1292,20 @@ fn stats_body(state: &ServerState) -> String {
     );
     let telemetry = gnnerator_graph::memory::memory_telemetry();
     let memory = format!(
-        "{{\"budget\": {}, \"peak_resident_bytes\": {}, \"spilled_chunks\": {}, \
-         \"grid_segment_loads\": {}, \"grid_full_loads\": {}}}",
+        "{{\"budget\": {}, \"residency\": {}, \"peak_resident_bytes\": {}, \
+         \"spilled_chunks\": {}, \"grid_segment_loads\": {}, \"grid_full_loads\": {}, \
+         \"window_hits\": {}, \"window_misses\": {}, \"window_evictions\": {}, \
+         \"window_faulted_bytes\": {}}}",
         json_string(&state.memory_budget.to_string()),
+        json_string(&state.residency.to_string()),
         telemetry.peak_resident_bytes,
         telemetry.spilled_chunk_count,
         telemetry.grid_segment_loads,
         telemetry.grid_full_loads,
+        telemetry.window_hits,
+        telemetry.window_misses,
+        telemetry.window_evictions,
+        telemetry.window_faulted_bytes,
     );
     let faults = gnnerator_faults::stats()
         .into_iter()
