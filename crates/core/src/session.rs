@@ -112,6 +112,21 @@ impl SimSession {
         self.plans.residency()
     }
 
+    /// Overrides the telemetry recorder the session's shard-plan cache (and
+    /// so its shard windows) records into. A scoped recorder isolates this
+    /// session's window traffic while still propagating to the
+    /// process-global view; the default is the global recorder itself.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: gnnerator_observe::Recorder) -> Self {
+        self.plans = self.plans.with_recorder(recorder);
+        self
+    }
+
+    /// The telemetry recorder this session records into.
+    pub fn recorder(&self) -> &gnnerator_observe::Recorder {
+        self.plans.recorder()
+    }
+
     fn build(
         model: GnnModel,
         dataset: &Dataset,

@@ -218,6 +218,11 @@ pub fn evaluate_scenario(
     session: &Arc<SimSession>,
 ) -> Result<ScenarioResult, GnneratorError> {
     gnnerator_faults::check("eval").map_err(|e| GnneratorError::backend(e.to_string()))?;
+    // Snapshot-and-delta, never reset-and-read: the recorder keeps counting
+    // while this point evaluates (other sessions, other threads), and the
+    // delta attributes to this point only what happened between the two
+    // snapshots of *its session's* recorder.
+    let memory_before = session.recorder().memory_stats();
     let start = Instant::now();
     let (evaluation, report, baseline_seconds) = if scenario.backend.is_accelerator() {
         let backend = GnneratorBackend::new(
@@ -236,7 +241,10 @@ pub fn evaluate_scenario(
         (evaluation, None, None)
     };
     let simulate_seconds = start.elapsed().as_secs_f64();
-    let memory = gnnerator_graph::memory::memory_telemetry();
+    let memory = session
+        .recorder()
+        .memory_stats()
+        .delta_since(&memory_before);
     Ok(ScenarioResult {
         scenario: scenario.clone(),
         evaluation,
@@ -246,7 +254,7 @@ pub fn evaluate_scenario(
         num_edges: session.num_edges(),
         simulate_seconds,
         peak_resident_bytes: memory.peak_resident_bytes,
-        spilled_chunks: memory.spilled_chunk_count,
+        spilled_chunks: memory.spilled_chunks,
         window_hits: memory.window_hits,
         window_misses: memory.window_misses,
         window_evictions: memory.window_evictions,
@@ -345,25 +353,27 @@ pub struct ScenarioResult {
     /// and evaluate. Excluded from equality: timing jitter must not break
     /// the bit-identity guarantees the sweep engine is tested against.
     pub simulate_seconds: f64,
-    /// Process-wide peak resident graph-pipeline bytes at the time this
-    /// point was evaluated (see [`gnnerator_graph::memory`]). Telemetry,
-    /// not identity: excluded from equality like `simulate_seconds`.
+    /// Peak resident graph-pipeline bytes on the session's recorder at the
+    /// time this point was evaluated (see [`gnnerator_graph::memory`]).
+    /// Telemetry, not identity: excluded from equality like
+    /// `simulate_seconds`.
     pub peak_resident_bytes: u64,
-    /// Process-wide count of edge chunks spilled to disk run-files at the
-    /// time this point was evaluated. Excluded from equality.
+    /// Edge chunks spilled to disk run-files *while this point evaluated*
+    /// (snapshot delta over the session's recorder). Excluded from
+    /// equality.
     pub spilled_chunks: u64,
-    /// Process-wide shard-window cache hits at the time this point was
-    /// evaluated (windowed residency only; zero when every grid stayed
-    /// resident). Excluded from equality.
+    /// Shard-window cache hits recorded while this point evaluated
+    /// (windowed residency only; zero when every grid stayed resident).
+    /// Excluded from equality.
     pub window_hits: u64,
-    /// Process-wide shard-window misses (extents faulted in from disk) at
-    /// the time this point was evaluated. Excluded from equality.
+    /// Shard-window misses (extents faulted in from disk) recorded while
+    /// this point evaluated. Excluded from equality.
     pub window_misses: u64,
-    /// Process-wide shard-window evictions at the time this point was
-    /// evaluated. Excluded from equality.
+    /// Shard-window evictions recorded while this point evaluated.
+    /// Excluded from equality.
     pub window_evictions: u64,
-    /// Process-wide bytes faulted into shard windows from disk at the time
-    /// this point was evaluated. Excluded from equality.
+    /// Bytes faulted into shard windows from disk while this point
+    /// evaluated. Excluded from equality.
     pub window_faulted_bytes: u64,
 }
 
@@ -469,6 +479,10 @@ pub struct SweepRunner {
     /// `None` (the default) leaves sessions on the process-wide
     /// `GNNERATOR_GRID_RESIDENCY` default.
     residency: Option<gnnerator_graph::GridResidency>,
+    /// Explicit telemetry recorder for every session this runner builds.
+    /// `None` (the default) leaves sessions on the process-global
+    /// recorder.
+    recorder: Option<gnnerator_observe::Recorder>,
 }
 
 impl SweepRunner {
@@ -522,6 +536,24 @@ impl SweepRunner {
     /// The explicit grid residency applied to this runner's sessions, if any.
     pub fn residency(&self) -> Option<gnnerator_graph::GridResidency> {
         self.residency
+    }
+
+    /// Returns this runner with a scoped telemetry [`Recorder`] applied to
+    /// every session it builds: the runner's window traffic and spill
+    /// counts become attributable to this runner alone, while still
+    /// propagating up the recorder's parent chain to the process-global
+    /// view. Without this, sessions record straight into the global.
+    ///
+    /// [`Recorder`]: gnnerator_observe::Recorder
+    pub fn with_recorder(mut self, recorder: gnnerator_observe::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The explicit telemetry recorder applied to this runner's sessions,
+    /// if any.
+    pub fn recorder(&self) -> Option<&gnnerator_observe::Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Returns the materialised dataset for a scenario, synthesising and
@@ -609,6 +641,9 @@ impl SweepRunner {
         }
         if let Some(residency) = self.residency {
             session = session.with_residency(residency);
+        }
+        if let Some(recorder) = &self.recorder {
+            session = session.with_recorder(recorder.clone());
         }
         let session = Arc::new(session);
         let mut cache = lock_recover(&self.sessions);

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
@@ -353,6 +354,54 @@ pub fn stats() -> Vec<FaultPointStats> {
         .collect();
     rows.sort_by(|a, b| a.name.cmp(&b.name));
     rows
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Io => f.write_str("io"),
+            FaultKind::Error => f.write_str("error"),
+            FaultKind::Panic => f.write_str("panic"),
+            FaultKind::Delay(d) => write!(f, "delay={}ms", d.as_millis()),
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Always => Ok(()),
+            Trigger::Probability(p) => write!(f, "@{p}"),
+            Trigger::EveryNth(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+impl fmt::Display for FailPoint {
+    /// Renders the point back to its `name:kind[@trigger]` spec syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}{}", self.name, self.kind, self.trigger)
+    }
+}
+
+/// The armed fault configuration rendered back to spec syntax
+/// (`name:kind[@trigger]`, comma-separated, name-sorted), or `None` when no
+/// failpoints are armed. This is what `/stats` and `/metrics` surface so an
+/// operator can see exactly which chaos spec a serving process is running
+/// under.
+pub fn armed_spec() -> Option<String> {
+    let guard = lock_recover(registry());
+    let registry = guard.as_ref()?;
+    if registry.points.is_empty() {
+        return None;
+    }
+    let mut rendered: Vec<String> = registry
+        .points
+        .values()
+        .map(|state| state.point.to_string())
+        .collect();
+    rendered.sort();
+    Some(rendered.join(","))
 }
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.

@@ -55,8 +55,9 @@
 //! [`GraphError::CacheArtifact`] without quarantining the (healthy) file.
 
 use crate::datasets::{Dataset, DatasetKind, DatasetSpec};
-use crate::memory::{self, MemoryBudget};
+use crate::memory::MemoryBudget;
 use crate::{CsrGraph, Edge, EdgeList, GraphError, NodeFeatures, ShardCoord, ShardGrid, ShardMeta};
+use gnnerator_observe::Recorder;
 use gnnerator_tensor::Matrix;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -132,6 +133,9 @@ pub struct ArtifactCache {
     /// Memory budget governing grid loads: bounded budgets take the
     /// segmented chunk-read path, unbounded budgets the wholesale one.
     budget: MemoryBudget,
+    /// Telemetry sink for grid-load counts. Defaults to the process global;
+    /// a scoped recorder attributes this cache's loads to its scope.
+    recorder: Recorder,
 }
 
 impl ArtifactCache {
@@ -150,6 +154,7 @@ impl ArtifactCache {
             root: Some(root),
             corrupt_artifacts: AtomicUsize::new(0),
             budget: MemoryBudget::from_env(),
+            recorder: Recorder::default(),
         }
     }
 
@@ -159,6 +164,7 @@ impl ArtifactCache {
             root: None,
             corrupt_artifacts: AtomicUsize::new(0),
             budget: MemoryBudget::from_env(),
+            recorder: Recorder::default(),
         }
     }
 
@@ -167,6 +173,18 @@ impl ArtifactCache {
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Overrides the telemetry sink grid-load counts are recorded into
+    /// (the default is the process-global recorder).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The telemetry sink this cache records into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The memory budget governing this cache's grid loads.
@@ -465,9 +483,9 @@ impl ArtifactCache {
         let result = self.quarantining(&path, load());
         if matches!(result, Ok(Some(_))) {
             if budget.is_bounded() {
-                memory::note_grid_segment_load();
+                self.recorder.note_grid_segment_load();
             } else {
-                memory::note_grid_full_load();
+                self.recorder.note_grid_full_load();
             }
         }
         result
@@ -518,7 +536,7 @@ impl ArtifactCache {
             open_grid_windowed(&path, key, pool, self.budget.io_buffer_bytes(1)),
         );
         if matches!(result, Ok(Some(_))) {
-            memory::note_grid_segment_load();
+            self.recorder.note_grid_segment_load();
         }
         result
     }
@@ -1300,6 +1318,7 @@ impl StreamReader<'_> {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::memory;
     use std::sync::atomic::AtomicUsize;
 
     static TEST_DIR_NONCE: AtomicUsize = AtomicUsize::new(0);

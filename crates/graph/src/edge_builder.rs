@@ -25,8 +25,9 @@
 //! [`ArtifactCache`](crate::ArtifactCache) startup sweep.
 
 use crate::cache;
-use crate::memory::{self, MemoryBudget};
+use crate::memory::MemoryBudget;
 use crate::{Edge, EdgeList, GraphError};
+use gnnerator_observe::Recorder;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -94,6 +95,10 @@ pub struct EdgeListBuilder {
     sealed_edges: usize,
     /// Builder-local resident-bytes high-water mark.
     peak_resident_bytes: u64,
+    /// Telemetry sink for spill counts and the resident-bytes peak.
+    /// Defaults to the process global; a scoped recorder attributes this
+    /// build's counts to its scope.
+    recorder: Recorder,
 }
 
 impl EdgeListBuilder {
@@ -119,7 +124,15 @@ impl EdgeListBuilder {
             resident_edges: 0,
             sealed_edges: 0,
             peak_resident_bytes: 0,
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Overrides the telemetry sink spill counts and the resident-bytes
+    /// peak are recorded into (the default is the process-global recorder).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Overrides the builder's memory budget. Sealed chunks that would push
@@ -222,7 +235,7 @@ impl EdgeListBuilder {
             match self.spill(&chunk) {
                 Ok(file) => {
                     self.spilled.push(file);
-                    memory::note_spilled_chunks(1);
+                    self.recorder.note_spilled_chunks(1);
                     return;
                 }
                 Err(_) => {
@@ -266,7 +279,7 @@ impl EdgeListBuilder {
         if bytes > self.peak_resident_bytes {
             self.peak_resident_bytes = bytes;
         }
-        memory::note_resident_bytes(bytes);
+        self.recorder.note_resident_bytes(bytes);
     }
 
     /// Sorts all in-memory chunks in parallel, k-way merges every chunk —

@@ -13,13 +13,16 @@
 //!
 //! The process-wide default comes from the [`MEM_BUDGET_ENV_VAR`]
 //! environment variable; explicit configuration (session, sweep runner,
-//! serve config) overrides it. This module also owns the process-wide
-//! out-of-core telemetry counters (peak resident bytes, spilled chunks,
-//! segmented vs. full grid loads) that `BENCH_sweep.json` and the serving
-//! `/stats` endpoint report.
+//! serve config) overrides it. The out-of-core telemetry counters (peak
+//! resident bytes, spilled chunks, segmented vs. full grid loads) that
+//! `BENCH_sweep.json` and the serving `/stats` endpoint report live on
+//! [`gnnerator_observe::Recorder`] instances; the free functions in this
+//! module are thin compatibility views over the process-global recorder
+//! ([`Recorder::global`]). Components that want per-scope counts accept a
+//! scoped recorder via their `with_recorder` builders instead.
 
+use gnnerator_observe::Recorder;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Environment variable holding the process-wide default memory budget.
 ///
@@ -223,120 +226,108 @@ impl fmt::Display for MemoryBudget {
     }
 }
 
-// Process-wide out-of-core telemetry. Counters are monotonic for the life
-// of the process; consumers report snapshots or deltas.
-static PEAK_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
-static SPILLED_CHUNKS: AtomicU64 = AtomicU64::new(0);
-static GRID_SEGMENT_LOADS: AtomicU64 = AtomicU64::new(0);
-static GRID_FULL_LOADS: AtomicU64 = AtomicU64::new(0);
-static WINDOW_HITS: AtomicU64 = AtomicU64::new(0);
-static WINDOW_MISSES: AtomicU64 = AtomicU64::new(0);
-static WINDOW_EVICTIONS: AtomicU64 = AtomicU64::new(0);
-static WINDOW_FAULTED_BYTES: AtomicU64 = AtomicU64::new(0);
-// Live gauge, not monotonic: bytes currently cached across all shard
-// windows. Every insert adds, every eviction and window drop subtracts, so
-// a nonzero value with no live windowed grid is a leak.
-static WINDOW_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+// Process-wide out-of-core telemetry: thin compatibility views over the
+// global `gnnerator_observe::Recorder`. Counters are monotonic for the
+// life of the process; consumers report snapshots or deltas
+// (`gnnerator_observe::MemoryStats::delta_since`) rather than resetting.
 
 /// Records an observed resident-bytes high-water mark for the graph
 /// pipeline. The process-wide peak is the max over all observations.
 pub fn note_resident_bytes(bytes: u64) {
-    PEAK_RESIDENT_BYTES.fetch_max(bytes, Ordering::Relaxed);
+    Recorder::global().note_resident_bytes(bytes);
 }
 
 /// Records one sealed chunk spilled to a disk run-file.
 pub fn note_spilled_chunks(count: u64) {
-    SPILLED_CHUNKS.fetch_add(count, Ordering::Relaxed);
+    Recorder::global().note_spilled_chunks(count);
 }
 
 /// Records one shard-grid artifact loaded via the bounded segmented path.
 pub fn note_grid_segment_load() {
-    GRID_SEGMENT_LOADS.fetch_add(1, Ordering::Relaxed);
+    Recorder::global().note_grid_segment_load();
 }
 
 /// Records one shard-grid artifact deserialised wholesale.
 pub fn note_grid_full_load() {
-    GRID_FULL_LOADS.fetch_add(1, Ordering::Relaxed);
+    Recorder::global().note_grid_full_load();
 }
 
 /// Records one shard extent served from an already-resident window segment.
 pub fn note_window_hit() {
-    WINDOW_HITS.fetch_add(1, Ordering::Relaxed);
+    Recorder::global().note_window_hit();
 }
 
 /// Records one shard extent that had to be faulted in from disk.
 pub fn note_window_miss() {
-    WINDOW_MISSES.fetch_add(1, Ordering::Relaxed);
+    Recorder::global().note_window_miss();
 }
 
 /// Records one segment evicted from a shard window to stay under capacity.
 pub fn note_window_eviction() {
-    WINDOW_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    Recorder::global().note_window_eviction();
 }
 
 /// Records `bytes` read from disk to satisfy a window miss.
 pub fn note_window_faulted_bytes(bytes: u64) {
-    WINDOW_FAULTED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    Recorder::global().note_window_faulted_bytes(bytes);
 }
 
 /// Adds `bytes` to the live gauge of window-cached bytes and returns the new
 /// total, which also feeds the resident-bytes peak.
 pub fn window_resident_add(bytes: u64) -> u64 {
-    let now = WINDOW_RESIDENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    note_resident_bytes(now);
-    now
+    Recorder::global().window_resident_add(bytes)
 }
 
 /// Subtracts `bytes` from the live gauge of window-cached bytes (eviction or
 /// window drop).
 pub fn window_resident_sub(bytes: u64) {
-    WINDOW_RESIDENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    Recorder::global().window_resident_sub(bytes);
 }
 
 /// Peak resident pipeline bytes observed so far in this process.
 pub fn peak_resident_bytes() -> u64 {
-    PEAK_RESIDENT_BYTES.load(Ordering::Relaxed)
+    Recorder::global().memory().peak_resident_bytes.get()
 }
 
 /// Total sealed chunks spilled to disk so far in this process.
 pub fn spilled_chunk_count() -> u64 {
-    SPILLED_CHUNKS.load(Ordering::Relaxed)
+    Recorder::global().memory().spilled_chunks.get()
 }
 
 /// Total segmented (chunked) shard-grid loads so far in this process.
 pub fn grid_segment_loads() -> u64 {
-    GRID_SEGMENT_LOADS.load(Ordering::Relaxed)
+    Recorder::global().memory().grid_segment_loads.get()
 }
 
 /// Total wholesale shard-grid loads so far in this process.
 pub fn grid_full_loads() -> u64 {
-    GRID_FULL_LOADS.load(Ordering::Relaxed)
+    Recorder::global().memory().grid_full_loads.get()
 }
 
 /// Total shard extents served from resident window segments so far.
 pub fn window_hits() -> u64 {
-    WINDOW_HITS.load(Ordering::Relaxed)
+    Recorder::global().memory().window_hits.get()
 }
 
 /// Total shard extents faulted in from disk so far.
 pub fn window_misses() -> u64 {
-    WINDOW_MISSES.load(Ordering::Relaxed)
+    Recorder::global().memory().window_misses.get()
 }
 
 /// Total window segments evicted so far.
 pub fn window_evictions() -> u64 {
-    WINDOW_EVICTIONS.load(Ordering::Relaxed)
+    Recorder::global().memory().window_evictions.get()
 }
 
 /// Total bytes faulted in to satisfy window misses so far.
 pub fn window_faulted_bytes() -> u64 {
-    WINDOW_FAULTED_BYTES.load(Ordering::Relaxed)
+    Recorder::global().memory().window_faulted_bytes.get()
 }
 
 /// Bytes currently cached across all live shard windows. Returns to its
 /// prior value once every windowed grid has been dropped.
 pub fn window_resident_bytes() -> u64 {
-    WINDOW_RESIDENT_BYTES.load(Ordering::Relaxed)
+    Recorder::global().memory().window_resident_bytes.get()
 }
 
 /// A point-in-time snapshot of the out-of-core telemetry counters.
@@ -362,15 +353,23 @@ pub struct MemoryTelemetry {
 
 /// Snapshots the process-wide out-of-core telemetry counters.
 pub fn memory_telemetry() -> MemoryTelemetry {
-    MemoryTelemetry {
-        peak_resident_bytes: peak_resident_bytes(),
-        spilled_chunk_count: spilled_chunk_count(),
-        grid_segment_loads: grid_segment_loads(),
-        grid_full_loads: grid_full_loads(),
-        window_hits: window_hits(),
-        window_misses: window_misses(),
-        window_evictions: window_evictions(),
-        window_faulted_bytes: window_faulted_bytes(),
+    MemoryTelemetry::from_stats(&Recorder::global().memory_stats())
+}
+
+impl MemoryTelemetry {
+    /// The compatibility view of a recorder snapshot (drops the live
+    /// window-resident gauge, which [`window_resident_bytes`] reports).
+    pub fn from_stats(stats: &gnnerator_observe::MemoryStats) -> Self {
+        MemoryTelemetry {
+            peak_resident_bytes: stats.peak_resident_bytes,
+            spilled_chunk_count: stats.spilled_chunks,
+            grid_segment_loads: stats.grid_segment_loads,
+            grid_full_loads: stats.grid_full_loads,
+            window_hits: stats.window_hits,
+            window_misses: stats.window_misses,
+            window_evictions: stats.window_evictions,
+            window_faulted_bytes: stats.window_faulted_bytes,
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use crate::{
     BYTES_PER_EDGE,
 };
 use gnnerator_faults::lock_recover;
+use gnnerator_observe::Recorder;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -85,6 +86,10 @@ pub struct ShardPlanCache {
     /// derived nodes-per-shard) split a single window budget instead of
     /// each claiming the full budget. Created on the first windowed load.
     window_pool: OnceLock<Arc<WindowPool>>,
+    /// Telemetry sink threaded into the shared window pool. Defaults to the
+    /// process global; a scoped recorder attributes this cache's window
+    /// traffic to its scope (one session, typically).
+    recorder: Recorder,
 }
 
 impl ShardPlanCache {
@@ -101,7 +106,22 @@ impl ShardPlanCache {
             budget: MemoryBudget::from_env(),
             residency: GridResidency::from_env(),
             window_pool: OnceLock::new(),
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Overrides the telemetry sink this cache's window pool records into
+    /// (the default is the process-global recorder). Must be set before the
+    /// first windowed load — the shared pool is created lazily and keeps
+    /// the recorder it was born with.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The telemetry sink this cache records into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Overrides the memory budget governing disk grid loads and build
@@ -260,10 +280,12 @@ impl ShardPlanCache {
     /// The pool every windowed grid of this cache draws residency from,
     /// created on first use with the budget-derived window size.
     fn shared_window_pool(&self) -> Arc<WindowPool> {
-        Arc::clone(
-            self.window_pool
-                .get_or_init(|| WindowPool::new(GridResidency::window_bytes(self.budget))),
-        )
+        Arc::clone(self.window_pool.get_or_init(|| {
+            WindowPool::with_recorder(
+                GridResidency::window_bytes(self.budget),
+                self.recorder.clone(),
+            )
+        }))
     }
 
     fn build_timed(

@@ -1,4 +1,5 @@
-use crate::{memory, Edge, EdgeList, GraphError, NodeId};
+use crate::{Edge, EdgeList, GraphError, NodeId};
+use gnnerator_observe::Recorder;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -245,15 +246,31 @@ pub struct WindowPool {
     cap: u64,
     /// Bytes currently reserved across every window drawing on this pool.
     resident: AtomicU64,
+    /// Telemetry sink for this pool's windows. Defaults to the process
+    /// global; a scoped recorder isolates this pool's counts per session.
+    recorder: Recorder,
 }
 
 impl WindowPool {
-    /// A fresh pool holding at most `cap` bytes of window segments.
+    /// A fresh pool holding at most `cap` bytes of window segments,
+    /// recording into the process-global telemetry.
     pub fn new(cap: u64) -> Arc<Self> {
+        Self::with_recorder(cap, Recorder::default())
+    }
+
+    /// A fresh pool recording into `recorder` (and, via the recorder's
+    /// parent chain, every ancestor up to the global root).
+    pub fn with_recorder(cap: u64, recorder: Recorder) -> Arc<Self> {
         Arc::new(WindowPool {
             cap,
             resident: AtomicU64::new(0),
+            recorder,
         })
+    }
+
+    /// The telemetry sink this pool's windows record into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The pool's byte capacity.
@@ -279,14 +296,14 @@ impl WindowPool {
             self.resident.fetch_sub(bytes, Ordering::Relaxed);
             return false;
         }
-        memory::window_resident_add(bytes);
+        self.recorder.window_resident_add(bytes);
         true
     }
 
     /// Returns `bytes` of reserved residency to the pool.
     fn release(&self, bytes: u64) {
         self.resident.fetch_sub(bytes, Ordering::Relaxed);
-        memory::window_resident_sub(bytes);
+        self.recorder.window_resident_sub(bytes);
     }
 }
 
@@ -425,7 +442,7 @@ impl ShardWindow {
         {
             let mut state = self.lock();
             if let Some(buf) = state.segments.get(&key).cloned() {
-                memory::note_window_hit();
+                self.pool.recorder.note_window_hit();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(pos) = state.lru.iter().position(|&k| k == key) {
                     state.lru.remove(pos);
@@ -435,11 +452,11 @@ impl ShardWindow {
             }
         }
 
-        memory::note_window_miss();
+        self.pool.recorder.note_window_miss();
         self.misses.fetch_add(1, Ordering::Relaxed);
         let buf = Arc::new(self.read_extent(meta));
         let bytes = meta.num_edges() as u64 * BYTES_PER_EDGE;
-        memory::note_window_faulted_bytes(bytes);
+        self.pool.recorder.note_window_faulted_bytes(bytes);
         if bytes > self.pool.capacity() {
             // Too big to ever cache (or a zero-byte window): serve uncached.
             return EdgeSegment::whole(buf);
@@ -462,7 +479,7 @@ impl ShardWindow {
             if let Some(evicted) = state.segments.remove(&victim) {
                 let evicted_bytes = evicted.len() as u64 * BYTES_PER_EDGE;
                 state.resident_bytes -= evicted_bytes;
-                memory::note_window_eviction();
+                self.pool.recorder.note_window_eviction();
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.pool.release(evicted_bytes);
             }

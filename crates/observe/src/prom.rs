@@ -1,0 +1,166 @@
+//! Hand-rolled Prometheus text-format (version 0.0.4) exposition.
+//!
+//! Just enough of the format for `GET /metrics`: `# HELP` / `# TYPE`
+//! headers, counter/gauge samples with optional labels, and full
+//! `_bucket`/`_sum`/`_count` histogram families from the workspace
+//! [`Histogram`]. Label values are escaped per the spec (backslash, quote,
+//! newline); metric names are chosen by callers and assumed valid.
+
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+
+/// An in-progress Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+/// Formats a sample value: integers stay integral, non-finite values use
+/// the Prometheus spellings (`+Inf`, `-Inf`, `NaN`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`, `untyped`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if labels.is_empty() {
+            let _ = writeln!(self.buf, "{name} {}", fmt_value(value));
+        } else {
+            let rendered: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect();
+            let _ = writeln!(
+                self.buf,
+                "{name}{{{}}} {}",
+                rendered.join(","),
+                fmt_value(value)
+            );
+        }
+    }
+
+    /// A complete single-sample counter family: header plus one unlabelled
+    /// sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// A complete single-sample gauge family: header plus one unlabelled
+    /// sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// A complete histogram family from a workspace [`Histogram`]:
+    /// cumulative `_bucket{le="..."}` series ending at `le="+Inf"`, then
+    /// `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.header(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        for (bound, cumulative) in h.cumulative_buckets() {
+            let le = fmt_value(bound);
+            self.sample(&bucket, &[("le", &le)], cumulative as f64);
+        }
+        self.sample(&format!("{name}_sum"), &[], h.sum());
+        self.sample(&format!("{name}_count"), &[], h.count() as f64);
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_one_header_and_sample() {
+        let mut p = PromText::new();
+        p.counter("gnnerator_requests_total", "Requests served.", 7);
+        p.gauge("gnnerator_queue_depth", "Jobs queued.", 3.0);
+        let text = p.finish();
+        assert!(text.contains("# HELP gnnerator_requests_total Requests served.\n"));
+        assert!(text.contains("# TYPE gnnerator_requests_total counter\n"));
+        assert!(text.contains("\ngnnerator_requests_total 7\n") || text.starts_with("# HELP"));
+        assert!(text.contains("gnnerator_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut p = PromText::new();
+        p.sample("m", &[("key", "a\"b\\c\nd")], 1.0);
+        assert_eq!(p.finish(), "m{key=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn histogram_family_ends_at_inf_and_matches_count() {
+        let mut h = Histogram::new();
+        h.record(1e-3);
+        h.record(2.0);
+        let mut p = PromText::new();
+        p.histogram("gnnerator_latency_seconds", "Latency.", &h);
+        let text = p.finish();
+        assert!(text.contains("# TYPE gnnerator_latency_seconds histogram"));
+        assert!(text.contains("gnnerator_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("gnnerator_latency_seconds_count 2\n"));
+        assert!(text.contains("gnnerator_latency_seconds_sum"));
+    }
+
+    #[test]
+    fn every_line_is_a_comment_or_a_sample() {
+        let mut h = Histogram::new();
+        for i in 0..50 {
+            h.record(i as f64 * 1e-4);
+        }
+        let mut p = PromText::new();
+        p.histogram("m_seconds", "M.", &h);
+        p.counter("c_total", "C.", 1);
+        for line in p.finish().lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(name, v)| !name.is_empty() && !v.is_empty()),
+                "bad exposition line: {line:?}"
+            );
+        }
+    }
+}

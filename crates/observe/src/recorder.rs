@@ -1,0 +1,386 @@
+//! Scoped telemetry recorders.
+//!
+//! A [`Recorder`] is a cheap, cloneable handle to a set of atomic counters.
+//! Recorders form a tree: every note recorded on a scoped recorder also
+//! propagates to each of its ancestors, terminating at the process-global
+//! root ([`Recorder::global`]). Components accept a recorder at
+//! construction (`with_recorder` builders throughout the workspace) and
+//! default to the global root, so:
+//!
+//! * code that never asks for scoping behaves exactly as the old
+//!   process-wide statics did,
+//! * a caller that *does* scope (one recorder per session, per sweep, per
+//!   bench run) reads back counts attributable to that scope alone, while
+//!   the global root still sees everything — `/metrics` and
+//!   `memory_telemetry()` stay whole-process views.
+//!
+//! Interval reporting uses [`MemoryStats`] snapshots and
+//! [`MemoryStats::delta_since`] rather than resetting counters: a reset
+//! silently drops anything recorded between the reset and the next read,
+//! which is exactly the race sweep reporting used to be exposed to.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonic atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A non-monotonic atomic gauge (adds and subtracts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Adds `n` and returns the new value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic high-water mark: `note` keeps the maximum ever observed.
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// Raises the mark to `n` if `n` exceeds it.
+    pub fn note(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The memory / out-of-core counter set every [`Recorder`] owns: spill and
+/// grid-load totals from the graph build path plus shard-window traffic
+/// from windowed simulation.
+#[derive(Debug, Default)]
+pub struct MemoryCounters {
+    /// Peak resident pipeline bytes observed (high-water mark).
+    pub peak_resident_bytes: MaxGauge,
+    /// Sealed chunks spilled to disk run-files.
+    pub spilled_chunks: Counter,
+    /// Shard grids loaded via the bounded segmented path.
+    pub grid_segment_loads: Counter,
+    /// Shard grids deserialised wholesale.
+    pub grid_full_loads: Counter,
+    /// Shard extents served from resident window segments.
+    pub window_hits: Counter,
+    /// Shard extents faulted in from disk.
+    pub window_misses: Counter,
+    /// Window segments evicted to stay under capacity.
+    pub window_evictions: Counter,
+    /// Bytes read from disk to satisfy window misses.
+    pub window_faulted_bytes: Counter,
+    /// Live gauge: bytes currently cached across shard windows in this
+    /// scope. Every insert adds, every eviction and window drop subtracts,
+    /// so a nonzero value with no live windowed grid is a leak.
+    pub window_resident_bytes: Gauge,
+}
+
+/// A point-in-time snapshot of a recorder's memory counters.
+///
+/// Monotonic counters subtract cleanly across snapshots
+/// ([`MemoryStats::delta_since`]); the peak and the live gauge are not
+/// differences (a high-water mark has no meaningful delta), so the delta
+/// carries the *later* snapshot's values for those two fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Peak resident pipeline bytes observed.
+    pub peak_resident_bytes: u64,
+    /// Sealed chunks spilled to disk run-files.
+    pub spilled_chunks: u64,
+    /// Shard grids loaded via the bounded segmented path.
+    pub grid_segment_loads: u64,
+    /// Shard grids deserialised wholesale.
+    pub grid_full_loads: u64,
+    /// Shard extents served from resident window segments.
+    pub window_hits: u64,
+    /// Shard extents faulted in from disk.
+    pub window_misses: u64,
+    /// Window segments evicted to stay under capacity.
+    pub window_evictions: u64,
+    /// Bytes read from disk to satisfy window misses.
+    pub window_faulted_bytes: u64,
+    /// Bytes currently cached across live shard windows.
+    pub window_resident_bytes: u64,
+}
+
+impl MemoryStats {
+    /// Counts recorded since `earlier` was snapshotted: monotonic counters
+    /// subtract (saturating, so reordered snapshots cannot underflow);
+    /// `peak_resident_bytes` and `window_resident_bytes` carry this (the
+    /// later) snapshot's values. This is the snapshot-and-delta replacement for
+    /// resetting shared counters — nothing recorded between two snapshots
+    /// can be dropped, because nothing is ever zeroed.
+    pub fn delta_since(&self, earlier: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            peak_resident_bytes: self.peak_resident_bytes,
+            spilled_chunks: self.spilled_chunks.saturating_sub(earlier.spilled_chunks),
+            grid_segment_loads: self
+                .grid_segment_loads
+                .saturating_sub(earlier.grid_segment_loads),
+            grid_full_loads: self.grid_full_loads.saturating_sub(earlier.grid_full_loads),
+            window_hits: self.window_hits.saturating_sub(earlier.window_hits),
+            window_misses: self.window_misses.saturating_sub(earlier.window_misses),
+            window_evictions: self
+                .window_evictions
+                .saturating_sub(earlier.window_evictions),
+            window_faulted_bytes: self
+                .window_faulted_bytes
+                .saturating_sub(earlier.window_faulted_bytes),
+            window_resident_bytes: self.window_resident_bytes,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    memory: MemoryCounters,
+    parent: Option<Recorder>,
+}
+
+/// A cloneable, scoped telemetry sink (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    /// The default recorder is the process-global root — components that
+    /// are never handed a scoped recorder record straight into the
+    /// process-wide view.
+    fn default() -> Self {
+        Recorder::global().clone()
+    }
+}
+
+impl Recorder {
+    /// The process-global root recorder. Everything recorded anywhere in
+    /// the process (directly or via parent-chain propagation) is visible
+    /// here; `memory_telemetry()` and `GET /metrics` read from it.
+    pub fn global() -> &'static Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL.get_or_init(Recorder::detached)
+    }
+
+    /// A root recorder with no parent: counts recorded through it propagate
+    /// nowhere. Used for the global root itself and by tests that need
+    /// full isolation from the process-wide view.
+    pub fn detached() -> Self {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                memory: MemoryCounters::default(),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A new scoped recorder whose parent is the process-global root: reads
+    /// back its own counts in isolation while keeping the global view
+    /// whole.
+    pub fn scoped() -> Self {
+        Recorder::global().child()
+    }
+
+    /// A new scoped recorder whose parent is `self`.
+    pub fn child(&self) -> Self {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                memory: MemoryCounters::default(),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Whether two handles view the same underlying counters.
+    pub fn same_as(&self, other: &Recorder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// This recorder's own memory counter set (no ancestors).
+    pub fn memory(&self) -> &MemoryCounters {
+        &self.inner.memory
+    }
+
+    /// Applies `f` to this recorder's counters and every ancestor's.
+    fn each<F: Fn(&MemoryCounters)>(&self, f: F) {
+        let mut node = Some(self);
+        while let Some(r) = node {
+            f(&r.inner.memory);
+            node = r.inner.parent.as_ref();
+        }
+    }
+
+    /// Records an observed resident-bytes high-water mark for the graph
+    /// pipeline (max over all observations, per scope).
+    pub fn note_resident_bytes(&self, bytes: u64) {
+        self.each(|m| m.peak_resident_bytes.note(bytes));
+    }
+
+    /// Records `count` sealed chunks spilled to disk run-files.
+    pub fn note_spilled_chunks(&self, count: u64) {
+        self.each(|m| m.spilled_chunks.add(count));
+    }
+
+    /// Records one shard-grid artifact loaded via the bounded segmented
+    /// path.
+    pub fn note_grid_segment_load(&self) {
+        self.each(|m| m.grid_segment_loads.add(1));
+    }
+
+    /// Records one shard-grid artifact deserialised wholesale.
+    pub fn note_grid_full_load(&self) {
+        self.each(|m| m.grid_full_loads.add(1));
+    }
+
+    /// Records one shard extent served from an already-resident window
+    /// segment.
+    pub fn note_window_hit(&self) {
+        self.each(|m| m.window_hits.add(1));
+    }
+
+    /// Records one shard extent that had to be faulted in from disk.
+    pub fn note_window_miss(&self) {
+        self.each(|m| m.window_misses.add(1));
+    }
+
+    /// Records one segment evicted from a shard window to stay under
+    /// capacity.
+    pub fn note_window_eviction(&self) {
+        self.each(|m| m.window_evictions.add(1));
+    }
+
+    /// Records `bytes` read from disk to satisfy a window miss.
+    pub fn note_window_faulted_bytes(&self, bytes: u64) {
+        self.each(|m| m.window_faulted_bytes.add(bytes));
+    }
+
+    /// Adds `bytes` to the live gauge of window-cached bytes and returns
+    /// the new total *at this scope*, which also feeds each scope's
+    /// resident-bytes peak.
+    pub fn window_resident_add(&self, bytes: u64) -> u64 {
+        let local = self.inner.memory.window_resident_bytes.add(bytes);
+        self.inner.memory.peak_resident_bytes.note(local);
+        let mut node = self.inner.parent.as_ref();
+        while let Some(r) = node {
+            let now = r.inner.memory.window_resident_bytes.add(bytes);
+            r.inner.memory.peak_resident_bytes.note(now);
+            node = r.inner.parent.as_ref();
+        }
+        local
+    }
+
+    /// Subtracts `bytes` from the live gauge of window-cached bytes
+    /// (eviction or window drop).
+    pub fn window_resident_sub(&self, bytes: u64) {
+        self.each(|m| m.window_resident_bytes.sub(bytes));
+    }
+
+    /// Snapshots this recorder's memory counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let m = &self.inner.memory;
+        MemoryStats {
+            peak_resident_bytes: m.peak_resident_bytes.get(),
+            spilled_chunks: m.spilled_chunks.get(),
+            grid_segment_loads: m.grid_segment_loads.get(),
+            grid_full_loads: m.grid_full_loads.get(),
+            window_hits: m.window_hits.get(),
+            window_misses: m.window_misses.get(),
+            window_evictions: m.window_evictions.get(),
+            window_faulted_bytes: m.window_faulted_bytes.get(),
+            window_resident_bytes: m.window_resident_bytes.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_counts_propagate_to_ancestors_only() {
+        let root = Recorder::detached();
+        let a = root.child();
+        let b = root.child();
+        a.note_window_hit();
+        a.note_window_hit();
+        b.note_window_miss();
+        assert_eq!(a.memory_stats().window_hits, 2);
+        assert_eq!(a.memory_stats().window_misses, 0, "siblings are isolated");
+        assert_eq!(b.memory_stats().window_misses, 1);
+        assert_eq!(root.memory_stats().window_hits, 2);
+        assert_eq!(root.memory_stats().window_misses, 1);
+    }
+
+    #[test]
+    fn resident_gauge_feeds_peak_at_every_level() {
+        let root = Recorder::detached();
+        let child = root.child();
+        let now = child.window_resident_add(100);
+        assert_eq!(now, 100);
+        child.window_resident_add(50);
+        child.window_resident_sub(150);
+        assert_eq!(child.memory_stats().window_resident_bytes, 0);
+        assert_eq!(root.memory_stats().window_resident_bytes, 0);
+        assert!(child.memory_stats().peak_resident_bytes >= 150);
+        assert!(root.memory_stats().peak_resident_bytes >= 150);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_keeps_marks() {
+        let r = Recorder::detached();
+        r.note_spilled_chunks(3);
+        r.note_resident_bytes(1000);
+        let before = r.memory_stats();
+        r.note_spilled_chunks(2);
+        r.note_window_faulted_bytes(64);
+        r.note_resident_bytes(500); // below the peak: mark unchanged
+        let delta = r.memory_stats().delta_since(&before);
+        assert_eq!(delta.spilled_chunks, 2);
+        assert_eq!(delta.window_faulted_bytes, 64);
+        assert_eq!(delta.peak_resident_bytes, 1000, "marks carry, not subtract");
+    }
+
+    #[test]
+    fn delta_since_never_underflows_on_reordered_snapshots() {
+        let r = Recorder::detached();
+        r.note_window_miss();
+        let later = r.memory_stats();
+        r.note_window_miss();
+        let newest = r.memory_stats();
+        let reordered = later.delta_since(&newest);
+        assert_eq!(reordered.window_misses, 0);
+    }
+
+    #[test]
+    fn default_recorder_is_the_global_root() {
+        let d = Recorder::default();
+        assert!(d.same_as(Recorder::global()));
+        assert!(!Recorder::detached().same_as(Recorder::global()));
+    }
+}

@@ -74,6 +74,10 @@ pub struct Job {
     /// The client's deadline (from `X-Deadline-Ms`): a job still queued
     /// past this instant is answered `503` instead of evaluated.
     pub deadline: Option<Instant>,
+    /// Whether the client opted into per-request provenance
+    /// (`X-Provenance: 1`): the response then carries a stage-by-stage
+    /// timing breakdown.
+    pub provenance: bool,
 }
 
 impl Job {
@@ -271,6 +275,7 @@ mod tests {
             reply,
             enqueued: Instant::now(),
             deadline: None,
+            provenance: false,
         }
     }
 
@@ -281,6 +286,7 @@ mod tests {
             reply,
             enqueued: Instant::now(),
             deadline: None,
+            provenance: false,
         }
     }
 
@@ -392,6 +398,7 @@ mod tests {
                 reply,
                 enqueued: Instant::now(),
                 deadline: Some(Instant::now() - std::time::Duration::from_millis(5)),
+                provenance: false,
             })
             .unwrap();
         queue
@@ -418,6 +425,7 @@ mod tests {
                 reply,
                 enqueued: Instant::now(),
                 deadline: Some(Instant::now() - std::time::Duration::from_millis(5)),
+                provenance: false,
             })
             .unwrap();
         queue.submit(simulate_job(DatasetKind::Cora, 1)).unwrap();
@@ -435,6 +443,7 @@ mod tests {
                 reply,
                 enqueued: Instant::now(),
                 deadline: Some(Instant::now() + std::time::Duration::from_secs(60)),
+                provenance: false,
             })
             .unwrap();
         assert_eq!(queue.next_batch(16).unwrap().len(), 1);

@@ -111,7 +111,7 @@ fn main() {
     );
     println!(
         "endpoints: POST /simulate, POST /compile, POST /sweep, GET /stats, \
-         GET /healthz, GET /readyz, POST /shutdown"
+         GET /metrics, GET /healthz, GET /readyz, POST /drain, POST /shutdown"
     );
     server.wait();
     println!("gnnerator-serve: shut down cleanly");

@@ -55,6 +55,10 @@ pub struct Request {
     /// answers `503` instead of evaluating a request whose deadline expired
     /// while it sat in the queue.
     pub deadline_ms: Option<u64>,
+    /// Whether the client opted into per-request provenance
+    /// (`X-Provenance: 1` or `true`): `/simulate` responses then carry a
+    /// stage-by-stage timing breakdown.
+    pub provenance: bool,
 }
 
 /// A problem reading or parsing a request, mapped to the HTTP status the
@@ -178,6 +182,7 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
     let mut content_length = 0usize;
     let mut expects_continue = false;
     let mut deadline_ms = None;
+    let mut provenance = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -205,6 +210,9 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
                 deadline_ms = Some(value.trim().parse::<u64>().map_err(|_| {
                     HttpError::bad_request("invalid X-Deadline-Ms (want milliseconds as a u64)")
                 })?);
+            } else if name.eq_ignore_ascii_case("x-provenance") {
+                let value = value.trim();
+                provenance = value == "1" || value.eq_ignore_ascii_case("true");
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 // Bodies are framed by Content-Length only; silently
                 // treating a chunked body as empty would misreport a
@@ -253,6 +261,7 @@ pub fn read_request(stream: &mut (impl Read + Write)) -> Result<Option<Request>,
         body,
         keep_alive,
         deadline_ms,
+        provenance,
     }))
 }
 
@@ -303,6 +312,9 @@ pub struct ResponseOptions {
     /// Advisory `Retry-After: <seconds>` header — set on load-shedding
     /// `429` responses so well-behaved clients back off.
     pub retry_after_seconds: Option<u32>,
+    /// `Content-Type` override. `None` (every JSON endpoint) sends
+    /// `application/json`; `GET /metrics` sends the Prometheus text type.
+    pub content_type: Option<&'static str>,
 }
 
 impl ResponseOptions {
@@ -311,6 +323,7 @@ impl ResponseOptions {
         Self {
             keep_alive: false,
             retry_after_seconds: None,
+            content_type: None,
         }
     }
 
@@ -319,12 +332,19 @@ impl ResponseOptions {
         Self {
             keep_alive: true,
             retry_after_seconds: None,
+            content_type: None,
         }
     }
 
     /// Adds a `Retry-After` header (load-shedding `429`s).
     pub fn with_retry_after(mut self, seconds: u32) -> Self {
         self.retry_after_seconds = Some(seconds);
+        self
+    }
+
+    /// Overrides the `Content-Type` header (Prometheus exposition).
+    pub fn with_content_type(mut self, content_type: &'static str) -> Self {
+        self.content_type = Some(content_type);
         self
     }
 }
@@ -345,8 +365,9 @@ pub fn write_response(
         .map(|seconds| format!("Retry-After: {seconds}\r\n"))
         .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n",
         reason_phrase(status),
+        options.content_type.unwrap_or("application/json"),
         body.len(),
         if options.keep_alive { "keep-alive" } else { "close" },
     );
@@ -467,6 +488,32 @@ mod tests {
             parse_err("GET /stats HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n").status,
             400
         );
+    }
+
+    #[test]
+    fn provenance_header_is_parsed_and_defaults_off() {
+        let req = parse_one("POST /simulate HTTP/1.1\r\nX-Provenance: 1\r\n\r\n");
+        assert!(req.provenance);
+        let req = parse_one("POST /simulate HTTP/1.1\r\nx-provenance: TRUE\r\n\r\n");
+        assert!(req.provenance);
+        let req = parse_one("POST /simulate HTTP/1.1\r\nX-Provenance: 0\r\n\r\n");
+        assert!(!req.provenance, "explicit opt-out stays off");
+        let req = parse_one("POST /simulate HTTP/1.1\r\n\r\n");
+        assert!(!req.provenance, "provenance is opt-in");
+    }
+
+    #[test]
+    fn content_type_override_reaches_the_response_head() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "m 1\n",
+            ResponseOptions::close().with_content_type("text/plain; version=0.0.4"),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 
     #[test]

@@ -108,6 +108,23 @@ struct BreakerState {
     open_until: Option<Instant>,
 }
 
+/// One key's circuit-breaker bookkeeping, as surfaced on `/stats` and
+/// `/metrics`. A snapshot: `retry_after_seconds` is measured at call time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerKeyState {
+    /// Printable session-key label
+    /// (`dataset/seed<seed>/<network>/h<hidden>o<out>l<layers>`).
+    pub key: String,
+    /// Build failures since the last success.
+    pub consecutive_failures: u32,
+    /// Times this key's breaker has opened.
+    pub opens: u32,
+    /// `true` while the quarantine window has not elapsed.
+    pub open: bool,
+    /// Seconds remaining in the quarantine window (`0` when closed).
+    pub retry_after_seconds: f64,
+}
+
 /// One pool lookup's outcome: the shared session plus whether it was reused.
 #[derive(Debug, Clone)]
 pub struct PoolLookup {
@@ -169,6 +186,7 @@ pub struct SessionPool {
     artifact_cache: Option<Arc<ArtifactCache>>,
     memory_budget: Option<gnnerator_graph::MemoryBudget>,
     residency: Option<gnnerator_graph::GridResidency>,
+    recorder: Option<gnnerator_observe::Recorder>,
     inner: Mutex<PoolInner>,
     breaker_config: BreakerConfig,
     breakers: Mutex<HashMap<SessionKey, BreakerState>>,
@@ -191,6 +209,7 @@ impl SessionPool {
             artifact_cache: artifact_cache.filter(|c| c.is_enabled()),
             memory_budget: None,
             residency: None,
+            recorder: None,
             inner: Mutex::new(PoolInner {
                 entries: HashMap::new(),
                 tick: 0,
@@ -222,6 +241,15 @@ impl SessionPool {
     #[must_use]
     pub fn with_residency(mut self, residency: gnnerator_graph::GridResidency) -> Self {
         self.residency = Some(residency);
+        self
+    }
+
+    /// Routes each built session's memory/window telemetry through
+    /// `recorder` (a scoped child still propagates to the global root).
+    /// Without this, sessions record against the process-global recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: gnnerator_observe::Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -424,7 +452,49 @@ impl SessionPool {
         if let Some(residency) = self.residency {
             session = session.with_residency(residency);
         }
+        if let Some(recorder) = &self.recorder {
+            session = session.with_recorder(recorder.clone());
+        }
         Ok(Arc::new(session))
+    }
+
+    /// A snapshot of every key with live breaker bookkeeping (keys recover
+    /// fully on a successful build and drop out of this list), sorted by
+    /// label for stable output on `/stats` and `/metrics`.
+    pub fn breaker_states(&self) -> Vec<BreakerKeyState> {
+        let now = Instant::now();
+        let mut states: Vec<BreakerKeyState> = lock_recover(&self.breakers)
+            .iter()
+            .map(|(key, state)| {
+                let remaining = state
+                    .open_until
+                    .and_then(|until| until.checked_duration_since(now))
+                    .unwrap_or(Duration::ZERO);
+                BreakerKeyState {
+                    key: Self::key_label(key),
+                    consecutive_failures: state.consecutive_failures,
+                    opens: state.opens,
+                    open: remaining > Duration::ZERO,
+                    retry_after_seconds: remaining.as_secs_f64(),
+                }
+            })
+            .collect();
+        states.sort_by(|a, b| a.key.cmp(&b.key));
+        states
+    }
+
+    /// Renders a session key as a compact, stable label for metric output.
+    pub(crate) fn key_label(key: &SessionKey) -> String {
+        let (dataset, seed, network, hidden_dim, out_dim, hidden_layers) = key;
+        format!(
+            "{}/seed{}/{}/h{}o{}l{}",
+            dataset.name,
+            seed,
+            network.short_name(),
+            hidden_dim,
+            out_dim,
+            hidden_layers
+        )
     }
 
     /// A consistent snapshot of the pool's counters.
@@ -606,6 +676,16 @@ mod tests {
         assert_eq!(stats.quarantined_keys, 1);
         assert_eq!(stats.misses, 2, "the rejected lookup never built");
         assert_eq!(stats.size, 0, "quarantined keys do not pin capacity");
+        let states = pool.breaker_states();
+        assert_eq!(states.len(), 1);
+        assert!(states[0].open, "the quarantined key reports open");
+        assert_eq!(states[0].opens, 1);
+        assert!(states[0].retry_after_seconds > 0.0);
+        assert!(
+            states[0].key.starts_with("cora/seed9/"),
+            "printable key label: {}",
+            states[0].key
+        );
 
         // After the window, a half-open trial is admitted; its failure
         // re-opens the breaker immediately with a doubled window.

@@ -29,10 +29,18 @@
 //! | `POST /simulate` | one scenario object         | the evaluated point (seconds, cycles, speedups, `session_reused`, `latency_seconds`, `batch_size`) |
 //! | `POST /compile`  | one accelerator scenario    | the compiled-workload summary (no execution) |
 //! | `POST /sweep`    | `{"scenarios": [...]}`      | every point, in order, evaluated batch-per-session-key |
-//! | `GET /stats`     | —                           | pool counters, admission/batching counters, worker supervision and breaker counters, queue-wait / evaluate / serialize latency histograms (p50/p90/p99) |
+//! | `GET /stats`     | —                           | pool counters, admission/batching counters, worker supervision, per-key breaker states, armed fault spec, queue-wait / session-build / evaluate / serialize latency histograms (p50/p90/p99) |
+//! | `GET /metrics`   | —                           | the same telemetry as Prometheus text (version 0.0.4): counters, gauges and full histogram families |
 //! | `GET /healthz`   | —                           | liveness: `200` unless a shutdown is in progress |
-//! | `GET /readyz`    | —                           | readiness: `200` only with queue headroom and live workers; `503` with per-component detail otherwise |
+//! | `GET /readyz`    | —                           | readiness: `200` only with queue headroom and live workers; `503` with per-component detail otherwise (including while draining) |
+//! | `POST /drain`    | —                           | `{"ok": true, "draining": true}`: flips `/readyz` to `503`, refuses new evaluation work, lets queued and in-flight jobs finish, then closes the listener |
 //! | `POST /shutdown` | —                           | `{"ok": true}`, then stops accepting, wakes idle keep-alive connections and drains |
+//!
+//! `/simulate` responses additionally carry a per-request provenance
+//! breakdown (queue wait → session build → evaluate → serialize, plus the
+//! session key, backend, batch size and shard-window outcome) when the
+//! client opts in with `X-Provenance: 1`; the same spans feed the central
+//! stage histograms either way.
 
 use crate::batch::{Job, JobKind, JobQueue, Reply, SubmitError};
 use crate::http::{read_request, write_response, HttpError, Request, ResponseOptions};
@@ -43,6 +51,7 @@ use crate::request::scenario_from_json;
 use gnnerator::{evaluate_scenario_batch, ScenarioResult, ScenarioSpec, SessionKey, SimSession};
 use gnnerator_faults::lock_recover;
 use gnnerator_graph::{ArtifactCache, GridResidency, MemoryBudget};
+use gnnerator_observe::{PromText, Recorder, RequestProvenance};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -230,6 +239,13 @@ struct ServerState {
     metrics: Mutex<Metrics>,
     connections: ConnectionRegistry,
     shutdown: AtomicBool,
+    /// Set by `POST /drain`: `/readyz` answers `503`, new evaluation work
+    /// is refused, and a background thread closes the listener once the
+    /// queue and in-flight batches are empty.
+    draining: AtomicBool,
+    /// Batches currently being processed by workers (drain waits on this
+    /// as well as queue depth, so in-flight work finishes before close).
+    inflight_batches: AtomicUsize,
     /// The bound listener address — the shutdown path dials it to wake the
     /// blocking acceptor.
     addr: SocketAddr,
@@ -287,6 +303,8 @@ impl SessionServer {
             metrics: Mutex::new(Metrics::default()),
             connections: ConnectionRegistry::default(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            inflight_batches: AtomicUsize::new(0),
             addr,
             started: Instant::now(),
             requests: AtomicUsize::new(0),
@@ -339,6 +357,12 @@ impl SessionServer {
         self.state.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Whether a graceful drain has been requested (`POST /drain`): the
+    /// server stops admitting work and closes once in-flight jobs finish.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
     /// Requests a stop and joins every thread: in-flight and queued
     /// requests finish, idle keep-alive connections are woken and closed,
     /// new connections are refused.
@@ -383,6 +407,24 @@ fn trigger_shutdown(state: &ServerState) {
         });
     }
     let _ = TcpStream::connect(addr); // wake the acceptor; dropped unread
+}
+
+/// Starts a graceful drain: readiness flips to `503` immediately (load
+/// balancers stop routing here), new evaluation work is refused, and a
+/// background thread waits for the queue and every in-flight batch to
+/// finish before triggering the full shutdown that closes the listener.
+/// Idempotent — a second `POST /drain` changes nothing.
+fn trigger_drain(state: &Arc<ServerState>) {
+    if state.draining.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        while state.queue.depth() > 0 || state.inflight_batches.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        trigger_shutdown(&state);
+    });
 }
 
 fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
@@ -521,6 +563,9 @@ enum Pending {
         body: String,
         keep_alive: bool,
         retry_after: Option<u32>,
+        /// `Content-Type` override (`GET /metrics` answers Prometheus text,
+        /// everything else JSON).
+        content_type: Option<&'static str>,
     },
     /// Waiting on an evaluation worker.
     Waiting {
@@ -585,6 +630,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
                         body: error_body(&message),
                         keep_alive: false,
                         retry_after: None,
+                        content_type: None,
                     });
                     reads_done = true;
                 }
@@ -593,7 +639,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
         let Some(pending) = inflight.pop_front() else {
             return; // idle close, clean EOF, or shutdown wake-up
         };
-        let (status, body, mut keep_alive, retry_after) = resolve(pending);
+        let (status, body, mut keep_alive, retry_after, content_type) = resolve(pending);
         if status >= 400 {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -611,6 +657,9 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
         if let Some(seconds) = retry_after {
             options = options.with_retry_after(seconds);
         }
+        if let Some(content_type) = content_type {
+            options = options.with_content_type(content_type);
+        }
         if write_response(&mut stream, status, &body, options).is_err() || !keep_alive {
             return; // any replies still pending are dropped (send is a no-op)
         }
@@ -618,15 +667,16 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
 }
 
 /// Blocks until `pending` has a response: `(status, body, keep_alive,
-/// retry_after)`.
-fn resolve(pending: Pending) -> (u16, String, bool, Option<u32>) {
+/// retry_after, content_type)`.
+fn resolve(pending: Pending) -> (u16, String, bool, Option<u32>, Option<&'static str>) {
     match pending {
         Pending::Ready {
             status,
             body,
             keep_alive,
             retry_after,
-        } => (status, body, keep_alive, retry_after),
+            content_type,
+        } => (status, body, keep_alive, retry_after, content_type),
         Pending::Waiting {
             receiver,
             keep_alive,
@@ -636,9 +686,15 @@ fn resolve(pending: Pending) -> (u16, String, bool, Option<u32>) {
             // matching the shed path.
             Ok(reply) => {
                 let retry_after = matches!(reply.status, 429 | 503).then_some(1);
-                (reply.status, reply.body, keep_alive, retry_after)
+                (reply.status, reply.body, keep_alive, retry_after, None)
             }
-            Err(_) => (500, error_body("evaluation did not complete"), false, None),
+            Err(_) => (
+                500,
+                error_body("evaluation did not complete"),
+                false,
+                None,
+                None,
+            ),
         },
     }
 }
@@ -690,7 +746,9 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
         body,
         keep_alive,
         retry_after: None,
+        content_type: None,
     };
+    let provenance = request.provenance;
     match (request.method.as_str(), route(&request)) {
         ("POST", "/simulate") => {
             match parse_body(&request.body).and_then(|json| scenario_from_json(&json)) {
@@ -698,6 +756,7 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
                     JobKind::Simulate(Box::new(scenario)),
                     keep_alive,
                     deadline,
+                    provenance,
                     state,
                 ),
                 Err(message) => ready(400, error_body(&message)),
@@ -713,13 +772,20 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
                     JobKind::Compile(Box::new(scenario)),
                     keep_alive,
                     deadline,
+                    false,
                     state,
                 ),
                 Err(message) => ready(400, error_body(&message)),
             }
         }
         ("POST", "/sweep") => match parse_sweep(&request.body) {
-            Ok(scenarios) => submit(JobKind::Sweep(scenarios), keep_alive, deadline, state),
+            Ok(scenarios) => submit(
+                JobKind::Sweep(scenarios),
+                keep_alive,
+                deadline,
+                false,
+                state,
+            ),
             Err(message) => ready(400, error_body(&message)),
         },
         ("GET", "/stats") => {
@@ -740,9 +806,20 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
                 ready(200, "{\"ok\": true}".to_string())
             }
         }
+        ("GET", "/metrics") => Pending::Ready {
+            status: 200,
+            body: metrics_body(state),
+            keep_alive,
+            retry_after: None,
+            content_type: Some("text/plain; version=0.0.4; charset=utf-8"),
+        },
         ("GET", "/readyz") => {
             let (status, body) = readyz_body(state);
             ready(status, body)
+        }
+        ("POST", "/drain") => {
+            trigger_drain(state);
+            ready(200, "{\"ok\": true, \"draining\": true}".to_string())
         }
         ("POST", "/shutdown") => {
             trigger_shutdown(state);
@@ -751,12 +828,13 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
                 body: "{\"ok\": true}".to_string(),
                 keep_alive: false,
                 retry_after: None,
+                content_type: None,
             }
         }
-        (_, "/simulate" | "/compile" | "/sweep" | "/shutdown") => {
+        (_, "/simulate" | "/compile" | "/sweep" | "/shutdown" | "/drain") => {
             ready(405, error_body("use POST for this endpoint"))
         }
-        (_, "/stats" | "/healthz" | "/readyz") => {
+        (_, "/stats" | "/metrics" | "/healthz" | "/readyz") => {
             ready(405, error_body("use GET for this endpoint"))
         }
         _ => ready(
@@ -772,15 +850,16 @@ fn admit(request: Request, state: &Arc<ServerState>) -> Pending {
 /// operator can see exactly which gate failed.
 fn readyz_body(state: &ServerState) -> (u16, String) {
     let shutting_down = state.shutdown.load(Ordering::SeqCst);
+    let draining = state.draining.load(Ordering::SeqCst);
     let depth = state.queue.depth();
     let capacity = state.queue.capacity();
     let queue_ready = depth < capacity;
     let alive = state.workers_alive.load(Ordering::SeqCst);
     let workers_ready = alive > 0;
     let pool = state.pool.stats();
-    let ready = !shutting_down && queue_ready && workers_ready;
+    let ready = !shutting_down && !draining && queue_ready && workers_ready;
     let body = format!(
-        "{{\"ready\": {ready}, \"shutting_down\": {shutting_down}, \
+        "{{\"ready\": {ready}, \"shutting_down\": {shutting_down}, \"draining\": {draining}, \
          \"queue\": {{\"ready\": {queue_ready}, \"depth\": {depth}, \"capacity\": {capacity}}}, \
          \"workers\": {{\"ready\": {workers_ready}, \"alive\": {alive}, \"configured\": {}, \
          \"panics\": {}, \"respawns\": {}}}, \
@@ -803,14 +882,25 @@ fn submit(
     kind: JobKind,
     keep_alive: bool,
     deadline: Option<Instant>,
+    provenance: bool,
     state: &Arc<ServerState>,
 ) -> Pending {
+    if state.draining.load(Ordering::SeqCst) {
+        return Pending::Ready {
+            status: 503,
+            body: error_body("server is draining; no new work is admitted"),
+            keep_alive,
+            retry_after: Some(1),
+            content_type: None,
+        };
+    }
     if deadline.is_some_and(|deadline| Instant::now() > deadline) {
         return Pending::Ready {
             status: 503,
             body: error_body("deadline expired before admission"),
             keep_alive,
             retry_after: Some(1),
+            content_type: None,
         };
     }
     let (reply, receiver) = channel();
@@ -819,6 +909,7 @@ fn submit(
         reply,
         enqueued: Instant::now(),
         deadline,
+        provenance,
     };
     match state.queue.submit(job) {
         Ok(()) => Pending::Waiting {
@@ -830,12 +921,14 @@ fn submit(
             body: error_body("server is at capacity; retry shortly"),
             keep_alive,
             retry_after: Some(1),
+            content_type: None,
         },
         Err(SubmitError::Closed) => Pending::Ready {
             status: 503,
             body: error_body("server is shutting down"),
             keep_alive: false,
             retry_after: None,
+            content_type: None,
         },
     }
 }
@@ -927,6 +1020,16 @@ fn eval_worker_loop(state: &Arc<ServerState>) {
 }
 
 fn process_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
+    // Panic-safe in-flight accounting: a drain waits on this counter, so a
+    // worker unwinding mid-batch must still decrement it.
+    struct InflightGuard<'a>(&'a ServerState);
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.0.inflight_batches.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    state.inflight_batches.fetch_add(1, Ordering::SeqCst);
+    let _inflight = InflightGuard(state);
     let picked_up = Instant::now();
     {
         let mut metrics = lock_recover(&state.metrics);
@@ -955,48 +1058,68 @@ fn process_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
 
 fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
     let size = batch.len();
+    let picked_up = Instant::now();
     let mut jobs = Vec::with_capacity(size);
     for job in batch {
         let Job {
             kind,
             reply,
             enqueued,
+            provenance,
             ..
         } = job;
         let JobKind::Simulate(scenario) = kind else {
             continue; // unreachable: coalescing only groups Simulate jobs
         };
-        jobs.push((*scenario, reply, enqueued));
+        jobs.push((*scenario, reply, enqueued, provenance));
     }
+    // Per-request queue waits, measured once so provenance spans and the
+    // central queue_wait histogram describe the same instant.
+    let queue_waits: Vec<f64> = jobs
+        .iter()
+        .map(|(_, _, enqueued, _)| picked_up.duration_since(*enqueued).as_secs_f64())
+        .collect();
     // One pool lookup *per request* keeps hit/miss accounting identical to
     // the one-at-a-time path: the first cold request builds (a miss), the
     // coalesced rest are warm hits on the same key.
+    let build_started = Instant::now();
     let lookups: Vec<_> = jobs
         .iter()
-        .map(|(scenario, _, _)| state.pool.get(scenario))
+        .map(|(scenario, _, _, _)| state.pool.get(scenario))
         .collect();
+    let build_seconds = build_started.elapsed().as_secs_f64();
     let session: Option<Arc<SimSession>> = lookups
         .iter()
         .find_map(|lookup| lookup.as_ref().ok().map(|l| Arc::clone(&l.session)));
-    let scenarios: Vec<ScenarioSpec> = jobs.iter().map(|(s, _, _)| s.clone()).collect();
+    let scenarios: Vec<ScenarioSpec> = jobs.iter().map(|(s, _, _, _)| s.clone()).collect();
+    // Shard-window outcomes for this pass, as a snapshot delta over the
+    // global recorder (other in-flight batches may interleave; this is the
+    // pass's view, not an exact per-request attribution).
+    let memory_before = Recorder::global().memory_stats();
     let results = match &session {
         Some(session) => evaluate_scenario_batch(&scenarios, session),
         None => Vec::new(), // every lookup failed; answered per-job below
     };
+    let memory_delta = Recorder::global()
+        .memory_stats()
+        .delta_since(&memory_before);
     {
         let mut metrics = lock_recover(&state.metrics);
         metrics.batch.record(size);
+        metrics.session_build.record(build_seconds);
         for result in results.iter().flatten() {
             metrics.evaluate.record(result.simulate_seconds);
         }
     }
-    for (index, ((_, reply, enqueued), lookup)) in jobs.into_iter().zip(lookups).enumerate() {
+    for (index, ((scenario, reply, enqueued, wants_provenance), lookup)) in
+        jobs.into_iter().zip(lookups).enumerate()
+    {
         let (status, body) = match lookup {
             Err(e) => (pool_error_status(&e), error_body(&e.to_string())),
             Ok(lookup) => match results.get(index) {
                 Some(Ok(result)) => {
                     let serialize_started = Instant::now();
-                    let body = point_json(
+                    let mut body = point_json(
                         result,
                         Some(ServingInfo {
                             reused: lookup.reused,
@@ -1004,9 +1127,33 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
                             batch_size: size,
                         }),
                     );
+                    let serialize_seconds = serialize_started.elapsed().as_secs_f64();
                     lock_recover(&state.metrics)
                         .serialize
-                        .record(serialize_started.elapsed().as_secs_f64());
+                        .record(serialize_seconds);
+                    if wants_provenance {
+                        let mut provenance = RequestProvenance {
+                            session_key: SessionPool::key_label(&scenario.session_key()),
+                            backend: result.backend().as_str().to_string(),
+                            batch_size: size as u64,
+                            session_reused: lookup.reused,
+                            window_hits: memory_delta.window_hits,
+                            window_misses: memory_delta.window_misses,
+                            spans: Vec::new(),
+                        };
+                        provenance.span("queue_wait", queue_waits[index]);
+                        provenance.span(
+                            "session_build",
+                            if lookup.reused { 0.0 } else { build_seconds },
+                        );
+                        provenance.span("evaluate", result.simulate_seconds);
+                        provenance.span("serialize", serialize_seconds);
+                        body.pop(); // splice into the closed point object
+                        body.push_str(&format!(
+                            ", \"provenance\": {}}}",
+                            provenance_json(&provenance)
+                        ));
+                    }
                     (200, body)
                 }
                 Some(Err(e)) => (500, error_body(&e.to_string())),
@@ -1016,6 +1163,36 @@ fn process_simulate_batch(batch: Vec<Job>, state: &Arc<ServerState>) {
         record_endpoint_latency(state, "/simulate", enqueued.elapsed().as_secs_f64());
         let _ = reply.send(Reply { status, body });
     }
+}
+
+/// Renders a [`RequestProvenance`] as the JSON object attached to a
+/// `/simulate` response under `"provenance"`.
+fn provenance_json(provenance: &RequestProvenance) -> String {
+    let spans = provenance
+        .spans
+        .iter()
+        .map(|span| {
+            format!(
+                "{{\"stage\": {}, \"seconds\": {}}}",
+                json_string(span.stage),
+                json_f64(span.seconds),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"session_key\": {}, \"backend\": {}, \"batch_size\": {}, \
+         \"session_reused\": {}, \"window_hits\": {}, \"window_misses\": {}, \
+         \"total_seconds\": {}, \"spans\": [{}]}}",
+        json_string(&provenance.session_key),
+        json_string(&provenance.backend),
+        provenance.batch_size,
+        provenance.session_reused,
+        provenance.window_hits,
+        provenance.window_misses,
+        json_f64(provenance.total_seconds()),
+        spans,
+    )
 }
 
 fn process_compile(job: Job, state: &Arc<ServerState>) {
@@ -1277,8 +1454,9 @@ fn stats_body(state: &ServerState) -> String {
         json_f64(metrics.batch.mean_batch_size()),
     );
     let latency = format!(
-        "{{\"queue_wait\": {}, \"evaluate\": {}, \"serialize\": {}}}",
+        "{{\"queue_wait\": {}, \"session_build\": {}, \"evaluate\": {}, \"serialize\": {}}}",
         histogram_json(&metrics.queue_wait),
+        histogram_json(&metrics.session_build),
         histogram_json(&metrics.evaluate),
         histogram_json(&metrics.serialize),
     );
@@ -1319,13 +1497,36 @@ fn stats_body(state: &ServerState) -> String {
         })
         .collect::<Vec<_>>()
         .join(", ");
+    let faults_armed = match gnnerator_faults::armed_spec() {
+        Some(spec) => json_string(&spec),
+        None => "null".to_string(),
+    };
+    let breaker_keys = state
+        .pool
+        .breaker_states()
+        .into_iter()
+        .map(|breaker| {
+            format!(
+                "{{\"key\": {}, \"consecutive_failures\": {}, \"opens\": {}, \
+                 \"open\": {}, \"retry_after_seconds\": {}}}",
+                json_string(&breaker.key),
+                breaker.consecutive_failures,
+                breaker.opens,
+                breaker.open,
+                json_f64(breaker.retry_after_seconds),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\"uptime_seconds\": {}, \"requests\": {}, \"errors\": {}, \
          \"pool\": {{\"size\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \
          \"sessions_built\": {}, \"evictions\": {}, \"datasets_synthesized\": {}, \
          \"datasets_loaded\": {}, \"breaker_trips\": {}, \"breaker_rejections\": {}, \
          \"quarantined_keys\": {}, \"corrupt_artifacts\": {}}}, \
-         \"workers\": {}, \"memory\": {}, \"faults\": [{}], \"admission\": {}, \
+         \"breaker_keys\": [{breaker_keys}], \
+         \"workers\": {}, \"memory\": {}, \"faults\": [{}], \
+         \"faults_armed\": {faults_armed}, \"admission\": {}, \
          \"batch\": {}, \"latency\": {}, \"endpoints\": {{{}}}}}",
         json_f64(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
@@ -1350,4 +1551,356 @@ fn stats_body(state: &ServerState) -> String {
         latency,
         endpoints_json,
     )
+}
+
+/// Renders the unified telemetry as Prometheus text (exposition format
+/// 0.0.4) for `GET /metrics`: request/error counters, the four stage
+/// histograms, pool and admission counters, worker liveness, per-key
+/// breaker states, graph memory/window telemetry from the global
+/// [`Recorder`], and fault-injection hit/trip counts.
+fn metrics_body(state: &ServerState) -> String {
+    let mut prom = PromText::new();
+    prom.counter(
+        "gnnerator_requests_total",
+        "HTTP requests received.",
+        state.requests.load(Ordering::Relaxed) as u64,
+    );
+    prom.counter(
+        "gnnerator_errors_total",
+        "HTTP responses with status >= 400.",
+        state.errors.load(Ordering::Relaxed) as u64,
+    );
+    prom.gauge(
+        "gnnerator_uptime_seconds",
+        "Seconds since the server started.",
+        state.started.elapsed().as_secs_f64(),
+    );
+    prom.gauge(
+        "gnnerator_draining",
+        "1 while a graceful drain is in progress.",
+        if state.draining.load(Ordering::SeqCst) {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    prom.gauge(
+        "gnnerator_shutting_down",
+        "1 once shutdown has been triggered.",
+        if state.shutdown.load(Ordering::SeqCst) {
+            1.0
+        } else {
+            0.0
+        },
+    );
+
+    // Stage latency histograms.
+    {
+        let metrics = lock_recover(&state.metrics);
+        prom.histogram(
+            "gnnerator_queue_wait_seconds",
+            "Enqueue to worker-pickup latency per request.",
+            &metrics.queue_wait,
+        );
+        prom.histogram(
+            "gnnerator_session_build_seconds",
+            "Session lookup/build latency per evaluation pass.",
+            &metrics.session_build,
+        );
+        prom.histogram(
+            "gnnerator_evaluate_seconds",
+            "Scenario evaluation latency per request.",
+            &metrics.evaluate,
+        );
+        prom.histogram(
+            "gnnerator_serialize_seconds",
+            "Response serialization latency per request.",
+            &metrics.serialize,
+        );
+        prom.counter(
+            "gnnerator_batches_total",
+            "Evaluation passes that coalesced two or more requests.",
+            metrics.batch.batches,
+        );
+        prom.counter(
+            "gnnerator_batched_requests_total",
+            "Requests answered as part of a coalesced pass.",
+            metrics.batch.batched_requests,
+        );
+        prom.counter(
+            "gnnerator_solo_requests_total",
+            "Requests evaluated alone.",
+            metrics.batch.solo_requests,
+        );
+        prom.gauge(
+            "gnnerator_max_batch_size",
+            "Largest coalesced evaluation pass observed.",
+            metrics.batch.max_batch_size as f64,
+        );
+    }
+
+    // Session pool.
+    let pool = state.pool.stats();
+    prom.gauge(
+        "gnnerator_pool_sessions",
+        "Warm sessions currently held by the pool.",
+        pool.size as f64,
+    );
+    prom.gauge(
+        "gnnerator_pool_capacity",
+        "Maximum warm sessions before LRU eviction.",
+        pool.capacity as f64,
+    );
+    prom.counter(
+        "gnnerator_pool_hits_total",
+        "Pool lookups answered by a warm session.",
+        pool.hits as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_misses_total",
+        "Pool lookups that found no warm session.",
+        pool.misses as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_sessions_built_total",
+        "Sessions compiled from scratch.",
+        pool.sessions_built as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_evictions_total",
+        "Sessions dropped to stay within capacity.",
+        pool.evictions as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_datasets_synthesized_total",
+        "Datasets synthesized from scratch during builds.",
+        pool.datasets_synthesized as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_datasets_loaded_total",
+        "Datasets loaded from the persistent artifact cache.",
+        pool.datasets_loaded as u64,
+    );
+    prom.counter(
+        "gnnerator_pool_corrupt_artifacts_total",
+        "Corrupt on-disk artifacts quarantined by the artifact cache.",
+        pool.corrupt_artifacts as u64,
+    );
+
+    // Circuit breakers: totals plus per-key state.
+    prom.counter(
+        "gnnerator_breaker_trips_total",
+        "Times any key's circuit breaker opened.",
+        pool.breaker_trips as u64,
+    );
+    prom.counter(
+        "gnnerator_breaker_rejections_total",
+        "Lookups rejected because a key's breaker was open.",
+        pool.breaker_rejections as u64,
+    );
+    prom.gauge(
+        "gnnerator_breaker_quarantined_keys",
+        "Keys currently quarantined behind an open breaker.",
+        pool.quarantined_keys as f64,
+    );
+    let breakers = state.pool.breaker_states();
+    if !breakers.is_empty() {
+        prom.header(
+            "gnnerator_breaker_open",
+            "1 while the key's breaker quarantine window is open.",
+            "gauge",
+        );
+        for breaker in &breakers {
+            prom.sample(
+                "gnnerator_breaker_open",
+                &[("key", &breaker.key)],
+                if breaker.open { 1.0 } else { 0.0 },
+            );
+        }
+        prom.header(
+            "gnnerator_breaker_consecutive_failures",
+            "Build failures on the key since its last success.",
+            "gauge",
+        );
+        for breaker in &breakers {
+            prom.sample(
+                "gnnerator_breaker_consecutive_failures",
+                &[("key", &breaker.key)],
+                f64::from(breaker.consecutive_failures),
+            );
+        }
+        prom.header(
+            "gnnerator_breaker_opens_total",
+            "Times the key's breaker has opened.",
+            "counter",
+        );
+        for breaker in &breakers {
+            prom.sample(
+                "gnnerator_breaker_opens_total",
+                &[("key", &breaker.key)],
+                f64::from(breaker.opens),
+            );
+        }
+    }
+
+    // Admission control.
+    prom.gauge(
+        "gnnerator_queue_depth",
+        "Jobs currently waiting in the admission queue.",
+        state.queue.depth() as f64,
+    );
+    prom.gauge(
+        "gnnerator_queue_capacity",
+        "Admission queue capacity.",
+        state.queue.capacity() as f64,
+    );
+    prom.gauge(
+        "gnnerator_queue_peak_depth",
+        "Deepest the admission queue has been.",
+        state.queue.peak_depth() as f64,
+    );
+    prom.counter(
+        "gnnerator_queue_shed_total",
+        "Requests refused because the queue was full.",
+        state.queue.shed_count() as u64,
+    );
+    prom.counter(
+        "gnnerator_queue_expired_total",
+        "Jobs answered 503 because their deadline expired while queued.",
+        state.queue.expired_count() as u64,
+    );
+    prom.gauge(
+        "gnnerator_connections_active",
+        "Connections currently open.",
+        state.connections.active() as f64,
+    );
+    prom.gauge(
+        "gnnerator_connections_peak",
+        "Most connections ever open at once.",
+        state.connections.peak.load(Ordering::Relaxed) as f64,
+    );
+    prom.counter(
+        "gnnerator_connections_total",
+        "Connections accepted over the server's lifetime.",
+        state.connections.total.load(Ordering::Relaxed) as u64,
+    );
+    prom.counter(
+        "gnnerator_connections_refused_total",
+        "Connections refused at the connection limit.",
+        state.connections.refused.load(Ordering::Relaxed) as u64,
+    );
+
+    // Worker liveness.
+    prom.gauge(
+        "gnnerator_workers_alive",
+        "Evaluation workers currently live.",
+        state.workers_alive.load(Ordering::SeqCst) as f64,
+    );
+    prom.gauge(
+        "gnnerator_workers_configured",
+        "Evaluation workers the server was started with.",
+        state.configured_workers as f64,
+    );
+    prom.counter(
+        "gnnerator_worker_panics_total",
+        "Worker panics caught by supervision.",
+        state.worker_panics.load(Ordering::Relaxed) as u64,
+    );
+    prom.counter(
+        "gnnerator_worker_respawns_total",
+        "Worker loop re-entries after a caught panic.",
+        state.worker_respawns.load(Ordering::Relaxed) as u64,
+    );
+
+    // Graph memory / shard-window telemetry from the global recorder.
+    let memory = Recorder::global().memory_stats();
+    prom.gauge(
+        "gnnerator_memory_peak_resident_bytes",
+        "High-water mark of tracked resident graph bytes.",
+        memory.peak_resident_bytes as f64,
+    );
+    prom.counter(
+        "gnnerator_memory_spilled_chunks_total",
+        "Edge chunks spilled to disk by the out-of-core builder.",
+        memory.spilled_chunks,
+    );
+    prom.counter(
+        "gnnerator_grid_segment_loads_total",
+        "Shard-grid artifacts loaded segment-at-a-time.",
+        memory.grid_segment_loads,
+    );
+    prom.counter(
+        "gnnerator_grid_full_loads_total",
+        "Shard-grid artifacts loaded fully resident.",
+        memory.grid_full_loads,
+    );
+    prom.counter(
+        "gnnerator_window_hits_total",
+        "Shard-window fetches served from resident segments.",
+        memory.window_hits,
+    );
+    prom.counter(
+        "gnnerator_window_misses_total",
+        "Shard-window fetches that faulted a segment from disk.",
+        memory.window_misses,
+    );
+    prom.counter(
+        "gnnerator_window_evictions_total",
+        "Shard-window segments evicted to stay within budget.",
+        memory.window_evictions,
+    );
+    prom.counter(
+        "gnnerator_window_faulted_bytes_total",
+        "Bytes faulted from disk by shard windows.",
+        memory.window_faulted_bytes,
+    );
+    prom.gauge(
+        "gnnerator_window_resident_bytes",
+        "Bytes currently resident across shard windows.",
+        memory.window_resident_bytes as f64,
+    );
+
+    // Fault injection: armed spec plus per-point hit/trip counts.
+    let armed = gnnerator_faults::armed_spec();
+    prom.gauge(
+        "gnnerator_faults_armed",
+        "1 while a GNNERATOR_FAULTS spec is armed.",
+        if armed.is_some() { 1.0 } else { 0.0 },
+    );
+    if let Some(spec) = &armed {
+        prom.header(
+            "gnnerator_faults_spec",
+            "The armed GNNERATOR_FAULTS spec (info-style: value is always 1).",
+            "gauge",
+        );
+        prom.sample("gnnerator_faults_spec", &[("spec", spec)], 1.0);
+    }
+    let fault_points = gnnerator_faults::stats();
+    if !fault_points.is_empty() {
+        prom.header(
+            "gnnerator_fault_hits_total",
+            "Times the failpoint was evaluated.",
+            "counter",
+        );
+        for point in &fault_points {
+            prom.sample(
+                "gnnerator_fault_hits_total",
+                &[("point", &point.name)],
+                point.hits as f64,
+            );
+        }
+        prom.header(
+            "gnnerator_fault_trips_total",
+            "Times the failpoint actually fired.",
+            "counter",
+        );
+        for point in &fault_points {
+            prom.sample(
+                "gnnerator_fault_trips_total",
+                &[("point", &point.name)],
+                point.trips as f64,
+            );
+        }
+    }
+    prom.finish()
 }
